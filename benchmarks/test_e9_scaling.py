@@ -1,0 +1,40 @@
+"""E9 bench: regenerate the scaling table; time the two graph kernels
+(Karp max cycle mean, Bellman--Ford) at a fixed size so regressions in
+either show up independently of the end-to-end pipeline."""
+
+import random
+
+from conftest import show_tables
+
+from repro.experiments import run_experiment
+from repro.graphs.digraph import WeightedDigraph
+from repro.graphs.karp import maximum_cycle_mean
+from repro.graphs.shortest_paths import bellman_ford
+
+
+def _dense_graph(n: int, seed: int = 0) -> WeightedDigraph:
+    rng = random.Random(seed)
+    g = WeightedDigraph()
+    for i in range(n):
+        g.add_node(i)
+    for u in range(n):
+        for v in range(n):
+            if u != v:
+                g.add_edge(u, v, rng.uniform(0.0, 5.0))
+    return g
+
+
+def test_e9_scaling_table(benchmark, capsys):
+    tables = run_experiment("E9", quick=True)
+    show_tables(capsys, tables)
+    assert all(row[-1] > 0 for row in tables[0].rows)
+
+    g = _dense_graph(24)
+    result = benchmark(lambda: maximum_cycle_mean(g))
+    assert result.mean is not None
+
+
+def test_e9_bellman_ford_kernel(benchmark):
+    g = _dense_graph(48, seed=1)
+    dist = benchmark(lambda: bellman_ford(g, 0)[0])
+    assert len(dist) == 48

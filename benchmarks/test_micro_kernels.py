@@ -1,0 +1,59 @@
+"""Micro-benchmarks for the substrate kernels, independent of any
+experiment: simulator event throughput, view extraction, estimated-delay
+matching.  These guard the constant factors the experiment benches sit on.
+"""
+
+from repro.core.estimates import estimated_delays, local_shift_estimates
+from repro.graphs import ring
+from repro.sim.network import NetworkSimulator
+from repro.sim.protocols import probe_automata, probe_schedule
+from repro.workloads.scenarios import bounded_uniform
+
+
+def _big_execution():
+    scenario = bounded_uniform(
+        ring(10), lb=1.0, ub=3.0, probes=10, spacing=2.0, seed=0
+    )
+    return scenario, scenario.run()
+
+
+def test_simulator_throughput(benchmark):
+    scenario = bounded_uniform(
+        ring(10), lb=1.0, ub=3.0, probes=10, spacing=2.0, seed=0
+    )
+
+    def run():
+        sim = NetworkSimulator(
+            scenario.system, scenario.samplers, scenario.start_times, seed=0
+        )
+        return sim.run(
+            dict(
+                probe_automata(
+                    scenario.topology, probe_schedule(10, 11.0, 2.0)
+                )
+            )
+        )
+
+    alpha = benchmark(run)
+    # 10 processors x 2 neighbours x 10 rounds = 200 messages.
+    assert len(alpha.message_records()) == 200
+
+
+def test_view_extraction(benchmark):
+    _, alpha = _big_execution()
+    views = benchmark(alpha.views)
+    assert len(views) == 10
+
+
+def test_estimated_delay_matching(benchmark):
+    _, alpha = _big_execution()
+    views = alpha.views()
+    est = benchmark(lambda: estimated_delays(views))
+    assert sum(len(v) for v in est.values()) == 200
+
+
+def test_local_shift_estimates(benchmark):
+    scenario, alpha = _big_execution()
+    views = alpha.views()
+    mls = benchmark(lambda: local_shift_estimates(scenario.system, views))
+    assert len(mls) == 20  # both directions of 10 ring links

@@ -1,0 +1,59 @@
+"""Synchronizing a fully asynchronous ring -- where worst-case theory
+gives up.
+
+Before this paper, deterministic clock synchronization theory required
+upper bounds on message delay: with none, the worst-case precision of
+*any* algorithm is unbounded, so worst-case-optimal algorithms simply do
+not exist for this model.  The paper's per-instance optimality sidesteps
+that: on each actual execution the achievable precision is finite, and
+SHIFTS attains it.
+
+This example demonstrates all three acts:
+
+1. synchronize a no-upper-bounds ring and get a finite, certified bound;
+2. show the bound degrading as the delay tail grows (so the worst case
+   over executions is indeed unbounded -- no fixed bound would be valid);
+3. unleash the shifting adversary to confirm the per-execution bound is
+   tight: an equivalent admissible execution realizes it.
+
+Run:  python examples/asynchronous_ring.py
+"""
+
+from repro import ClockSynchronizer, realized_spread, ring
+from repro.analysis import worst_case_spread
+from repro.workloads import fully_asynchronous
+
+
+def main() -> None:
+    topology = ring(5)
+
+    print("=== Act 1: finite precision on an asynchronous ring ===")
+    scenario = fully_asynchronous(topology, mean_delay=2.0, seed=5)
+    execution = scenario.run()
+    result = ClockSynchronizer(scenario.system).from_execution(execution)
+    print(f"no bounds assumed, yet this execution synchronizes to "
+          f"{result.precision:.4f}")
+    spread = realized_spread(execution.start_times(), result.corrections)
+    print(f"(realized corrected-clock spread: {spread:.4f})")
+
+    print("\n=== Act 2: the worst case over executions is unbounded ===")
+    print(f"{'mean delay':>12} {'precision this run':>20}")
+    for mean_delay in (0.5, 2.0, 8.0, 32.0):
+        sc = fully_asynchronous(topology, mean_delay=mean_delay, seed=9)
+        res = ClockSynchronizer(sc.system).from_execution(sc.run())
+        print(f"{mean_delay:>12} {res.precision:>20.4f}")
+    print("precision grows with the tail: no a-priori bound exists, but")
+    print("every single run still gets a finite, optimal certificate.")
+
+    print("\n=== Act 3: the bound is tight (the shifting adversary) ===")
+    worst = worst_case_spread(
+        scenario.system, execution, result.corrections, gamma=1.0001
+    )
+    print(f"adversarial equivalent execution realizes spread "
+          f"{worst:.4f} of the claimed {result.precision:.4f}")
+    print("the processors cannot tell the two runs apart -- the claimed")
+    print("precision is not pessimism, it is the exact attainable value.")
+
+
+if __name__ == "__main__":
+    main()

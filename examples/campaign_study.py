@@ -1,0 +1,58 @@
+"""An ad-hoc study with the Campaign API: models x topologies in one table.
+
+The registered experiments (E1..E13) are fixed narratives; when you want
+your own sweep -- "how does precision scale with topology under each
+delay model?" -- the :class:`~repro.workloads.Campaign` API runs the
+cartesian product, certifies every instance, and summarises it.  The
+markdown rendering drops straight into a lab notebook.
+
+Run:  python examples/campaign_study.py
+"""
+
+from repro.graphs import complete, grid, line, ring
+from repro.workloads import (
+    Campaign,
+    bounded_uniform,
+    fully_asynchronous,
+    heterogeneous,
+    round_trip_bias,
+)
+
+
+def main() -> None:
+    campaign = Campaign(seeds=range(3))
+    campaign.add(
+        "bounded[1,3]",
+        lambda topo, seed: bounded_uniform(topo, lb=1.0, ub=3.0, seed=seed),
+    )
+    campaign.add(
+        "bias[0.5]",
+        lambda topo, seed: round_trip_bias(topo, bias=0.5, seed=seed),
+    )
+    campaign.add(
+        "async",
+        lambda topo, seed: fully_asynchronous(topo, mean_delay=2.0, seed=seed),
+    )
+    campaign.add(
+        "hetero",
+        lambda topo, seed: heterogeneous(topo, seed=seed),
+    )
+
+    topologies = [line(6), ring(6), grid(2, 3), complete(6)]
+    table = campaign.run(topologies)
+    table.show()
+
+    print("observations:")
+    print(" - every cell is certified: the realized spread never exceeded")
+    print("   the claimed optimal precision on any of the runs;")
+    print(" - denser topologies synchronize tighter under every model")
+    print("   (shorter shift paths between any two processors);")
+    print(" - the bias model's precision is set by the jitter, not the")
+    print("   (much larger) absolute delays.")
+
+    print("\nmarkdown rendering (paste into a notebook):\n")
+    print(table.to_markdown())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""The distributed protocol of Section 7, plus periodic resync under drift.
+
+The paper computes corrections centrally from all views and sketches the
+distributed version as an open question: probe locally, ship sufficient
+statistics to a leader over the network itself, route corrections back.
+This example runs that protocol as real automata inside the simulator
+and measures the paper's predicted caveat -- the protocol is optimal for
+the probe phase, while the report/assignment messages carry timing
+information it (by design) leaves on the table.
+
+It then demonstrates the Kopetz--Ochsenreiter regime the paper's
+footnote 1 delegates drift handling to: clocks drifting at 100 ppm,
+resynchronized every period.
+
+Run:  python examples/distributed_leader.py
+"""
+
+from repro import (
+    BoundedDelay,
+    ClockSynchronizer,
+    NetworkSimulator,
+    System,
+    UniformDelay,
+    realized_spread,
+    rho_bar,
+    ring,
+)
+from repro.extensions import (
+    DriftingClocks,
+    corrections_from_execution,
+    leader_automata,
+    periodic_resync,
+)
+from repro.workloads import bounded_uniform
+
+
+def leader_protocol_demo() -> None:
+    print("=== Leader-based distributed synchronization ===")
+    scenario = bounded_uniform(ring(5), lb=1.0, ub=3.0, seed=31)
+    automata = leader_automata(
+        scenario.system,
+        leader=0,
+        probe_times=[12.0, 16.0, 20.0],
+        report_time=60.0,
+    )
+    simulator = NetworkSimulator(
+        scenario.system, scenario.samplers, scenario.start_times, seed=31
+    )
+    execution = simulator.run(automata)
+    corrections = corrections_from_execution(execution)
+    print(f"protocol ran fully in-band: "
+          f"{len(execution.message_records())} messages "
+          f"(probes + reports + assignments)")
+
+    # Score the protocol's corrections with full-execution information.
+    full = ClockSynchronizer(scenario.system).from_execution(execution)
+    protocol_score = rho_bar(full.ms_tilde, corrections)
+    print(f"protocol guaranteed precision:   {protocol_score:.4f}")
+    print(f"centralized optimum (full run):  {full.precision:.4f}")
+    print("the gap is the paper's Section 7 caveat: the protocol's own "
+          "report/assign\nmessages carry timing information it does not "
+          "circle back to exploit.")
+    spread = realized_spread(execution.start_times(), corrections)
+    print(f"realized corrected spread:       {spread:.4f}")
+
+
+def drift_demo() -> None:
+    print("\n=== Periodic resync under 100 ppm clock drift ===")
+    topology = ring(4)
+    system = System.uniform(topology, BoundedDelay.symmetric(1.0, 3.0))
+    samplers = {link: UniformDelay(1.0, 3.0) for link in topology.links}
+    clocks = DriftingClocks.draw(
+        topology.nodes, max_skew=5.0, drift_bound=1e-4, seed=13
+    )
+    rounds = periodic_resync(
+        system, samplers, clocks, period=200.0, rounds=4, seed=13
+    )
+    print(f"{'round':>6} {'claimed':>10} {'after sync':>12} "
+          f"{'before next':>12}")
+    for r in rounds:
+        print(f"{r.round_index:>6} {r.claimed_precision:>10.4f} "
+              f"{r.spread_after_sync:>12.4f} {r.spread_before_next:>12.4f}")
+    print("drift re-accumulates between rounds (compare the last two "
+          "columns);\nresynchronizing each period keeps the spread near "
+          "the drift-free optimum.")
+
+
+if __name__ == "__main__":
+    leader_protocol_demo()
+    drift_demo()

@@ -1,0 +1,183 @@
+"""repro: optimal clock synchronization under different delay assumptions.
+
+A complete, executable reproduction of Attiya, Herzberg & Rajsbaum,
+*Optimal Clock Synchronization under Different Delay Assumptions*
+(PODC 1993): the formal model, the per-instance-optimal synchronization
+pipeline (estimated delays -> local shifts -> GLOBAL ESTIMATES -> SHIFTS),
+the four delay models of the paper plus arbitrary compositions, a
+discrete-event network simulator to generate admissible executions,
+baselines (NTP-style, Cristian-style, and the Halpern--Megiddo--Munshi
+linear program), and an evaluation harness implementing the paper's
+``rho_bar`` optimality measure exactly.
+
+Quickstart::
+
+    from repro import (
+        BoundedDelay, ClockSynchronizer, NetworkSimulator, System,
+        UniformDelay, draw_start_times, probe_automata, probe_schedule, ring,
+    )
+
+    topo = ring(5)
+    system = System.uniform(topo, BoundedDelay.symmetric(1.0, 3.0))
+    samplers = {link: UniformDelay(1.0, 3.0) for link in topo.links}
+    starts = draw_start_times(topo.nodes, max_skew=10.0, seed=7)
+    sim = NetworkSimulator(system, samplers, starts, seed=7)
+    alpha = sim.run(probe_automata(topo, probe_schedule(3, 20.0, 5.0)))
+
+    result = ClockSynchronizer(system).from_execution(alpha)
+    print(result.precision, result.corrections)
+"""
+
+from repro.core import (
+    Certificate,
+    CertificateError,
+    ClockSynchronizer,
+    ComponentResult,
+    IncompleteViewsError,
+    InconsistentViewsError,
+    ShiftsOutcome,
+    SyncResult,
+    UnboundedPrecisionError,
+    beats_or_ties,
+    corrected_starts,
+    cycle_mean_under,
+    estimated_delays,
+    global_shift_estimates,
+    local_shift_estimates,
+    realized_spread,
+    rho_bar,
+    rho_bar_true,
+    shifts,
+    true_local_shifts,
+    verify_certificate,
+)
+from repro.delays import (
+    AsymmetricUniform,
+    Bimodal,
+    BoundedDelay,
+    Composite,
+    Constant,
+    CorrelatedLoad,
+    DelayAssumption,
+    DelaySampler,
+    Direction,
+    DirectionStats,
+    PairTiming,
+    RoundTripBias,
+    RoundTripBiasUnsigned,
+    ShiftedExponential,
+    System,
+    TruncatedNormal,
+    UniformDelay,
+    lower_bounds_only,
+    no_bounds,
+)
+from repro.graphs import (
+    Topology,
+    binary_tree,
+    complete,
+    grid,
+    hypercube,
+    line,
+    random_connected,
+    ring,
+    star,
+)
+from repro.model import (
+    Execution,
+    History,
+    Message,
+    Step,
+    View,
+    executions_equivalent,
+    shift_execution,
+    shift_history,
+)
+from repro.sim import (
+    Automaton,
+    NetworkSimulator,
+    SimulationConfig,
+    SimulationError,
+    draw_start_times,
+    echo_automata,
+    flood_automata,
+    probe_automata,
+    probe_schedule,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core
+    "Certificate",
+    "CertificateError",
+    "ClockSynchronizer",
+    "ComponentResult",
+    "IncompleteViewsError",
+    "InconsistentViewsError",
+    "ShiftsOutcome",
+    "SyncResult",
+    "UnboundedPrecisionError",
+    "beats_or_ties",
+    "corrected_starts",
+    "cycle_mean_under",
+    "estimated_delays",
+    "global_shift_estimates",
+    "local_shift_estimates",
+    "realized_spread",
+    "rho_bar",
+    "rho_bar_true",
+    "shifts",
+    "true_local_shifts",
+    "verify_certificate",
+    # delays
+    "AsymmetricUniform",
+    "Bimodal",
+    "BoundedDelay",
+    "Composite",
+    "Constant",
+    "CorrelatedLoad",
+    "DelayAssumption",
+    "DelaySampler",
+    "Direction",
+    "DirectionStats",
+    "PairTiming",
+    "RoundTripBias",
+    "RoundTripBiasUnsigned",
+    "ShiftedExponential",
+    "System",
+    "TruncatedNormal",
+    "UniformDelay",
+    "lower_bounds_only",
+    "no_bounds",
+    # graphs / topologies
+    "Topology",
+    "binary_tree",
+    "complete",
+    "grid",
+    "hypercube",
+    "line",
+    "random_connected",
+    "ring",
+    "star",
+    # model
+    "Execution",
+    "History",
+    "Message",
+    "Step",
+    "View",
+    "executions_equivalent",
+    "shift_execution",
+    "shift_history",
+    # sim
+    "Automaton",
+    "NetworkSimulator",
+    "SimulationConfig",
+    "SimulationError",
+    "draw_start_times",
+    "echo_automata",
+    "flood_automata",
+    "probe_automata",
+    "probe_schedule",
+    "__version__",
+]

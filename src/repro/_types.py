@@ -1,0 +1,25 @@
+"""Shared type aliases used across the :mod:`repro` package.
+
+The paper models a network as a finite directed graph ``G = (V, E)`` whose
+nodes are processors.  Processor identifiers can be any hashable value; the
+test-suite and examples mostly use small integers or short strings.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+#: Identifier of a processor (a node of the communication graph).
+ProcessorId = Hashable
+
+#: A directed communication link ``(sender, receiver)``.
+Edge = Tuple[ProcessorId, ProcessorId]
+
+#: Real time and clock time are both plain floats (seconds, conceptually).
+Time = float
+
+#: Positive infinity, used for absent upper bounds (``ub = ∞``).
+INF = float("inf")
+
+#: Negative infinity, used e.g. for ``d_max`` when no message was received.
+NEG_INF = float("-inf")

@@ -1,0 +1,96 @@
+"""Evaluation harness: ground truth, the shifting adversary, reporting.
+
+This package is the "outside observer" of the paper: it may read the real
+times inside executions, which processors never can.  It supplies the
+exact scoring machinery (true maximal shifts, admissibility predicates,
+extremal equivalent executions) that turns the paper's optimality claims
+into checkable numbers.
+"""
+
+from repro.analysis.diagnosis import (
+    Diagnosis,
+    diagnose,
+    diagnose_and_repair,
+    diagnose_local_estimates,
+    synchronize_excluding,
+)
+from repro.analysis.adversary import (
+    AdversaryError,
+    adversarial_execution,
+    extremal_shift_vector,
+    random_admissible_shift_vector,
+    worst_case_spread,
+)
+from repro.analysis.ground_truth import (
+    locally_admissible_interval,
+    shift_vector_is_admissible,
+    true_global_shifts,
+)
+from repro.analysis.metrics import Summary, geometric_mean, ratio, summarize
+from repro.analysis.report import (
+    components_table,
+    corrections_table,
+    pairwise_table,
+    sync_report,
+)
+from repro.analysis.reporting import Table, fmt
+from repro.analysis.stats import (
+    EdgeTraffic,
+    ExecutionStats,
+    execution_statistics,
+    traffic_table,
+)
+from repro.analysis.system_io import (
+    SystemIOError,
+    load_system,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.analysis.trace import (
+    TraceError,
+    execution_from_dict,
+    execution_to_dict,
+    load_execution,
+    save_execution,
+)
+
+__all__ = [
+    "Diagnosis",
+    "diagnose",
+    "diagnose_and_repair",
+    "diagnose_local_estimates",
+    "synchronize_excluding",
+    "AdversaryError",
+    "adversarial_execution",
+    "extremal_shift_vector",
+    "random_admissible_shift_vector",
+    "worst_case_spread",
+    "locally_admissible_interval",
+    "shift_vector_is_admissible",
+    "true_global_shifts",
+    "Summary",
+    "geometric_mean",
+    "ratio",
+    "summarize",
+    "Table",
+    "fmt",
+    "components_table",
+    "corrections_table",
+    "pairwise_table",
+    "sync_report",
+    "EdgeTraffic",
+    "ExecutionStats",
+    "execution_statistics",
+    "traffic_table",
+    "SystemIOError",
+    "load_system",
+    "save_system",
+    "system_from_dict",
+    "system_to_dict",
+    "TraceError",
+    "execution_from_dict",
+    "execution_to_dict",
+    "load_execution",
+    "save_execution",
+]

@@ -1,0 +1,77 @@
+"""Small statistics helpers for experiment reporting.
+
+Kept dependency-light on purpose: experiments aggregate a handful of
+floats per configuration; numpy would be overkill and these helpers give
+deterministic, readable output (including sane handling of infinities,
+which legitimately occur in the unbounded-delay experiments).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro._types import INF
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summary statistics; infinities propagate into mean/max as expected."""
+    data: List[float] = list(values)
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(data)
+    finite = [v for v in data if not math.isinf(v)]
+    mean = sum(data) / n if len(finite) == n else INF
+    if len(finite) == n and n > 1:
+        var = sum((v - mean) ** 2 for v in data) / (n - 1)
+        std = math.sqrt(max(0.0, var))
+    elif n == 1:
+        std = 0.0
+    else:
+        std = INF
+    ordered = sorted(data)
+    mid = n // 2
+    median = ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2
+    return Summary(
+        count=n,
+        mean=mean,
+        std=std,
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        median=median,
+    )
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` with the conventions experiments need:
+    0/0 -> 1 (a tie), x/0 -> inf, anything/inf -> 0."""
+    if math.isinf(denominator):
+        return 0.0 if not math.isinf(numerator) else 1.0
+    if denominator == 0.0:
+        return 1.0 if numerator == 0.0 else INF
+    return numerator / denominator
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (the usual speedup aggregate)."""
+    if not values:
+        raise ValueError("cannot aggregate an empty sample")
+    if any(v <= 0 or math.isinf(v) for v in values):
+        raise ValueError("geometric mean requires finite positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+__all__ = ["Summary", "summarize", "ratio", "geometric_mean"]

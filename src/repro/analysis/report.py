@@ -1,0 +1,109 @@
+"""Human-readable reports for synchronization results.
+
+A :class:`~repro.core.synchronizer.SyncResult` carries more information
+than the single precision number: per-pair guarantees, exact feasible
+offset intervals, synchronization components, the optimality witness.
+:func:`sync_report` lays all of it out as tables for operators (the
+``sync-trace`` CLI prints it; notebooks can render the markdown form).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro._types import INF
+from repro.analysis.reporting import Table
+from repro.core.synchronizer import SyncResult
+
+
+def corrections_table(result: SyncResult) -> Table:
+    """Corrections plus each processor's component and root flag."""
+    component_of = {}
+    roots = set()
+    for i, component in enumerate(result.components):
+        roots.add(component.root)
+        for p in component.processors:
+            component_of[p] = i
+    table = Table(
+        title="Corrections",
+        headers=["processor", "correction", "component", "is root"],
+    )
+    for p in sorted(result.corrections, key=repr):
+        table.add_row(
+            p, result.corrections[p], component_of[p], p in roots
+        )
+    return table
+
+
+def components_table(result: SyncResult) -> Table:
+    """Per-component precision and its critical-cycle witness."""
+    table = Table(
+        title="Synchronization components",
+        headers=["component", "processors", "precision", "critical cycle"],
+    )
+    for i, component in enumerate(result.components):
+        table.add_row(
+            i,
+            ", ".join(repr(p) for p in component.processors),
+            component.precision,
+            "-"
+            if component.critical_cycle is None
+            else " -> ".join(repr(p) for p in component.critical_cycle),
+        )
+    if not result.is_fully_synchronized:
+        table.add_note(
+            "multiple components: some pairs have unbounded mutual shift "
+            "(global precision is infinite); each component is still "
+            "optimally synchronized internally"
+        )
+    return table
+
+
+def pairwise_table(result: SyncResult, max_processors: int = 12) -> Table:
+    """Per-pair guaranteed precision and feasible offset intervals.
+
+    Capped at ``max_processors`` (the table is quadratic); a note records
+    the truncation when it happens, so nothing is silently dropped.
+    """
+    processors = sorted(result.corrections, key=repr)
+    shown = processors[:max_processors]
+    table = Table(
+        title="Pairwise guarantees",
+        headers=[
+            "p",
+            "q",
+            "|corrected p - q| <=",
+            "S_p - S_q in",
+        ],
+    )
+    for i, p in enumerate(shown):
+        for q in shown[i + 1:]:
+            low, high = result.offset_interval(p, q)
+            interval = (
+                "unbounded"
+                if low == -INF or high == INF
+                else f"[{low:.4g}, {high:.4g}]"
+            )
+            table.add_row(p, q, result.pair_precision(p, q), interval)
+    if len(processors) > len(shown):
+        table.add_note(
+            f"showing {len(shown)} of {len(processors)} processors"
+        )
+    return table
+
+
+def sync_report(result: SyncResult) -> List[Table]:
+    """The full report: corrections, components, pairwise guarantees."""
+    return [
+        corrections_table(result),
+        components_table(result),
+        pairwise_table(result),
+    ]
+
+
+__all__ = [
+    "corrections_table",
+    "components_table",
+    "pairwise_table",
+    "sync_report",
+]

@@ -1,0 +1,91 @@
+"""Plain-text tables for experiment output.
+
+Every experiment in :mod:`repro.experiments` returns one or more
+:class:`Table` objects; the benchmark harness and the CLI print them, and
+EXPERIMENTS.md archives them.  A tiny formatter keeps the dependency
+surface flat and the output diff-friendly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence, Tuple
+
+
+def fmt(value: Any, digits: int = 4) -> str:
+    """Render a cell: floats to ``digits`` significant digits, inf as 'inf'."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        if value == 0:
+            return "0"
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """One experiment table: a title, column headers, rows and footnotes."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Tuple[Any, ...]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one row; its arity must match the headers."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} "
+                f"columns"
+            )
+        self.rows.append(tuple(cells))
+
+    def add_note(self, note: str) -> None:
+        """Append a footnote rendered under the table."""
+        self.notes.append(note)
+
+    def format(self) -> str:
+        """Render the table as aligned plain text."""
+        rendered = [[fmt(c) for c in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in rendered:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        parts = [self.title, "=" * len(self.title)]
+        parts.append(line(list(self.headers)))
+        parts.append(line(["-" * w for w in widths]))
+        parts.extend(line(row) for row in rendered)
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering (for EXPERIMENTS.md etc.)."""
+        rendered = [[fmt(c) for c in row] for row in self.rows]
+        parts = [f"**{self.title}**", ""]
+        parts.append("| " + " | ".join(self.headers) + " |")
+        parts.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in rendered:
+            parts.append("| " + " | ".join(row) + " |")
+        for note in self.notes:
+            parts.append("")
+            parts.append(f"*{note}*")
+        return "\n".join(parts)
+
+    def show(self) -> None:
+        """Print the formatted table followed by a blank line."""
+        print(self.format())
+        print()
+
+
+__all__ = ["Table", "fmt"]

@@ -1,0 +1,97 @@
+"""Post-hoc execution statistics: what actually happened on the wire.
+
+Operators debugging a synchronization result usually ask network
+questions first -- how many messages per link, what did delays look like,
+how long did the run take.  :func:`execution_statistics` answers them
+from a recorded execution; :func:`traffic_table` renders the per-edge
+view the ``sync-trace`` workflow and the examples print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro._types import Edge, Time
+from repro.analysis.metrics import Summary, summarize
+from repro.analysis.reporting import Table
+from repro.model.execution import Execution
+
+
+@dataclass(frozen=True)
+class EdgeTraffic:
+    """Delivered-message statistics for one directed edge."""
+
+    edge: Edge
+    count: int
+    delays: Summary
+
+
+@dataclass(frozen=True)
+class ExecutionStats:
+    """Aggregate ground-truth statistics of one execution."""
+
+    processors: int
+    messages_delivered: int
+    messages_in_flight: int
+    first_start: Time
+    last_event: Time
+    per_edge: Tuple[EdgeTraffic, ...]
+
+    @property
+    def duration(self) -> Time:
+        """Real time from the first start event to the last event."""
+        return self.last_event - self.first_start
+
+
+def execution_statistics(alpha: Execution) -> ExecutionStats:
+    """Compute traffic and timing statistics from ground truth."""
+    records = alpha.message_records()
+    by_edge: Dict[Edge, List[Time]] = {}
+    for record in records.values():
+        by_edge.setdefault(record.edge, []).append(record.delay)
+
+    sent = 0
+    last_event = float("-inf")
+    for p in alpha.processors:
+        history = alpha.history(p)
+        sent += len(history.sends())
+        if history.steps:
+            last_event = max(last_event, history.steps[-1].real_time)
+
+    per_edge = tuple(
+        EdgeTraffic(edge=edge, count=len(delays), delays=summarize(delays))
+        for edge, delays in sorted(by_edge.items(), key=lambda kv: repr(kv[0]))
+    )
+    starts = alpha.start_times()
+    return ExecutionStats(
+        processors=len(alpha.processors),
+        messages_delivered=len(records),
+        messages_in_flight=sent - len(records),
+        first_start=min(starts.values()),
+        last_event=last_event,
+        per_edge=per_edge,
+    )
+
+
+def traffic_table(alpha: Execution) -> Table:
+    """Per-directed-edge traffic summary as a printable table."""
+    stats = execution_statistics(alpha)
+    table = Table(
+        title=f"Traffic ({stats.messages_delivered} delivered, "
+        f"{stats.messages_in_flight} in flight, "
+        f"duration {stats.duration:.4g})",
+        headers=["edge", "messages", "min delay", "mean delay", "max delay"],
+    )
+    for edge_traffic in stats.per_edge:
+        table.add_row(
+            f"{edge_traffic.edge[0]!r} -> {edge_traffic.edge[1]!r}",
+            edge_traffic.count,
+            edge_traffic.delays.minimum,
+            edge_traffic.delays.mean,
+            edge_traffic.delays.maximum,
+        )
+    return table
+
+
+__all__ = ["EdgeTraffic", "ExecutionStats", "execution_statistics", "traffic_table"]

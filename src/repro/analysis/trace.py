@@ -1,0 +1,237 @@
+"""Execution traces: JSON serialization of executions and views.
+
+Archiving an execution makes runs auditable and enables golden tests:
+the simulator's output can be stored, diffed, reloaded on another
+machine, and re-synchronized bit-for-bit.  The format is plain JSON with
+a small tagged codec for the non-JSON values the model uses (tuples,
+frozensets, and the standard protocol payloads).
+
+Custom automata states/payloads beyond those types raise
+:class:`TraceError` at save time -- loudly, rather than silently pickling
+arbitrary objects (traces are meant to be portable and reviewable).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+from repro.model.events import (
+    Event,
+    Message,
+    MessageReceiveEvent,
+    MessageSendEvent,
+    StartEvent,
+    TimerEvent,
+    TimerSetEvent,
+)
+from repro.model.execution import Execution
+from repro.model.steps import History, Step, TimedStep
+from repro.sim.protocols import Echo, Probe
+
+
+class TraceError(ValueError):
+    """The object graph contains a value the trace format cannot carry."""
+
+
+#: Format version; bump on any incompatible change.
+TRACE_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Value codec (states, payloads, processor ids)
+# ----------------------------------------------------------------------
+
+
+def _encode_value(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {"__t__": "tuple", "v": [_encode_value(x) for x in value]}
+    if isinstance(value, list):
+        return {"__t__": "list", "v": [_encode_value(x) for x in value]}
+    if isinstance(value, frozenset):
+        encoded = [_encode_value(x) for x in value]
+        encoded.sort(key=json.dumps)
+        return {"__t__": "frozenset", "v": encoded}
+    if isinstance(value, Probe):
+        return {
+            "__t__": "probe",
+            "origin": _encode_value(value.origin),
+            "round": value.round,
+        }
+    if isinstance(value, Echo):
+        return {
+            "__t__": "echo",
+            "probe": _encode_value(value.probe),
+            "responder": _encode_value(value.responder),
+        }
+    raise TraceError(
+        f"value of type {type(value).__name__} is not trace-serializable; "
+        f"use JSON-native types, tuples, frozensets, or Probe/Echo payloads"
+    )
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        tag = value.get("__t__")
+        if tag == "tuple":
+            return tuple(_decode_value(x) for x in value["v"])
+        if tag == "list":
+            return [_decode_value(x) for x in value["v"]]
+        if tag == "frozenset":
+            return frozenset(_decode_value(x) for x in value["v"])
+        if tag == "probe":
+            return Probe(
+                origin=_decode_value(value["origin"]), round=value["round"]
+            )
+        if tag == "echo":
+            return Echo(
+                probe=_decode_value(value["probe"]),
+                responder=_decode_value(value["responder"]),
+            )
+        raise TraceError(f"unknown value tag {tag!r}")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Events / steps / histories
+# ----------------------------------------------------------------------
+
+
+def _encode_message(message: Message) -> Dict[str, Any]:
+    return {
+        "sender": _encode_value(message.sender),
+        "receiver": _encode_value(message.receiver),
+        "payload": _encode_value(message.payload),
+        "uid": message.uid,
+    }
+
+
+def _decode_message(data: Mapping[str, Any]) -> Message:
+    return Message(
+        sender=_decode_value(data["sender"]),
+        receiver=_decode_value(data["receiver"]),
+        payload=_decode_value(data["payload"]),
+        uid=data["uid"],
+    )
+
+
+def _encode_event(event: Event) -> Dict[str, Any]:
+    if isinstance(event, StartEvent):
+        return {"kind": "start"}
+    if isinstance(event, MessageReceiveEvent):
+        return {"kind": "recv", "message": _encode_message(event.message)}
+    if isinstance(event, MessageSendEvent):
+        return {"kind": "send", "message": _encode_message(event.message)}
+    if isinstance(event, TimerEvent):
+        return {"kind": "timer", "clock_time": event.clock_time}
+    if isinstance(event, TimerSetEvent):
+        return {"kind": "timer_set", "clock_time": event.clock_time}
+    raise TraceError(f"unknown event type {type(event).__name__}")
+
+
+def _decode_event(data: Mapping[str, Any]) -> Event:
+    kind = data["kind"]
+    if kind == "start":
+        return StartEvent()
+    if kind == "recv":
+        return MessageReceiveEvent(message=_decode_message(data["message"]))
+    if kind == "send":
+        return MessageSendEvent(message=_decode_message(data["message"]))
+    if kind == "timer":
+        return TimerEvent(clock_time=data["clock_time"])
+    if kind == "timer_set":
+        return TimerSetEvent(clock_time=data["clock_time"])
+    raise TraceError(f"unknown event kind {kind!r}")
+
+
+def _encode_step(step: Step) -> Dict[str, Any]:
+    return {
+        "old_state": _encode_value(step.old_state),
+        "clock_time": step.clock_time,
+        "interrupt": _encode_event(step.interrupt),
+        "new_state": _encode_value(step.new_state),
+        "sends": [_encode_event(e) for e in step.sends],
+        "timer_sets": [_encode_event(e) for e in step.timer_sets],
+    }
+
+
+def _decode_step(data: Mapping[str, Any]) -> Step:
+    return Step(
+        old_state=_decode_value(data["old_state"]),
+        clock_time=data["clock_time"],
+        interrupt=_decode_event(data["interrupt"]),
+        new_state=_decode_value(data["new_state"]),
+        sends=tuple(_decode_event(e) for e in data["sends"]),
+        timer_sets=tuple(_decode_event(e) for e in data["timer_sets"]),
+    )
+
+
+def _encode_history(history: History) -> Dict[str, Any]:
+    return {
+        "processor": _encode_value(history.processor),
+        "steps": [
+            {"real_time": ts.real_time, "step": _encode_step(ts.step)}
+            for ts in history.steps
+        ],
+    }
+
+
+def _decode_history(data: Mapping[str, Any]) -> History:
+    return History(
+        processor=_decode_value(data["processor"]),
+        steps=tuple(
+            TimedStep(real_time=ts["real_time"], step=_decode_step(ts["step"]))
+            for ts in data["steps"]
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+
+
+def execution_to_dict(alpha: Execution) -> Dict[str, Any]:
+    """The whole execution as a JSON-compatible dict."""
+    return {
+        "version": TRACE_VERSION,
+        "histories": [_encode_history(h) for h in alpha.histories.values()],
+    }
+
+
+def execution_from_dict(data: Mapping[str, Any]) -> Execution:
+    """Rebuild an execution; validates the result before returning it."""
+    if data.get("version") != TRACE_VERSION:
+        raise TraceError(
+            f"trace version {data.get('version')!r} unsupported "
+            f"(expected {TRACE_VERSION})"
+        )
+    histories = [_decode_history(h) for h in data["histories"]]
+    alpha = Execution({h.processor: h for h in histories})
+    alpha.validate()
+    return alpha
+
+
+def save_execution(alpha: Execution, path: Union[str, Path]) -> None:
+    """Write the execution as JSON to ``path``."""
+    Path(path).write_text(
+        json.dumps(execution_to_dict(alpha), indent=1, sort_keys=True)
+    )
+
+
+def load_execution(path: Union[str, Path]) -> Execution:
+    """Read an execution back from JSON written by :func:`save_execution`."""
+    return execution_from_dict(json.loads(Path(path).read_text()))
+
+
+__all__ = [
+    "TraceError",
+    "TRACE_VERSION",
+    "execution_to_dict",
+    "execution_from_dict",
+    "save_execution",
+    "load_execution",
+]

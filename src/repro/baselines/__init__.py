@@ -1,0 +1,51 @@
+"""Baselines and oracles the optimal algorithm is evaluated against.
+
+* :mod:`repro.baselines.ntp_like` -- minimum-filter offset estimation on a
+  spanning tree, the practitioner's default (NTP, reference [12]).
+* :mod:`repro.baselines.cristian` -- best-round-trip estimation
+  (Cristian's probabilistic synchronization, reference [1]).
+* :mod:`repro.baselines.lp` -- linear-programming oracles in the style of
+  Halpern--Megiddo--Munshi [3]; not a competitor but an independent
+  recomputation of ``ms~`` and of the optimal precision, used to certify
+  the combinatorial pipeline.
+
+Baselines emit plain correction vectors; the common scoring function is
+:func:`repro.core.precision.rho_bar`, so every method is ranked by the
+paper's own optimality measure.
+"""
+
+from repro.baselines.cristian import (
+    best_round_trip_offset,
+    cristian_corrections,
+    cristian_error_bound,
+)
+from repro.baselines.lp import (
+    DifferenceConstraint,
+    LPError,
+    assumption_constraints,
+    lp_ms_tilde,
+    lp_optimal_corrections,
+    system_constraints,
+)
+from repro.baselines.ntp_like import (
+    BaselineError,
+    bfs_tree,
+    link_offset_estimate,
+    ntp_corrections,
+)
+
+__all__ = [
+    "best_round_trip_offset",
+    "cristian_corrections",
+    "cristian_error_bound",
+    "DifferenceConstraint",
+    "LPError",
+    "assumption_constraints",
+    "lp_ms_tilde",
+    "lp_optimal_corrections",
+    "system_constraints",
+    "BaselineError",
+    "bfs_tree",
+    "link_offset_estimate",
+    "ntp_corrections",
+]

@@ -1,0 +1,109 @@
+"""NTP-style baseline: per-link offset estimation + spanning-tree spread.
+
+This is the practitioner's classic recipe (Mills' NTP, reference [12] of
+the paper): estimate each link's clock offset as half the difference of
+the minimum observed one-way delays, then propagate offsets along a
+spanning tree from a reference root.
+
+Relation to the paper's quantities: the estimated delay of a message from
+``p`` to ``q`` is ``d~ = d + S_p - S_q``, so
+
+    (d~min(p,q) - d~min(q,p)) / 2 = (S_p - S_q) + (dmin(p,q) - dmin(q,p)) / 2.
+
+When the extreme delays in the two directions happen to be equal the
+estimator recovers ``S_p - S_q`` exactly; any asymmetry becomes error that
+*accumulates along the tree* -- which is exactly why the paper's
+shortest-path/cycle-mean machinery wins on general graphs.  The baseline
+also ignores the delay assumptions entirely (it never looks at ``lb``,
+``ub`` or ``b``), so it cannot exploit favourable bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro._types import Edge, ProcessorId, Time
+from repro.core.estimates import estimated_delays
+from repro.graphs.topology import Topology
+from repro.model.views import View
+
+
+class BaselineError(ValueError):
+    """The baseline cannot produce corrections from these views."""
+
+
+def link_offset_estimate(
+    est_delays: Mapping[Edge, List[Time]],
+    p: ProcessorId,
+    q: ProcessorId,
+) -> Optional[Time]:
+    """NTP-style estimate of ``S_p - S_q`` from traffic on link ``{p, q}``.
+
+    Uses the minimum-filter: the smallest estimated delay in each
+    direction, assumed symmetric.  Falls back to a one-directional
+    estimate (biased by the unknown one-way delay) when only one
+    direction carried traffic; returns ``None`` when neither did.
+    """
+    fwd = est_delays.get((p, q), [])
+    rev = est_delays.get((q, p), [])
+    if fwd and rev:
+        return (min(fwd) - min(rev)) / 2.0
+    if fwd:
+        # Only p -> q traffic: d~min = dmin + S_p - S_q >= S_p - S_q.
+        return min(fwd)
+    if rev:
+        return -min(rev)
+    return None
+
+
+def bfs_tree(
+    topology: Topology, root: ProcessorId
+) -> List[Tuple[ProcessorId, ProcessorId]]:
+    """Edges ``(parent, child)`` of a BFS spanning tree from ``root``."""
+    if root not in topology.nodes:
+        raise BaselineError(f"root {root!r} not in topology")
+    tree: List[Tuple[ProcessorId, ProcessorId]] = []
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        next_frontier: List[ProcessorId] = []
+        for u in frontier:
+            for v in topology.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    tree.append((u, v))
+                    next_frontier.append(v)
+        frontier = next_frontier
+    if len(seen) != len(topology.nodes):
+        raise BaselineError("topology is not connected; no spanning tree")
+    return tree
+
+
+def ntp_corrections(
+    topology: Topology,
+    views: Mapping[ProcessorId, View],
+    root: Optional[ProcessorId] = None,
+) -> Dict[ProcessorId, Time]:
+    """Corrections by NTP-style tree propagation.
+
+    ``x_root = 0``; along each tree edge ``(u, v)``,
+    ``x_v = x_u - offset_estimate(u, v)`` so that the corrected starts
+    ``S - x`` line up when the symmetry assumption holds.
+    """
+    if root is None:
+        root = topology.nodes[0]
+    est = estimated_delays(views)
+    corrections: Dict[ProcessorId, Time] = {root: 0.0}
+    for u, v in bfs_tree(topology, root):
+        offset = link_offset_estimate(est, u, v)
+        if offset is None:
+            raise BaselineError(
+                f"no traffic on tree link ({u!r}, {v!r}); "
+                f"NTP baseline cannot bridge it"
+            )
+        # Want S_u - x_u == S_v - x_v, i.e. x_v = x_u - (S_u - S_v).
+        corrections[v] = corrections[u] - offset
+    return corrections
+
+
+__all__ = ["BaselineError", "link_offset_estimate", "bfs_tree", "ntp_corrections"]

@@ -1,0 +1,211 @@
+"""Command-line interface: run the demo or any experiment.
+
+Installed as ``repro-clocksync`` (see pyproject) and runnable as
+``python -m repro.cli``::
+
+    repro-clocksync list                 # show the experiment registry
+    repro-clocksync demo                 # quickstart pipeline run
+    repro-clocksync experiment E4        # full-size experiment
+    repro-clocksync experiment E4 --quick
+    repro-clocksync all --quick          # the entire suite
+    repro-clocksync record out/          # simulate + archive system/trace
+    repro-clocksync sync-trace out/system.json out/trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import DESCRIPTIONS, REGISTRY, run_experiment
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(k) for k in REGISTRY)
+    for key in sorted(REGISTRY, key=lambda k: int(k[1:])):
+        print(f"{key.ljust(width)}  {DESCRIPTIONS[key]}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    try:
+        tables = run_experiment(args.id, quick=args.quick)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    for table in tables:
+        table.show()
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    for key in sorted(REGISTRY, key=lambda k: int(k[1:])):
+        print(f"### {key}: {DESCRIPTIONS[key]}\n")
+        for table in run_experiment(key, quick=args.quick):
+            table.show()
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro import (
+        BoundedDelay,
+        ClockSynchronizer,
+        NetworkSimulator,
+        System,
+        UniformDelay,
+        draw_start_times,
+        probe_automata,
+        probe_schedule,
+        realized_spread,
+        ring,
+        verify_certificate,
+    )
+
+    topo = ring(5)
+    system = System.uniform(topo, BoundedDelay.symmetric(1.0, 3.0))
+    samplers = {link: UniformDelay(1.0, 3.0) for link in topo.links}
+    starts = draw_start_times(topo.nodes, max_skew=10.0, seed=7)
+    sim = NetworkSimulator(system, samplers, starts, seed=7)
+    alpha = sim.run(probe_automata(topo, probe_schedule(3, 20.0, 5.0)))
+
+    result = ClockSynchronizer(system).from_execution(alpha)
+    verify_certificate(result)
+    print(f"topology:           {topo.name}")
+    print(f"messages delivered: {len(alpha.message_records())}")
+    print(f"optimal precision:  {result.precision:.4f}  (= A^max, certified)")
+    print(f"realized spread:    "
+          f"{realized_spread(alpha.start_times(), result.corrections):.4f}")
+    print("corrections:")
+    for p, x in sorted(result.corrections.items(), key=lambda kv: repr(kv[0])):
+        print(f"  processor {p}: {x:+.4f}")
+    cycle = result.components[0].critical_cycle
+    print(f"critical cycle (optimality witness): {cycle}")
+    return 0
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    """Simulate a scenario and archive it as system.json + trace.json."""
+    from pathlib import Path
+
+    from repro.analysis.system_io import save_system
+    from repro.analysis.trace import save_execution
+    from repro.graphs import ring
+    from repro.workloads.scenarios import bounded_uniform, heterogeneous
+
+    out = Path(args.directory)
+    out.mkdir(parents=True, exist_ok=True)
+    topology = ring(args.size)
+    if args.scenario == "bounded":
+        scenario = bounded_uniform(topology, lb=1.0, ub=3.0, seed=args.seed)
+    elif args.scenario == "hetero":
+        scenario = heterogeneous(topology, seed=args.seed)
+    else:  # pragma: no cover - argparse choices guard this
+        raise AssertionError(args.scenario)
+    alpha = scenario.run()
+    save_system(scenario.system, out / "system.json")
+    save_execution(alpha, out / "trace.json")
+    print(f"recorded {scenario.name}: "
+          f"{len(alpha.message_records())} messages")
+    print(f"  system: {out / 'system.json'}")
+    print(f"  trace:  {out / 'trace.json'}")
+    return 0
+
+
+def _cmd_sync_trace(args: argparse.Namespace) -> int:
+    """Synchronize an archived trace against an archived system."""
+    from repro.analysis.diagnosis import diagnose
+    from repro.analysis.system_io import load_system
+    from repro.analysis.trace import load_execution
+    from repro.core.synchronizer import ClockSynchronizer
+    from repro.core.optimality import verify_certificate
+
+    system = load_system(args.system)
+    alpha = load_execution(args.trace)
+    views = alpha.views()
+
+    diagnosis = diagnose(system, views)
+    if not diagnosis.consistent:
+        print("WARNING: views are inconsistent with the declared "
+              "assumptions;")
+        print(f"  convicted links: {list(diagnosis.convicted)}")
+        print(f"  suspect links:   {list(diagnosis.suspects)}")
+        from repro.analysis.diagnosis import synchronize_excluding
+
+        result = synchronize_excluding(
+            system, views, diagnosis.excluded_links
+        )
+        print("  synchronizing the remaining links only:")
+    else:
+        result = ClockSynchronizer(system).from_views(views)
+        verify_certificate(result)
+
+    print(f"precision: {result.precision:.6g}"
+          + ("  (certified optimal)" if diagnosis.consistent else ""))
+    print()
+    from repro.analysis.report import sync_report
+
+    for table in sync_report(result):
+        table.show()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-clocksync",
+        description="Optimal clock synchronization under different delay "
+        "assumptions (Attiya, Herzberg & Rajsbaum, PODC 1993).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    p_exp = sub.add_parser("experiment", help="run one experiment")
+    p_exp.add_argument("id", help="experiment id, e.g. E1")
+    p_exp.add_argument(
+        "--quick", action="store_true", help="trimmed seeds/sizes"
+    )
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_all = sub.add_parser("all", help="run the whole suite")
+    p_all.add_argument(
+        "--quick", action="store_true", help="trimmed seeds/sizes"
+    )
+    p_all.set_defaults(func=_cmd_all)
+
+    sub.add_parser("demo", help="run the quickstart demo").set_defaults(
+        func=_cmd_demo
+    )
+
+    p_record = sub.add_parser(
+        "record", help="simulate a scenario and archive system + trace"
+    )
+    p_record.add_argument("directory", help="output directory")
+    p_record.add_argument(
+        "--scenario", choices=["bounded", "hetero"], default="bounded"
+    )
+    p_record.add_argument("--size", type=int, default=5, help="ring size")
+    p_record.add_argument("--seed", type=int, default=0)
+    p_record.set_defaults(func=_cmd_record)
+
+    p_sync = sub.add_parser(
+        "sync-trace",
+        help="synchronize an archived trace against an archived system",
+    )
+    p_sync.add_argument("system", help="path to system.json")
+    p_sync.add_argument("trace", help="path to trace.json")
+    p_sync.set_defaults(func=_cmd_sync_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,212 @@
+"""High-level facade: views in, optimal corrections out.
+
+:class:`ClockSynchronizer` composes the paper's pipeline:
+
+    views --(Lemma 6.1 + Section 6 formulas)--> mls~
+          --(GLOBAL ESTIMATES, Thm 5.5)-------> ms~
+          --(SHIFTS, Thms 4.4/4.6)------------> corrections + A^max
+
+It also handles the situation the paper's stronger optimality notion was
+invented for: executions where some pair's maximal shift is unbounded
+(e.g. an unbounded link that carried no traffic).  The worst-case
+precision is then genuinely infinite, but the *synchronization components*
+-- maximal processor sets with finite mutual shift estimates -- can each
+still be synchronized optimally, and the result reports them separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro._types import INF, ProcessorId, Time
+from repro.core.estimates import local_shift_estimates
+from repro.core.global_estimates import global_shift_estimates, shift_graph
+from repro.core.precision import rho_bar
+from repro.core.shifts import shifts
+from repro.delays.system import System
+from repro.model.execution import Execution
+from repro.model.views import View
+
+
+@dataclass(frozen=True)
+class ComponentResult:
+    """Optimal synchronization of one synchronization component."""
+
+    processors: Tuple[ProcessorId, ...]
+    precision: Time
+    critical_cycle: Optional[Tuple[ProcessorId, ...]]
+    root: ProcessorId
+
+
+@dataclass(frozen=True)
+class SyncResult:
+    """Everything the pipeline produced for one set of views.
+
+    ``precision`` is the guaranteed worst-case corrected-clock discrepancy
+    over all admissible executions equivalent to the observed one --
+    ``A^max`` when the system is one component, ``inf`` otherwise.  By
+    Theorems 4.4/4.6 it is also the best any correction function can
+    guarantee, so it doubles as the instance's optimality certificate
+    (witnessed by ``components[i].critical_cycle``).
+    """
+
+    corrections: Dict[ProcessorId, Time]
+    precision: Time
+    components: Tuple[ComponentResult, ...]
+    mls_tilde: Dict[Tuple[ProcessorId, ProcessorId], Time]
+    ms_tilde: Dict[Tuple[ProcessorId, ProcessorId], Time]
+
+    @property
+    def is_fully_synchronized(self) -> bool:
+        """Whether a single finite precision covers every processor pair."""
+        return len(self.components) == 1
+
+    def corrected_clock(self, p: ProcessorId, clock_time: Time) -> Time:
+        """The logical clock of ``p``: local clock plus correction."""
+        return clock_time + self.corrections[p]
+
+    def pair_precision(self, p: ProcessorId, q: ProcessorId) -> Time:
+        """Guaranteed bound on ``|corrected_p - corrected_q|`` specifically.
+
+        ``max(ms~(p,q) - x_p + x_q, ms~(q,p) - x_q + x_p)`` -- often much
+        tighter than the global ``precision`` for nearby processors.
+        """
+        x = self.corrections
+        forward = self.ms_tilde.get((p, q), INF)
+        backward = self.ms_tilde.get((q, p), INF)
+        return max(forward - x[p] + x[q], backward - x[q] + x[p])
+
+    def offset_interval(
+        self, p: ProcessorId, q: ProcessorId
+    ) -> Tuple[Time, Time]:
+        """The exact feasible interval of the true offset ``S_p - S_q``.
+
+        Over all admissible executions equivalent to the observed one,
+        the start-time difference ranges over precisely
+
+            [ -ms~(q, p),  ms~(p, q) ]
+
+        (shift ``q`` by up to ``ms(p,q)`` one way, ``p`` by up to
+        ``ms(q,p)`` the other; translating into estimated coordinates
+        cancels the unknown ``S`` terms).  This is the
+        Halpern--Megiddo--Munshi "tightest bound on a pairwise offset",
+        recovered here from the shortest-path estimates.  Its width is
+        the pair's two-cycle weight, and :meth:`pair_precision` is
+        exactly the worst distance from the corrections' implied estimate
+        ``x_p - x_q`` to the interval's endpoints.  (Note the implied
+        estimate itself may fall *outside* the interval: optimal
+        corrections balance global cycles, not per-pair midpoints.)
+        """
+        low = -self.ms_tilde.get((q, p), INF)
+        high = self.ms_tilde.get((p, q), INF)
+        return (low, high)
+
+    def guaranteed_rho_bar(self) -> Time:
+        """Re-derive ``rho_bar`` of the corrections (equals ``precision``)."""
+        return rho_bar(self.ms_tilde, self.corrections)
+
+
+class ClockSynchronizer:
+    """Computes optimal corrections for a fixed system ``(G, A)``.
+
+    The synchronizer is stateless across calls; each call processes one
+    set of views (one execution) independently.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        root: Optional[ProcessorId] = None,
+        method: str = "karp",
+    ):
+        self._system = system
+        if root is not None and root not in system.processors:
+            raise ValueError(f"root {root!r} is not a processor of the system")
+        self._root = root
+        self._method = method
+
+    @property
+    def system(self) -> System:
+        """The system ``(G, A)`` this synchronizer was built for."""
+        return self._system
+
+    def from_views(self, views: Mapping[ProcessorId, View]) -> SyncResult:
+        """Run the full pipeline on one execution's views."""
+        missing = set(self._system.processors) - set(views)
+        if missing:
+            raise ValueError(
+                f"views missing for processors: {sorted(missing, key=repr)}"
+            )
+        mls_tilde = local_shift_estimates(self._system, views)
+        return self.from_local_estimates(mls_tilde)
+
+    def from_local_estimates(
+        self, mls_tilde: Mapping[Tuple[ProcessorId, ProcessorId], Time]
+    ) -> SyncResult:
+        """Run GLOBAL ESTIMATES + SHIFTS on precomputed ``mls~`` values.
+
+        Exposed separately so distributed front-ends (see
+        :mod:`repro.extensions.leader`) can ship local estimates to a
+        leader instead of whole views.
+        """
+        processors = list(self._system.processors)
+        ms_tilde = global_shift_estimates(processors, mls_tilde)
+
+        components = _synchronization_components(processors, mls_tilde)
+        corrections: Dict[ProcessorId, Time] = {}
+        component_results: List[ComponentResult] = []
+        for component in components:
+            root = self._root if self._root in component else component[0]
+            outcome = shifts(component, ms_tilde, root=root, method=self._method)
+            corrections.update(outcome.corrections)
+            component_results.append(
+                ComponentResult(
+                    processors=tuple(component),
+                    precision=outcome.precision,
+                    critical_cycle=outcome.critical_cycle,
+                    root=outcome.root,
+                )
+            )
+
+        if len(component_results) == 1:
+            precision = component_results[0].precision
+        else:
+            precision = INF
+        return SyncResult(
+            corrections=corrections,
+            precision=precision,
+            components=tuple(component_results),
+            mls_tilde=dict(mls_tilde),
+            ms_tilde=ms_tilde,
+        )
+
+    def from_execution(self, alpha: Execution) -> SyncResult:
+        """Convenience: extract views from a recorded execution and run.
+
+        Only the views are consulted -- the synchronizer never touches the
+        execution's real times, preserving Claim 3.1.
+        """
+        return self.from_views(alpha.views())
+
+
+def _synchronization_components(
+    processors, mls_tilde: Mapping[Tuple[ProcessorId, ProcessorId], Time]
+) -> List[List[ProcessorId]]:
+    """Maximal sets with finite pairwise shift estimates.
+
+    These are the strongly connected components of the finite-``mls~``
+    digraph: within one, finite paths exist both ways, so all pairwise
+    ``ms~`` are finite; across two, at least one direction is infinite.
+    Components are ordered by first appearance in ``processors`` so roots
+    are stable across runs.
+    """
+    graph = shift_graph(processors, mls_tilde)
+    sccs = graph.strongly_connected_components()
+    position = {p: i for i, p in enumerate(processors)}
+    ordered = [sorted(scc, key=lambda p: position[p]) for scc in sccs]
+    ordered.sort(key=lambda scc: position[scc[0]])
+    return ordered
+
+
+__all__ = ["ComponentResult", "SyncResult", "ClockSynchronizer"]

@@ -1,0 +1,62 @@
+"""Delay assumptions, samplers and the system ``(G, A)``.
+
+This subpackage implements Sections 5 and 6 of the paper:
+
+* the abstract :class:`~repro.delays.base.DelayAssumption` interface and
+  the :class:`~repro.delays.base.PairTiming` statistics it consumes;
+* the four concrete models of the introduction --
+  :class:`~repro.delays.bounds.BoundedDelay` (upper and lower bounds),
+  :func:`~repro.delays.bounds.lower_bounds_only`,
+  :func:`~repro.delays.bounds.no_bounds`, and
+  :class:`~repro.delays.bias.RoundTripBias`;
+* :class:`~repro.delays.composite.Composite`, the decomposition theorem
+  (5.6) as a combinator;
+* delay samplers describing how the simulated network actually behaves;
+* :class:`~repro.delays.system.System`, the paper's ``(G, A)`` pair.
+"""
+
+from repro.delays.base import (
+    ADMIT_TOL,
+    DelayAssumption,
+    DirectionStats,
+    PairTiming,
+)
+from repro.delays.bias import RoundTripBias, RoundTripBiasUnsigned
+from repro.delays.bounds import BoundedDelay, lower_bounds_only, no_bounds
+from repro.delays.composite import Composite
+from repro.delays.distributions import (
+    AsymmetricUniform,
+    Bimodal,
+    Constant,
+    CorrelatedLoad,
+    DelaySampler,
+    Direction,
+    ShiftedExponential,
+    TruncatedNormal,
+    UniformDelay,
+)
+from repro.delays.system import System, UnknownLinkError
+
+__all__ = [
+    "ADMIT_TOL",
+    "DelayAssumption",
+    "DirectionStats",
+    "PairTiming",
+    "RoundTripBias",
+    "RoundTripBiasUnsigned",
+    "BoundedDelay",
+    "lower_bounds_only",
+    "no_bounds",
+    "Composite",
+    "AsymmetricUniform",
+    "Bimodal",
+    "Constant",
+    "CorrelatedLoad",
+    "DelaySampler",
+    "Direction",
+    "ShiftedExponential",
+    "TruncatedNormal",
+    "UniformDelay",
+    "System",
+    "UnknownLinkError",
+]

@@ -1,0 +1,122 @@
+"""Delay assumptions: the abstract interface (paper, Sections 5 and 6).
+
+A *delay assumption* attached to a link ``{p, q}`` defines the locally
+admissible pairs of histories ``A_{p,q}`` -- equivalently, which message
+delays on that link are allowed.  For the synchronization pipeline an
+assumption must answer exactly two questions:
+
+1. ``admits(forward, reverse)`` -- are these actual delays allowed?
+   (Used by the simulator to validate its own draws and by the adversary
+   when constructing equivalent admissible executions.)
+2. ``mls_bound(timing)`` -- given min/max delay statistics for the link,
+   what is the maximal local shift of ``q`` w.r.t. ``p``?  (Lemmas 6.2 and
+   6.5 show this depends only on the extreme delays.)
+
+The same formula serves double duty: fed *true* delays it yields
+``mls(p,q)``; fed *estimated* delays (``d~ = d + S_p - S_q``, computable
+from views by Lemma 6.1) it yields the estimate ``mls~(p,q)`` -- because
+the formulas are translations by ``S_p - S_q`` of one another
+(Corollaries 6.3 and 6.6).
+
+Orientation convention: every assumption instance is written relative to a
+*canonical* orientation ``(p, q)`` of its link.  ``mls_bound`` answers for
+that orientation; :meth:`DelayAssumption.flipped` returns the instance that
+answers for ``(q, p)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro._types import INF, NEG_INF, Time
+
+#: Numerical slack used by admissibility checks.
+ADMIT_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class DirectionStats:
+    """Extreme delays observed in one direction of a link.
+
+    With no messages in that direction the paper's convention applies:
+    ``min_delay = +inf`` and ``max_delay = -inf`` (Section 6.1), which
+    makes every formula degrade gracefully to "unconstrained".
+    """
+
+    count: int = 0
+    min_delay: Time = INF
+    max_delay: Time = NEG_INF
+
+    @staticmethod
+    def of(delays: Sequence[Time]) -> "DirectionStats":
+        """Summarise a list of delays (empty list = the no-messages convention)."""
+        if not delays:
+            return DirectionStats()
+        return DirectionStats(
+            count=len(delays),
+            min_delay=min(delays),
+            max_delay=max(delays),
+        )
+
+    def merged(self, other: "DirectionStats") -> "DirectionStats":
+        """Combine two summaries of disjoint observation sets."""
+        return DirectionStats(
+            count=self.count + other.count,
+            min_delay=min(self.min_delay, other.min_delay),
+            max_delay=max(self.max_delay, other.max_delay),
+        )
+
+
+@dataclass(frozen=True)
+class PairTiming:
+    """Delay statistics for one link, oriented ``p -> q``.
+
+    ``forward`` summarises messages from ``p`` to ``q``; ``reverse``
+    summarises messages from ``q`` to ``p``.  The values may be true delays
+    (ground truth) or estimated delays (from views); the assumption
+    formulas do not care which.
+    """
+
+    forward: DirectionStats = DirectionStats()
+    reverse: DirectionStats = DirectionStats()
+
+    def flipped(self) -> "PairTiming":
+        """The same data oriented ``q -> p``."""
+        return PairTiming(forward=self.reverse, reverse=self.forward)
+
+
+class DelayAssumption(ABC):
+    """A locally checkable restriction on one link's message delays."""
+
+    @abstractmethod
+    def mls_bound(self, timing: PairTiming) -> Time:
+        """Maximal local shift of ``q`` w.r.t. ``p`` under this assumption.
+
+        ``timing`` must be oriented along this assumption's canonical
+        ``(p, q)``.  Returns ``+inf`` when the assumption does not
+        constrain that direction at all.
+        """
+
+    @abstractmethod
+    def admits(self, forward: Sequence[Time], reverse: Sequence[Time]) -> bool:
+        """Whether actual delays ``forward`` (p->q) and ``reverse`` (q->p)
+        form a locally admissible pair of histories."""
+
+    @abstractmethod
+    def flipped(self) -> "DelayAssumption":
+        """The assumption as seen from the opposite orientation."""
+
+    def mls_pair(self, timing: PairTiming) -> "tuple[Time, Time]":
+        """Convenience: ``(mls(p, q), mls(q, p))`` in one call."""
+        return (
+            self.mls_bound(timing),
+            self.flipped().mls_bound(timing.flipped()),
+        )
+
+    # Assumptions are value objects; concrete classes are all frozen
+    # dataclasses, so equality and hashing come for free.
+
+
+__all__ = ["ADMIT_TOL", "DirectionStats", "PairTiming", "DelayAssumption"]

@@ -1,0 +1,76 @@
+"""The experiment suite (see DESIGN.md section 3 and EXPERIMENTS.md).
+
+The PODC'93 paper is a theory paper -- its "evaluation" is its theorems.
+Each experiment here turns one theorem or claim into numbers on simulated
+systems.  Every experiment module exposes
+``run(quick: bool = False) -> List[Table]``; the registry below maps the
+experiment ids used throughout the documentation to those functions.
+
+Run them via the CLI (``repro-clocksync experiment E1``) or the benchmark
+harness (``pytest benchmarks/ --benchmark-only``).
+"""
+
+from typing import Callable, Dict, List
+
+from repro.analysis.reporting import Table
+from repro.experiments import (
+    e1_optimality,
+    e2_local_shifts,
+    e3_unbounded,
+    e4_bias_vs_bounds,
+    e5_decomposition,
+    e6_lp_crosscheck,
+    e7_baselines,
+    e8_messages,
+    e9_scaling,
+    e10_extensions,
+    e11_windowed,
+    e12_probabilistic,
+    e13_diagnosis,
+)
+
+#: Experiment id -> runner.  Keep ids in sync with DESIGN.md / EXPERIMENTS.md.
+REGISTRY: Dict[str, Callable[..., List[Table]]] = {
+    "E1": e1_optimality.run,
+    "E2": e2_local_shifts.run,
+    "E3": e3_unbounded.run,
+    "E4": e4_bias_vs_bounds.run,
+    "E5": e5_decomposition.run,
+    "E6": e6_lp_crosscheck.run,
+    "E7": e7_baselines.run,
+    "E8": e8_messages.run,
+    "E9": e9_scaling.run,
+    "E10": e10_extensions.run,
+    "E11": e11_windowed.run,
+    "E12": e12_probabilistic.run,
+    "E13": e13_diagnosis.run,
+}
+
+DESCRIPTIONS: Dict[str, str] = {
+    "E1": "SHIFTS is optimal per instance (Thms 4.4/4.6) across topologies",
+    "E2": "closed-form mls formulas vs brute-force search (Lemmas 6.2/6.5)",
+    "E3": "finite per-execution precision without upper bounds (Sec 3, 6.1)",
+    "E4": "round-trip bias vs absolute bounds, with crossover (Sec 6.2)",
+    "E5": "decomposition theorem on heterogeneous systems (Thm 5.6)",
+    "E6": "pipeline equals the Halpern-Megiddo-Munshi LP everywhere",
+    "E7": "optimal vs NTP-style and Cristian-style baselines",
+    "E8": "precision vs number of probes (monotone, diminishing returns)",
+    "E9": "pipeline scaling in n (Karp O(n^3) stage dominates)",
+    "E10": "extensions: leader-based distributed protocol; clock drift",
+    "E11": "windowed bias: the 'sent around the same time' refinement",
+    "E12": "probabilistic delay knowledge -> high-confidence precision",
+    "E13": "detection/localization/repair of assumption violations",
+}
+
+
+def run_experiment(experiment_id: str, quick: bool = False) -> List[Table]:
+    """Run one experiment by id and return its tables."""
+    key = experiment_id.upper()
+    if key not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
+        )
+    return REGISTRY[key](quick=quick)
+
+
+__all__ = ["REGISTRY", "DESCRIPTIONS", "run_experiment"]

@@ -1,0 +1,31 @@
+"""Shared plumbing for the experiment modules.
+
+Each experiment module exposes ``run(quick: bool = False) -> List[Table]``;
+``quick`` trims seeds/sizes so the benchmark harness stays fast while the
+CLI can run the full sweep.  The registry in
+:mod:`repro.experiments` maps experiment ids (E1..E10) to these
+functions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.synchronizer import ClockSynchronizer, SyncResult
+from repro.model.execution import Execution
+from repro.workloads.scenarios import Scenario
+
+
+def synchronize_scenario(scenario: Scenario) -> Tuple[Execution, SyncResult]:
+    """Run a scenario and synchronize it optimally; the common first step."""
+    alpha = scenario.run()
+    result = ClockSynchronizer(scenario.system).from_execution(alpha)
+    return alpha, result
+
+
+def seeds(quick: bool, full: int = 5, trimmed: int = 2) -> range:
+    """Seed range for a sweep, trimmed in quick mode."""
+    return range(trimmed if quick else full)
+
+
+__all__ = ["synchronize_scenario", "seeds"]

@@ -1,0 +1,259 @@
+"""E10 -- The Section 7 agenda: distributed protocol and clock drift.
+
+Two sub-experiments on the paper's "open questions":
+
+* **E10a (leader protocol)**: the leader-based distributed implementation
+  sketched in Section 7, run as real automata.  The paper predicts its
+  corrections are optimal only w.r.t. the probe phase -- the report and
+  assignment messages themselves carry timing information a centralized
+  observer could additionally use.  We measure exactly that: the
+  protocol's achieved ``rho_bar`` equals the optimum computed from
+  probe-phase statistics, and the optimum over the *full* execution's
+  views is at least as good.
+* **E10b (drift + periodic resync)**: under parts-per-million clock
+  drift (the regime footnote 1 delegates to Kopetz--Ochsenreiter), the
+  drift-free pipeline re-run each period keeps the realized spread near
+  the drift-free optimum plus a ``drift x period`` term.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.metrics import summarize
+from repro.analysis.reporting import Table
+from repro.core.precision import rho_bar
+from repro.core.synchronizer import ClockSynchronizer
+from repro.delays.bounds import BoundedDelay
+from repro.delays.distributions import UniformDelay
+from repro.delays.system import System
+from repro.experiments.common import seeds
+from repro.extensions.drift import DriftingClocks, periodic_resync
+from repro.extensions.leader import corrections_from_execution, leader_automata
+from repro.graphs import ring
+from repro.sim.network import NetworkSimulator
+from repro.workloads.scenarios import bounded_uniform
+
+
+def _leader_table(quick: bool) -> Table:
+    table = Table(
+        title="E10a: leader-based distributed protocol vs centralized optimum "
+        "(ring-5, delays U[1,3])",
+        headers=[
+            "seed",
+            "protocol rho_bar",
+            "optimum (probe phase)",
+            "optimum (full views)",
+            "protocol == probe-opt",
+        ],
+    )
+    gaps = []
+    for seed in seeds(quick, full=4):
+        scenario = bounded_uniform(ring(5), lb=1.0, ub=3.0, seed=seed)
+        automata = leader_automata(
+            scenario.system,
+            leader=0,
+            probe_times=[12.0, 16.0, 20.0],
+            report_time=60.0,
+        )
+        sim = NetworkSimulator(
+            scenario.system, scenario.samplers, scenario.start_times, seed=seed
+        )
+        alpha = sim.run(automata)
+        protocol_corrections = corrections_from_execution(alpha)
+
+        # Centralized optimum over the full execution (includes the timing
+        # information carried by reports and assignments).
+        full = ClockSynchronizer(scenario.system).from_execution(alpha)
+        protocol_rho = rho_bar(full.ms_tilde, protocol_corrections)
+
+        # The leader's own view of optimality: probe-phase statistics only.
+        leader_state = alpha.history(0).steps[-1].step.new_state
+        probe_opt = _probe_phase_optimum(scenario.system, leader_state)
+
+        table.add_row(
+            seed,
+            protocol_rho,
+            probe_opt,
+            full.precision,
+            abs(protocol_rho - _probe_phase_rho(scenario.system, leader_state,
+                                                protocol_corrections,
+                                                full)) < 1e-6,
+        )
+        gaps.append(protocol_rho - full.precision)
+    table.add_note(
+        "full-view optimum <= protocol rho_bar: the report/assign messages "
+        "add information the protocol (by design) does not use -- the "
+        "paper's Section 7 caveat, quantified"
+    )
+    table.add_note(f"mean extra cost of distribution: {summarize(gaps).mean:.4g}")
+    return table
+
+
+def _probe_phase_optimum(system: System, leader_state) -> float:
+    """Optimal precision from the statistics the leader actually received."""
+    from repro.delays.base import DirectionStats
+
+    stats = {}
+    for report in leader_state.reports:
+        for entry in report.entries:
+            stats[(entry.sender, report.origin)] = DirectionStats(
+                count=entry.count,
+                min_delay=entry.min_delay,
+                max_delay=entry.max_delay,
+            )
+    mls = system.mls_from_stats(stats)
+    return ClockSynchronizer(system).from_local_estimates(mls).precision
+
+
+def _probe_phase_rho(system: System, leader_state, corrections, full) -> float:
+    """rho_bar of the protocol's corrections under probe-phase ms~."""
+    from repro.delays.base import DirectionStats
+    from repro.core.global_estimates import global_shift_estimates
+
+    stats = {}
+    for report in leader_state.reports:
+        for entry in report.entries:
+            stats[(entry.sender, report.origin)] = DirectionStats(
+                count=entry.count,
+                min_delay=entry.min_delay,
+                max_delay=entry.max_delay,
+            )
+    mls = system.mls_from_stats(stats)
+    ms = global_shift_estimates(list(system.processors), mls)
+    return rho_bar(ms, corrections)
+
+
+def _drift_table(quick: bool) -> Table:
+    table = Table(
+        title="E10b: drifting clocks with periodic resynchronization "
+        "(ring-4, delays U[1,3], 5 rounds)",
+        headers=[
+            "drift bound",
+            "period",
+            "mean claimed",
+            "mean spread after sync",
+            "mean spread before next",
+        ],
+    )
+    topo = ring(4)
+    system = System.uniform(topo, BoundedDelay.symmetric(1.0, 3.0))
+    samplers = {link: UniformDelay(1.0, 3.0) for link in topo.links}
+    grids = (
+        [(1e-5, 100.0), (1e-4, 100.0)]
+        if quick
+        else [
+            (1e-6, 100.0),
+            (1e-5, 100.0),
+            (1e-4, 100.0),
+            (1e-4, 1000.0),
+            (1e-3, 100.0),
+        ]
+    )
+    for drift_bound, period in grids:
+        clocks = DriftingClocks.draw(
+            topo.nodes, max_skew=5.0, drift_bound=drift_bound, seed=7
+        )
+        rounds = periodic_resync(
+            system, samplers, clocks, period=period, rounds=5, seed=7
+        )
+        table.add_row(
+            drift_bound,
+            period,
+            summarize([r.claimed_precision for r in rounds]).mean,
+            summarize([r.spread_after_sync for r in rounds]).mean,
+            summarize([r.spread_before_next for r in rounds]).mean,
+        )
+    table.add_note(
+        "spread-before-next grows with drift x period: resync cadence "
+        "trades bandwidth for precision, as Kopetz--Ochsenreiter prescribe"
+    )
+    return table
+
+
+def _reliable_table(quick: bool) -> Table:
+    """The loss-tolerant protocol variant: completion under message loss."""
+    from repro.extensions.leader import (
+        ProtocolIncomplete,
+        corrections_from_execution,
+        leader_automata,
+    )
+    from repro.extensions.reliable_leader import (
+        reliable_corrections_from_execution,
+        reliable_leader_automata,
+    )
+
+    table = Table(
+        title="E10c: plain vs loss-tolerant leader protocol under message "
+        "loss (ring-5, delays U[1,3])",
+        headers=[
+            "loss prob",
+            "plain completed",
+            "reliable completed",
+            "reliable spread <= claim",
+        ],
+    )
+    scenario = bounded_uniform(ring(5), lb=1.0, ub=3.0, seed=11)
+    plain_automata = leader_automata(
+        scenario.system, leader=0, probe_times=[12.0, 16.0], report_time=40.0
+    )
+    reliable_automata = reliable_leader_automata(
+        scenario.system, leader=0, probe_times=[12.0, 16.0],
+        report_time=40.0, retry_interval=15.0, max_retries=8,
+    )
+    probabilities = [0.0, 0.3] if quick else [0.0, 0.1, 0.3, 0.5]
+    trials = list(seeds(quick, full=5))
+    for probability in probabilities:
+        loss = {link: probability for link in scenario.topology.links}
+        plain_ok = 0
+        reliable_ok = 0
+        sound = 0
+        for seed in trials:
+            sim = NetworkSimulator(
+                scenario.system, scenario.samplers, scenario.start_times,
+                seed=seed, loss=loss,
+            )
+            alpha = sim.run(plain_automata)
+            try:
+                corrections_from_execution(alpha)
+                plain_ok += 1
+            except ProtocolIncomplete:
+                pass
+
+            sim = NetworkSimulator(
+                scenario.system, scenario.samplers, scenario.start_times,
+                seed=seed, loss=loss,
+            )
+            alpha = sim.run(reliable_automata)
+            try:
+                corrections = reliable_corrections_from_execution(alpha)
+                reliable_ok += 1
+            except ProtocolIncomplete:
+                continue
+            full = ClockSynchronizer(scenario.system).from_execution(alpha)
+            from repro.core.precision import realized_spread
+
+            if realized_spread(
+                alpha.start_times(), corrections
+            ) <= rho_bar(full.ms_tilde, corrections) + 1e-9:
+                sound += 1
+        table.add_row(
+            probability,
+            f"{plain_ok}/{len(trials)}",
+            f"{reliable_ok}/{len(trials)}",
+            f"{sound}/{reliable_ok}" if reliable_ok else "-",
+        )
+    table.add_note(
+        "the plain protocol deadlocks on any lost report/assignment; "
+        "bounded retransmission with acks restores completion, and every "
+        "completed run stays within its guarantee"
+    )
+    return table
+
+
+def run(quick: bool = False) -> List[Table]:
+    """Run the experiment (trimmed sweep when ``quick``); see module docstring."""
+    return [_leader_table(quick), _drift_table(quick), _reliable_table(quick)]
+
+
+__all__ = ["run"]

@@ -1,0 +1,131 @@
+"""E7 -- Optimal corrections vs practitioner baselines (Section 3's case
+for instance optimality).
+
+The paper argues a good algorithm should "exploit favorable conditions".
+Here the optimal pipeline, the NTP-style minimum-filter baseline and the
+Cristian-style best-round-trip baseline all see the *same views* and are
+scored with the same exact measure ``rho_bar`` (worst case over the
+executions equivalent to the observed one).  Regimes:
+
+* symmetric delays -- midpoint heuristics are nearly unbiased; the
+  optimum wins modestly (it still uses bound information they discard);
+* skewed delays -- one-directional load biases midpoint estimators and
+  the bias accumulates across hops; the optimum's margin explodes with
+  both skew and network diameter;
+* favourable draws -- with lucky (tight) delays, the optimum's precision
+  shrinks with the draw while worst-case-oriented reasoning would not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.metrics import summarize
+from repro.analysis.reporting import Table
+from repro.baselines.cristian import cristian_corrections
+from repro.baselines.ntp_like import ntp_corrections
+from repro.core.precision import realized_spread, rho_bar
+from repro.experiments.common import seeds, synchronize_scenario
+from repro.graphs import line, ring
+from repro.workloads.scenarios import asymmetric_bounded, bounded_uniform
+
+
+def _score(scenario) -> Dict[str, float]:
+    alpha, result = synchronize_scenario(scenario)
+    views = alpha.views()
+    topo = scenario.topology
+    opt = rho_bar(result.ms_tilde, result.corrections)
+    ntp = rho_bar(result.ms_tilde, ntp_corrections(topo, views))
+    cristian = rho_bar(result.ms_tilde, cristian_corrections(topo, views))
+    spread = realized_spread(alpha.start_times(), result.corrections)
+    return {"opt": opt, "ntp": ntp, "cristian": cristian, "realized": spread}
+
+
+def _favourable_conditions_table(quick: bool) -> Table:
+    """The per-instance dividend: how widely optimal precision varies
+    across draws of the same system -- variation a fixed worst-case bound
+    would flatten to its maximum."""
+    table = Table(
+        title="E7b: the favourable-conditions dividend "
+        "(ring-6, delays U[1,3], per-instance optimal precision)",
+        headers=[
+            "instances",
+            "best instance",
+            "mean",
+            "worst instance",
+            "worst/best",
+        ],
+    )
+    trials = 8 if quick else 25
+    precisions = []
+    for seed in range(trials):
+        scenario = bounded_uniform(ring(6), lb=1.0, ub=3.0, seed=seed)
+        _, result = synchronize_scenario(scenario)
+        precisions.append(result.precision)
+    stats = summarize(precisions)
+    table.add_row(
+        trials,
+        stats.minimum,
+        stats.mean,
+        stats.maximum,
+        stats.maximum / stats.minimum,
+    )
+    table.add_note(
+        "a worst-case-optimal algorithm must quote (at least) the worst "
+        "row for every instance; per-instance optimality pockets the gap "
+        "on every favourable draw -- the Section 3 motivation"
+    )
+    return table
+
+
+def run(quick: bool = False) -> List[Table]:
+    """Run the experiment (trimmed sweep when ``quick``); see module docstring."""
+    table = Table(
+        title="E7: guaranteed precision (rho_bar) of optimal vs NTP-style "
+        "vs Cristian-style corrections",
+        headers=[
+            "scenario",
+            "optimal",
+            "ntp",
+            "cristian",
+            "ntp/opt",
+            "cristian/opt",
+        ],
+    )
+    cases = []
+    for seed in seeds(quick, full=3):
+        cases.append(bounded_uniform(ring(6), lb=1.0, ub=3.0, seed=seed))
+        cases.append(
+            asymmetric_bounded(ring(6), lb=1.0, ub=5.0, skew_factor=0.9, seed=seed)
+        )
+        if not quick:
+            cases.append(
+                asymmetric_bounded(
+                    line(8), lb=1.0, ub=5.0, skew_factor=0.9, seed=seed
+                )
+            )
+            cases.append(bounded_uniform(ring(6), lb=1.9, ub=2.1, seed=seed))
+
+    by_family: Dict[str, List[Dict[str, float]]] = {}
+    for scenario in cases:
+        family = scenario.name.rsplit("-", 1)[0]
+        by_family.setdefault(family, []).append(_score(scenario))
+
+    for family, scores in by_family.items():
+        opt = summarize([s["opt"] for s in scores]).mean
+        ntp = summarize([s["ntp"] for s in scores]).mean
+        cristian = summarize([s["cristian"] for s in scores]).mean
+        table.add_row(
+            family, opt, ntp, cristian, ntp / opt, cristian / opt
+        )
+    table.add_note(
+        "all methods see identical views; rho_bar is exact, not sampled"
+    )
+    table.add_note(
+        "asym rows: systematic direction skew biases midpoint estimators; "
+        "line-8 shows the bias accumulating over diameter"
+    )
+    return [table, _favourable_conditions_table(quick)]
+
+
+__all__ = ["run"]

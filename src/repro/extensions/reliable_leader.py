@@ -1,0 +1,363 @@
+"""Loss-tolerant leader protocol: retransmission with acknowledgements.
+
+The plain :mod:`repro.extensions.leader` protocol assumes the paper's
+lossless delivery system: one lost report deadlocks the leader.  This
+variant adds the minimal reliability layer a deployment needs:
+
+* non-leaders retransmit their report on a timer until the leader's
+  ``ReportAck`` arrives (the leader re-acks duplicates, since the ack
+  itself can be lost; duplicate reports are deduplicated by origin);
+* the leader retransmits each ``Assign`` on a timer until the target's
+  ``AssignAck`` arrives (duplicate assigns are idempotent and re-acked).
+
+Retries are bounded (``max_retries``), so runs always quiesce; under
+persistent loss the protocol can still fail, which
+:func:`repro.extensions.leader.corrections_from_execution` reports as
+:class:`~repro.extensions.leader.ProtocolIncomplete` -- a detected
+failure, never a silent one.
+
+Correctness note: retransmissions and acks add *messages* but the leader
+still computes from exactly one report per processor, so the computed
+corrections equal the lossless protocol's whenever the same probe
+observations got through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro._types import ProcessorId, Time
+from repro.delays.base import DirectionStats
+from repro.delays.system import System
+from repro.extensions.leader import (
+    Assign,
+    Report,
+    TimestampedProbe,
+    tree_routing,
+)
+from repro.core.synchronizer import ClockSynchronizer, SyncResult
+from repro.model.events import Event, MessageReceiveEvent, StartEvent, TimerEvent
+from repro.model.execution import Execution
+from repro.sim.processor import Automaton, Send, SetTimer, Transition
+
+
+@dataclass(frozen=True)
+class ReportAck:
+    """Leader's acknowledgement of ``target``'s report."""
+
+    target: ProcessorId
+
+
+@dataclass(frozen=True)
+class AssignAck:
+    """``origin``'s acknowledgement of its assignment, bound for the leader."""
+
+    origin: ProcessorId
+
+
+@dataclass(frozen=True)
+class ReliableNodeState:
+    """Immutable per-processor state of the reliable protocol."""
+
+    probes_sent: int = 0
+    observations: Tuple[Tuple[ProcessorId, Time], ...] = ()
+    report_acked: bool = False
+    # Leader-only bookkeeping:
+    report_origins: FrozenSet[ProcessorId] = frozenset()
+    reports: Tuple[Report, ...] = ()
+    assignments: Tuple[Tuple[ProcessorId, Time], ...] = ()
+    acked_targets: FrozenSet[ProcessorId] = frozenset()
+    computed: bool = False
+    # Every processor:
+    correction: Optional[Time] = None
+    assigned: bool = False
+
+
+class ReliableLeaderSyncAutomaton(Automaton):
+    """One participant of the loss-tolerant leader protocol."""
+
+    def __init__(
+        self,
+        me: ProcessorId,
+        system: System,
+        leader: ProcessorId,
+        probe_times: Sequence[Time],
+        report_time: Time,
+        next_hop: Mapping[ProcessorId, ProcessorId],
+        retry_interval: Time = 20.0,
+        max_retries: int = 10,
+    ) -> None:
+        if report_time <= max(probe_times):
+            raise ValueError("report_time must come after the last probe")
+        if retry_interval <= 0 or max_retries < 0:
+            raise ValueError("need retry_interval > 0 and max_retries >= 0")
+        self._me = me
+        self._system = system
+        self._leader = leader
+        self._neighbors = tuple(system.topology.neighbors(me))
+        self._probe_times = tuple(sorted(probe_times))
+        self._report_time = report_time
+        self._next_hop = dict(next_hop)
+        self._retry_interval = retry_interval
+        self._max_retries = max_retries
+        self._n = len(system.topology.nodes)
+
+    # -- helpers --------------------------------------------------------
+
+    def _route(self, target: ProcessorId, payload: Any) -> Send:
+        return Send(to=self._next_hop[target], payload=payload)
+
+    def _report_schedule(self) -> Tuple[Time, ...]:
+        return tuple(
+            self._report_time + i * self._retry_interval
+            for i in range(self._max_retries + 1)
+        )
+
+    def _make_report(self, state: ReliableNodeState) -> Report:
+        from repro.extensions.leader import EdgeStats
+
+        by_sender: Dict[ProcessorId, List[Time]] = {}
+        for sender, delay in state.observations:
+            by_sender.setdefault(sender, []).append(delay)
+        entries = tuple(
+            EdgeStats(
+                sender=sender,
+                count=len(values),
+                min_delay=min(values),
+                max_delay=max(values),
+            )
+            for sender, values in sorted(
+                by_sender.items(), key=lambda kv: repr(kv[0])
+            )
+        )
+        return Report(origin=self._me, entries=entries)
+
+    def _leader_compute(self, reports: Sequence[Report]) -> SyncResult:
+        stats: Dict[Tuple[ProcessorId, ProcessorId], DirectionStats] = {}
+        for report in reports:
+            for entry in report.entries:
+                stats[(entry.sender, report.origin)] = DirectionStats(
+                    count=entry.count,
+                    min_delay=entry.min_delay,
+                    max_delay=entry.max_delay,
+                )
+        mls_tilde = self._system.mls_from_stats(stats)
+        synchronizer = ClockSynchronizer(self._system, root=self._leader)
+        return synchronizer.from_local_estimates(mls_tilde)
+
+    def _unacked_assign_sends(self, state: ReliableNodeState) -> Tuple[Send, ...]:
+        return tuple(
+            self._route(target, Assign(target=target, correction=value))
+            for target, value in state.assignments
+            if target not in state.acked_targets
+        )
+
+    # -- Automaton interface ---------------------------------------------
+
+    def initial_state(self) -> ReliableNodeState:
+        return ReliableNodeState()
+
+    def on_interrupt(
+        self, state: ReliableNodeState, clock_time: Time, event: Event
+    ) -> Transition:
+        if isinstance(event, StartEvent):
+            timers = tuple(SetTimer(t) for t in self._probe_times)
+            if self._me != self._leader:
+                timers += tuple(SetTimer(t) for t in self._report_schedule())
+            else:
+                timers += (SetTimer(self._report_time),)
+            return Transition.to(state, timers=timers)
+
+        if isinstance(event, TimerEvent):
+            return self._on_timer(state, clock_time)
+
+        if isinstance(event, MessageReceiveEvent):
+            payload = event.message.payload
+            if isinstance(payload, TimestampedProbe):
+                observation = (payload.origin, clock_time - payload.send_clock)
+                return Transition.to(
+                    replace(
+                        state,
+                        observations=state.observations + (observation,),
+                    )
+                )
+            return self._on_message(state, event, clock_time)
+
+        return Transition.to(state)
+
+    def _on_timer(
+        self, state: ReliableNodeState, clock_time: Time
+    ) -> Transition:
+        if state.probes_sent < len(self._probe_times):
+            sends = tuple(
+                Send(
+                    to=n,
+                    payload=TimestampedProbe(
+                        origin=self._me,
+                        round=state.probes_sent,
+                        send_clock=clock_time,
+                    ),
+                )
+                for n in self._neighbors
+            )
+            return Transition.to(
+                replace(state, probes_sent=state.probes_sent + 1), sends=sends
+            )
+
+        if self._me == self._leader:
+            if not state.computed and self._me not in state.report_origins:
+                # The leader's own report timer.
+                return self._absorb_report(
+                    state, self._make_report(state), clock_time
+                )
+            # Assign retry timer (no-op if everything is acked already, or
+            # if the leader is still waiting on straggler reports).
+            return Transition.to(state, sends=self._unacked_assign_sends(state))
+
+        # Report (re)transmission timer.
+        if state.report_acked:
+            return Transition.to(state)
+        return Transition.to(
+            state, sends=(self._route(self._leader, self._make_report(state)),)
+        )
+
+    def _on_message(
+        self,
+        state: ReliableNodeState,
+        event: MessageReceiveEvent,
+        clock_time: Time,
+    ) -> Transition:
+        payload = event.message.payload
+        if isinstance(payload, Report):
+            if self._me != self._leader:
+                return Transition.to(
+                    state, sends=(self._route(self._leader, payload),)
+                )
+            # Always (re-)ack; absorb only the first copy per origin.
+            ack = self._route(payload.origin, ReportAck(target=payload.origin))
+            if payload.origin in state.report_origins:
+                return Transition.to(state, sends=(ack,))
+            transition = self._absorb_report(state, payload, clock_time)
+            return Transition(
+                new_state=transition.new_state,
+                sends=transition.sends + (ack,),
+                timers=transition.timers,
+            )
+        if isinstance(payload, ReportAck):
+            if payload.target == self._me:
+                return Transition.to(replace(state, report_acked=True))
+            return Transition.to(
+                state, sends=(self._route(payload.target, payload),)
+            )
+        if isinstance(payload, Assign):
+            if payload.target == self._me:
+                ack = self._route(self._leader, AssignAck(origin=self._me))
+                return Transition.to(
+                    replace(
+                        state, correction=payload.correction, assigned=True
+                    ),
+                    sends=(ack,),
+                )
+            return Transition.to(
+                state, sends=(self._route(payload.target, payload),)
+            )
+        if isinstance(payload, AssignAck):
+            if self._me == self._leader:
+                return Transition.to(
+                    replace(
+                        state,
+                        acked_targets=state.acked_targets | {payload.origin},
+                    )
+                )
+            return Transition.to(
+                state, sends=(self._route(self._leader, payload),)
+            )
+        return Transition.to(state)
+
+    def _absorb_report(
+        self, state: ReliableNodeState, report: Report, clock_time: Time
+    ) -> Transition:
+        new_state = replace(
+            state,
+            reports=state.reports + (report,),
+            report_origins=state.report_origins | {report.origin},
+        )
+        if len(new_state.reports) < self._n:
+            return Transition.to(new_state)
+        result = self._leader_compute(new_state.reports)
+        assignments = tuple(
+            sorted(result.corrections.items(), key=lambda kv: repr(kv[0]))
+        )
+        new_state = replace(
+            new_state,
+            computed=True,
+            assignments=assignments,
+            correction=result.corrections[self._me],
+            assigned=True,
+            acked_targets=frozenset({self._me}),
+        )
+        sends = self._unacked_assign_sends(new_state)
+        # Assign-retry timers anchored at the compute instant (strictly in
+        # the clock future, as the model requires).
+        timers = tuple(
+            SetTimer(clock_time + (i + 1) * self._retry_interval)
+            for i in range(self._max_retries)
+        )
+        return Transition.to(new_state, sends=sends, timers=timers)
+
+
+def reliable_leader_automata(
+    system: System,
+    leader: ProcessorId,
+    probe_times: Sequence[Time],
+    report_time: Time,
+    retry_interval: Time = 20.0,
+    max_retries: int = 10,
+) -> Dict[ProcessorId, ReliableLeaderSyncAutomaton]:
+    """Build the reliable protocol automata for ``system``."""
+    routing = tree_routing(system.topology, leader)
+    return {
+        p: ReliableLeaderSyncAutomaton(
+            me=p,
+            system=system,
+            leader=leader,
+            probe_times=probe_times,
+            report_time=report_time,
+            next_hop=routing[p],
+            retry_interval=retry_interval,
+            max_retries=max_retries,
+        )
+        for p in system.topology.nodes
+    }
+
+
+def reliable_corrections_from_execution(
+    alpha: Execution,
+) -> Dict[ProcessorId, Time]:
+    """Extract corrections from a reliable-protocol run."""
+    from repro.extensions.leader import ProtocolIncomplete
+
+    corrections: Dict[ProcessorId, Time] = {}
+    unassigned = []
+    for p in alpha.processors:
+        final = alpha.history(p).steps[-1].step.new_state
+        if not isinstance(final, ReliableNodeState) or not final.assigned:
+            unassigned.append(p)
+        else:
+            corrections[p] = final.correction
+    if unassigned:
+        raise ProtocolIncomplete(
+            f"no correction assigned to: {sorted(unassigned, key=repr)}"
+        )
+    return corrections
+
+
+__all__ = [
+    "ReportAck",
+    "AssignAck",
+    "ReliableNodeState",
+    "ReliableLeaderSyncAutomaton",
+    "reliable_leader_automata",
+    "reliable_corrections_from_execution",
+]

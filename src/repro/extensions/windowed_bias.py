@@ -1,0 +1,194 @@
+"""Windowed round-trip bias: the paper's "around the same time" model.
+
+Section 6.2 simplifies the bias assumption to *all* opposite-direction
+message pairs and notes: "It is possible to generalize our results to the
+more realistic model in which this assumption holds only for messages
+that were sent around the same time."  This module is that
+generalization.
+
+Model ``A_{p,q}[b, W]``: for every pair of opposite-direction messages
+whose *send clock times* differ by at most ``W``,
+
+    |d(m_p) - d(m_q)| <= b,
+
+plus non-negativity of all delays.  Anchoring the window on clock times
+(processors timestamp their sends) keeps the in-window relation invariant
+under shifting -- shifts move real times, never clock times -- so the
+admissible shifts still form an interval around 0 (Assumption 1 holds)
+and the whole local-to-global machinery of Section 5 applies unchanged.
+
+Derivation of the maximal local shift (mirroring Lemma 6.5): shifting
+``q`` earlier by ``s`` turns a forward delay ``d_f`` into ``d_f - s`` and
+a reverse delay ``d_r`` into ``d_r + s``, so an in-window pair constrains
+``|d_f - d_r - 2 s| <= b``, i.e. ``s <= (b + d_f - d_r) / 2``.  Hence
+
+    mls(p, q) = min( dmin(p, q),
+                     min over in-window pairs (b + d_f - d_r) / 2 ).
+
+With ``W = inf`` every pair is in-window and the binding pair is
+``(dmin_f, dmax_r)`` -- exactly Lemma 6.5.  With ``W = 0`` no pair
+constrains and the model degenerates to no-bounds (Corollary 6.4).  The
+formula is translation-equivariant in the estimated quantities
+(``d~_f - d~_r = d_f - d_r + 2 (S_p - S_q)`` and send clock differences
+are view-observable), so feeding estimated delays yields ``mls~``
+exactly as in Corollary 6.6.
+
+Because the binding statistics are per-*pair*, extreme delays alone no
+longer suffice; the pipeline entry points here consume full
+``(send_clock, delay)`` observation lists extracted from views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro._types import Edge, INF, ProcessorId, Time
+from repro.core.synchronizer import ClockSynchronizer, SyncResult
+from repro.delays.base import ADMIT_TOL
+from repro.delays.system import System
+from repro.graphs.topology import Topology
+from repro.model.events import MessageReceiveEvent
+from repro.model.views import View
+
+
+@dataclass(frozen=True)
+class TimedObservation:
+    """One message's send clock time and (true or estimated) delay."""
+
+    send_clock: Time
+    delay: Time
+
+
+@dataclass(frozen=True)
+class WindowedBias:
+    """Parameters of the windowed model on one link (symmetric)."""
+
+    bias: Time
+    window: Time
+
+    def __post_init__(self) -> None:
+        if self.bias < 0:
+            raise ValueError(f"bias bound must be >= 0, got {self.bias}")
+        if self.window < 0:
+            raise ValueError(f"window must be >= 0, got {self.window}")
+
+    # ------------------------------------------------------------------
+
+    def mls_bound(
+        self,
+        forward: Sequence[TimedObservation],
+        reverse: Sequence[TimedObservation],
+    ) -> Time:
+        """Maximal local shift of ``q`` w.r.t. ``p`` (see module docstring)."""
+        if not forward:
+            return INF
+        bound = min(obs.delay for obs in forward)  # non-negativity
+        for f in forward:
+            for r in reverse:
+                if abs(f.send_clock - r.send_clock) <= self.window:
+                    bound = min(bound, (self.bias + f.delay - r.delay) / 2.0)
+        return bound
+
+    def admits(
+        self,
+        forward: Sequence[TimedObservation],
+        reverse: Sequence[TimedObservation],
+    ) -> bool:
+        """Local admissibility of actual (true-delay) observations."""
+        if any(obs.delay < -ADMIT_TOL for obs in forward):
+            return False
+        if any(obs.delay < -ADMIT_TOL for obs in reverse):
+            return False
+        for f in forward:
+            for r in reverse:
+                if abs(f.send_clock - r.send_clock) <= self.window:
+                    if abs(f.delay - r.delay) > self.bias + ADMIT_TOL:
+                        return False
+        return True
+
+
+def observations_from_views(
+    views: Mapping[ProcessorId, View]
+) -> Dict[Edge, List[TimedObservation]]:
+    """Per-edge ``(send_clock, estimated delay)`` observations.
+
+    Like :func:`repro.core.estimates.estimated_delays` but keeping the
+    send clock time each observation needs for window membership.
+    """
+    send_clocks: Dict[int, Time] = {}
+    sender_of: Dict[int, ProcessorId] = {}
+    for p, view in views.items():
+        for uid, clock in view.send_clock_times().items():
+            send_clocks[uid] = clock
+            sender_of[uid] = p
+
+    out: Dict[Edge, List[TimedObservation]] = {}
+    for q, view in views.items():
+        for step in view.steps:
+            interrupt = step.interrupt
+            if not isinstance(interrupt, MessageReceiveEvent):
+                continue
+            uid = interrupt.message.uid
+            if uid not in send_clocks:
+                raise ValueError(
+                    f"{q!r} received message {uid} but no view contains its "
+                    f"send"
+                )
+            p = sender_of[uid]
+            out.setdefault((p, q), []).append(
+                TimedObservation(
+                    send_clock=send_clocks[uid],
+                    delay=step.clock_time - send_clocks[uid],
+                )
+            )
+    return out
+
+
+def windowed_local_estimates(
+    topology: Topology,
+    observations: Mapping[Edge, Sequence[TimedObservation]],
+    models: Mapping[Tuple[ProcessorId, ProcessorId], WindowedBias],
+) -> Dict[Edge, Time]:
+    """``mls~`` for every directed edge under per-link windowed models.
+
+    ``models`` is keyed by the topology's canonical links; the model is
+    symmetric so no orientation bookkeeping is needed.
+    """
+    out: Dict[Edge, Time] = {}
+    for link in topology.links:
+        if link not in models:
+            raise KeyError(f"no windowed model for link {link!r}")
+        model = models[link]
+        p, q = link
+        fwd = list(observations.get((p, q), ()))
+        rev = list(observations.get((q, p), ()))
+        out[(p, q)] = model.mls_bound(fwd, rev)
+        out[(q, p)] = model.mls_bound(rev, fwd)
+    return out
+
+
+def synchronize_windowed(
+    system: System,
+    views: Mapping[ProcessorId, View],
+    models: Mapping[Tuple[ProcessorId, ProcessorId], WindowedBias],
+) -> SyncResult:
+    """Full pipeline under windowed-bias links.
+
+    ``system`` supplies the topology (its per-link assumptions are not
+    consulted -- the windowed models replace them); GLOBAL ESTIMATES and
+    SHIFTS run unchanged, which is precisely the modularity the paper's
+    Section 5 promises: only the local-estimate computation is new.
+    """
+    observations = observations_from_views(views)
+    mls_tilde = windowed_local_estimates(system.topology, observations, models)
+    return ClockSynchronizer(system).from_local_estimates(mls_tilde)
+
+
+__all__ = [
+    "TimedObservation",
+    "WindowedBias",
+    "observations_from_views",
+    "windowed_local_estimates",
+    "synchronize_windowed",
+]

@@ -1,0 +1,220 @@
+"""A minimal weighted directed graph.
+
+The synchronization pipeline needs exactly three graph facilities: shortest
+paths under possibly-negative weights (GLOBAL ESTIMATES and SHIFTS),
+maximum cycle mean (the optimal precision ``A^max``), and strong
+connectivity (to decide whether the precision is even finite).  A small
+dict-of-dicts digraph keeps those algorithms dependency-free and easy to
+verify; :mod:`networkx` is used only in the test-suite as an oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
+
+Node = Hashable
+
+
+class WeightedDigraph:
+    """Directed graph with one float weight per edge.
+
+    Parallel edges are not supported (the pipeline never needs them: the
+    per-link quantities it stores -- ``mls~``, ``ms~``, ``A^max - ms~`` --
+    are single numbers per ordered pair).  Adding an edge twice keeps the
+    *smaller* weight by default, which is the right merge for all of those
+    quantities (they are upper bounds on shifts).
+    """
+
+    def __init__(self) -> None:
+        self._succ: Dict[Node, Dict[Node, float]] = {}
+        self._pred: Dict[Node, Dict[Node, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Ensure ``node`` exists (idempotent)."""
+        self._succ.setdefault(node, {})
+        self._pred.setdefault(node, {})
+
+    def add_edge(
+        self, u: Node, v: Node, weight: float, keep: str = "min"
+    ) -> None:
+        """Add edge ``u -> v``; on duplicates keep the min/max/last weight."""
+        self.add_node(u)
+        self.add_node(v)
+        if v in self._succ[u]:
+            old = self._succ[u][v]
+            if keep == "min":
+                weight = min(old, weight)
+            elif keep == "max":
+                weight = max(old, weight)
+            elif keep != "last":
+                raise ValueError(f"unknown duplicate policy {keep!r}")
+        self._succ[u][v] = weight
+        self._pred[v][u] = weight
+
+    @staticmethod
+    def from_edges(
+        edges: Iterable[Tuple[Node, Node, float]], keep: str = "min"
+    ) -> "WeightedDigraph":
+        """Build a graph from an iterable of ``(u, v, weight)`` triples."""
+        g = WeightedDigraph()
+        for u, v, w in edges:
+            g.add_edge(u, v, w, keep=keep)
+        return g
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[Node]:
+        """All nodes, in insertion order."""
+        return list(self._succ.keys())
+
+    def number_of_nodes(self) -> int:
+        """Node count."""
+        return len(self._succ)
+
+    def number_of_edges(self) -> int:
+        """Directed edge count."""
+        return sum(len(nbrs) for nbrs in self._succ.values())
+
+    def has_node(self, node: Node) -> bool:
+        """Whether ``node`` exists."""
+        return node in self._succ
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Whether the directed edge ``u -> v`` exists."""
+        return u in self._succ and v in self._succ[u]
+
+    def weight(self, u: Node, v: Node) -> float:
+        """Weight of the edge ``u -> v`` (KeyError if absent)."""
+        return self._succ[u][v]
+
+    def successors(self, u: Node) -> Dict[Node, float]:
+        """Mapping ``v -> weight(u, v)`` (do not mutate)."""
+        return self._succ[u]
+
+    def predecessors(self, v: Node) -> Dict[Node, float]:
+        """Mapping ``u -> weight(u, v)`` (do not mutate)."""
+        return self._pred[v]
+
+    def edges(self) -> Iterator[Tuple[Node, Node, float]]:
+        """Iterate ``(u, v, weight)`` over all directed edges."""
+        for u, nbrs in self._succ.items():
+            for v, w in nbrs.items():
+                yield (u, v, w)
+
+    def reverse(self) -> "WeightedDigraph":
+        """The graph with every edge reversed (same weights)."""
+        g = WeightedDigraph()
+        for node in self.nodes:
+            g.add_node(node)
+        for u, v, w in self.edges():
+            g.add_edge(v, u, w)
+        return g
+
+    def subgraph_finite(self) -> "WeightedDigraph":
+        """Copy containing only edges with finite weight.
+
+        Infinite weights encode "no constraint at all" (``mls~ = inf``);
+        dropping them before connectivity / cycle-mean analysis is how the
+        pipeline detects unboundedly-synchronizable directions.
+        """
+        g = WeightedDigraph()
+        for node in self.nodes:
+            g.add_node(node)
+        for u, v, w in self.edges():
+            if w != float("inf") and w != float("-inf"):
+                g.add_edge(u, v, w)
+        return g
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+
+    def _reachable(self, source: Node, forward: bool = True) -> set:
+        adj = self._succ if forward else self._pred
+        seen = {source}
+        stack = [source]
+        while stack:
+            u = stack.pop()
+            for v in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return seen
+
+    def is_strongly_connected(self) -> bool:
+        """Whether every node reaches every other node."""
+        nodes = self.nodes
+        if len(nodes) <= 1:
+            return True
+        source = nodes[0]
+        n = len(nodes)
+        return (
+            len(self._reachable(source, forward=True)) == n
+            and len(self._reachable(source, forward=False)) == n
+        )
+
+    def strongly_connected_components(self) -> List[List[Node]]:
+        """Tarjan's algorithm, iterative (no recursion-depth limits)."""
+        index: Dict[Node, int] = {}
+        lowlink: Dict[Node, int] = {}
+        on_stack: Dict[Node, bool] = {}
+        stack: List[Node] = []
+        components: List[List[Node]] = []
+        counter = [0]
+
+        for root in self.nodes:
+            if root in index:
+                continue
+            work: List[Tuple[Node, Iterator[Node]]] = [
+                (root, iter(self._succ[root]))
+            ]
+            index[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack[root] = True
+            while work:
+                u, it = work[-1]
+                advanced = False
+                for v in it:
+                    if v not in index:
+                        index[v] = lowlink[v] = counter[0]
+                        counter[0] += 1
+                        stack.append(v)
+                        on_stack[v] = True
+                        work.append((v, iter(self._succ[v])))
+                        advanced = True
+                        break
+                    if on_stack.get(v, False):
+                        lowlink[u] = min(lowlink[u], index[v])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[u])
+                if lowlink[u] == index[u]:
+                    comp = []
+                    while True:
+                        w = stack.pop()
+                        on_stack[w] = False
+                        comp.append(w)
+                        if w == u:
+                            break
+                    components.append(comp)
+        return components
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedDigraph(nodes={self.number_of_nodes()}, "
+            f"edges={self.number_of_edges()})"
+        )
+
+
+__all__ = ["WeightedDigraph", "Node"]

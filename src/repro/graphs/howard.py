@@ -1,0 +1,203 @@
+"""Howard's policy-iteration algorithm for cycle means.
+
+An alternative to Karp's algorithm for SHIFTS step 1.  Karp's recurrence
+costs ``Theta(n * m)`` *always*; Howard's policy iteration has poor
+contrived worst cases but converges in a handful of iterations on
+practical inputs and is the standard choice in max-plus tooling.  The
+library exposes both so the ablation benchmark
+(``benchmarks/test_ablation_cycle_mean.py``) can quantify the trade on
+the complete ``ms~`` graphs the synchronizer builds, and so the
+test-suite can cross-validate two independent implementations.
+
+This is the classic multichain formulation (Dasdan's description of
+HOWARD, min version).  A *policy* picks one outgoing edge per node; its
+edges form a functional graph whose components each contain exactly one
+cycle.  Evaluation assigns every node the mean ``eta(u)`` of the cycle
+its policy chain drains into, plus a potential ``h(u)`` anchored at that
+cycle.  Improvement first chases strictly smaller ``eta`` (gain step),
+then, within equal gain, strictly smaller ``w(u,v) + h(v)`` (bias step).
+At a fixed point, ``min_u eta(u)`` is the minimum cycle mean.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.graphs.digraph import Node, WeightedDigraph
+from repro.graphs.karp import CycleMeanResult, _induced_subgraph
+
+INF = float("inf")
+_TOL = 1e-10
+
+
+def minimum_cycle_mean_howard(
+    graph: WeightedDigraph, max_iterations: int = 100_000
+) -> CycleMeanResult:
+    """Minimum mean cycle via Howard's policy iteration.
+
+    Semantics match :func:`repro.graphs.karp.minimum_cycle_mean`:
+    acyclic graphs yield ``CycleMeanResult(None, None)``; otherwise the
+    mean and a witness cycle achieving it are returned.
+    """
+    best_mean: Optional[float] = None
+    best_cycle: Optional[List[Node]] = None
+    for component in graph.strongly_connected_components():
+        sub = _induced_subgraph(graph, component)
+        if sub.number_of_edges() == 0:
+            continue
+        mean, cycle = _howard_scc(sub, max_iterations)
+        if mean is None:
+            continue
+        if best_mean is None or mean < best_mean:
+            best_mean, best_cycle = mean, cycle
+    return CycleMeanResult(mean=best_mean, cycle=best_cycle)
+
+
+def maximum_cycle_mean_howard(
+    graph: WeightedDigraph, max_iterations: int = 100_000
+) -> CycleMeanResult:
+    """Maximum mean cycle (negate-and-minimise)."""
+    negated = WeightedDigraph()
+    for node in graph.nodes:
+        negated.add_node(node)
+    for u, v, w in graph.edges():
+        negated.add_edge(u, v, -w)
+    result = minimum_cycle_mean_howard(negated, max_iterations)
+    if result.mean is None:
+        return result
+    return CycleMeanResult(mean=-result.mean, cycle=result.cycle)
+
+
+class _Evaluation:
+    """Per-policy evaluation: gain ``eta`` and potential ``h`` per node."""
+
+    __slots__ = ("eta", "h", "best_eta", "best_cycle")
+
+    def __init__(
+        self,
+        eta: Dict[Node, float],
+        h: Dict[Node, float],
+        best_eta: float,
+        best_cycle: List[Node],
+    ) -> None:
+        self.eta = eta
+        self.h = h
+        self.best_eta = best_eta
+        self.best_cycle = best_cycle
+
+
+def _howard_scc(
+    graph: WeightedDigraph, max_iterations: int
+) -> Tuple[Optional[float], Optional[List[Node]]]:
+    nodes = graph.nodes
+    if not nodes:
+        return None, None
+
+    policy: Dict[Node, Node] = {}
+    for u in nodes:
+        succ = graph.successors(u)
+        if not succ:  # single node of the SCC, no self-loop
+            return None, None
+        policy[u] = min(succ, key=lambda v: (succ[v], repr(v)))
+
+    for _ in range(max_iterations):
+        ev = _evaluate_policy(graph, policy)
+        improved = False
+        for u in nodes:
+            eta_u = ev.eta[u]
+            # Gain step: any successor in a strictly better component?
+            gain_v = None
+            gain_val = eta_u
+            for v in graph.successors(u):
+                if ev.eta[v] < gain_val - _TOL:
+                    gain_val = ev.eta[v]
+                    gain_v = v
+            if gain_v is not None:
+                policy[u] = gain_v
+                improved = True
+                continue
+            # Bias step among equal-gain successors.
+            current = graph.weight(u, policy[u]) + ev.h[policy[u]]
+            best_v = policy[u]
+            best_val = current
+            for v, w in graph.successors(u).items():
+                if abs(ev.eta[v] - eta_u) > _TOL:
+                    continue
+                val = w + ev.h[v]
+                if val < best_val - _TOL:
+                    best_val = val
+                    best_v = v
+            if best_v != policy[u]:
+                policy[u] = best_v
+                improved = True
+        if not improved:
+            return ev.best_eta, ev.best_cycle
+    raise RuntimeError(
+        "Howard's algorithm failed to converge; this requires an "
+        "adversarial instance far beyond the synchronizer's graphs"
+    )
+
+
+def _evaluate_policy(
+    graph: WeightedDigraph, policy: Dict[Node, Node]
+) -> _Evaluation:
+    """Multichain policy evaluation.
+
+    Each functional component's unique cycle supplies ``eta`` for all
+    nodes draining into it; ``h`` solves
+    ``h(u) = w(u, policy(u)) - eta(u) + h(policy(u))`` with ``h = 0``
+    anchored at one node of each cycle (consistent around the cycle by
+    construction of ``eta``).
+    """
+    eta: Dict[Node, float] = {}
+    h: Dict[Node, float] = {}
+    best_eta = INF
+    best_cycle: List[Node] = []
+
+    for start in graph.nodes:
+        if start in eta:
+            continue
+        # Walk the policy chain until hitting something evaluated or a
+        # node already on this walk (= a fresh cycle).
+        path: List[Node] = []
+        position: Dict[Node, int] = {}
+        u = start
+        while u not in eta and u not in position:
+            position[u] = len(path)
+            path.append(u)
+            u = policy[u]
+
+        if u in position:  # discovered a new cycle
+            cycle = path[position[u]:]
+            total = sum(
+                graph.weight(cycle[i], cycle[(i + 1) % len(cycle)])
+                for i in range(len(cycle))
+            )
+            cycle_eta = total / len(cycle)
+            if cycle_eta < best_eta:
+                best_eta = cycle_eta
+                best_cycle = cycle
+            anchor = cycle[0]
+            eta[anchor] = cycle_eta
+            h[anchor] = 0.0
+            node = anchor
+            for _ in range(len(cycle) - 1):
+                nxt = policy[node]
+                # h(node) = w - eta + h(nxt)  =>  h(nxt) = h(node) - w + eta
+                h[nxt] = h[node] - graph.weight(node, nxt) + cycle_eta
+                eta[nxt] = cycle_eta
+                node = nxt
+            tail_end = position[u]
+        else:
+            tail_end = len(path)
+
+        # Back-substitute the tail (path[:tail_end]) onto evaluated nodes.
+        for node in reversed(path[:tail_end]):
+            nxt = policy[node]
+            eta[node] = eta[nxt]
+            h[node] = graph.weight(node, nxt) - eta[nxt] + h[nxt]
+
+    return _Evaluation(eta=eta, h=h, best_eta=best_eta, best_cycle=best_cycle)
+
+
+__all__ = ["minimum_cycle_mean_howard", "maximum_cycle_mean_howard"]

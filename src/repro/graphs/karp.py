@@ -1,0 +1,298 @@
+"""Karp's cycle-mean algorithm (Karp 1978), used by SHIFTS step 1.
+
+The optimal precision of an execution is
+
+    A^max = max over cyclic sequences theta of  ms~(theta) / |theta|,
+
+i.e. the *maximum mean cycle* of the complete digraph weighted by the
+estimated maximal global shifts (Section 4.4 cites Karp's ``O(n^3)``
+algorithm for this step).  Karp's recurrence computes the *minimum* cycle
+mean; the maximum is obtained on negated weights.
+
+Besides the value we also extract a *critical cycle* achieving the mean.
+The cycle is the optimality certificate of Theorem 4.4: summing Lemma 4.3
+around it proves no correction function can beat ``A^max`` on this
+execution.  Extraction works by subtracting the mean from every weight
+(making the graph free of negative cycles, with the critical cycle now of
+zero weight), computing Bellman--Ford potentials, and finding a cycle among
+the *tight* edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.graphs.digraph import Node, WeightedDigraph
+from repro.graphs.shortest_paths import bellman_ford
+
+INF = float("inf")
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class CycleMeanResult:
+    """Outcome of a cycle-mean computation.
+
+    ``cycle`` lists the nodes of a critical cycle in order (the closing
+    edge from the last node back to the first is implied); ``mean`` is its
+    mean weight.  ``cycle`` is ``None`` when the graph is acyclic.
+    """
+
+    mean: Optional[float]
+    cycle: Optional[List[Node]]
+
+    @property
+    def is_acyclic(self) -> bool:
+        """Whether the graph had no directed cycle at all."""
+        return self.mean is None
+
+
+def minimum_cycle_mean(graph: WeightedDigraph) -> CycleMeanResult:
+    """Minimum mean weight over all directed cycles, with a witness cycle.
+
+    Runs Karp's recurrence independently inside each strongly connected
+    component (every cycle lives inside one SCC) and keeps the best.
+    """
+    best_mean: Optional[float] = None
+    best_component: Optional[WeightedDigraph] = None
+
+    for component in graph.strongly_connected_components():
+        sub = _induced_subgraph(graph, component)
+        if sub.number_of_edges() == 0:
+            continue
+        mean = _karp_min_mean_scc(sub)
+        if mean is None:
+            continue
+        if best_mean is None or mean < best_mean:
+            best_mean = mean
+            best_component = sub
+
+    if best_mean is None:
+        return CycleMeanResult(mean=None, cycle=None)
+
+    cycle = _critical_cycle(best_component, best_mean)
+    return CycleMeanResult(mean=best_mean, cycle=cycle)
+
+
+def maximum_cycle_mean(graph: WeightedDigraph) -> CycleMeanResult:
+    """Maximum mean weight over all directed cycles (negate-and-minimise)."""
+    negated = WeightedDigraph()
+    for node in graph.nodes:
+        negated.add_node(node)
+    for u, v, w in graph.edges():
+        negated.add_edge(u, v, -w)
+    result = minimum_cycle_mean(negated)
+    if result.mean is None:
+        return result
+    return CycleMeanResult(mean=-result.mean, cycle=result.cycle)
+
+
+def _induced_subgraph(graph: WeightedDigraph, nodes: List[Node]) -> WeightedDigraph:
+    keep = set(nodes)
+    sub = WeightedDigraph()
+    for node in nodes:
+        sub.add_node(node)
+    for u in nodes:
+        for v, w in graph.successors(u).items():
+            if v in keep:
+                sub.add_edge(u, v, w)
+    return sub
+
+
+def _karp_min_mean_scc(graph: WeightedDigraph) -> Optional[float]:
+    """Karp's recurrence on one strongly connected component.
+
+    ``D[k][v]`` = minimum weight of an edge-progression of exactly ``k``
+    edges from the source to ``v`` (progressions may repeat nodes).  The
+    minimum cycle mean is
+
+        mu* = min_v max_{0 <= k < n, D[k][v] finite} (D[n][v] - D[k][v]) / (n - k)
+
+    over nodes ``v`` with ``D[n][v]`` finite.
+    """
+    nodes = graph.nodes
+    n = len(nodes)
+    if n == 0:
+        return None
+    source = nodes[0]
+
+    prev: Dict[Node, float] = {v: INF for v in nodes}
+    prev[source] = 0.0
+    levels: List[Dict[Node, float]] = [dict(prev)]
+
+    for _ in range(n):
+        cur: Dict[Node, float] = {v: INF for v in nodes}
+        for u in nodes:
+            du = prev[u]
+            if du == INF:
+                continue
+            for v, w in graph.successors(u).items():
+                cand = du + w
+                if cand < cur[v]:
+                    cur[v] = cand
+        levels.append(cur)
+        prev = cur
+
+    d_n = levels[n]
+    best: Optional[float] = None
+    for v in nodes:
+        if d_n[v] == INF:
+            continue
+        worst_for_v: Optional[float] = None
+        for k in range(n):
+            dk = levels[k][v]
+            if dk == INF:
+                continue
+            ratio = (d_n[v] - dk) / (n - k)
+            if worst_for_v is None or ratio > worst_for_v:
+                worst_for_v = ratio
+        if worst_for_v is None:
+            continue
+        if best is None or worst_for_v < best:
+            best = worst_for_v
+    return best
+
+
+def _critical_cycle(graph: WeightedDigraph, mean: float) -> Optional[List[Node]]:
+    """Find a cycle of mean weight ``mean`` in a graph whose minimum is ``mean``.
+
+    Subtracting ``mean`` from every edge weight leaves no negative cycle
+    and turns every critical cycle into a zero-weight one.  With
+    Bellman--Ford potentials ``h`` from a virtual source, every edge
+    satisfies ``h(u) + w - mean >= h(v)``; the *tight* edges (equality)
+    form a subgraph in which every cycle has zero reduced weight, i.e. mean
+    ``mean`` in the original graph.  Any cycle in that subgraph is a
+    certificate.
+    """
+    shifted = WeightedDigraph()
+    for node in graph.nodes:
+        shifted.add_node(node)
+    for u, v, w in graph.edges():
+        shifted.add_edge(u, v, w - mean)
+    virtual = ("__karp_virtual__",)
+    shifted.add_node(virtual)
+    for node in graph.nodes:
+        shifted.add_edge(virtual, node, 0.0)
+
+    # The precondition "no negative cycle after shifting" can be violated
+    # by float rounding alone; nudge the mean up by a hair if so.
+    for attempt in range(3):
+        try:
+            h, _ = bellman_ford(shifted, virtual)
+            break
+        except Exception:  # NegativeCycleError: retry with slack
+            for u, v, w in list(shifted.edges()):
+                shifted.add_edge(u, v, w + _TOL, keep="last")
+    else:
+        return None
+
+    scale = max((abs(w) for _, _, w in graph.edges()), default=1.0)
+    tol = _TOL * max(1.0, scale)
+
+    tight = WeightedDigraph()
+    for node in graph.nodes:
+        tight.add_node(node)
+    for u, v, w in graph.edges():
+        if u == virtual:
+            continue
+        if abs(h[u] + (w - mean) - h[v]) <= tol * 10:
+            tight.add_edge(u, v, w)
+
+    return _find_any_cycle(tight)
+
+
+def _find_any_cycle(graph: WeightedDigraph) -> Optional[List[Node]]:
+    """Return some directed cycle (as a node list) or ``None`` if acyclic."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[Node, int] = {v: WHITE for v in graph.nodes}
+    parent: Dict[Node, Node] = {}
+
+    for root in graph.nodes:
+        if color[root] != WHITE:
+            continue
+        stack: List[Tuple[Node, Iterator[Node]]] = [
+            (root, iter(graph.successors(root)))
+        ]
+        color[root] = GRAY
+        while stack:
+            u, it = stack[-1]
+            found_next = False
+            for v in it:
+                if color[v] == WHITE:
+                    color[v] = GRAY
+                    parent[v] = u
+                    stack.append((v, iter(graph.successors(v))))
+                    found_next = True
+                    break
+                if color[v] == GRAY:
+                    # Back edge u -> v closes a cycle v ... u.
+                    cycle = [u]
+                    node = u
+                    while node != v:
+                        node = parent[node]
+                        cycle.append(node)
+                    cycle.reverse()
+                    return cycle
+            if not found_next:
+                color[u] = BLACK
+                stack.pop()
+    return None
+
+
+def cycle_weight(graph: WeightedDigraph, cycle: List[Node]) -> float:
+    """Total weight of ``cycle`` (closing edge implied)."""
+    total = 0.0
+    k = len(cycle)
+    for i in range(k):
+        total += graph.weight(cycle[i], cycle[(i + 1) % k])
+    return total
+
+
+def cycle_mean(graph: WeightedDigraph, cycle: List[Node]) -> float:
+    """Mean weight of ``cycle`` (closing edge implied)."""
+    return cycle_weight(graph, cycle) / len(cycle)
+
+
+def enumerate_simple_cycle_means(
+    graph: WeightedDigraph, limit: int = 1_000_000
+) -> List[Tuple[float, List[Node]]]:
+    """Mean weight of every simple cycle, by exhaustive DFS (small graphs).
+
+    Exponential -- intended as a brute-force oracle for tests and the E2
+    experiment, not for production use.  ``limit`` caps the number of
+    cycles enumerated.
+    """
+    cycles: List[Tuple[float, List[Node]]] = []
+    nodes = sorted(graph.nodes, key=repr)
+    order = {v: i for i, v in enumerate(nodes)}
+
+    def dfs(start: Node, current: Node, path: List[Node], seen: set) -> None:
+        if len(cycles) >= limit:
+            return
+        for nxt in graph.successors(current):
+            if nxt == start:
+                cyc = list(path)
+                cycles.append((cycle_mean(graph, cyc), cyc))
+                if len(cycles) >= limit:
+                    return
+            elif nxt not in seen and order[nxt] > order[start]:
+                seen.add(nxt)
+                path.append(nxt)
+                dfs(start, nxt, path, seen)
+                path.pop()
+                seen.remove(nxt)
+
+    for start in nodes:
+        dfs(start, start, [start], {start})
+    return cycles
+
+
+__all__ = [
+    "CycleMeanResult",
+    "minimum_cycle_mean",
+    "maximum_cycle_mean",
+    "cycle_weight",
+    "cycle_mean",
+    "enumerate_simple_cycle_means",
+]

@@ -1,0 +1,94 @@
+"""Vectorized Karp recurrence (numpy backend).
+
+Identical semantics to :func:`repro.graphs.karp.minimum_cycle_mean`, but
+the dynamic program ``D[k+1][v] = min_u (D[k][u] + W[u][v])`` runs as a
+dense matrix operation per level.  On the complete ``ms~`` graphs SHIFTS
+builds (the E9 bottleneck) this trades Python-loop time for BLAS-ish
+array work; the ablation benchmark quantifies the win.
+
+Critical-cycle extraction is shared with the scalar implementation
+(tight-edge subgraph under Bellman--Ford potentials), so the witness
+semantics are identical across all three backends.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graphs.digraph import WeightedDigraph
+from repro.graphs.karp import CycleMeanResult, _critical_cycle, _induced_subgraph
+
+INF = float("inf")
+
+
+def minimum_cycle_mean_numpy(graph: WeightedDigraph) -> CycleMeanResult:
+    """Minimum mean cycle via the vectorized Karp recurrence."""
+    best_mean: Optional[float] = None
+    best_component: Optional[WeightedDigraph] = None
+    for component in graph.strongly_connected_components():
+        sub = _induced_subgraph(graph, component)
+        if sub.number_of_edges() == 0:
+            continue
+        mean = _karp_numpy_scc(sub)
+        if mean is None:
+            continue
+        if best_mean is None or mean < best_mean:
+            best_mean = mean
+            best_component = sub
+    if best_mean is None:
+        return CycleMeanResult(mean=None, cycle=None)
+    cycle = _critical_cycle(best_component, best_mean)
+    return CycleMeanResult(mean=best_mean, cycle=cycle)
+
+
+def maximum_cycle_mean_numpy(graph: WeightedDigraph) -> CycleMeanResult:
+    """Maximum mean cycle (negate-and-minimise)."""
+    negated = WeightedDigraph()
+    for node in graph.nodes:
+        negated.add_node(node)
+    for u, v, w in graph.edges():
+        negated.add_edge(u, v, -w)
+    result = minimum_cycle_mean_numpy(negated)
+    if result.mean is None:
+        return result
+    return CycleMeanResult(mean=-result.mean, cycle=result.cycle)
+
+
+def _karp_numpy_scc(graph: WeightedDigraph) -> Optional[float]:
+    nodes = graph.nodes
+    n = len(nodes)
+    index = {node: i for i, node in enumerate(nodes)}
+
+    weights = np.full((n, n), INF)
+    for u, v, w in graph.edges():
+        weights[index[u], index[v]] = w
+
+    levels = np.full((n + 1, n), INF)
+    levels[0, 0] = 0.0  # source: first node of the SCC
+    for k in range(n):
+        # D[k+1][v] = min_u (D[k][u] + W[u][v]); broadcasting over rows.
+        candidates = levels[k][:, None] + weights
+        levels[k + 1] = candidates.min(axis=0)
+
+    d_n = levels[n]
+    reachable = np.isfinite(d_n)
+    if not reachable.any():
+        return None
+
+    # ratio[k, v] = (D[n][v] - D[k][v]) / (n - k), for finite D[k][v].
+    ks = np.arange(n)
+    denominators = (n - ks)[:, None].astype(float)
+    with np.errstate(invalid="ignore"):
+        ratios = (d_n[None, :] - levels[:n, :]) / denominators
+    ratios[~np.isfinite(levels[:n, :])] = -INF  # exclude undefined entries
+    per_node_max = ratios.max(axis=0)
+
+    valid = reachable & np.isfinite(per_node_max)
+    if not valid.any():
+        return None
+    return float(per_node_max[valid].min())
+
+
+__all__ = ["minimum_cycle_mean_numpy", "maximum_cycle_mean_numpy"]

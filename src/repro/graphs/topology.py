@@ -1,0 +1,220 @@
+"""Communication-graph builders for simulations and experiments.
+
+The paper works with an arbitrary directed graph ``G = (V, E)``.  In the
+experiments (and in virtually all practical systems) links are
+bidirectional: each undirected link ``{p, q}`` stands for the two directed
+edges ``(p, q)`` and ``(q, p)``, whose delay characteristics may differ.
+A :class:`Topology` stores the undirected link set and exposes the induced
+directed edge set.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro._types import Edge, ProcessorId
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An undirected communication topology over named processors."""
+
+    name: str
+    nodes: Tuple[ProcessorId, ...]
+    links: Tuple[Tuple[ProcessorId, ProcessorId], ...]
+
+    def __post_init__(self) -> None:
+        node_set = set(self.nodes)
+        seen: Set[FrozenSet] = set()
+        for p, q in self.links:
+            if p == q:
+                raise ValueError(f"self-link on {p!r}")
+            if p not in node_set or q not in node_set:
+                raise ValueError(f"link ({p!r}, {q!r}) references unknown node")
+            key = frozenset((p, q))
+            if key in seen:
+                raise ValueError(f"duplicate link ({p!r}, {q!r})")
+            seen.add(key)
+
+    @property
+    def n(self) -> int:
+        """Number of processors."""
+        return len(self.nodes)
+
+    def directed_edges(self) -> List[Edge]:
+        """Both orientations of every link."""
+        out: List[Edge] = []
+        for p, q in self.links:
+            out.append((p, q))
+            out.append((q, p))
+        return out
+
+    def neighbors(self, p: ProcessorId) -> List[ProcessorId]:
+        """All processors sharing a link with ``p``."""
+        out = []
+        for a, b in self.links:
+            if a == p:
+                out.append(b)
+            elif b == p:
+                out.append(a)
+        return out
+
+    def has_link(self, p: ProcessorId, q: ProcessorId) -> bool:
+        """Whether a link joins ``p`` and ``q`` (orientation-free)."""
+        return (p, q) in self.links or (q, p) in self.links
+
+    def is_connected(self) -> bool:
+        """Whether the undirected topology is connected."""
+        if not self.nodes:
+            return True
+        adj: Dict[ProcessorId, List[ProcessorId]] = {v: [] for v in self.nodes}
+        for p, q in self.links:
+            adj[p].append(q)
+            adj[q].append(p)
+        seen = {self.nodes[0]}
+        stack = [self.nodes[0]]
+        while stack:
+            u = stack.pop()
+            for v in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return len(seen) == len(self.nodes)
+
+
+def line(n: int) -> Topology:
+    """Path topology ``0 - 1 - ... - (n-1)``."""
+    _require_positive(n)
+    nodes = tuple(range(n))
+    links = tuple((i, i + 1) for i in range(n - 1))
+    return Topology(name=f"line-{n}", nodes=nodes, links=links)
+
+
+def ring(n: int) -> Topology:
+    """Cycle topology; requires ``n >= 3`` to avoid a duplicate link."""
+    if n < 3:
+        raise ValueError("ring requires n >= 3")
+    nodes = tuple(range(n))
+    links = tuple((i, (i + 1) % n) for i in range(n))
+    return Topology(name=f"ring-{n}", nodes=nodes, links=links)
+
+
+def star(n: int) -> Topology:
+    """Hub-and-spoke topology with hub 0 and ``n - 1`` leaves."""
+    _require_positive(n)
+    nodes = tuple(range(n))
+    links = tuple((0, i) for i in range(1, n))
+    return Topology(name=f"star-{n}", nodes=nodes, links=links)
+
+
+def complete(n: int) -> Topology:
+    """Complete topology on ``n`` processors."""
+    _require_positive(n)
+    nodes = tuple(range(n))
+    links = tuple((i, j) for i in range(n) for j in range(i + 1, n))
+    return Topology(name=f"complete-{n}", nodes=nodes, links=links)
+
+
+def grid(rows: int, cols: int) -> Topology:
+    """2D mesh topology of ``rows x cols`` processors."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid requires positive dimensions")
+    nodes = tuple(range(rows * cols))
+
+    def nid(r: int, c: int) -> int:
+        return r * cols + c
+
+    links: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                links.append((nid(r, c), nid(r, c + 1)))
+            if r + 1 < rows:
+                links.append((nid(r, c), nid(r + 1, c)))
+    return Topology(name=f"grid-{rows}x{cols}", nodes=nodes, links=tuple(links))
+
+
+def binary_tree(depth: int) -> Topology:
+    """Complete binary tree of the given depth (depth 0 = single node)."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    n = 2 ** (depth + 1) - 1
+    nodes = tuple(range(n))
+    links = tuple(
+        (parent, child)
+        for parent in range(n)
+        for child in (2 * parent + 1, 2 * parent + 2)
+        if child < n
+    )
+    return Topology(name=f"tree-depth{depth}", nodes=nodes, links=links)
+
+
+def hypercube(dim: int) -> Topology:
+    """Boolean hypercube of dimension ``dim`` (``2**dim`` processors)."""
+    if dim < 1:
+        raise ValueError("dimension must be >= 1")
+    n = 2 ** dim
+    nodes = tuple(range(n))
+    links = tuple(
+        (v, v ^ (1 << b)) for v in range(n) for b in range(dim) if v < v ^ (1 << b)
+    )
+    return Topology(name=f"hypercube-{dim}", nodes=nodes, links=links)
+
+
+def random_connected(n: int, extra_link_prob: float, seed: int) -> Topology:
+    """Random connected topology: a random spanning tree plus G(n, p) extras.
+
+    The spanning tree guarantees connectivity (a disconnected system has
+    inherently unbounded precision and is tested separately); every
+    non-tree pair is added independently with probability
+    ``extra_link_prob``.
+    """
+    _require_positive(n)
+    if not 0.0 <= extra_link_prob <= 1.0:
+        raise ValueError("extra_link_prob must be in [0, 1]")
+    rng = random.Random(seed)
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    links: Set[Tuple[int, int]] = set()
+    for i in range(1, n):
+        parent = nodes[rng.randrange(i)]
+        child = nodes[i]
+        links.add((min(parent, child), max(parent, child)))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if (i, j) not in links and rng.random() < extra_link_prob:
+                links.add((i, j))
+    return Topology(
+        name=f"random-{n}-p{extra_link_prob:g}-s{seed}",
+        nodes=tuple(range(n)),
+        links=tuple(sorted(links)),
+    )
+
+
+def _require_positive(n: int) -> None:
+    if n < 1:
+        raise ValueError("topology requires at least one processor")
+
+
+BUILDERS = {
+    "line": line,
+    "ring": ring,
+    "star": star,
+    "complete": complete,
+}
+
+
+__all__ = [
+    "Topology",
+    "line",
+    "ring",
+    "star",
+    "complete",
+    "grid",
+    "binary_tree",
+    "hypercube",
+    "random_connected",
+    "BUILDERS",
+]

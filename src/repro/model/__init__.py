@@ -1,0 +1,65 @@
+"""Formal model of computation (paper, Section 2).
+
+This subpackage implements the paper's model verbatim: processors are
+automata driven by interrupt events; a :class:`~repro.model.steps.History`
+records the real-timed steps of one processor; a
+:class:`~repro.model.views.View` is the history with real times erased; an
+:class:`~repro.model.execution.Execution` bundles one history per processor
+together with the send/receive correspondence that defines message delays.
+
+The *shifting* operations (:func:`~repro.model.steps.shift_history`,
+:func:`~repro.model.execution.shift_execution`) are the engine of every
+lower-bound argument in the paper: they move processors in real time
+without changing any view.
+"""
+
+from repro.model.builder import (
+    ExecutionBuilder,
+    build_history,
+    two_processor_execution,
+)
+from repro.model.events import (
+    Event,
+    InterruptEvent,
+    Message,
+    MessageReceiveEvent,
+    MessageSendEvent,
+    StartEvent,
+    TimerEvent,
+    TimerSetEvent,
+)
+from repro.model.execution import (
+    Execution,
+    MessageRecord,
+    executions_equivalent,
+    shift_execution,
+    shift_vector_between,
+)
+from repro.model.steps import History, ModelError, Step, TimedStep, shift_history
+from repro.model.views import View, views_equal
+
+__all__ = [
+    "ExecutionBuilder",
+    "build_history",
+    "two_processor_execution",
+    "Event",
+    "InterruptEvent",
+    "Message",
+    "MessageReceiveEvent",
+    "MessageSendEvent",
+    "StartEvent",
+    "TimerEvent",
+    "TimerSetEvent",
+    "Execution",
+    "MessageRecord",
+    "executions_equivalent",
+    "shift_execution",
+    "shift_vector_between",
+    "History",
+    "ModelError",
+    "Step",
+    "TimedStep",
+    "shift_history",
+    "View",
+    "views_equal",
+]

@@ -1,0 +1,223 @@
+"""Builders for hand-constructed histories and executions.
+
+The simulator is the usual source of executions, but tests, examples and
+evaluation pipelines often need an execution with *exactly known* ground
+truth: "p started at 5.0, its message took 2.0".  These builders construct
+well-formed histories for that purpose:
+
+* sends are attached to timer events whose timers are set at the start
+  step (honouring history condition 6);
+* within one real-time instant receives precede the timer (condition 5);
+* clock times are derived from start times so condition 4 holds by
+  construction.
+
+Everything returned is validated before being handed back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._types import ProcessorId, Time
+from repro.model.events import (
+    Message,
+    MessageReceiveEvent,
+    MessageSendEvent,
+    StartEvent,
+    TimerEvent,
+    TimerSetEvent,
+)
+from repro.model.execution import Execution
+from repro.model.steps import History, Step, TimedStep
+
+
+def build_history(
+    processor: ProcessorId,
+    start: Time,
+    sends: Sequence[Tuple[Time, Message]],
+    receives: Sequence[Tuple[Time, Message]],
+) -> History:
+    """A well-formed history from explicit send/receive clock times.
+
+    ``sends`` and ``receives`` are ``(clock_time, message)`` pairs; the
+    message objects must already carry correct sender/receiver fields.
+    """
+    send_clock_times = sorted({c for c, _ in sends})
+    steps: List[TimedStep] = [
+        TimedStep(
+            real_time=start,
+            step=Step(
+                old_state=0,
+                clock_time=0.0,
+                interrupt=StartEvent(),
+                new_state=1,
+                timer_sets=tuple(
+                    TimerSetEvent(clock_time=c) for c in send_clock_times
+                ),
+            ),
+        )
+    ]
+
+    # Group by the *computed real time*: two distinct clock values can
+    # collapse onto one float real time (sub-ulp differences), and the
+    # model orders steps within an instant by real time, timer last.
+    grouped: Dict[Time, Dict[str, list]] = {}
+    for clock, msg in receives:
+        key = start + clock
+        grouped.setdefault(key, {"recv": [], "send": []})["recv"].append(
+            (clock, msg)
+        )
+    for clock, msg in sends:
+        key = start + clock
+        grouped.setdefault(key, {"recv": [], "send": []})["send"].append(
+            (clock, msg)
+        )
+
+    state = 1
+    for real_time in sorted(grouped):
+        for clock, msg in grouped[real_time]["recv"]:
+            steps.append(
+                TimedStep(
+                    real_time=real_time,
+                    step=Step(
+                        old_state=state,
+                        clock_time=clock,
+                        interrupt=MessageReceiveEvent(message=msg),
+                        new_state=state + 1,
+                    ),
+                )
+            )
+            state += 1
+        send_entries = grouped[real_time]["send"]
+        if send_entries:
+            timer_clock = send_entries[0][0]
+            steps.append(
+                TimedStep(
+                    real_time=real_time,
+                    step=Step(
+                        old_state=state,
+                        clock_time=timer_clock,
+                        interrupt=TimerEvent(clock_time=timer_clock),
+                        new_state=state + 1,
+                        sends=tuple(
+                            MessageSendEvent(message=m)
+                            for _, m in send_entries
+                        ),
+                    ),
+                )
+            )
+            state += 1
+    history = History(processor=processor, steps=tuple(steps))
+    history.validate()
+    return history
+
+
+class ExecutionBuilder:
+    """Fluent construction of executions with explicit ground truth.
+
+    Example::
+
+        alpha = (
+            ExecutionBuilder()
+            .processor("p", start=5.0)
+            .processor("q", start=8.0)
+            .message("p", "q", send_clock=10.0, delay=2.0)
+            .message("q", "p", send_clock=12.0, delay=1.5)
+            .build()
+        )
+    """
+
+    def __init__(self) -> None:
+        self._starts: Dict[ProcessorId, Time] = {}
+        self._sends: Dict[ProcessorId, List[Tuple[Time, Message]]] = {}
+        self._receives: Dict[ProcessorId, List[Tuple[Time, Message]]] = {}
+
+    def processor(self, p: ProcessorId, start: Time) -> "ExecutionBuilder":
+        """Declare a processor and its (ground-truth) start real time."""
+        if p in self._starts:
+            raise ValueError(f"processor {p!r} already declared")
+        self._starts[p] = start
+        self._sends[p] = []
+        self._receives[p] = []
+        return self
+
+    def message(
+        self,
+        sender: ProcessorId,
+        receiver: ProcessorId,
+        send_clock: Time,
+        delay: Time,
+        payload=None,
+    ) -> "ExecutionBuilder":
+        """One delivered message with explicit send clock and true delay."""
+        for p in (sender, receiver):
+            if p not in self._starts:
+                raise ValueError(f"processor {p!r} not declared")
+        message = Message(sender=sender, receiver=receiver, payload=payload)
+        self._sends[sender].append((send_clock, message))
+        # Receiver clock = real receive time minus receiver start.
+        receive_clock = (
+            self._starts[sender] + send_clock + delay - self._starts[receiver]
+        )
+        self._receives[receiver].append((receive_clock, message))
+        return self
+
+    def in_flight_message(
+        self,
+        sender: ProcessorId,
+        receiver: ProcessorId,
+        send_clock: Time,
+        payload=None,
+    ) -> "ExecutionBuilder":
+        """A message sent but (as of this execution's horizon) undelivered."""
+        if sender not in self._starts:
+            raise ValueError(f"processor {sender!r} not declared")
+        message = Message(sender=sender, receiver=receiver, payload=payload)
+        self._sends[sender].append((send_clock, message))
+        return self
+
+    def build(self) -> Execution:
+        """Assemble and validate the execution."""
+        if not self._starts:
+            raise ValueError("no processors declared")
+        histories = {
+            p: build_history(
+                p, self._starts[p], self._sends[p], self._receives[p]
+            )
+            for p in self._starts
+        }
+        execution = Execution(histories)
+        execution.validate()
+        return execution
+
+
+def two_processor_execution(
+    start_p: Time,
+    start_q: Time,
+    delays_pq: Sequence[Time],
+    delays_qp: Sequence[Time],
+    send_clocks_p: Optional[Sequence[Time]] = None,
+    send_clocks_q: Optional[Sequence[Time]] = None,
+) -> Execution:
+    """The workhorse two-processor execution (processors 0 and 1).
+
+    ``delays_pq[i]`` is the true delay of the i-th message from 0 to 1;
+    sends default to clock times 10, 20, ...
+    """
+    if send_clocks_p is None:
+        send_clocks_p = [10.0 * (i + 1) for i in range(len(delays_pq))]
+    if send_clocks_q is None:
+        send_clocks_q = [10.0 * (i + 1) for i in range(len(delays_qp))]
+    builder = (
+        ExecutionBuilder()
+        .processor(0, start=start_p)
+        .processor(1, start=start_q)
+    )
+    for clock, delay in zip(send_clocks_p, delays_pq):
+        builder.message(0, 1, send_clock=clock, delay=delay)
+    for clock, delay in zip(send_clocks_q, delays_qp):
+        builder.message(1, 0, send_clock=clock, delay=delay)
+    return builder.build()
+
+
+__all__ = ["build_history", "ExecutionBuilder", "two_processor_execution"]

@@ -1,0 +1,154 @@
+"""Event vocabulary of the formal model (paper, Section 2.1).
+
+Five kinds of events can occur at a processor ``p``:
+
+* :class:`StartEvent` -- ``p`` starts executing the algorithm; by definition
+  its clock reads 0 at that moment.
+* :class:`MessageSendEvent` -- ``p`` sends message ``m`` to a neighbour.
+* :class:`MessageReceiveEvent` -- ``p`` receives message ``m``.
+* :class:`TimerSetEvent` -- ``p`` sets a timer to go off when its clock
+  reads ``T``.
+* :class:`TimerEvent` -- a previously set timer goes off.
+
+Start, message-receive and timer events are *interrupt* events: each one
+triggers exactly one application of the processor's transition function and
+therefore heads exactly one :class:`~repro.model.steps.Step`.  Send and
+timer-set events only ever appear in the *output* of a step.
+
+All events are immutable value objects; histories and views compare events
+by value, which is what makes view equality (and hence execution
+equivalence) well defined.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro._types import ProcessorId, Time
+
+_message_counter = itertools.count()
+
+
+def _next_message_uid() -> int:
+    """Return a fresh process-wide unique message identifier.
+
+    The paper assumes messages are unique so that the send/receive
+    correspondence of an execution is uniquely defined; a global counter
+    realises that assumption.
+    """
+    return next(_message_counter)
+
+
+@dataclass(frozen=True)
+class Message:
+    """A unique message sent from :attr:`sender` to :attr:`receiver`.
+
+    ``uid`` implements the paper's "messages are unique" assumption: the
+    one-to-one correspondence between sends and receives in an execution is
+    the identity on ``uid``.  The payload is opaque to the model layer.
+    """
+
+    sender: ProcessorId
+    receiver: ProcessorId
+    payload: Any = None
+    uid: int = field(default_factory=_next_message_uid)
+
+    @property
+    def edge(self):
+        """The directed link ``(sender, receiver)`` the message travels on."""
+        return (self.sender, self.receiver)
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for all events; carries no data of its own."""
+
+    def is_interrupt(self) -> bool:
+        """Whether this event triggers a transition-function application."""
+        return isinstance(self, (StartEvent, MessageReceiveEvent, TimerEvent))
+
+
+@dataclass(frozen=True)
+class StartEvent(Event):
+    """Processor begins executing; its clock reads 0 at this real time."""
+
+
+@dataclass(frozen=True)
+class MessageSendEvent(Event):
+    """Processor emits ``message`` (appears in the output set of a step)."""
+
+    message: Message
+
+
+@dataclass(frozen=True)
+class MessageReceiveEvent(Event):
+    """Processor receives ``message`` (an interrupt event)."""
+
+    message: Message
+
+
+@dataclass(frozen=True)
+class TimerSetEvent(Event):
+    """Processor asks for a timer interrupt when its clock reads ``clock_time``."""
+
+    clock_time: Time
+
+
+@dataclass(frozen=True)
+class TimerEvent(Event):
+    """A timer previously set for ``clock_time`` goes off (an interrupt)."""
+
+    clock_time: Time
+
+
+#: Events that may appear as the interrupt component of a step.
+InterruptEvent = (StartEvent, MessageReceiveEvent, TimerEvent)
+
+
+def interrupt_sort_key(event: Event) -> int:
+    """Ordering of simultaneous interrupts within one real time.
+
+    The paper requires that at any single real time there is at most one
+    timer event and that it is ordered after all other events (history
+    condition 5).  Start events come first so condition 2 is natural.
+    """
+    if isinstance(event, StartEvent):
+        return 0
+    if isinstance(event, MessageReceiveEvent):
+        return 1
+    if isinstance(event, TimerEvent):
+        return 2
+    raise TypeError(f"not an interrupt event: {event!r}")
+
+
+def describe_event(event: Event) -> str:
+    """Short human-readable rendering used by views' ``__str__``."""
+    if isinstance(event, StartEvent):
+        return "start"
+    if isinstance(event, MessageSendEvent):
+        m = event.message
+        return f"send(m{m.uid}->{m.receiver})"
+    if isinstance(event, MessageReceiveEvent):
+        m = event.message
+        return f"recv(m{m.uid}<-{m.sender})"
+    if isinstance(event, TimerSetEvent):
+        return f"set-timer(T={event.clock_time:g})"
+    if isinstance(event, TimerEvent):
+        return f"timer(T={event.clock_time:g})"
+    return repr(event)
+
+
+__all__ = [
+    "Message",
+    "Event",
+    "StartEvent",
+    "MessageSendEvent",
+    "MessageReceiveEvent",
+    "TimerSetEvent",
+    "TimerEvent",
+    "InterruptEvent",
+    "interrupt_sort_key",
+    "describe_event",
+]

@@ -1,0 +1,220 @@
+"""Executions and shifting (paper, Sections 2.1 and 4.1).
+
+An *execution* is a set of histories, one per processor, such that the
+messages received by ``q`` from ``p`` correspond one-to-one and onto the
+messages sent by ``p`` to ``q``.  Because messages carry unique uids the
+correspondence is simply uid equality, and the *delay* of message ``m`` is
+
+    d(m) = real receive time - real send time.
+
+Shifting an execution by a vector ``S = <s_1, ..., s_n>`` replaces each
+processor's history ``pi_p`` with ``shift(pi_p, s_p)``; the result is
+equivalent to the original (views are untouched) but message delays change:
+for a message from ``p`` to ``q`` the new delay is ``d(m) + s_p - s_q``.
+Which shift vectors keep the execution *admissible* is exactly what the
+delay assumptions of Section 6 decide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro._types import Edge, ProcessorId, Time
+from repro.model.events import Message
+from repro.model.steps import History, ModelError, shift_history
+from repro.model.views import View, views_equal
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """Ground-truth information about one delivered message.
+
+    ``delay`` is real receive time minus real send time; it is visible only
+    to the outside observer, never to the processors.
+    """
+
+    message: Message
+    send_real_time: Time
+    receive_real_time: Time
+
+    @property
+    def delay(self) -> Time:
+        """Real receive time minus real send time."""
+        return self.receive_real_time - self.send_real_time
+
+    @property
+    def edge(self) -> Edge:
+        return self.message.edge
+
+
+class Execution:
+    """A complete run of the system, seen by the outside observer.
+
+    Parameters
+    ----------
+    histories:
+        One :class:`~repro.model.steps.History` per processor.
+    """
+
+    def __init__(self, histories: Mapping[ProcessorId, History]):
+        self._histories: Dict[ProcessorId, History] = dict(histories)
+        for p, h in self._histories.items():
+            if h.processor != p:
+                raise ModelError(
+                    f"history registered under {p!r} belongs to {h.processor!r}"
+                )
+        self._records: Optional[Dict[int, MessageRecord]] = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def processors(self) -> Tuple[ProcessorId, ...]:
+        """All processors with a history in this execution."""
+        return tuple(self._histories.keys())
+
+    def history(self, p: ProcessorId) -> History:
+        """The history of processor ``p``."""
+        return self._histories[p]
+
+    @property
+    def histories(self) -> Dict[ProcessorId, History]:
+        """A copy of the processor -> history mapping."""
+        return dict(self._histories)
+
+    def start_time(self, p: ProcessorId) -> Time:
+        """``S_{alpha,p}``: real time of ``p``'s start event."""
+        return self._histories[p].start_time
+
+    def start_times(self) -> Dict[ProcessorId, Time]:
+        """``S_{alpha,p}`` for every processor."""
+        return {p: h.start_time for p, h in self._histories.items()}
+
+    def view(self, p: ProcessorId) -> View:
+        """The view of processor ``p`` (real times erased)."""
+        return View.of(self._histories[p])
+
+    def views(self) -> Dict[ProcessorId, View]:
+        """The inputs a correction function is allowed to see (Claim 3.1)."""
+        return {p: View.of(h) for p, h in self._histories.items()}
+
+    # ------------------------------------------------------------------
+    # Message correspondence and ground-truth delays
+    # ------------------------------------------------------------------
+
+    def message_records(self) -> Dict[int, MessageRecord]:
+        """Match sends to receives by uid; also validates the bijection."""
+        if self._records is not None:
+            return self._records
+
+        sends: Dict[int, Tuple[Message, Time]] = {}
+        for p, h in self._histories.items():
+            for real_time, ev in h.sends():
+                if ev.message.uid in sends:
+                    raise ModelError(f"message {ev.message.uid} sent twice")
+                if ev.message.sender != p:
+                    raise ModelError(
+                        f"{p!r} sent a message whose sender field is "
+                        f"{ev.message.sender!r}"
+                    )
+                sends[ev.message.uid] = (ev.message, real_time)
+
+        records: Dict[int, MessageRecord] = {}
+        for q, h in self._histories.items():
+            for real_time, ev in h.receives():
+                uid = ev.message.uid
+                if uid not in sends:
+                    raise ModelError(f"message {uid} received but never sent")
+                if uid in records:
+                    raise ModelError(f"message {uid} received twice")
+                if ev.message.receiver != q:
+                    raise ModelError(
+                        f"{q!r} received a message addressed to "
+                        f"{ev.message.receiver!r}"
+                    )
+                msg, send_time = sends[uid]
+                records[uid] = MessageRecord(
+                    message=msg,
+                    send_real_time=send_time,
+                    receive_real_time=real_time,
+                )
+        self._records = records
+        return records
+
+    def delivered_messages(self) -> List[MessageRecord]:
+        """All delivered messages, in send-time order."""
+        return sorted(
+            self.message_records().values(), key=lambda r: r.send_real_time
+        )
+
+    def delay(self, message_uid: int) -> Time:
+        """Ground-truth delay ``d(m)`` of one delivered message."""
+        return self.message_records()[message_uid].delay
+
+    def records_on_edge(self, p: ProcessorId, q: ProcessorId) -> List[MessageRecord]:
+        """Delivered messages sent by ``p`` to ``q``."""
+        return [
+            r for r in self.message_records().values() if r.edge == (p, q)
+        ]
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check every history plus the message correspondence."""
+        for h in self._histories.values():
+            h.validate()
+        self.message_records()
+
+    def __repr__(self) -> str:
+        n = len(self._histories)
+        try:
+            m = len(self.message_records())
+        except ModelError:
+            m = -1
+        return f"Execution(processors={n}, messages={m})"
+
+
+def shift_execution(
+    alpha: Execution, shifts: Mapping[ProcessorId, Time]
+) -> Execution:
+    """Return ``shift(alpha, S)``.
+
+    Processors absent from ``shifts`` are shifted by 0.  The result is
+    always *equivalent* to ``alpha``; whether it is *admissible* depends on
+    the system's delay assumptions (checked elsewhere).
+    """
+    new_histories = {
+        p: shift_history(h, shifts.get(p, 0.0)) for p, h in alpha.histories.items()
+    }
+    return Execution(new_histories)
+
+
+def executions_equivalent(a: Execution, b: Execution) -> bool:
+    """Whether all component views coincide (``a == b`` to every processor)."""
+    if set(a.processors) != set(b.processors):
+        return False
+    return all(views_equal(a.view(p), b.view(p)) for p in a.processors)
+
+
+def shift_vector_between(a: Execution, b: Execution) -> Dict[ProcessorId, Time]:
+    """Recover the shift vector ``S`` with ``b = shift(a, S)``.
+
+    Valid only for equivalent executions; the shift of ``p`` is
+    ``S_{a,p} - S_{b,p}`` (Lemma 4.1 rearranged).
+    """
+    if not executions_equivalent(a, b):
+        raise ModelError("executions are not equivalent; no shift vector exists")
+    return {p: a.start_time(p) - b.start_time(p) for p in a.processors}
+
+
+__all__ = [
+    "MessageRecord",
+    "Execution",
+    "shift_execution",
+    "executions_equivalent",
+    "shift_vector_between",
+]

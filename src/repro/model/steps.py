@@ -1,0 +1,237 @@
+"""Steps and histories (paper, Section 2.1).
+
+A *step* of processor ``p`` is a tuple ``(s, T, i, s', M, TS)`` where ``s``
+and ``s'`` are automaton states, ``T`` is a clock time, ``i`` is an
+interrupt event, ``M`` is a set of message-send events and ``TS`` is a set
+of timer-set events produced by the transition function.
+
+A *history* maps each real time to a finite sequence of steps, subject to
+the six well-formedness conditions of the paper (validated by
+:meth:`History.validate`).  Histories are stored sparsely as a sorted list
+of ``(real_time, step)`` pairs.
+
+The crucial operation is :func:`shift`: ``shift(pi, s)`` executes exactly
+the same steps ``s`` real-time units *earlier* (``pi'(t) = pi(t + s)``), so
+the start time moves from ``S`` to ``S - s`` while the view -- which only
+records clock times -- is unchanged (Lemma 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, List, Tuple
+
+from repro._types import ProcessorId, Time
+from repro.model.events import (
+    Event,
+    MessageReceiveEvent,
+    MessageSendEvent,
+    StartEvent,
+    TimerEvent,
+    TimerSetEvent,
+)
+
+
+class ModelError(ValueError):
+    """Raised when a history or execution violates the formal model."""
+
+
+@dataclass(frozen=True)
+class Step:
+    """One application of the transition function.
+
+    ``clock_time`` is the processor's clock reading when the interrupt
+    fired; by history condition 4 it always equals ``real_time - S`` where
+    ``S`` is the processor's start (real) time.
+    """
+
+    old_state: Any
+    clock_time: Time
+    interrupt: Event
+    new_state: Any
+    sends: Tuple[MessageSendEvent, ...] = ()
+    timer_sets: Tuple[TimerSetEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.interrupt.is_interrupt():
+            raise ModelError(
+                f"step interrupt must be a start/receive/timer event, "
+                f"got {self.interrupt!r}"
+            )
+
+    def sent_messages(self):
+        """Messages emitted by this step, in emission order."""
+        return tuple(ev.message for ev in self.sends)
+
+
+@dataclass(frozen=True)
+class TimedStep:
+    """A step together with the real time at which it occurred.
+
+    Real times are the part of an execution invisible to processors; they
+    exist only for the outside observer (and the evaluation harness).
+    """
+
+    real_time: Time
+    step: Step
+
+
+@dataclass(frozen=True)
+class History:
+    """The complete activity of one processor in one execution.
+
+    ``steps`` is sorted by real time (stable for equal times, preserving
+    the per-time sequence order required by the model).
+    """
+
+    processor: ProcessorId
+    steps: Tuple[TimedStep, ...] = ()
+
+    @staticmethod
+    def from_steps(processor: ProcessorId, steps: Iterable[TimedStep]) -> "History":
+        """Build a history, sorting steps by real time (stable)."""
+        ordered = tuple(sorted(steps, key=lambda ts: ts.real_time))
+        return History(processor=processor, steps=ordered)
+
+    @property
+    def start_time(self) -> Time:
+        """``S_pi``: the real time of the start event (condition 2)."""
+        if not self.steps:
+            raise ModelError(f"history of {self.processor!r} is empty")
+        first = self.steps[0]
+        if not isinstance(first.step.interrupt, StartEvent):
+            raise ModelError(
+                f"history of {self.processor!r} does not begin with a start event"
+            )
+        return first.real_time
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[TimedStep]:
+        return iter(self.steps)
+
+    def steps_at(self, real_time: Time) -> Tuple[TimedStep, ...]:
+        """All steps occurring at exactly ``real_time`` (may be empty)."""
+        return tuple(ts for ts in self.steps if ts.real_time == real_time)
+
+    # ------------------------------------------------------------------
+    # Derived event streams
+    # ------------------------------------------------------------------
+
+    def sends(self) -> List[Tuple[Time, MessageSendEvent]]:
+        """All ``(real_time, send_event)`` pairs in real-time order."""
+        out: List[Tuple[Time, MessageSendEvent]] = []
+        for ts in self.steps:
+            for ev in ts.step.sends:
+                out.append((ts.real_time, ev))
+        return out
+
+    def receives(self) -> List[Tuple[Time, MessageReceiveEvent]]:
+        """All ``(real_time, receive_event)`` pairs in real-time order."""
+        return [
+            (ts.real_time, ts.step.interrupt)
+            for ts in self.steps
+            if isinstance(ts.step.interrupt, MessageReceiveEvent)
+        ]
+
+    def send_real_time(self, message_uid: int) -> Time:
+        """Real time at which the message with ``message_uid`` was sent."""
+        for ts in self.steps:
+            for ev in ts.step.sends:
+                if ev.message.uid == message_uid:
+                    return ts.real_time
+        raise KeyError(f"message {message_uid} not sent in this history")
+
+    def receive_real_time(self, message_uid: int) -> Time:
+        """Real time at which the message with ``message_uid`` was received."""
+        for ts in self.steps:
+            iv = ts.step.interrupt
+            if isinstance(iv, MessageReceiveEvent) and iv.message.uid == message_uid:
+                return ts.real_time
+        raise KeyError(f"message {message_uid} not received in this history")
+
+    # ------------------------------------------------------------------
+    # Well-formedness (the six conditions of Section 2.1)
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the six history conditions; raise :class:`ModelError` if violated.
+
+        Condition 1 (local finiteness) holds trivially because ``steps`` is
+        a finite tuple.
+        """
+        if not self.steps:
+            raise ModelError(f"history of {self.processor!r} is empty")
+
+        # Condition 2: first step is a start event from the initial state.
+        first = self.steps[0].step
+        if not isinstance(first.interrupt, StartEvent):
+            raise ModelError("first step must be a start event")
+        start = self.steps[0].real_time
+
+        # Condition 3: no other start events, states chain correctly.
+        prev_state = first.new_state
+        for ts in self.steps[1:]:
+            if isinstance(ts.step.interrupt, StartEvent):
+                raise ModelError("multiple start events in one history")
+            if ts.step.old_state != prev_state:
+                raise ModelError(
+                    f"state mismatch at real time {ts.real_time}: "
+                    f"{ts.step.old_state!r} != {prev_state!r}"
+                )
+            prev_state = ts.step.new_state
+
+        # Condition 4: clock time of every step equals real time minus S.
+        for ts in self.steps:
+            expected = ts.real_time - start
+            if abs(ts.step.clock_time - expected) > 1e-9:
+                raise ModelError(
+                    f"clock time {ts.step.clock_time} != real {ts.real_time} - "
+                    f"start {start}"
+                )
+
+        # Condition 5: at most one timer event per real time, ordered last.
+        by_time: dict = {}
+        for ts in self.steps:
+            by_time.setdefault(ts.real_time, []).append(ts.step)
+        for real_time, seq in by_time.items():
+            timer_positions = [
+                i for i, st in enumerate(seq) if isinstance(st.interrupt, TimerEvent)
+            ]
+            if len(timer_positions) > 1:
+                raise ModelError(f"two timer events at real time {real_time}")
+            if timer_positions and timer_positions[0] != len(seq) - 1:
+                raise ModelError(
+                    f"timer event not last among steps at real time {real_time}"
+                )
+
+        # Condition 6: a timer fires at clock T iff a timer was set for T.
+        set_times = set()
+        for ts in self.steps:
+            for ev in ts.step.timer_sets:
+                set_times.add(round(ev.clock_time, 9))
+        for ts in self.steps:
+            iv = ts.step.interrupt
+            if isinstance(iv, TimerEvent):
+                if round(iv.clock_time, 9) not in set_times:
+                    raise ModelError(
+                        f"timer for clock time {iv.clock_time} fired but was never set"
+                    )
+
+
+def shift_history(history: History, s: Time) -> History:
+    """Return ``shift(pi, s)``: the same steps, each ``s`` earlier in real time.
+
+    Following the paper, ``pi'(t) = pi(t + s)``: a step that happened at
+    real time ``t`` in ``pi`` happens at ``t - s`` in the shifted history.
+    Clock times (and hence the view) are untouched, and the start time
+    becomes ``S - s`` (Lemma 4.1).
+    """
+    shifted = tuple(
+        TimedStep(real_time=ts.real_time - s, step=ts.step) for ts in history.steps
+    )
+    return History(processor=history.processor, steps=shifted)
+
+
+__all__ = ["ModelError", "Step", "TimedStep", "History", "shift_history"]

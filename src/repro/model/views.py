@@ -1,0 +1,104 @@
+"""Views (paper, Section 2.1).
+
+The *view* of processor ``p`` in history ``pi`` is the concatenation of the
+sequences of steps of ``pi`` in real-time order, **with the real times of
+occurrence erased**.  Views keep clock times, states, interrupt events and
+outputs -- everything a processor itself can observe.
+
+Two histories are equivalent iff they induce the same view; two executions
+are equivalent iff all component histories are.  Correction functions are,
+by definition, functions of views only (Claim 3.1), which is what makes the
+shifting lower-bound argument work: an adversary may move a processor in
+real time without the processor noticing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro._types import ProcessorId, Time
+from repro.model.events import (
+    MessageReceiveEvent,
+    describe_event,
+)
+from repro.model.steps import History, Step
+
+
+@dataclass(frozen=True)
+class View:
+    """The observable part of one processor's history.
+
+    ``steps`` preserves order but not real times; equality of two views is
+    plain tuple equality of the steps (states, clock times, events).
+    """
+
+    processor: ProcessorId
+    steps: Tuple[Step, ...]
+
+    @staticmethod
+    def of(history: History) -> "View":
+        """Extract the view of ``history`` (drop real times, keep order)."""
+        return View(
+            processor=history.processor,
+            steps=tuple(ts.step for ts in history.steps),
+        )
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    # ------------------------------------------------------------------
+    # Observable message timing.  These are what Lemma 6.1 relies on: the
+    # clock times of sends and receives are part of the view, so estimated
+    # delays d~(m) = recv_clock - send_clock are computable from views.
+    # ------------------------------------------------------------------
+
+    def send_clock_times(self) -> Dict[int, Time]:
+        """Map ``message uid -> clock time at which this processor sent it``."""
+        out: Dict[int, Time] = {}
+        for step in self.steps:
+            for ev in step.sends:
+                out[ev.message.uid] = step.clock_time
+        return out
+
+    def receive_clock_times(self) -> Dict[int, Time]:
+        """Map ``message uid -> clock time at which this processor received it``."""
+        out: Dict[int, Time] = {}
+        for step in self.steps:
+            iv = step.interrupt
+            if isinstance(iv, MessageReceiveEvent):
+                out[iv.message.uid] = step.clock_time
+        return out
+
+    def received_messages(self):
+        """Messages received, in view order."""
+        return tuple(
+            step.interrupt.message
+            for step in self.steps
+            if isinstance(step.interrupt, MessageReceiveEvent)
+        )
+
+    def sent_messages(self):
+        """Messages sent, in view order."""
+        return tuple(
+            ev.message for step in self.steps for ev in step.sends
+        )
+
+    def __str__(self) -> str:
+        lines = [f"view({self.processor!r}):"]
+        for step in self.steps:
+            outputs = [describe_event(ev) for ev in step.sends]
+            outputs += [describe_event(ev) for ev in step.timer_sets]
+            suffix = f" -> {', '.join(outputs)}" if outputs else ""
+            lines.append(
+                f"  T={step.clock_time:g} {describe_event(step.interrupt)}{suffix}"
+            )
+        return "\n".join(lines)
+
+
+def views_equal(a: View, b: View) -> bool:
+    """Whether two views are identical (the histories are *equivalent*)."""
+    return a.processor == b.processor and a.steps == b.steps
+
+
+__all__ = ["View", "views_equal"]

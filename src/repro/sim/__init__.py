@@ -1,0 +1,58 @@
+"""Discrete-event simulation of message-passing systems.
+
+The simulator is the substrate the paper's theory runs on: it produces
+admissible executions of a system ``(G, A)`` by driving processor automata
+(:mod:`repro.sim.processor`) over sampled message delays
+(:mod:`repro.delays.distributions`) and recording ground-truth histories.
+Processors themselves only ever observe clock times, so any algorithm
+simulated here automatically satisfies the view-only restriction that the
+paper's optimality notion (Claim 3.1) relies on.
+"""
+
+from repro.sim.network import (
+    NetworkSimulator,
+    SimulationConfig,
+    SimulationError,
+    draw_start_times,
+)
+from repro.sim.processor import (
+    Automaton,
+    IdleAutomaton,
+    Send,
+    SetTimer,
+    Transition,
+)
+from repro.sim.protocols import (
+    Echo,
+    EchoAutomaton,
+    FloodAutomaton,
+    Probe,
+    ProbeAutomaton,
+    echo_automata,
+    flood_automata,
+    probe_automata,
+    probe_schedule,
+)
+from repro.sim.scheduler import EventScheduler
+
+__all__ = [
+    "NetworkSimulator",
+    "SimulationConfig",
+    "SimulationError",
+    "draw_start_times",
+    "Automaton",
+    "IdleAutomaton",
+    "Send",
+    "SetTimer",
+    "Transition",
+    "Echo",
+    "EchoAutomaton",
+    "FloodAutomaton",
+    "Probe",
+    "ProbeAutomaton",
+    "echo_automata",
+    "flood_automata",
+    "probe_automata",
+    "probe_schedule",
+    "EventScheduler",
+]

@@ -1,0 +1,321 @@
+"""The network simulator: admissible executions of a system ``(G, A)``.
+
+The simulator plays the role of the paper's message delivery system plus
+outside observer.  It drives one :class:`~repro.sim.processor.Automaton`
+per processor, samples a delay for every message from the link's
+:class:`~repro.delays.distributions.DelaySampler`, and records the
+resulting real-timed steps into an :class:`~repro.model.execution.Execution`.
+
+Guarantees:
+
+* processors only ever see clock times (their automata receive no real
+  time), so simulated algorithms cannot violate Claim 3.1;
+* runs are deterministic given the seed, the start times and the automata;
+* after the run, the execution is validated against the formal model and
+  -- unless disabled -- against the system's delay assumptions, so a
+  sampler/assumption mismatch fails loudly instead of silently producing
+  an inadmissible execution.
+
+Messages that would arrive before their receiver's start event are held by
+the delivery system and handed over at the start instant (the model cannot
+represent pre-start receives; the system is allowed to reorder and delay).
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+
+from repro._types import ProcessorId, Time
+from repro.delays.distributions import DelaySampler, Direction
+from repro.delays.system import System
+from repro.model.events import (
+    Message,
+    MessageReceiveEvent,
+    MessageSendEvent,
+    StartEvent,
+    TimerEvent,
+    TimerSetEvent,
+)
+from repro.model.execution import Execution
+from repro.model.steps import History, Step, TimedStep
+from repro.sim.processor import Automaton, Transition
+from repro.sim.scheduler import (
+    EventScheduler,
+    PRIORITY_RECEIVE,
+    PRIORITY_START,
+    PRIORITY_TIMER,
+)
+
+
+class SimulationError(RuntimeError):
+    """The simulation violated the model or the system's assumptions."""
+
+
+@dataclass
+class SimulationConfig:
+    """Tunables for one simulation run."""
+
+    #: Hard cap on processed events; exceeded = runaway protocol.
+    max_events: int = 1_000_000
+    #: Validate histories and delay-assumption admissibility after the run.
+    validate: bool = True
+
+
+class NetworkSimulator:
+    """Executes automata over a system with sampled message delays.
+
+    Parameters
+    ----------
+    system:
+        The ``(G, A)`` pair; delays are checked against ``A`` post-run.
+    samplers:
+        One delay sampler per canonical link of the topology.  Samplers
+        are deep-copied per run, so stateful samplers (e.g.
+        :class:`~repro.delays.distributions.CorrelatedLoad`) never leak
+        state across runs.
+    start_times:
+        Real start time ``S_p`` per processor.
+    seed:
+        Seed for the run's private RNG (delay draws and loss).
+    loss:
+        Optional per-link message-loss probability (keyed by canonical
+        link, applied independently per message in either direction).
+        A lost message appears in the sender's history as sent but is
+        never delivered -- exactly the model's "in flight" state, so the
+        execution stays well formed.  The paper's delivery system "does
+        not lose messages"; losing them anyway is how the test-suite
+        probes graceful degradation (fewer observations, never wrong
+        answers).
+    """
+
+    def __init__(
+        self,
+        system: System,
+        samplers: Mapping[Tuple[ProcessorId, ProcessorId], DelaySampler],
+        start_times: Mapping[ProcessorId, Time],
+        seed: int = 0,
+        config: Optional[SimulationConfig] = None,
+        loss: Optional[Mapping[Tuple[ProcessorId, ProcessorId], float]] = None,
+    ) -> None:
+        self._system = system
+        self._start_times = dict(start_times)
+        self._seed = seed
+        self._config = config or SimulationConfig()
+
+        self._loss: Dict[Tuple[ProcessorId, ProcessorId], float] = {}
+        links = set(system.topology.links)
+        for link, probability in (loss or {}).items():
+            if link not in links:
+                raise SimulationError(
+                    f"loss probability given for non-canonical or unknown "
+                    f"link {link!r}"
+                )
+            if not 0.0 <= probability <= 1.0:
+                raise SimulationError(
+                    f"loss probability for {link!r} must be in [0, 1], "
+                    f"got {probability}"
+                )
+            self._loss[link] = probability
+
+        links = set(system.topology.links)
+        resolved: Dict[Tuple[ProcessorId, ProcessorId], DelaySampler] = {}
+        for link, sampler in samplers.items():
+            p, q = link
+            if (p, q) in links:
+                resolved[(p, q)] = sampler
+            elif (q, p) in links:
+                raise SimulationError(
+                    f"sampler for {link!r} keyed against non-canonical "
+                    f"orientation; use {(q, p)!r}"
+                )
+            else:
+                raise SimulationError(f"sampler given for non-link {link!r}")
+        missing = links - set(resolved)
+        if missing:
+            raise SimulationError(
+                f"links without samplers: {sorted(missing, key=repr)}"
+            )
+        self._samplers = resolved
+
+        missing_starts = set(system.processors) - set(self._start_times)
+        if missing_starts:
+            raise SimulationError(
+                f"processors without start times: "
+                f"{sorted(missing_starts, key=repr)}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def run(self, automata: Mapping[ProcessorId, Automaton]) -> Execution:
+        """Run to quiescence and return the recorded execution."""
+        missing = set(self._system.processors) - set(automata)
+        if missing:
+            raise SimulationError(
+                f"processors without automata: {sorted(missing, key=repr)}"
+            )
+
+        rng = random.Random(self._seed)
+        samplers = {
+            link: copy.deepcopy(sampler)
+            for link, sampler in self._samplers.items()
+        }
+        scheduler = EventScheduler()
+
+        states: Dict[ProcessorId, Any] = {
+            p: automata[p].initial_state() for p in self._system.processors
+        }
+        steps: Dict[ProcessorId, List[TimedStep]] = {
+            p: [] for p in self._system.processors
+        }
+        pending_timers: Dict[ProcessorId, Set[float]] = {
+            p: set() for p in self._system.processors
+        }
+
+        for p, s_p in self._start_times.items():
+            scheduler.schedule(s_p, PRIORITY_START, ("start", p))
+
+        while True:
+            entry = scheduler.pop()
+            if entry is None:
+                break
+            if scheduler.processed > self._config.max_events:
+                raise SimulationError(
+                    f"event budget of {self._config.max_events} exceeded; "
+                    f"protocol does not quiesce"
+                )
+            kind = entry.payload[0]
+            if kind == "start":
+                _, p = entry.payload
+                event = StartEvent()
+            elif kind == "recv":
+                _, p, message = entry.payload
+                event = MessageReceiveEvent(message=message)
+            elif kind == "timer":
+                _, p, clock_t = entry.payload
+                pending_timers[p].discard(round(clock_t, 9))
+                event = TimerEvent(clock_time=clock_t)
+            else:  # pragma: no cover - internal invariant
+                raise SimulationError(f"unknown payload {entry.payload!r}")
+
+            now = entry.real_time
+            clock = now - self._start_times[p]
+            old_state = states[p]
+            transition = automata[p].on_interrupt(old_state, clock, event)
+            if not isinstance(transition, Transition):
+                raise SimulationError(
+                    f"automaton of {p!r} returned {transition!r}, "
+                    f"expected a Transition"
+                )
+
+            send_events = []
+            for send in transition.sends:
+                message = Message(sender=p, receiver=send.to, payload=send.payload)
+                send_events.append(MessageSendEvent(message=message))
+                self._dispatch(scheduler, samplers, rng, message, now)
+
+            timer_events = []
+            for timer in transition.timers:
+                if timer.clock_time <= clock + 1e-12:
+                    raise SimulationError(
+                        f"{p!r} set a timer for clock {timer.clock_time} at "
+                        f"clock {clock}; timers must be strictly in the future"
+                    )
+                timer_events.append(TimerSetEvent(clock_time=timer.clock_time))
+                key = round(timer.clock_time, 9)
+                if key not in pending_timers[p]:
+                    pending_timers[p].add(key)
+                    scheduler.schedule(
+                        self._start_times[p] + timer.clock_time,
+                        PRIORITY_TIMER,
+                        ("timer", p, timer.clock_time),
+                    )
+
+            states[p] = transition.new_state
+            steps[p].append(
+                TimedStep(
+                    real_time=now,
+                    step=Step(
+                        old_state=old_state,
+                        clock_time=clock,
+                        interrupt=event,
+                        new_state=transition.new_state,
+                        sends=tuple(send_events),
+                        timer_sets=tuple(timer_events),
+                    ),
+                )
+            )
+
+        histories = {
+            p: History(processor=p, steps=tuple(step_list))
+            for p, step_list in steps.items()
+        }
+        execution = Execution(histories)
+
+        if self._config.validate:
+            execution.validate()
+            if not self._system.is_admissible(execution):
+                raise SimulationError(
+                    "simulated delays violate the system's delay assumptions; "
+                    "check that each link's sampler matches its assumption"
+                )
+        return execution
+
+    # ------------------------------------------------------------------
+
+    def _dispatch(
+        self,
+        scheduler: EventScheduler,
+        samplers: Mapping[Tuple[ProcessorId, ProcessorId], DelaySampler],
+        rng: random.Random,
+        message: Message,
+        send_time: Time,
+    ) -> None:
+        """Sample a delay for ``message`` and schedule its receive event."""
+        p, q = message.sender, message.receiver
+        if (p, q) in samplers:
+            sampler, direction = samplers[(p, q)], Direction.FORWARD
+            link = (p, q)
+        elif (q, p) in samplers:
+            sampler, direction = samplers[(q, p)], Direction.REVERSE
+            link = (q, p)
+        else:
+            raise SimulationError(
+                f"{p!r} sent a message to {q!r} but there is no such link"
+            )
+        loss = self._loss.get(link, 0.0)
+        if loss and rng.random() < loss:
+            return  # lost in transit: sent, never received
+        delay = sampler.sample(rng, direction)
+        if delay < 0:
+            raise SimulationError(
+                f"sampler for link ({p!r}, {q!r}) produced negative delay "
+                f"{delay}"
+            )
+        arrival = send_time + delay
+        # The model cannot represent a receive before the receiver's start
+        # event; the delivery system holds such messages until the start
+        # instant (receives sort after starts within an instant).
+        arrival = max(arrival, self._start_times[q])
+        scheduler.schedule(arrival, PRIORITY_RECEIVE, ("recv", q, message))
+
+
+def draw_start_times(
+    processors,
+    max_skew: Time,
+    seed: int,
+) -> Dict[ProcessorId, Time]:
+    """Uniform start times in ``[0, max_skew]`` -- the unknown initial
+    offsets the synchronizer is supposed to estimate away."""
+    rng = random.Random(seed)
+    return {p: rng.uniform(0.0, max_skew) for p in processors}
+
+
+__all__ = [
+    "SimulationError",
+    "SimulationConfig",
+    "NetworkSimulator",
+    "draw_start_times",
+]

@@ -1,0 +1,103 @@
+"""Discrete-event scheduler for the network simulator.
+
+A classic heap-based future-event list.  Entries are ordered by
+``(real_time, priority, sequence)``:
+
+* ``priority`` implements the model's intra-instant ordering -- start
+  events before message receives before timer events (history condition 5
+  requires the timer last);
+* ``sequence`` is a monotone tiebreaker that keeps simultaneous
+  same-priority events in schedule order and makes runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro._types import Time
+
+#: Intra-instant priorities (see history condition 5).
+PRIORITY_START = 0
+PRIORITY_RECEIVE = 1
+PRIORITY_TIMER = 2
+
+
+@dataclass(order=True)
+class _Entry:
+    real_time: Time
+    priority: int
+    sequence: int
+    payload: Any = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventScheduler:
+    """Priority queue of timed simulation events."""
+
+    def __init__(self) -> None:
+        self._heap: List[_Entry] = []
+        self._counter = itertools.count()
+        self._now: Time = float("-inf")
+        self._processed = 0
+
+    @property
+    def now(self) -> Time:
+        """Real time of the most recently popped event."""
+        return self._now
+
+    @property
+    def processed(self) -> int:
+        """How many events have been popped so far."""
+        return self._processed
+
+    def schedule(self, real_time: Time, priority: int, payload: Any) -> _Entry:
+        """Enqueue ``payload`` at ``real_time``; returns a cancellable handle.
+
+        Scheduling strictly in the past of the current instant is a logic
+        error (the simulator never needs it and it would corrupt
+        causality), so it raises.
+        """
+        if real_time < self._now - 1e-12:
+            raise ValueError(
+                f"cannot schedule at {real_time} before current time {self._now}"
+            )
+        entry = _Entry(
+            real_time=real_time,
+            priority=priority,
+            sequence=next(self._counter),
+            payload=payload,
+        )
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def cancel(self, entry: _Entry) -> None:
+        """Mark an entry dead; it will be skipped when popped."""
+        entry.cancelled = True
+
+    def pop(self) -> Optional[_Entry]:
+        """Remove and return the earliest live entry, or ``None`` if empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self._now = entry.real_time
+            self._processed += 1
+            return entry
+        return None
+
+    def __bool__(self) -> bool:
+        return any(not e.cancelled for e in self._heap)
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+
+__all__ = [
+    "EventScheduler",
+    "PRIORITY_START",
+    "PRIORITY_RECEIVE",
+    "PRIORITY_TIMER",
+]

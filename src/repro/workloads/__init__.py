@@ -1,0 +1,25 @@
+"""Reproducible workload scenarios for experiments, tests and examples."""
+
+from repro.workloads.campaign import Campaign, CampaignCell, ScenarioBuilder
+from repro.workloads.scenarios import (
+    Scenario,
+    asymmetric_bounded,
+    bounded_uniform,
+    fully_asynchronous,
+    heterogeneous,
+    lower_bound_only,
+    round_trip_bias,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignCell",
+    "ScenarioBuilder",
+    "Scenario",
+    "asymmetric_bounded",
+    "bounded_uniform",
+    "fully_asynchronous",
+    "heterogeneous",
+    "lower_bound_only",
+    "round_trip_bias",
+]

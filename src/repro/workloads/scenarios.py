@@ -1,0 +1,273 @@
+"""Scenario builders: system + samplers + protocol, ready to run.
+
+A :class:`Scenario` is a reproducible unit of experimentation -- the full
+recipe for producing one admissible execution.  Builders below cover the
+paper's four delay models, heterogeneous mixtures of them, and the
+asymmetric/favourable variants the experiments sweep over.
+
+All builders key randomness off an explicit ``seed`` and schedule the
+first probe after the maximum start-time skew, so no message can arrive
+before its receiver starts (see :mod:`repro.sim.network`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro._types import ProcessorId, Time
+from repro.delays.bias import RoundTripBias
+from repro.delays.bounds import BoundedDelay, lower_bounds_only, no_bounds
+from repro.delays.composite import Composite
+from repro.delays.distributions import (
+    AsymmetricUniform,
+    CorrelatedLoad,
+    DelaySampler,
+    ShiftedExponential,
+    UniformDelay,
+)
+from repro.delays.system import System
+from repro.graphs.topology import Topology
+from repro.model.execution import Execution
+from repro.sim.network import NetworkSimulator, draw_start_times
+from repro.sim.processor import Automaton
+from repro.sim.protocols import probe_automata, probe_schedule
+
+
+@dataclass
+class Scenario:
+    """A fully specified, reproducible simulation setup."""
+
+    name: str
+    system: System
+    samplers: Dict[Tuple[ProcessorId, ProcessorId], DelaySampler]
+    start_times: Dict[ProcessorId, Time]
+    automata: Dict[ProcessorId, Automaton]
+    seed: int
+
+    def run(self) -> Execution:
+        """Simulate once and return the admissible execution."""
+        simulator = NetworkSimulator(
+            self.system, self.samplers, self.start_times, seed=self.seed
+        )
+        return simulator.run(self.automata)
+
+    @property
+    def topology(self) -> Topology:
+        """The scenario's communication topology."""
+        return self.system.topology
+
+
+def _standard_probing(
+    topology: Topology,
+    max_skew: Time,
+    probes: int,
+    spacing: Time,
+) -> Dict[ProcessorId, Automaton]:
+    first = max_skew + 1.0
+    schedule = probe_schedule(probes, first, spacing)
+    return dict(probe_automata(topology, schedule))
+
+
+def bounded_uniform(
+    topology: Topology,
+    lb: Time,
+    ub: Time,
+    probes: int = 3,
+    max_skew: Time = 10.0,
+    spacing: Time = 5.0,
+    seed: int = 0,
+) -> Scenario:
+    """Model 1: known ``[lb, ub]`` on every direction, uniform actual delays."""
+    system = System.uniform(topology, BoundedDelay.symmetric(lb, ub))
+    samplers = {link: UniformDelay(lb, ub) for link in topology.links}
+    return Scenario(
+        name=f"bounded[{lb:g},{ub:g}]-{topology.name}",
+        system=system,
+        samplers=samplers,
+        start_times=draw_start_times(topology.nodes, max_skew, seed),
+        automata=_standard_probing(topology, max_skew, probes, spacing),
+        seed=seed,
+    )
+
+
+def lower_bound_only(
+    topology: Topology,
+    lb: Time,
+    mean_extra: Time,
+    probes: int = 3,
+    max_skew: Time = 10.0,
+    spacing: Time = 5.0,
+    seed: int = 0,
+) -> Scenario:
+    """Model 2: only a lower bound is known; heavy-tailed actual delays."""
+    system = System.uniform(topology, lower_bounds_only(lb))
+    samplers = {
+        link: ShiftedExponential(lb, mean_extra) for link in topology.links
+    }
+    return Scenario(
+        name=f"lower-only[{lb:g}]-{topology.name}",
+        system=system,
+        samplers=samplers,
+        start_times=draw_start_times(topology.nodes, max_skew, seed),
+        automata=_standard_probing(topology, max_skew, probes, spacing),
+        seed=seed,
+    )
+
+
+def fully_asynchronous(
+    topology: Topology,
+    mean_delay: Time,
+    probes: int = 3,
+    max_skew: Time = 10.0,
+    spacing: Time = 5.0,
+    seed: int = 0,
+) -> Scenario:
+    """Model 3: no bounds at all -- the model where worst-case optimality
+    is meaningless but per-execution optimality still bites."""
+    system = System.uniform(topology, no_bounds())
+    samplers = {
+        link: ShiftedExponential(0.0, mean_delay) for link in topology.links
+    }
+    return Scenario(
+        name=f"async-{topology.name}",
+        system=system,
+        samplers=samplers,
+        start_times=draw_start_times(topology.nodes, max_skew, seed),
+        automata=_standard_probing(topology, max_skew, probes, spacing),
+        seed=seed,
+    )
+
+
+def round_trip_bias(
+    topology: Topology,
+    bias: Time,
+    base_low: Time = 1.0,
+    base_high: Time = 20.0,
+    probes: int = 3,
+    max_skew: Time = 10.0,
+    spacing: Time = 5.0,
+    seed: int = 0,
+) -> Scenario:
+    """Model 4: only the round-trip bias is bounded.
+
+    Each link's two directions share a (large, unknown) base load; message
+    jitter is at most ``bias / 2``, so any opposite pair differs by at
+    most ``bias``.
+    """
+    system = System.uniform(topology, RoundTripBias(bias))
+    samplers: Dict[Tuple[ProcessorId, ProcessorId], DelaySampler] = {
+        link: CorrelatedLoad(base_low, base_high, bias / 2.0)
+        for link in topology.links
+    }
+    return Scenario(
+        name=f"bias[{bias:g}]-{topology.name}",
+        system=system,
+        samplers=samplers,
+        start_times=draw_start_times(topology.nodes, max_skew, seed),
+        automata=_standard_probing(topology, max_skew, probes, spacing),
+        seed=seed,
+    )
+
+
+def asymmetric_bounded(
+    topology: Topology,
+    lb: Time,
+    ub: Time,
+    skew_factor: float,
+    probes: int = 3,
+    max_skew: Time = 10.0,
+    spacing: Time = 5.0,
+    seed: int = 0,
+) -> Scenario:
+    """Bounded links whose *actual* delays are direction-skewed.
+
+    Assumptions still say ``[lb, ub]`` both ways, but forward traffic
+    runs near the bottom of the range and reverse traffic near the top
+    (interpolated by ``skew_factor`` in ``[0, 1]``).  This is the
+    "systematically asymmetric" regime where midpoint baselines carry a
+    bias the optimal algorithm does not.
+    """
+    if not 0.0 <= skew_factor <= 1.0:
+        raise ValueError("skew_factor must be in [0, 1]")
+    system = System.uniform(topology, BoundedDelay.symmetric(lb, ub))
+    width = (ub - lb) * 0.5
+    samplers: Dict[Tuple[ProcessorId, ProcessorId], DelaySampler] = {}
+    for link in topology.links:
+        lo_f = lb
+        hi_f = lb + width + (1 - skew_factor) * width
+        lo_r = lb + skew_factor * width
+        hi_r = ub
+        samplers[link] = AsymmetricUniform(lo_f, hi_f, lo_r, hi_r)
+    return Scenario(
+        name=f"asym[{skew_factor:g}]-{topology.name}",
+        system=system,
+        samplers=samplers,
+        start_times=draw_start_times(topology.nodes, max_skew, seed),
+        automata=_standard_probing(topology, max_skew, probes, spacing),
+        seed=seed,
+    )
+
+
+def heterogeneous(
+    topology: Topology,
+    seed: int = 0,
+    probes: int = 3,
+    max_skew: Time = 10.0,
+    spacing: Time = 5.0,
+) -> Scenario:
+    """A WAN-flavoured mixture: each link draws one of the four models.
+
+    The link kinds and parameters are drawn deterministically from
+    ``seed``.  This is the scenario class the paper's decomposition and
+    per-link modularity were designed for.
+    """
+    rng = random.Random(seed * 7919 + 13)
+    assumptions: Dict[Tuple[ProcessorId, ProcessorId], object] = {}
+    samplers: Dict[Tuple[ProcessorId, ProcessorId], DelaySampler] = {}
+    for link in topology.links:
+        kind = rng.choice(["bounded", "lower", "bias", "bounded+bias"])
+        if kind == "bounded":
+            lb = rng.uniform(0.5, 2.0)
+            ub = lb + rng.uniform(0.5, 4.0)
+            assumptions[link] = BoundedDelay.symmetric(lb, ub)
+            samplers[link] = UniformDelay(lb, ub)
+        elif kind == "lower":
+            lb = rng.uniform(0.5, 2.0)
+            assumptions[link] = lower_bounds_only(lb)
+            samplers[link] = ShiftedExponential(lb, rng.uniform(0.5, 3.0))
+        elif kind == "bias":
+            bias = rng.uniform(0.2, 2.0)
+            assumptions[link] = RoundTripBias(bias)
+            samplers[link] = CorrelatedLoad(1.0, 15.0, bias / 2.0)
+        else:  # bounded+bias composite: both restrictions hold
+            lb = rng.uniform(0.5, 1.5)
+            ub = lb + rng.uniform(2.0, 6.0)
+            bias = rng.uniform(0.2, 1.0)
+            assumptions[link] = Composite.of(
+                BoundedDelay.symmetric(lb, ub), RoundTripBias(bias)
+            )
+            base_low = lb + bias / 2.0
+            base_high = ub - bias / 2.0
+            samplers[link] = CorrelatedLoad(base_low, base_high, bias / 2.0)
+    system = System(topology=topology, assumptions=assumptions)
+    return Scenario(
+        name=f"hetero-{topology.name}-s{seed}",
+        system=system,
+        samplers=samplers,
+        start_times=draw_start_times(topology.nodes, max_skew, seed),
+        automata=_standard_probing(topology, max_skew, probes, spacing),
+        seed=seed,
+    )
+
+
+__all__ = [
+    "Scenario",
+    "bounded_uniform",
+    "lower_bound_only",
+    "fully_asynchronous",
+    "round_trip_bias",
+    "asymmetric_bounded",
+    "heterogeneous",
+]

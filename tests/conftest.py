@@ -1,0 +1,66 @@
+"""Shared fixtures for the test-suite.
+
+Most tests build tiny hand-checkable systems; these fixtures provide the
+recurring ones.  Hand-built executions (explicit start times and delays)
+come from :mod:`repro.model.builder`, which is itself under test in
+``test_model_builder.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.delays.bounds import BoundedDelay
+from repro.delays.system import System
+from repro.graphs.topology import Topology, line, ring
+from repro.model.builder import build_history as _lib_build_history
+from repro.model.builder import two_processor_execution
+from repro.model.execution import Execution
+from repro.workloads.scenarios import bounded_uniform
+
+
+def build_history(me, start, sends, receives):
+    """Backwards-compatible alias used throughout the test-suite."""
+    return _lib_build_history(me, start, sends, receives)
+
+
+def make_two_node_execution(
+    s_p: float,
+    s_q: float,
+    delays_pq,
+    delays_qp,
+    send_clocks_p=None,
+    send_clocks_q=None,
+) -> Execution:
+    """Two-processor execution with known ground truth (see builder)."""
+    return two_processor_execution(
+        s_p, s_q, delays_pq, delays_qp, send_clocks_p, send_clocks_q
+    )
+
+
+@pytest.fixture
+def two_node_topology() -> Topology:
+    return line(2)
+
+
+@pytest.fixture
+def two_node_symmetric() -> Execution:
+    """p and q, delays exactly 2.0 each way, starts 5.0 and 8.0."""
+    return make_two_node_execution(
+        s_p=5.0, s_q=8.0, delays_pq=[2.0], delays_qp=[2.0]
+    )
+
+
+@pytest.fixture
+def two_node_system(two_node_topology) -> System:
+    return System.uniform(two_node_topology, BoundedDelay.symmetric(1.0, 3.0))
+
+
+@pytest.fixture
+def ring5_scenario():
+    return bounded_uniform(ring(5), lb=1.0, ub=3.0, seed=42)
+
+
+@pytest.fixture
+def ring5_execution(ring5_scenario):
+    return ring5_scenario.run()

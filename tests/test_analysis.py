@@ -1,0 +1,192 @@
+"""Unit tests for the evaluation harness (repro.analysis)."""
+
+import math
+import random
+
+import pytest
+
+from repro._types import INF
+from repro.analysis.adversary import (
+    AdversaryError,
+    adversarial_execution,
+    extremal_shift_vector,
+    random_admissible_shift_vector,
+    worst_case_spread,
+)
+from repro.analysis.ground_truth import (
+    locally_admissible_interval,
+    shift_vector_is_admissible,
+    true_global_shifts,
+)
+from repro.analysis.metrics import Summary, geometric_mean, ratio, summarize
+from repro.analysis.reporting import Table, fmt
+from repro.core.precision import realized_spread
+from repro.core.synchronizer import ClockSynchronizer
+from repro.delays.bounds import BoundedDelay, no_bounds
+from repro.delays.system import System
+from repro.graphs.topology import line, ring
+from repro.model.execution import shift_execution
+from repro.workloads.scenarios import bounded_uniform
+
+from conftest import make_two_node_execution
+
+
+class TestGroundTruth:
+    def test_true_global_shifts_two_nodes(self):
+        system = System.uniform(line(2), BoundedDelay.symmetric(1.0, 3.0))
+        alpha = make_two_node_execution(0.0, 0.0, [2.0], [2.0])
+        ms = true_global_shifts(system, alpha)
+        assert ms[(0, 1)] == pytest.approx(1.0)
+        assert ms[(1, 0)] == pytest.approx(1.0)
+
+    def test_locally_admissible_interval(self):
+        system = System.uniform(line(2), BoundedDelay.symmetric(1.0, 3.0))
+        alpha = make_two_node_execution(0.0, 0.0, [1.5], [2.5])
+        lo, hi = locally_admissible_interval(system, alpha, 0, 1)
+        # hi = mls(0,1) = min(3-2.5, 1.5-1) = 0.5
+        # lo = -mls(1,0) = -min(3-1.5, 2.5-1) = -1.5
+        assert hi == pytest.approx(0.5)
+        assert lo == pytest.approx(-1.5)
+
+    def test_shift_vector_admissibility_predicate(self):
+        system = System.uniform(line(2), BoundedDelay.symmetric(1.0, 3.0))
+        alpha = make_two_node_execution(0.0, 0.0, [1.5], [2.5])
+        assert shift_vector_is_admissible(system, alpha, {0: 0.0, 1: 0.4})
+        assert not shift_vector_is_admissible(system, alpha, {0: 0.0, 1: 0.6})
+        assert shift_vector_is_admissible(system, alpha, {0: 0.0, 1: -1.4})
+        assert not shift_vector_is_admissible(system, alpha, {0: 0.0, 1: -1.6})
+
+    def test_predicate_matches_real_shift(self):
+        """The Lemma 5.2 predicate agrees with actually shifting."""
+        system = System.uniform(line(2), BoundedDelay.symmetric(1.0, 3.0))
+        alpha = make_two_node_execution(0.0, 0.0, [1.5], [2.5])
+        for s in [-2.0, -1.0, 0.0, 0.3, 0.5, 1.0]:
+            shifts = {0: 0.0, 1: s}
+            predicted = shift_vector_is_admissible(system, alpha, shifts)
+            actual = system.is_admissible(shift_execution(alpha, shifts))
+            assert predicted == actual, s
+
+
+class TestAdversary:
+    @pytest.fixture
+    def setup(self):
+        scenario = bounded_uniform(ring(4), lb=1.0, ub=3.0, seed=13)
+        alpha = scenario.run()
+        result = ClockSynchronizer(scenario.system).from_execution(alpha)
+        return scenario.system, alpha, result
+
+    def test_extremal_execution_is_admissible_and_equivalent(self, setup):
+        system, alpha, _ = setup
+        from repro.model.execution import executions_equivalent
+
+        shifted = adversarial_execution(system, alpha, anchor=0, gamma=1.001)
+        assert executions_equivalent(alpha, shifted)
+        assert system.is_admissible(shifted)
+
+    def test_extremal_shift_realizes_ms(self, setup):
+        system, alpha, _ = setup
+        gamma = 1.0001
+        shifts = extremal_shift_vector(system, alpha, anchor=0, gamma=gamma)
+        ms = true_global_shifts(system, alpha)
+        for q in system.processors:
+            assert shifts[q] == pytest.approx(ms[(0, q)] / gamma)
+
+    def test_worst_case_spread_brackets_precision(self, setup):
+        system, alpha, result = setup
+        worst = worst_case_spread(
+            system, alpha, result.corrections, gamma=1.0001
+        )
+        assert worst <= result.precision + 1e-6
+        assert worst >= result.precision * 0.999 - 1e-6
+
+    def test_gamma_must_exceed_one(self, setup):
+        system, alpha, _ = setup
+        with pytest.raises(AdversaryError):
+            extremal_shift_vector(system, alpha, anchor=0, gamma=1.0)
+
+    def test_unreachable_anchor_rejected(self):
+        system = System.uniform(line(2), no_bounds())
+        alpha = make_two_node_execution(0.0, 0.0, [2.0], [])
+        # Traffic only 0 -> 1: mls(1, 0) is infinite, so 0 is unreachable
+        # from anchor 1 in the finite-shift graph.
+        with pytest.raises(AdversaryError, match="unreachable"):
+            extremal_shift_vector(system, alpha, anchor=1)
+
+    def test_random_shifts_admissible(self, setup):
+        system, alpha, _ = setup
+        rng = random.Random(3)
+        for _ in range(25):
+            shifts = random_admissible_shift_vector(system, alpha, rng)
+            assert shift_vector_is_admissible(system, alpha, shifts)
+
+    def test_random_shifts_never_beat_rho_bar(self, setup):
+        """Every admissible re-timing keeps the spread within precision."""
+        system, alpha, result = setup
+        rng = random.Random(4)
+        for _ in range(25):
+            shifts = random_admissible_shift_vector(system, alpha, rng)
+            shifted = shift_execution(alpha, shifts)
+            spread = realized_spread(
+                shifted.start_times(), result.corrections
+            )
+            assert spread <= result.precision + 1e-6
+
+
+class TestMetrics:
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+        assert s.std == pytest.approx(1.2909944, rel=1e-6)
+
+    def test_summarize_single(self):
+        s = summarize([7.0])
+        assert s.std == 0.0 and s.median == 7.0
+
+    def test_summarize_with_inf(self):
+        s = summarize([1.0, INF])
+        assert math.isinf(s.mean) and math.isinf(s.maximum)
+        assert s.minimum == 1.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_ratio_conventions(self):
+        assert ratio(2.0, 4.0) == 0.5
+        assert ratio(0.0, 0.0) == 1.0
+        assert ratio(1.0, 0.0) == INF
+        assert ratio(1.0, INF) == 0.0
+        assert ratio(INF, INF) == 1.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestReporting:
+    def test_fmt(self):
+        assert fmt(INF) == "inf"
+        assert fmt(-INF) == "-inf"
+        assert fmt(float("nan")) == "nan"
+        assert fmt(0.0) == "0"
+        assert fmt(True) == "yes"
+        assert fmt(0.123456) == "0.1235"
+        assert fmt("text") == "text"
+
+    def test_table_roundtrip(self):
+        t = Table(title="Demo", headers=["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_note("hello")
+        text = t.format()
+        assert "Demo" in text and "2.5" in text and "note: hello" in text
+
+    def test_row_arity_checked(self):
+        t = Table(title="Demo", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)

@@ -1,0 +1,167 @@
+"""Tests for assumption-violation diagnosis (repro.analysis.diagnosis)."""
+
+import math
+
+import pytest
+
+from repro._types import INF
+from repro.analysis.diagnosis import (
+    diagnose,
+    diagnose_and_repair,
+    diagnose_local_estimates,
+    synchronize_excluding,
+)
+from repro.core.synchronizer import ClockSynchronizer
+from repro.delays.bounds import BoundedDelay
+from repro.delays.distributions import Constant, UniformDelay
+from repro.delays.system import System
+from repro.graphs.topology import line, ring
+from repro.sim.network import NetworkSimulator, SimulationConfig
+from repro.sim.protocols import probe_automata, probe_schedule
+from repro.workloads.scenarios import bounded_uniform, heterogeneous
+
+
+def run_with_violation(topo, bad_link, bad_delay, lb=1.0, ub=3.0, seed=0):
+    """Simulate with one link's delays outside its declared bounds."""
+    system = System.uniform(topo, BoundedDelay.symmetric(lb, ub))
+    samplers = {link: UniformDelay(lb, ub) for link in topo.links}
+    samplers[bad_link] = Constant(bad_delay)  # violates [lb, ub]
+    starts = {p: float(p) for p in topo.nodes}
+    sim = NetworkSimulator(
+        system, samplers, starts, seed=seed,
+        config=SimulationConfig(validate=False),
+    )
+    alpha = sim.run(dict(probe_automata(topo, probe_schedule(3, 10.0, 3.0))))
+    return system, alpha
+
+
+class TestCleanSystems:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_admissible_runs_diagnose_clean(self, seed):
+        scenario = bounded_uniform(ring(5), lb=1.0, ub=3.0, seed=seed)
+        alpha = scenario.run()
+        diagnosis = diagnose(scenario.system, alpha.views())
+        assert diagnosis.consistent
+        assert diagnosis.excluded_links == ()
+        assert diagnosis.negative_cycles == ()
+
+    def test_heterogeneous_clean(self):
+        scenario = heterogeneous(ring(5), seed=2)
+        alpha = scenario.run()
+        assert diagnose(scenario.system, alpha.views()).consistent
+
+
+class TestConviction:
+    def test_violating_link_convicted(self):
+        """Delay 10 on a [1, 3] link: the link's own two-cycle goes
+        negative and the diagnosis convicts exactly that link."""
+        topo = ring(5)
+        bad = topo.links[2]
+        system, alpha = run_with_violation(topo, bad, bad_delay=10.0)
+        diagnosis = diagnose(system, alpha.views())
+        assert not diagnosis.consistent
+        assert bad in diagnosis.convicted
+        assert len(diagnosis.convicted) == 1
+
+    def test_conviction_is_sound(self):
+        """Convicted links really violated: check against actual delays."""
+        topo = ring(5)
+        bad = topo.links[0]
+        system, alpha = run_with_violation(topo, bad, bad_delay=8.0)
+        diagnosis = diagnose(system, alpha.views())
+        for link in diagnosis.convicted:
+            p, q = link
+            fwd, rev = system.link_delays(alpha, p, q)
+            assert not system.assumptions[link].admits(fwd, rev)
+
+    def test_mild_violation_can_be_invisible(self):
+        """An asymmetric violation whose round trip stays within
+        ``ub_f + ub_r`` is equivalent to an admissible execution with
+        different start times -- detection is not complete, and the
+        diagnosis must NOT cry wolf."""
+        from repro.delays.distributions import AsymmetricUniform
+
+        topo = line(2)
+        system = System.uniform(topo, BoundedDelay.symmetric(1.0, 3.0))
+        # Forward 3.4 (violates ub=3) but reverse 2.4: round trip 5.8 < 6,
+        # so shifting processor 1 by 0.4 explains the data as 3.0/2.8.
+        samplers = {(0, 1): AsymmetricUniform(3.4, 3.4, 2.4, 2.4)}
+        sim = NetworkSimulator(
+            system, samplers, {0: 0.0, 1: 0.5}, seed=0,
+            config=SimulationConfig(validate=False),
+        )
+        alpha = sim.run(
+            dict(probe_automata(topo, probe_schedule(3, 10.0, 3.0)))
+        )
+        assert not system.is_admissible(alpha)  # truly violating...
+        diagnosis = diagnose(system, alpha.views())
+        assert diagnosis.consistent  # ...but invisible from views
+
+    def test_symmetric_overshoot_is_detectable(self):
+        """Symmetric 3.4/3.4 delays blow the round-trip budget
+        (6.8 > ub_f + ub_r = 6), which no shift can explain."""
+        topo = line(2)
+        system, alpha = run_with_violation(
+            topo, (0, 1), bad_delay=3.4, lb=1.0, ub=3.0
+        )
+        diagnosis = diagnose(system, alpha.views())
+        assert not diagnosis.consistent
+        assert (0, 1) in diagnosis.convicted
+
+
+class TestMultiLinkCycles:
+    def test_synthetic_negative_cycle_resolved(self):
+        """Hand-built mls~ with a clean per-link screen but a negative
+        3-cycle: phase 2 must remove an edge and restore consistency."""
+        topo = ring(3)
+        system = System.uniform(topo, BoundedDelay.symmetric(0.0, 10.0))
+        mls = {
+            (0, 1): 1.0, (1, 0): 0.5,
+            (1, 2): 1.0, (2, 1): 0.5,
+            (2, 0): -2.5, (0, 2): 4.0,   # 2-cycle fine (sum 1.5) but
+        }                                 # cycle 0->1->2->0 sums to -0.5
+        diagnosis = diagnose_local_estimates(system, mls)
+        assert not diagnosis.consistent
+        assert diagnosis.convicted == ()
+        assert len(diagnosis.suspects) == 1
+        assert diagnosis.suspects[0] == system.canonical_link(2, 0)
+
+    def test_suspect_removal_restores_consistency(self):
+        topo = ring(5)
+        bad = topo.links[1]
+        system, alpha = run_with_violation(topo, bad, bad_delay=12.0)
+        diagnosis, result = diagnose_and_repair(system, alpha.views())
+        assert not diagnosis.consistent
+        # After exclusion the rest synchronizes without errors; the ring
+        # minus one link is a line, still connected.
+        assert result.is_fully_synchronized
+        assert not math.isinf(result.precision)
+
+    def test_exclusion_can_disconnect(self):
+        topo = line(3)
+        bad = topo.links[0]
+        system, alpha = run_with_violation(topo, bad, bad_delay=9.0)
+        diagnosis, result = diagnose_and_repair(system, alpha.views())
+        assert bad in diagnosis.excluded_links
+        assert math.isinf(result.precision)
+        assert len(result.components) == 2
+
+
+class TestRepairQuality:
+    def test_repaired_precision_reflects_surviving_links(self):
+        topo = ring(4)
+        bad = topo.links[0]
+        system, alpha = run_with_violation(topo, bad, bad_delay=15.0)
+        diagnosis, repaired = diagnose_and_repair(system, alpha.views())
+        # Reference: synchronize a clean run of the same line-shaped
+        # remainder -- the repaired precision must be finite and in a
+        # sane range (less than the violated delay scale).
+        assert repaired.precision < 10.0
+        assert repaired.precision > 0.0
+
+    def test_excluding_nothing_is_identity(self):
+        scenario = bounded_uniform(ring(4), lb=1.0, ub=3.0, seed=3)
+        alpha = scenario.run()
+        plain = ClockSynchronizer(scenario.system).from_execution(alpha)
+        same = synchronize_excluding(scenario.system, alpha.views(), ())
+        assert same.precision == pytest.approx(plain.precision)

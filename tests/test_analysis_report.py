@@ -1,0 +1,93 @@
+"""Tests for sync reports and markdown tables
+(repro.analysis.report, Table.to_markdown)."""
+
+import pytest
+
+from repro.analysis.report import (
+    components_table,
+    corrections_table,
+    pairwise_table,
+    sync_report,
+)
+from repro.analysis.reporting import Table
+from repro.core.synchronizer import ClockSynchronizer
+from repro.delays.bounds import no_bounds
+from repro.delays.system import System
+from repro.graphs.topology import line, ring
+from repro.workloads.scenarios import bounded_uniform
+
+from conftest import make_two_node_execution
+
+
+@pytest.fixture
+def result():
+    scenario = bounded_uniform(ring(5), lb=1.0, ub=3.0, seed=3)
+    return ClockSynchronizer(scenario.system).from_execution(scenario.run())
+
+
+class TestSyncReport:
+    def test_three_tables(self, result):
+        tables = sync_report(result)
+        assert len(tables) == 3
+        for table in tables:
+            assert table.rows
+            table.format()  # renders without error
+
+    def test_corrections_table_contents(self, result):
+        table = corrections_table(result)
+        assert len(table.rows) == 5
+        roots = [row for row in table.rows if row[-1]]
+        assert len(roots) == 1  # single component, single root
+        root_row = roots[0]
+        assert result.corrections[root_row[0]] == pytest.approx(0.0)
+
+    def test_components_table_single(self, result):
+        table = components_table(result)
+        assert len(table.rows) == 1
+        assert "->" in table.rows[0][-1]  # critical cycle rendered
+
+    def test_components_table_multi(self):
+        system = System.uniform(line(2), no_bounds())
+        alpha = make_two_node_execution(0.0, 0.0, [2.0], [])
+        result = ClockSynchronizer(system).from_execution(alpha)
+        table = components_table(result)
+        assert len(table.rows) == 2
+        assert table.notes  # the multi-component warning
+
+    def test_pairwise_table_counts(self, result):
+        table = pairwise_table(result)
+        assert len(table.rows) == 5 * 4 // 2  # unordered pairs
+
+    def test_pairwise_table_truncation(self):
+        scenario = bounded_uniform(ring(15), lb=1.0, ub=3.0, seed=0)
+        result = ClockSynchronizer(scenario.system).from_execution(
+            scenario.run()
+        )
+        table = pairwise_table(result, max_processors=4)
+        assert len(table.rows) == 4 * 3 // 2
+        assert any("showing 4 of 15" in note for note in table.notes)
+
+    def test_pairwise_unbounded_interval_rendered(self):
+        system = System.uniform(line(2), no_bounds())
+        alpha = make_two_node_execution(0.0, 0.0, [2.0], [])
+        result = ClockSynchronizer(system).from_execution(alpha)
+        table = pairwise_table(result)
+        assert any("unbounded" in str(row[-1]) for row in table.rows)
+
+
+class TestMarkdown:
+    def test_to_markdown_structure(self):
+        table = Table(title="Demo", headers=["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_note("a note")
+        md = table.to_markdown()
+        assert md.startswith("**Demo**")
+        assert "| a | b |" in md
+        assert "|---|---|" in md
+        assert "| 1 | 2.5 |" in md
+        assert "*a note*" in md
+
+    def test_markdown_handles_inf(self):
+        table = Table(title="T", headers=["x"])
+        table.add_row(float("inf"))
+        assert "| inf |" in table.to_markdown()

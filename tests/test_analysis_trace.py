@@ -1,0 +1,127 @@
+"""Tests for execution-trace serialization (repro.analysis.trace)."""
+
+import json
+
+import pytest
+
+from repro.analysis.trace import (
+    TraceError,
+    execution_from_dict,
+    execution_to_dict,
+    load_execution,
+    save_execution,
+)
+from repro.core.synchronizer import ClockSynchronizer
+from repro.graphs.topology import ring, star
+from repro.model.execution import executions_equivalent
+from repro.sim.network import NetworkSimulator
+from repro.sim.protocols import echo_automata, flood_automata, probe_schedule
+from repro.workloads.scenarios import bounded_uniform, heterogeneous
+
+from conftest import make_two_node_execution
+
+
+class TestRoundTrip:
+    def test_hand_built_execution(self):
+        alpha = make_two_node_execution(3.0, 7.0, [2.0, 2.5], [1.5])
+        beta = execution_from_dict(execution_to_dict(alpha))
+        assert beta.start_times() == alpha.start_times()
+        assert executions_equivalent(alpha, beta)
+        assert len(beta.message_records()) == 3
+
+    def test_simulated_probe_execution(self):
+        scenario = bounded_uniform(ring(5), lb=1.0, ub=3.0, seed=12)
+        alpha = scenario.run()
+        beta = execution_from_dict(execution_to_dict(alpha))
+        assert executions_equivalent(alpha, beta)
+        delays_a = sorted(r.delay for r in alpha.message_records().values())
+        delays_b = sorted(r.delay for r in beta.message_records().values())
+        assert delays_a == pytest.approx(delays_b)
+
+    def test_echo_payloads_roundtrip(self):
+        from repro.delays.bounds import no_bounds
+        from repro.delays.distributions import Constant
+        from repro.delays.system import System
+
+        topo = star(4)
+        system = System.uniform(topo, no_bounds())
+        samplers = {link: Constant(1.0) for link in topo.links}
+        sim = NetworkSimulator(system, samplers, {p: 0.0 for p in topo.nodes})
+        alpha = sim.run(
+            dict(echo_automata(topo, {1: probe_schedule(2, 1.0, 1.0)}))
+        )
+        beta = execution_from_dict(execution_to_dict(alpha))
+        assert executions_equivalent(alpha, beta)
+
+    def test_flood_frozenset_states_roundtrip(self):
+        from repro.delays.bounds import no_bounds
+        from repro.delays.distributions import Constant
+        from repro.delays.system import System
+
+        topo = ring(4)
+        system = System.uniform(topo, no_bounds())
+        samplers = {link: Constant(1.0) for link in topo.links}
+        sim = NetworkSimulator(system, samplers, {p: 0.0 for p in topo.nodes})
+        alpha = sim.run(dict(flood_automata(topo, origins=[0, 2])))
+        beta = execution_from_dict(execution_to_dict(alpha))
+        final = beta.history(1).steps[-1].step.new_state
+        assert final == frozenset({0, 2})
+
+    def test_file_roundtrip(self, tmp_path):
+        scenario = heterogeneous(ring(4), seed=5)
+        alpha = scenario.run()
+        path = tmp_path / "trace.json"
+        save_execution(alpha, path)
+        beta = load_execution(path)
+        assert executions_equivalent(alpha, beta)
+
+    def test_synchronization_identical_after_reload(self, tmp_path):
+        """Golden-trace property: reloaded executions synchronize
+        bit-for-bit identically."""
+        scenario = bounded_uniform(ring(5), lb=1.0, ub=3.0, seed=9)
+        alpha = scenario.run()
+        path = tmp_path / "trace.json"
+        save_execution(alpha, path)
+        beta = load_execution(path)
+        sync = ClockSynchronizer(scenario.system)
+        a = sync.from_execution(alpha)
+        b = sync.from_execution(beta)
+        assert a.precision == b.precision
+        assert a.corrections == b.corrections
+
+
+class TestErrorHandling:
+    def test_unserializable_payload_rejected(self):
+        class Weird:
+            pass
+
+        alpha = make_two_node_execution(0.0, 0.0, [2.0], [])
+        # Corrupt a payload in-memory by rebuilding a message... easier:
+        # directly check the codec boundary.
+        from repro.analysis.trace import _encode_value
+
+        with pytest.raises(TraceError, match="not trace-serializable"):
+            _encode_value(Weird())
+
+    def test_version_mismatch_rejected(self):
+        alpha = make_two_node_execution(0.0, 0.0, [2.0], [])
+        data = execution_to_dict(alpha)
+        data["version"] = 999
+        with pytest.raises(TraceError, match="version"):
+            execution_from_dict(data)
+
+    def test_unknown_tags_rejected(self):
+        from repro.analysis.trace import _decode_event, _decode_value
+
+        with pytest.raises(TraceError):
+            _decode_value({"__t__": "mystery"})
+        with pytest.raises(TraceError):
+            _decode_event({"kind": "mystery"})
+
+    def test_output_is_plain_json(self, tmp_path):
+        scenario = bounded_uniform(ring(4), lb=1.0, ub=3.0, seed=2)
+        path = tmp_path / "trace.json"
+        save_execution(scenario.run(), path)
+        data = json.loads(path.read_text())  # must parse as vanilla JSON
+        assert data["version"] == 1
+        assert len(data["histories"]) == 4

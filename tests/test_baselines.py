@@ -1,0 +1,150 @@
+"""Unit tests for the NTP-style and Cristian-style baselines
+(repro.baselines.ntp_like, repro.baselines.cristian)."""
+
+import pytest
+
+from repro.baselines.cristian import (
+    best_round_trip_offset,
+    cristian_corrections,
+    cristian_error_bound,
+)
+from repro.baselines.ntp_like import (
+    BaselineError,
+    bfs_tree,
+    link_offset_estimate,
+    ntp_corrections,
+)
+from repro.core.optimality import beats_or_ties
+from repro.core.precision import realized_spread
+from repro.core.synchronizer import ClockSynchronizer
+from repro.graphs.topology import Topology, line, ring, star
+from repro.workloads.scenarios import asymmetric_bounded, bounded_uniform
+
+from conftest import make_two_node_execution
+
+
+class TestBfsTree:
+    def test_star_tree(self):
+        tree = bfs_tree(star(5), root=0)
+        assert sorted(tree) == [(0, 1), (0, 2), (0, 3), (0, 4)]
+
+    def test_line_tree_from_middle(self):
+        tree = bfs_tree(line(5), root=2)
+        assert set(tree) == {(2, 1), (2, 3), (1, 0), (3, 4)}
+
+    def test_disconnected_rejected(self):
+        topo = Topology(name="disc", nodes=(0, 1, 2), links=((0, 1),))
+        with pytest.raises(BaselineError, match="connected"):
+            bfs_tree(topo, 0)
+
+    def test_unknown_root(self):
+        with pytest.raises(BaselineError):
+            bfs_tree(line(3), 99)
+
+
+class TestOffsetEstimates:
+    def test_symmetric_delays_recover_offset_exactly(self):
+        s_p, s_q, d = 5.0, 8.0, 2.0
+        alpha = make_two_node_execution(s_p, s_q, [d], [d])
+        from repro.core.estimates import estimated_delays
+
+        est = estimated_delays(alpha.views())
+        offset = link_offset_estimate(est, 0, 1)
+        assert offset == pytest.approx(s_p - s_q)
+
+    def test_asymmetric_delays_bias_the_estimate(self):
+        s_p, s_q = 0.0, 0.0
+        alpha = make_two_node_execution(s_p, s_q, [1.0], [3.0])
+        from repro.core.estimates import estimated_delays
+
+        est = estimated_delays(alpha.views())
+        # (1 - 3)/2 = -1: a phantom offset of 1 time unit.
+        assert link_offset_estimate(est, 0, 1) == pytest.approx(-1.0)
+
+    def test_one_way_fallback(self):
+        alpha = make_two_node_execution(0.0, 0.0, [2.0], [])
+        from repro.core.estimates import estimated_delays
+
+        est = estimated_delays(alpha.views())
+        assert link_offset_estimate(est, 0, 1) == pytest.approx(2.0)
+        assert link_offset_estimate(est, 1, 0) == pytest.approx(-2.0)
+
+    def test_silent_link_gives_none(self):
+        assert link_offset_estimate({}, 0, 1) is None
+
+    def test_best_round_trip(self):
+        alpha = make_two_node_execution(0.0, 0.0, [1.0, 2.0], [1.5, 3.0])
+        from repro.core.estimates import estimated_delays
+
+        est = estimated_delays(alpha.views())
+        offset, rtt = best_round_trip_offset(est, 0, 1)
+        assert rtt == pytest.approx(2.5)
+        assert offset == pytest.approx((1.0 - 1.5) / 2)
+        assert best_round_trip_offset({(0, 1): [1.0]}, 0, 1) is None
+
+    def test_cristian_error_bound(self):
+        est = {(0, 1): [1.0], (1, 0): [1.5]}
+        assert cristian_error_bound(est, 0, 1, min_delay=0.5) == pytest.approx(
+            2.5 / 2 - 0.5
+        )
+        assert cristian_error_bound({}, 0, 1) is None
+
+
+class TestTreeCorrections:
+    def test_ntp_exact_on_symmetric_constant_delays(self):
+        """With identical constant delays the baselines are exact too."""
+        scenario = bounded_uniform(ring(5), lb=2.0, ub=2.0, seed=1)
+        alpha = scenario.run()
+        corrections = ntp_corrections(scenario.topology, alpha.views())
+        assert realized_spread(
+            alpha.start_times(), corrections
+        ) == pytest.approx(0.0, abs=1e-9)
+
+    def test_cristian_exact_on_symmetric_constant_delays(self):
+        scenario = bounded_uniform(ring(5), lb=2.0, ub=2.0, seed=1)
+        alpha = scenario.run()
+        corrections = cristian_corrections(scenario.topology, alpha.views())
+        assert realized_spread(
+            alpha.start_times(), corrections
+        ) == pytest.approx(0.0, abs=1e-9)
+
+    def test_silent_tree_link_raises(self):
+        alpha = make_two_node_execution(0.0, 0.0, [], [])
+        with pytest.raises(BaselineError, match="traffic|round trip"):
+            ntp_corrections(line(2), alpha.views())
+        with pytest.raises(BaselineError):
+            cristian_corrections(line(2), alpha.views())
+
+    def test_root_defaults_to_first_node(self):
+        scenario = bounded_uniform(ring(4), lb=1.0, ub=3.0, seed=2)
+        alpha = scenario.run()
+        corrections = ntp_corrections(scenario.topology, alpha.views())
+        assert corrections[0] == 0.0
+
+
+class TestOptimalAlwaysBeatsBaselines:
+    """Theorem 4.4 in action: no baseline ever achieves smaller rho_bar."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_symmetric_workloads(self, seed):
+        scenario = bounded_uniform(ring(5), lb=1.0, ub=3.0, seed=seed)
+        alpha = scenario.run()
+        result = ClockSynchronizer(scenario.system).from_execution(alpha)
+        views = alpha.views()
+        assert beats_or_ties(result, ntp_corrections(scenario.topology, views))
+        assert beats_or_ties(
+            result, cristian_corrections(scenario.topology, views)
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_asymmetric_workloads(self, seed):
+        scenario = asymmetric_bounded(
+            ring(5), lb=1.0, ub=5.0, skew_factor=0.8, seed=seed
+        )
+        alpha = scenario.run()
+        result = ClockSynchronizer(scenario.system).from_execution(alpha)
+        views = alpha.views()
+        assert beats_or_ties(result, ntp_corrections(scenario.topology, views))
+        assert beats_or_ties(
+            result, cristian_corrections(scenario.topology, views)
+        )

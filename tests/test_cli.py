@@ -1,0 +1,50 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for argv in (
+            ["list"],
+            ["demo"],
+            ["experiment", "E1"],
+            ["experiment", "E1", "--quick"],
+            ["all", "--quick"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E10" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal precision" in out
+        assert "critical cycle" in out
+
+    def test_experiment_quick(self, capsys):
+        assert main(["experiment", "E2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "E2" in out
+        assert "yes" in out
+
+    def test_experiment_lowercase_id(self, capsys):
+        assert main(["experiment", "e2", "--quick"]) == 0
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "E42"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err

@@ -1,0 +1,93 @@
+"""Unit tests for estimated delays and local-shift estimates
+(repro.core.estimates) -- Lemma 6.1 and Corollaries 6.3/6.6."""
+
+import pytest
+
+from repro.core.estimates import (
+    IncompleteViewsError,
+    estimated_delays,
+    local_shift_estimates,
+    true_local_shifts,
+)
+from repro.delays.bias import RoundTripBias
+from repro.delays.bounds import BoundedDelay
+from repro.delays.system import System
+from repro.graphs.topology import line
+from repro.model.execution import Execution
+
+from conftest import make_two_node_execution
+
+
+class TestEstimatedDelays:
+    def test_translation_identity(self):
+        """Lemma 6.1: d~(m) = d(m) + S_p - S_q, from views alone."""
+        s_p, s_q = 3.0, 7.5
+        alpha = make_two_node_execution(s_p, s_q, [2.0, 2.75], [1.25])
+        est = estimated_delays(alpha.views())
+        assert sorted(est[(0, 1)]) == pytest.approx(
+            sorted(d + s_p - s_q for d in [2.0, 2.75])
+        )
+        assert est[(1, 0)] == pytest.approx([1.25 + s_q - s_p])
+
+    def test_estimates_shift_invariant(self):
+        """Equivalent executions yield identical estimates (Claim 3.1)."""
+        from repro.model.execution import shift_execution
+
+        alpha = make_two_node_execution(3.0, 7.5, [2.0], [1.25])
+        beta = shift_execution(alpha, {0: 4.0, 1: -2.0})
+        assert estimated_delays(alpha.views()) == estimated_delays(
+            beta.views()
+        )
+
+    def test_negative_estimates_possible(self):
+        """With S_q >> S_p the estimate of q->p messages goes negative --
+        legal and meaningful (the receiver started later)."""
+        alpha = make_two_node_execution(0.0, 50.0, [], [1.0])
+        est = estimated_delays(alpha.views())
+        assert est[(1, 0)] == pytest.approx([51.0])
+
+    def test_missing_sender_view_rejected(self):
+        alpha = make_two_node_execution(0.0, 0.0, [2.0], [])
+        views = alpha.views()
+        del views[0]
+        with pytest.raises(IncompleteViewsError):
+            estimated_delays(views)
+
+    def test_empty_views_give_empty_estimates(self):
+        alpha = make_two_node_execution(0.0, 0.0, [], [])
+        assert estimated_delays(alpha.views()) == {}
+
+
+class TestLocalShiftEstimates:
+    def test_mls_tilde_translation_identity(self):
+        """Corollary 6.3: mls~(p,q) = mls(p,q) + S_p - S_q."""
+        s_p, s_q = 2.0, 9.0
+        system = System.uniform(line(2), BoundedDelay.symmetric(1.0, 3.0))
+        alpha = make_two_node_execution(s_p, s_q, [1.5, 2.5], [2.0])
+        estimated = local_shift_estimates(system, alpha.views())
+        true = true_local_shifts(system, alpha)
+        assert estimated[(0, 1)] == pytest.approx(true[(0, 1)] + s_p - s_q)
+        assert estimated[(1, 0)] == pytest.approx(true[(1, 0)] + s_q - s_p)
+
+    def test_bias_model_translation_identity(self):
+        """Corollary 6.6: same identity under the bias model."""
+        s_p, s_q = 5.0, 1.0
+        system = System.uniform(line(2), RoundTripBias(1.0))
+        alpha = make_two_node_execution(
+            s_p, s_q, [10.0, 10.3], [10.2, 10.6]
+        )
+        estimated = local_shift_estimates(system, alpha.views())
+        true = true_local_shifts(system, alpha)
+        assert estimated[(0, 1)] == pytest.approx(true[(0, 1)] + s_p - s_q)
+        assert estimated[(1, 0)] == pytest.approx(true[(1, 0)] + s_q - s_p)
+
+    def test_cycle_weights_cancel_translations(self):
+        """The proof of Theorem 5.5: cycle weight under mls~ equals the
+        cycle weight under mls (the S terms telescope)."""
+        system = System.uniform(line(2), BoundedDelay.symmetric(1.0, 3.0))
+        alpha = make_two_node_execution(4.0, 11.0, [1.5, 2.5], [2.0])
+        estimated = local_shift_estimates(system, alpha.views())
+        true = true_local_shifts(system, alpha)
+        cycle_est = estimated[(0, 1)] + estimated[(1, 0)]
+        cycle_true = true[(0, 1)] + true[(1, 0)]
+        assert cycle_est == pytest.approx(cycle_true)

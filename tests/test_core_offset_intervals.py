@@ -1,0 +1,131 @@
+"""Tests for the feasible-offset-interval API (SyncResult.offset_interval).
+
+The interval ``[-ms~(q,p), ms~(p,q)]`` is the exact set of true offsets
+``S_p - S_q`` consistent with the views -- the Halpern--Megiddo--Munshi
+"tightest pairwise bound" recovered from shortest-path estimates.
+"""
+
+import math
+
+import pytest
+
+from repro.core.synchronizer import ClockSynchronizer
+from repro.delays.bounds import BoundedDelay, no_bounds
+from repro.delays.system import System
+from repro.graphs.topology import line, ring
+from repro.workloads.scenarios import bounded_uniform, heterogeneous
+
+from conftest import make_two_node_execution
+
+
+class TestTwoNodeExactness:
+    def test_ground_truth_inside_interval(self):
+        s_p, s_q = 4.0, 9.5
+        system = System.uniform(line(2), BoundedDelay.symmetric(1.0, 3.0))
+        alpha = make_two_node_execution(s_p, s_q, [1.5, 2.2], [2.8])
+        result = ClockSynchronizer(system).from_execution(alpha)
+        low, high = result.offset_interval(0, 1)
+        assert low <= (s_p - s_q) <= high
+
+    def test_interval_is_tight_hand_computed(self):
+        """lb == ub pins the offset exactly: the interval degenerates."""
+        system = System.uniform(line(2), BoundedDelay.symmetric(2.0, 2.0))
+        alpha = make_two_node_execution(1.0, 6.0, [2.0], [2.0])
+        result = ClockSynchronizer(system).from_execution(alpha)
+        low, high = result.offset_interval(0, 1)
+        assert low == pytest.approx(high)
+        assert low == pytest.approx(1.0 - 6.0)
+
+    def test_width_equals_two_cycle_weight(self):
+        system = System.uniform(line(2), BoundedDelay.symmetric(1.0, 3.0))
+        alpha = make_two_node_execution(0.0, 0.0, [1.5], [2.5])
+        result = ClockSynchronizer(system).from_execution(alpha)
+        low, high = result.offset_interval(0, 1)
+        cycle_weight = result.ms_tilde[(0, 1)] + result.ms_tilde[(1, 0)]
+        assert high - low == pytest.approx(cycle_weight)
+
+    def test_antisymmetry(self):
+        system = System.uniform(line(2), BoundedDelay.symmetric(1.0, 3.0))
+        alpha = make_two_node_execution(2.0, 5.0, [1.4], [2.1])
+        result = ClockSynchronizer(system).from_execution(alpha)
+        low_pq, high_pq = result.offset_interval(0, 1)
+        low_qp, high_qp = result.offset_interval(1, 0)
+        assert low_pq == pytest.approx(-high_qp)
+        assert high_pq == pytest.approx(-low_qp)
+
+    def test_unbounded_direction_gives_infinite_end(self):
+        system = System.uniform(line(2), no_bounds())
+        alpha = make_two_node_execution(0.0, 0.0, [2.0], [])
+        result = ClockSynchronizer(system).from_execution(alpha)
+        low, high = result.offset_interval(0, 1)
+        # mls(0,1) = 2 finite; mls(1,0) = inf (silent unbounded direction).
+        assert high == pytest.approx(2.0)
+        assert math.isinf(low)
+
+
+class TestNetworkLevel:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_pairs_contain_ground_truth(self, seed):
+        scenario = bounded_uniform(ring(5), lb=1.0, ub=3.0, seed=seed)
+        alpha = scenario.run()
+        result = ClockSynchronizer(scenario.system).from_execution(alpha)
+        starts = alpha.start_times()
+        for p in scenario.system.processors:
+            for q in scenario.system.processors:
+                if p == q:
+                    continue
+                low, high = result.offset_interval(p, q)
+                truth = starts[p] - starts[q]
+                assert low - 1e-9 <= truth <= high + 1e-9, (p, q)
+
+    def test_pair_precision_identity_with_interval(self):
+        """pair_precision == worst distance from the corrections' implied
+        estimate ``x_p - x_q`` to the interval's endpoints."""
+        scenario = heterogeneous(ring(5), seed=1)
+        alpha = scenario.run()
+        result = ClockSynchronizer(scenario.system).from_execution(alpha)
+        for p in scenario.system.processors:
+            for q in scenario.system.processors:
+                if p == q:
+                    continue
+                low, high = result.offset_interval(p, q)
+                implied = result.corrections[p] - result.corrections[q]
+                expected = max(high - implied, implied - low)
+                assert result.pair_precision(p, q) == pytest.approx(
+                    expected
+                ), (p, q)
+
+    def test_interval_width_never_negative(self):
+        scenario = heterogeneous(ring(5), seed=2)
+        alpha = scenario.run()
+        result = ClockSynchronizer(scenario.system).from_execution(alpha)
+        for p in scenario.system.processors:
+            for q in scenario.system.processors:
+                if p != q:
+                    low, high = result.offset_interval(p, q)
+                    assert high - low >= -1e-9  # two-cycle weight >= 0
+
+    def test_interval_endpoints_attainable(self):
+        """The endpoints are *achieved* by admissible equivalent
+        executions (the adversary realizes them), so the interval is not
+        just valid but tight."""
+        from repro.analysis.adversary import adversarial_execution
+
+        scenario = bounded_uniform(ring(4), lb=1.0, ub=3.0, seed=7)
+        alpha = scenario.run()
+        result = ClockSynchronizer(scenario.system).from_execution(alpha)
+        p, q = 0, 2
+        low, high = result.offset_interval(p, q)
+        # Anchoring the adversary at q drives every other processor to its
+        # maximal shift: S'_p - S'_q = S_p - S_q + ms(q, p) -> low... and
+        # vice versa.  gamma slightly > 1 gets within a hair.
+        shifted_q = adversarial_execution(
+            scenario.system, alpha, anchor=q, gamma=1.0001
+        )
+        starts = shifted_q.start_times()
+        assert starts[p] - starts[q] == pytest.approx(low, abs=1e-3)
+        shifted_p = adversarial_execution(
+            scenario.system, alpha, anchor=p, gamma=1.0001
+        )
+        starts = shifted_p.start_times()
+        assert starts[p] - starts[q] == pytest.approx(high, abs=1e-3)

@@ -1,0 +1,86 @@
+"""Unit tests for optimality certificates (repro.core.optimality)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.optimality import (
+    CertificateError,
+    beats_or_ties,
+    cycle_mean_under,
+    verify_certificate,
+)
+from repro.core.synchronizer import ClockSynchronizer
+from repro.graphs.topology import ring
+from repro.workloads.scenarios import bounded_uniform, heterogeneous
+
+
+@pytest.fixture
+def result():
+    scenario = bounded_uniform(ring(5), lb=1.0, ub=3.0, seed=6)
+    return ClockSynchronizer(scenario.system).from_execution(scenario.run())
+
+
+class TestCycleMeanUnder:
+    def test_hand_computed(self):
+        ms = {(0, 1): 2.0, (1, 0): 4.0}
+        assert cycle_mean_under(ms, [0, 1]) == pytest.approx(3.0)
+
+    def test_empty_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            cycle_mean_under({}, [])
+
+
+class TestVerifyCertificate:
+    def test_valid_result_passes(self, result):
+        cert = verify_certificate(result)
+        assert cert.gap < 1e-6
+        assert cert.claimed_precision == pytest.approx(result.precision)
+
+    def test_tampered_precision_detected(self, result):
+        cheat_component = dataclasses.replace(
+            result.components[0], precision=result.precision / 2
+        )
+        cheat = dataclasses.replace(result, components=(cheat_component,))
+        with pytest.raises(CertificateError):
+            verify_certificate(cheat)
+
+    def test_tampered_corrections_detected(self, result):
+        bad_corrections = dict(result.corrections)
+        some = next(iter(bad_corrections))
+        bad_corrections[some] += 10 * max(1.0, result.precision)
+        cheat = dataclasses.replace(result, corrections=bad_corrections)
+        with pytest.raises(CertificateError):
+            verify_certificate(cheat)
+
+    def test_missing_cycle_detected(self, result):
+        no_cycle = dataclasses.replace(
+            result.components[0], critical_cycle=None
+        )
+        cheat = dataclasses.replace(result, components=(no_cycle,))
+        with pytest.raises(CertificateError, match="witness"):
+            verify_certificate(cheat)
+
+    def test_heterogeneous_results_certify(self):
+        for seed in range(3):
+            scenario = heterogeneous(ring(5), seed=seed)
+            result = ClockSynchronizer(scenario.system).from_execution(
+                scenario.run()
+            )
+            verify_certificate(result)
+
+
+class TestBeatsOrTies:
+    def test_beats_perturbed_corrections(self, result):
+        worse = {
+            p: x + (0.5 if i % 2 else -0.5)
+            for i, (p, x) in enumerate(result.corrections.items())
+        }
+        assert beats_or_ties(result, worse)
+
+    def test_ties_itself(self, result):
+        assert beats_or_ties(result, result.corrections)
+
+    def test_ties_translated_corrections(self, result):
+        translated = {p: x + 5.0 for p, x in result.corrections.items()}
+        assert beats_or_ties(result, translated)

@@ -1,0 +1,100 @@
+"""Unit tests for precision measures (repro.core.precision)."""
+
+import pytest
+
+from repro._types import INF
+from repro.core.precision import (
+    corrected_starts,
+    realized_spread,
+    rho_bar,
+    rho_bar_true,
+)
+
+
+class TestRealizedSpread:
+    def test_perfect_corrections_zero_spread(self):
+        starts = {0: 5.0, 1: 8.0, 2: 2.0}
+        corrections = {0: 5.0, 1: 8.0, 2: 2.0}
+        assert realized_spread(starts, corrections) == pytest.approx(0.0)
+
+    def test_hand_computed(self):
+        starts = {0: 5.0, 1: 8.0}
+        corrections = {0: 0.0, 1: 2.0}  # residuals: 5, 6
+        assert realized_spread(starts, corrections) == pytest.approx(1.0)
+
+    def test_single_processor(self):
+        assert realized_spread({0: 3.0}, {0: 0.0}) == 0.0
+
+    def test_translation_invariance(self):
+        starts = {0: 5.0, 1: 8.0, 2: 1.0}
+        base = {0: 0.0, 1: 2.0, 2: -1.0}
+        shifted = {p: x + 42.0 for p, x in base.items()}
+        assert realized_spread(starts, base) == pytest.approx(
+            realized_spread(starts, shifted)
+        )
+
+    def test_corrected_starts(self):
+        assert corrected_starts({0: 5.0}, {0: 2.0}) == {0: 3.0}
+
+
+class TestRhoBar:
+    def test_zero_corrections(self):
+        ms = {(0, 1): 2.0, (1, 0): 1.0}
+        x = {0: 0.0, 1: 0.0}
+        assert rho_bar(ms, x) == pytest.approx(2.0)
+
+    def test_corrections_shift_the_max(self):
+        ms = {(0, 1): 2.0, (1, 0): 1.0}
+        # x_1 - x_0 = -0.5 balances: max(2 - 0.5, 1 + 0.5) = 1.5 = optimum.
+        assert rho_bar(ms, {0: 0.0, 1: -0.5}) == pytest.approx(1.5)
+
+    def test_translation_invariance(self):
+        ms = {(0, 1): 2.0, (1, 0): 1.0}
+        a = rho_bar(ms, {0: 0.0, 1: -0.5})
+        b = rho_bar(ms, {0: 100.0, 1: 99.5})
+        assert a == pytest.approx(b)
+
+    def test_infinite_pair_gives_inf(self):
+        ms = {(0, 1): INF, (1, 0): 1.0}
+        assert rho_bar(ms, {0: 0.0, 1: 0.0}) == INF
+
+    def test_missing_pair_treated_infinite(self):
+        assert rho_bar({(0, 1): 1.0}, {0: 0.0, 1: 0.0}) == INF
+
+    def test_single_processor(self):
+        assert rho_bar({}, {0: 0.0}) == 0.0
+
+    def test_never_below_max_cycle_mean(self):
+        """rho_bar(x) >= mean of any cycle, whatever x (Theorem 4.4)."""
+        ms = {(0, 1): 3.0, (1, 0): -1.0}
+        for x1 in [-5.0, -2.0, 0.0, 2.0, 5.0]:
+            assert rho_bar(ms, {0: 0.0, 1: x1}) >= 1.0 - 1e-12
+
+
+class TestRhoBarTrue:
+    def test_matches_estimated_formulation(self):
+        """rho_bar from (ms, starts) == rho_bar from ms~ (Lemma 4.5)."""
+        starts = {0: 4.0, 1: 9.0}
+        ms_true = {(0, 1): 1.0, (1, 0): 0.5}
+        ms_tilde = {
+            (0, 1): ms_true[(0, 1)] + starts[0] - starts[1],
+            (1, 0): ms_true[(1, 0)] + starts[1] - starts[0],
+        }
+        x = {0: 0.0, 1: -4.8}
+        assert rho_bar_true(ms_true, starts, x) == pytest.approx(
+            rho_bar(ms_tilde, x)
+        )
+
+    def test_realized_never_exceeds_rho_bar(self):
+        """rho(alpha, x) <= rho_bar(x): the identity shift is admissible."""
+        starts = {0: 4.0, 1: 9.0}
+        ms_true = {(0, 1): 1.0, (1, 0): 0.5}  # both >= 0 as in any alpha
+        for x1 in [-6.0, -5.0, -4.0]:
+            x = {0: 0.0, 1: x1}
+            assert realized_spread(starts, x) <= rho_bar_true(
+                ms_true, starts, x
+            ) + 1e-12
+
+    def test_infinite(self):
+        starts = {0: 0.0, 1: 0.0}
+        assert rho_bar_true({(0, 1): INF, (1, 0): 0.0}, starts, {0: 0, 1: 0}) == INF

@@ -1,0 +1,119 @@
+"""Unit tests for the round-trip bias assumption (repro.delays.bias).
+
+Lemma 6.5 / Corollary 6.6 with hand-computed values, plus the paper's own
+decomposition argument (A[b] = nonneg ∩ unsigned-bias).
+"""
+
+import pytest
+
+from repro._types import INF
+from repro.delays.base import DirectionStats, PairTiming
+from repro.delays.bias import RoundTripBias, RoundTripBiasUnsigned
+from repro.delays.bounds import no_bounds
+from repro.delays.composite import Composite
+
+
+def timing(fwd, rev) -> PairTiming:
+    return PairTiming(
+        forward=DirectionStats.of(list(fwd)),
+        reverse=DirectionStats.of(list(rev)),
+    )
+
+
+class TestConstruction:
+    def test_negative_bias_rejected(self):
+        with pytest.raises(ValueError):
+            RoundTripBias(-0.1)
+        with pytest.raises(ValueError):
+            RoundTripBiasUnsigned(-0.1)
+
+    def test_self_flip(self):
+        a = RoundTripBias(0.5)
+        assert a.flipped() is a
+
+
+class TestMlsFormula:
+    """Lemma 6.5: mls = min(dmin_fwd, (b + dmin_fwd - dmax_rev) / 2)."""
+
+    def test_hand_computed_bias_binding(self):
+        a = RoundTripBias(1.0)
+        t = timing([10.0, 10.4], [10.2, 10.6])
+        # bias term: (1.0 + 10.0 - 10.6) / 2 = 0.2; nonneg term: 10.0.
+        assert a.mls_bound(t) == pytest.approx(0.2)
+
+    def test_hand_computed_nonneg_binding(self):
+        a = RoundTripBias(100.0)
+        t = timing([0.5, 0.7], [0.6])
+        # bias term: (100 + 0.5 - 0.6)/2 = 49.95; nonneg term: 0.5.
+        assert a.mls_bound(t) == pytest.approx(0.5)
+
+    def test_symmetric_delays_give_half_bias(self):
+        a = RoundTripBias(0.8)
+        t = timing([5.0], [5.0])
+        assert a.mls_bound(t) == pytest.approx(0.4)
+
+    def test_no_reverse_messages(self):
+        a = RoundTripBias(1.0)
+        t = timing([5.0], [])
+        # dmax_rev = -inf -> bias term inf; only nonneg binds.
+        assert a.mls_bound(t) == pytest.approx(5.0)
+
+    def test_no_forward_messages(self):
+        a = RoundTripBias(1.0)
+        t = timing([], [5.0])
+        assert a.mls_bound(t) == INF
+
+    def test_bias_term_can_be_negative(self):
+        """Observed bias at the limit makes the shift bound 0 (or less in
+        estimated coordinates -- legal for mls~)."""
+        a = RoundTripBias(0.5)
+        t = timing([10.0], [10.5])
+        assert a.mls_bound(t) == pytest.approx(0.0)
+
+
+class TestDecompositionOfLemma65:
+    """The paper proves Lemma 6.5 via Theorem 5.6: A[b] = A' ∩ A''."""
+
+    def test_bias_equals_composite_of_nonneg_and_unsigned(self):
+        b = 0.9
+        signed = RoundTripBias(b)
+        decomposed = Composite.of(no_bounds(), RoundTripBiasUnsigned(b))
+        for fwd, rev in [
+            ([10.0, 10.3], [10.1, 10.8]),
+            ([0.2], [0.3, 0.4]),
+            ([5.0], []),
+            ([3.0, 3.1, 3.2], [3.05]),
+        ]:
+            t = timing(fwd, rev)
+            assert signed.mls_bound(t) == pytest.approx(
+                decomposed.mls_bound(t)
+            ), (fwd, rev)
+
+
+class TestAdmits:
+    def test_within_bias(self):
+        a = RoundTripBias(1.0)
+        assert a.admits([10.0, 10.5], [10.2, 10.9])
+
+    def test_bias_violated(self):
+        a = RoundTripBias(1.0)
+        assert not a.admits([10.0], [11.5])
+        assert not a.admits([11.5], [10.0])
+
+    def test_negative_delay_rejected_by_signed_only(self):
+        signed = RoundTripBias(1.0)
+        unsigned = RoundTripBiasUnsigned(1.0)
+        assert not signed.admits([-0.5], [0.0])
+        assert unsigned.admits([-0.5], [0.0])
+
+    def test_one_sided_traffic_always_biased_ok(self):
+        a = RoundTripBias(0.1)
+        assert a.admits([1.0, 50.0], [])  # no opposite pairs exist
+
+    def test_extreme_pairs_bind(self):
+        a = RoundTripBias(1.0)
+        # max_fwd - min_rev = 10.9 - 10.0 = 0.9 <= 1 and
+        # max_rev - min_fwd = 10.8 - 10.1 = 0.7 <= 1.
+        assert a.admits([10.1, 10.9], [10.0, 10.8])
+        # Push one extreme out.
+        assert not a.admits([10.1, 11.1], [10.0, 10.8])

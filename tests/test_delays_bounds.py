@@ -1,0 +1,154 @@
+"""Unit tests for bound-based assumptions (repro.delays.bounds).
+
+Lemma 6.2 / Corollaries 6.3 and 6.4 with hand-computed values.
+"""
+
+import pytest
+
+from repro._types import INF
+from repro.delays.base import DirectionStats, PairTiming
+from repro.delays.bounds import BoundedDelay, lower_bounds_only, no_bounds
+
+
+def timing(fwd, rev) -> PairTiming:
+    return PairTiming(
+        forward=DirectionStats.of(list(fwd)),
+        reverse=DirectionStats.of(list(rev)),
+    )
+
+
+class TestConstruction:
+    def test_defaults_are_unbounded(self):
+        a = BoundedDelay()
+        assert a.lb_forward == 0.0 and a.ub_forward == INF
+
+    def test_negative_lower_bound_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedDelay(lb_forward=-1.0)
+
+    def test_crossed_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedDelay(lb_forward=3.0, ub_forward=2.0)
+        with pytest.raises(ValueError):
+            BoundedDelay(lb_reverse=3.0, ub_reverse=2.0)
+
+    def test_symmetric_constructor(self):
+        a = BoundedDelay.symmetric(1.0, 3.0)
+        assert a.lb_forward == a.lb_reverse == 1.0
+        assert a.ub_forward == a.ub_reverse == 3.0
+
+    def test_has_upper_bounds(self):
+        assert BoundedDelay.symmetric(1.0, 3.0).has_upper_bounds
+        assert not no_bounds().has_upper_bounds
+        assert not lower_bounds_only(1.0).has_upper_bounds
+
+
+class TestMlsFormula:
+    """Lemma 6.2: mls(p,q) = min(ub(q,p) - dmax(q,p), dmin(p,q) - lb(p,q))."""
+
+    def test_hand_computed_symmetric(self):
+        a = BoundedDelay.symmetric(1.0, 3.0)
+        # forward delays (p->q): min 1.5; reverse: max 2.5.
+        t = timing([1.5, 2.0], [2.0, 2.5])
+        # min(3.0 - 2.5, 1.5 - 1.0) = min(0.5, 0.5) = 0.5
+        assert a.mls_bound(t) == pytest.approx(0.5)
+
+    def test_hand_computed_asymmetric(self):
+        a = BoundedDelay(
+            lb_forward=0.5, ub_forward=4.0, lb_reverse=1.0, ub_reverse=6.0
+        )
+        t = timing([2.0], [3.0])
+        # min(ub_reverse - dmax_rev, dmin_fwd - lb_forward)
+        # = min(6.0 - 3.0, 2.0 - 0.5) = 1.5
+        assert a.mls_bound(t) == pytest.approx(1.5)
+
+    def test_lower_bound_only(self):
+        a = lower_bounds_only(1.0)
+        t = timing([2.5, 3.0], [100.0])
+        # ub_reverse = inf -> only dmin_fwd - lb binds: 2.5 - 1.0.
+        assert a.mls_bound(t) == pytest.approx(1.5)
+
+    def test_no_bounds_gives_dmin(self):
+        """Corollary 6.4: mls = dmin(p, q)."""
+        a = no_bounds()
+        t = timing([2.5, 7.0], [9.0])
+        assert a.mls_bound(t) == pytest.approx(2.5)
+
+    def test_no_forward_messages_unbounded_when_ub_infinite(self):
+        a = lower_bounds_only(1.0)
+        t = timing([], [2.0])
+        assert a.mls_bound(t) == INF
+
+    def test_no_messages_at_all(self):
+        a = BoundedDelay.symmetric(1.0, 3.0)
+        t = timing([], [])
+        # dmin_fwd = inf and dmax_rev = -inf: ub - (-inf) = inf either way.
+        assert a.mls_bound(t) == INF
+
+    def test_no_forward_but_reverse_with_finite_ub(self):
+        a = BoundedDelay.symmetric(1.0, 3.0)
+        t = timing([], [2.5])
+        # Only the reverse upper bound binds: 3.0 - 2.5 = 0.5.
+        assert a.mls_bound(t) == pytest.approx(0.5)
+
+    def test_mls_can_be_zero_at_extremes(self):
+        a = BoundedDelay.symmetric(1.0, 3.0)
+        t = timing([1.0], [3.0])
+        assert a.mls_bound(t) == pytest.approx(0.0)
+
+    def test_mls_pair_gives_both_directions(self):
+        a = BoundedDelay.symmetric(1.0, 3.0)
+        t = timing([1.5], [2.5])
+        pq, qp = a.mls_pair(t)
+        assert pq == pytest.approx(0.5)  # min(3-2.5, 1.5-1)
+        assert qp == pytest.approx(1.5)  # min(3-1.5, 2.5-1)
+
+
+class TestAdmits:
+    def test_within_bounds(self):
+        a = BoundedDelay.symmetric(1.0, 3.0)
+        assert a.admits([1.0, 2.0, 3.0], [1.5])
+        assert a.admits([], [])
+
+    def test_violations(self):
+        a = BoundedDelay.symmetric(1.0, 3.0)
+        assert not a.admits([0.5], [])
+        assert not a.admits([], [3.5])
+
+    def test_asymmetric_directions_checked_separately(self):
+        a = BoundedDelay(
+            lb_forward=0.0, ub_forward=1.0, lb_reverse=5.0, ub_reverse=9.0
+        )
+        assert a.admits([0.5], [6.0])
+        assert not a.admits([6.0], [0.5])
+
+    def test_tolerance_at_boundary(self):
+        a = BoundedDelay.symmetric(1.0, 3.0)
+        assert a.admits([1.0 - 1e-12], [3.0 + 1e-12])
+
+
+class TestFlip:
+    def test_flip_swaps_directions(self):
+        a = BoundedDelay(
+            lb_forward=0.5, ub_forward=4.0, lb_reverse=1.0, ub_reverse=6.0
+        )
+        f = a.flipped()
+        assert f.lb_forward == 1.0 and f.ub_forward == 6.0
+        assert f.lb_reverse == 0.5 and f.ub_reverse == 4.0
+
+    def test_double_flip_is_identity(self):
+        a = BoundedDelay(
+            lb_forward=0.5, ub_forward=4.0, lb_reverse=1.0, ub_reverse=6.0
+        )
+        assert a.flipped().flipped() == a
+
+    def test_flip_consistency_of_mls(self):
+        """mls(q,p) via flip == reading the formula in the other direction."""
+        a = BoundedDelay(
+            lb_forward=0.5, ub_forward=4.0, lb_reverse=1.0, ub_reverse=6.0
+        )
+        t = timing([2.0, 2.5], [3.0, 3.5])
+        via_flip = a.flipped().mls_bound(t.flipped())
+        # mls(q,p) = min(ub(p,q) - dmax(p,q), dmin(q,p) - lb(q,p))
+        expected = min(4.0 - 2.5, 3.0 - 1.0)
+        assert via_flip == pytest.approx(expected)

@@ -1,0 +1,91 @@
+"""Unit tests for composite assumptions (repro.delays.composite)."""
+
+import pytest
+
+from repro.delays.base import DirectionStats, PairTiming
+from repro.delays.bias import RoundTripBias
+from repro.delays.bounds import BoundedDelay, lower_bounds_only
+from repro.delays.composite import Composite
+
+
+def timing(fwd, rev) -> PairTiming:
+    return PairTiming(
+        forward=DirectionStats.of(list(fwd)),
+        reverse=DirectionStats.of(list(rev)),
+    )
+
+
+class TestConstruction:
+    def test_empty_composite_rejected(self):
+        with pytest.raises(ValueError):
+            Composite(components=())
+
+    def test_flattening(self):
+        a = BoundedDelay.symmetric(1.0, 3.0)
+        b = RoundTripBias(0.5)
+        c = lower_bounds_only(0.2)
+        nested = Composite.of(Composite.of(a, b), c)
+        assert nested.components == (a, b, c)
+
+
+class TestMinSemantics:
+    """Theorem 5.6: mls of the intersection is the min of component mls."""
+
+    def test_mls_is_min(self):
+        a = BoundedDelay.symmetric(1.0, 3.0)
+        b = RoundTripBias(0.5)
+        composite = Composite.of(a, b)
+        t = timing([1.8, 2.0], [2.1, 2.3])
+        assert composite.mls_bound(t) == pytest.approx(
+            min(a.mls_bound(t), b.mls_bound(t))
+        )
+
+    def test_order_irrelevant(self):
+        a = BoundedDelay.symmetric(1.0, 3.0)
+        b = RoundTripBias(0.5)
+        t = timing([1.8], [2.3])
+        assert Composite.of(a, b).mls_bound(t) == pytest.approx(
+            Composite.of(b, a).mls_bound(t)
+        )
+
+    def test_idempotent(self):
+        a = BoundedDelay.symmetric(1.0, 3.0)
+        t = timing([1.5], [2.5])
+        assert Composite.of(a, a).mls_bound(t) == pytest.approx(
+            a.mls_bound(t)
+        )
+
+
+class TestAdmits:
+    def test_requires_all_components(self):
+        composite = Composite.of(
+            BoundedDelay.symmetric(1.0, 3.0), RoundTripBias(0.5)
+        )
+        assert composite.admits([2.0, 2.2], [2.1])
+        # Bounds fine, bias violated:
+        assert not composite.admits([1.0], [2.9])
+        # Bias fine, bounds violated:
+        assert not composite.admits([3.6], [3.7])
+
+
+class TestFlip:
+    def test_flip_distributes(self):
+        asym = BoundedDelay(
+            lb_forward=0.5, ub_forward=2.0, lb_reverse=1.0, ub_reverse=4.0
+        )
+        composite = Composite.of(asym, RoundTripBias(0.5))
+        flipped = composite.flipped()
+        assert flipped.components[0] == asym.flipped()
+        assert flipped.components[1] == RoundTripBias(0.5)
+
+    def test_mls_pair_consistency(self):
+        asym = BoundedDelay(
+            lb_forward=0.5, ub_forward=2.0, lb_reverse=1.0, ub_reverse=4.0
+        )
+        composite = Composite.of(asym, RoundTripBias(3.0))
+        t = timing([1.0, 1.5], [2.0, 3.0])
+        pq, qp = composite.mls_pair(t)
+        assert pq == pytest.approx(composite.mls_bound(t))
+        assert qp == pytest.approx(
+            composite.flipped().mls_bound(t.flipped())
+        )

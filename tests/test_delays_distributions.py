@@ -1,0 +1,152 @@
+"""Unit tests for delay samplers (repro.delays.distributions)."""
+
+import random
+
+import pytest
+
+from repro.delays.bias import RoundTripBias
+from repro.delays.bounds import BoundedDelay
+from repro.delays.distributions import (
+    AsymmetricUniform,
+    Bimodal,
+    Constant,
+    CorrelatedLoad,
+    Direction,
+    ShiftedExponential,
+    TruncatedNormal,
+    UniformDelay,
+)
+
+
+def draw(sampler, n=200, seed=0, direction=Direction.FORWARD):
+    rng = random.Random(seed)
+    return [sampler.sample(rng, direction) for _ in range(n)]
+
+
+class TestDirection:
+    def test_flip(self):
+        assert Direction.FORWARD.flipped() is Direction.REVERSE
+        assert Direction.REVERSE.flipped() is Direction.FORWARD
+
+
+class TestUniform:
+    def test_support(self):
+        values = draw(UniformDelay(1.0, 3.0))
+        assert all(1.0 <= v <= 3.0 for v in values)
+
+    def test_respects_matching_assumption(self):
+        assumption = BoundedDelay.symmetric(1.0, 3.0)
+        assert assumption.admits(draw(UniformDelay(1.0, 3.0)), [])
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            UniformDelay(3.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformDelay(-1.0, 1.0)
+
+    def test_deterministic_given_seed(self):
+        assert draw(UniformDelay(1.0, 3.0), seed=5) == draw(
+            UniformDelay(1.0, 3.0), seed=5
+        )
+
+
+class TestAsymmetricUniform:
+    def test_per_direction_support(self):
+        s = AsymmetricUniform(1.0, 2.0, 5.0, 6.0)
+        fwd = draw(s, direction=Direction.FORWARD)
+        rev = draw(s, direction=Direction.REVERSE)
+        assert all(1.0 <= v <= 2.0 for v in fwd)
+        assert all(5.0 <= v <= 6.0 for v in rev)
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            AsymmetricUniform(2.0, 1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            AsymmetricUniform(0.0, 1.0, 2.0, 1.0)
+
+
+class TestShiftedExponential:
+    def test_support_above_minimum(self):
+        values = draw(ShiftedExponential(1.5, 2.0))
+        assert all(v >= 1.5 for v in values)
+
+    def test_cap_truncates(self):
+        values = draw(ShiftedExponential(1.0, 10.0, cap=2.0))
+        assert all(1.0 <= v <= 2.0 for v in values)
+
+    def test_zero_mean_extra_is_constant(self):
+        values = draw(ShiftedExponential(1.5, 0.0))
+        assert all(v == 1.5 for v in values)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ShiftedExponential(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            ShiftedExponential(2.0, 1.0, cap=1.0)
+
+
+class TestTruncatedNormal:
+    def test_support(self):
+        values = draw(TruncatedNormal(2.0, 0.5, 1.0, 3.0))
+        assert all(1.0 <= v <= 3.0 for v in values)
+
+    def test_pathological_params_fall_back_to_clamp(self):
+        # mu far outside the window: resampling fails, clamp applies.
+        s = TruncatedNormal(100.0, 0.001, 1.0, 3.0)
+        values = draw(s, n=5)
+        assert all(v == 3.0 for v in values)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            TruncatedNormal(2.0, -1.0, 1.0, 3.0)
+        with pytest.raises(ValueError):
+            TruncatedNormal(2.0, 1.0, 3.0, 1.0)
+
+
+class TestCorrelatedLoad:
+    def test_respects_implied_bias(self):
+        s = CorrelatedLoad(1.0, 20.0, max_jitter=0.25)
+        rng = random.Random(3)
+        fwd = [s.sample(rng, Direction.FORWARD) for _ in range(100)]
+        rev = [s.sample(rng, Direction.REVERSE) for _ in range(100)]
+        assumption = RoundTripBias(s.implied_bias)
+        assert assumption.admits(fwd, rev)
+        assert s.implied_bias == pytest.approx(0.5)
+
+    def test_base_drawn_once(self):
+        s = CorrelatedLoad(1.0, 20.0, max_jitter=0.1)
+        values = draw(s, n=50, seed=9)
+        spread = max(values) - min(values)
+        assert spread <= 0.2 + 1e-12
+
+    def test_nonnegative_even_with_small_base(self):
+        s = CorrelatedLoad(0.0, 0.01, max_jitter=1.0)
+        assert all(v >= 0.0 for v in draw(s, n=100))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            CorrelatedLoad(5.0, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            CorrelatedLoad(1.0, 5.0, -0.1)
+
+
+class TestBimodalAndConstant:
+    def test_bimodal_mixes(self):
+        s = Bimodal(Constant(1.0), Constant(10.0), slow_probability=0.5)
+        values = set(draw(s, n=100))
+        assert values == {1.0, 10.0}
+
+    def test_bimodal_extremes(self):
+        always_slow = Bimodal(Constant(1.0), Constant(10.0), 1.0)
+        assert set(draw(always_slow, n=20)) == {10.0}
+        never_slow = Bimodal(Constant(1.0), Constant(10.0), 0.0)
+        assert set(draw(never_slow, n=20)) == {1.0}
+
+    def test_bimodal_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Bimodal(Constant(1.0), Constant(2.0), 1.5)
+
+    def test_constant(self):
+        assert draw(Constant(2.5), n=5) == [2.5] * 5
+        with pytest.raises(ValueError):
+            Constant(-1.0)

@@ -1,0 +1,132 @@
+"""Unit tests for the system (G, A) (repro.delays.system)."""
+
+import pytest
+
+from repro._types import INF
+from repro.delays.base import DirectionStats
+from repro.delays.bounds import BoundedDelay, no_bounds
+from repro.delays.system import System, UnknownLinkError
+from repro.graphs.topology import line, ring
+
+from conftest import make_two_node_execution
+
+
+class TestConstruction:
+    def test_uniform_covers_all_links(self):
+        system = System.uniform(ring(5), no_bounds())
+        assert set(system.assumptions) == set(ring(5).links)
+
+    def test_missing_assumption_rejected(self):
+        topo = line(3)
+        with pytest.raises(ValueError, match="without assumptions"):
+            System(topology=topo, assumptions={(0, 1): no_bounds()})
+
+    def test_unknown_link_rejected(self):
+        topo = line(3)
+        with pytest.raises(UnknownLinkError):
+            System(
+                topology=topo,
+                assumptions={
+                    (0, 1): no_bounds(),
+                    (1, 2): no_bounds(),
+                    (0, 2): no_bounds(),
+                },
+            )
+
+    def test_from_links_with_default(self):
+        topo = line(3)
+        special = BoundedDelay.symmetric(1.0, 2.0)
+        system = System.from_links(
+            topo, {(0, 1): special}, default=no_bounds()
+        )
+        assert system.assumptions[(0, 1)] == special
+        assert system.assumptions[(1, 2)] == no_bounds()
+
+    def test_from_links_flips_non_canonical_keys(self):
+        topo = line(2)  # canonical link is (0, 1)
+        asym = BoundedDelay(
+            lb_forward=1.0, ub_forward=2.0, lb_reverse=3.0, ub_reverse=4.0
+        )
+        system = System.from_links(topo, {(1, 0): asym})
+        stored = system.assumptions[(0, 1)]
+        # Keyed as (1, 0): its "forward" was 1->0, so canonically the
+        # stored forward (0->1) must carry the reverse bounds.
+        assert stored.lb_forward == 3.0 and stored.ub_forward == 4.0
+
+    def test_from_links_unknown_link(self):
+        with pytest.raises(UnknownLinkError):
+            System.from_links(line(3), {(0, 2): no_bounds()})
+
+
+class TestOrientation:
+    def test_canonical_link(self):
+        system = System.uniform(line(3), no_bounds())
+        assert system.canonical_link(0, 1) == (0, 1)
+        assert system.canonical_link(1, 0) == (0, 1)
+        with pytest.raises(UnknownLinkError):
+            system.canonical_link(0, 2)
+
+    def test_assumption_oriented_flips(self):
+        topo = line(2)
+        asym = BoundedDelay(
+            lb_forward=1.0, ub_forward=2.0, lb_reverse=3.0, ub_reverse=4.0
+        )
+        system = System(topology=topo, assumptions={(0, 1): asym})
+        assert system.assumption_oriented(0, 1) == asym
+        assert system.assumption_oriented(1, 0) == asym.flipped()
+
+
+class TestAdmissibility:
+    def test_admissible_execution(self):
+        system = System.uniform(line(2), BoundedDelay.symmetric(1.0, 3.0))
+        alpha = make_two_node_execution(0.0, 0.0, [2.0], [2.5])
+        assert system.is_admissible(alpha)
+
+    def test_delay_violation_detected(self):
+        system = System.uniform(line(2), BoundedDelay.symmetric(1.0, 3.0))
+        alpha = make_two_node_execution(0.0, 0.0, [5.0], [2.0])
+        assert not system.is_admissible(alpha)
+
+    def test_message_on_non_link_detected(self):
+        # Build a 2-node execution but claim a 3-node line where 0-1 is
+        # replaced by 0-2/2-1: messages 0->1 have no link.
+        from repro.graphs.topology import Topology
+
+        topo = Topology(name="vee", nodes=(0, 1, 2), links=((0, 2), (2, 1)))
+        system = System.uniform(topo, no_bounds())
+        alpha = make_two_node_execution(0.0, 0.0, [2.0], [2.0])
+        assert not system.is_admissible(alpha)
+
+
+class TestMlsComputation:
+    def test_mls_from_delays_both_directions(self):
+        system = System.uniform(line(2), BoundedDelay.symmetric(1.0, 3.0))
+        mls = system.mls_from_delays({(0, 1): [1.5], (1, 0): [2.5]})
+        assert mls[(0, 1)] == pytest.approx(min(3.0 - 2.5, 1.5 - 1.0))
+        assert mls[(1, 0)] == pytest.approx(min(3.0 - 1.5, 2.5 - 1.0))
+
+    def test_mls_from_stats_equals_from_delays(self):
+        system = System.uniform(line(3), BoundedDelay.symmetric(0.5, 4.0))
+        delays = {
+            (0, 1): [1.0, 2.0],
+            (1, 0): [1.5],
+            (1, 2): [3.0],
+            (2, 1): [2.0, 2.5],
+        }
+        stats = {
+            edge: DirectionStats.of(values) for edge, values in delays.items()
+        }
+        assert system.mls_from_delays(delays) == system.mls_from_stats(stats)
+
+    def test_silent_edge_gives_inf_when_unbounded(self):
+        system = System.uniform(line(2), no_bounds())
+        mls = system.mls_from_delays({(0, 1): [2.0]})
+        assert mls[(0, 1)] == pytest.approx(2.0)
+        assert mls[(1, 0)] == INF
+
+    def test_true_delays_extraction(self):
+        system = System.uniform(line(2), no_bounds())
+        alpha = make_two_node_execution(1.0, 4.0, [2.0, 3.0], [1.5])
+        delays = system.true_delays(alpha)
+        assert sorted(delays[(0, 1)]) == pytest.approx([2.0, 3.0])
+        assert delays[(1, 0)] == pytest.approx([1.5])

@@ -1,0 +1,93 @@
+"""Documentation drift guards.
+
+The docs make concrete promises (experiment ids, module names, example
+scripts, CLI subcommands); these tests pin them to the code so a rename
+or addition that forgets the docs fails loudly.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import REGISTRY
+
+ROOT = Path(__file__).parent.parent
+
+
+@pytest.fixture(scope="module")
+def docs():
+    return {
+        name: (ROOT / name).read_text()
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "THEORY.md")
+    }
+
+
+class TestExperimentDocs:
+    def test_design_lists_every_experiment(self, docs):
+        for experiment_id in REGISTRY:
+            assert f"| {experiment_id} |" in docs["DESIGN.md"], experiment_id
+
+    def test_experiments_md_covers_every_experiment(self, docs):
+        for experiment_id in REGISTRY:
+            assert f"## {experiment_id} " in docs["EXPERIMENTS.md"], (
+                experiment_id
+            )
+
+    def test_design_bench_targets_exist(self, docs):
+        for experiment_id in REGISTRY:
+            number = experiment_id[1:]
+            matches = list(
+                (ROOT / "benchmarks").glob(f"test_e{number}_*.py")
+            )
+            assert matches, f"no benchmark file for {experiment_id}"
+
+
+class TestModuleDocs:
+    def test_readme_package_table_matches_source(self, docs):
+        for package in (
+            "repro.model",
+            "repro.sim",
+            "repro.delays",
+            "repro.graphs",
+            "repro.core",
+            "repro.baselines",
+            "repro.analysis",
+            "repro.workloads",
+            "repro.extensions",
+            "repro.experiments",
+        ):
+            assert f"`{package}`" in docs["README.md"], package
+            path = ROOT / "src" / package.replace(".", "/")
+            assert (path / "__init__.py").exists(), package
+
+    def test_theory_references_real_modules(self, docs):
+        import re
+
+        for match in re.finditer(r"`repro/([\w/]+)\.py`", docs["THEORY.md"]):
+            path = ROOT / "src" / "repro" / (match.group(1) + ".py")
+            assert path.exists(), match.group(0)
+
+
+class TestCliDocs:
+    def test_readme_cli_commands_exist(self, docs):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subcommands = set()
+        for action in parser._actions:
+            if hasattr(action, "choices") and action.choices:
+                subcommands.update(action.choices)
+        for command in ("demo", "list", "experiment", "all", "record",
+                        "sync-trace"):
+            assert command in subcommands, command
+            assert command in docs["README.md"], command
+
+
+class TestExampleDocs:
+    def test_examples_dir_matches_readme_table(self, docs):
+        examples = sorted(
+            p.name for p in (ROOT / "examples").glob("*.py")
+        )
+        assert len(examples) >= 5
+        for name in examples:
+            assert name in docs["README.md"], name

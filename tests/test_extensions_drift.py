@@ -1,0 +1,143 @@
+"""Tests for drifting clocks and periodic resync (repro.extensions.drift)."""
+
+import random
+
+import pytest
+
+from repro.core.synchronizer import ClockSynchronizer
+from repro.delays.bounds import BoundedDelay
+from repro.delays.distributions import Constant, UniformDelay
+from repro.delays.system import System
+from repro.extensions.drift import (
+    DriftingClocks,
+    corrected_spread,
+    periodic_resync,
+    probe_round_stats,
+)
+from repro.graphs.topology import line, ring
+
+
+def perfect_clocks(processors, starts=None):
+    starts = starts or {p: float(p) for p in processors}
+    return DriftingClocks(
+        start_times=starts, rates={p: 1.0 for p in processors}
+    )
+
+
+class TestDriftingClocks:
+    def test_clock_reading(self):
+        clocks = DriftingClocks(start_times={0: 5.0}, rates={0: 1.001})
+        assert clocks.clock(0, 15.0) == pytest.approx(10.0 * 1.001)
+
+    def test_real_time_roundtrip(self):
+        clocks = DriftingClocks(start_times={0: 5.0}, rates={0: 0.999})
+        t = clocks.real_time_of(0, 20.0)
+        assert clocks.clock(0, t) == pytest.approx(20.0)
+
+    def test_draw_respects_bounds(self):
+        clocks = DriftingClocks.draw(range(20), 5.0, 1e-4, seed=1)
+        assert all(0.0 <= s <= 5.0 for s in clocks.start_times.values())
+        assert all(abs(r - 1.0) <= 1e-4 for r in clocks.rates.values())
+
+    def test_draw_deterministic(self):
+        a = DriftingClocks.draw(range(5), 5.0, 1e-4, seed=2)
+        b = DriftingClocks.draw(range(5), 5.0, 1e-4, seed=2)
+        assert a == b
+
+
+class TestProbeRoundStats:
+    def test_zero_drift_matches_analytic_estimates(self):
+        """With rate 1 and constant delay d the estimate is exactly
+        d + S_p - S_q for every probe."""
+        topo = line(2)
+        system = System.uniform(topo, BoundedDelay.symmetric(2.0, 2.0))
+        samplers = {(0, 1): Constant(2.0)}
+        clocks = perfect_clocks(topo.nodes, {0: 1.0, 1: 4.0})
+        stats = probe_round_stats(
+            system,
+            samplers,
+            clocks,
+            {0: [10.0, 12.0], 1: [10.0, 12.0]},
+            random.Random(0),
+        )
+        assert stats[(0, 1)].min_delay == pytest.approx(2.0 + 1.0 - 4.0)
+        assert stats[(0, 1)].max_delay == pytest.approx(-1.0)
+        assert stats[(1, 0)].min_delay == pytest.approx(2.0 + 4.0 - 1.0)
+        assert stats[(0, 1)].count == 2
+
+    def test_zero_drift_pipeline_matches_drift_free_formula(self):
+        topo = ring(4)
+        system = System.uniform(topo, BoundedDelay.symmetric(1.0, 3.0))
+        samplers = {link: UniformDelay(1.0, 3.0) for link in topo.links}
+        clocks = perfect_clocks(topo.nodes)
+        stats = probe_round_stats(
+            system, samplers, clocks,
+            {p: [50.0, 52.0, 54.0] for p in topo.nodes},
+            random.Random(5),
+        )
+        mls = system.mls_from_stats(stats)
+        result = ClockSynchronizer(system).from_local_estimates(mls)
+        # Drift-free: corrected spread realized must be within precision.
+        spread = corrected_spread(clocks, result.corrections, 100.0)
+        assert spread <= result.precision + 1e-9
+
+    def test_corrected_spread_constant_over_time_without_drift(self):
+        clocks = perfect_clocks([0, 1], {0: 0.0, 1: 3.0})
+        x = {0: 0.0, 1: 1.0}
+        assert corrected_spread(clocks, x, 10.0) == pytest.approx(
+            corrected_spread(clocks, x, 1000.0)
+        )
+
+    def test_spread_grows_with_drift(self):
+        clocks = DriftingClocks(
+            start_times={0: 0.0, 1: 0.0}, rates={0: 1.0, 1: 1.001}
+        )
+        x = {0: 0.0, 1: 0.0}
+        early = corrected_spread(clocks, x, 10.0)
+        late = corrected_spread(clocks, x, 1000.0)
+        assert late > early
+
+
+class TestPeriodicResync:
+    def _setup(self, drift):
+        topo = ring(4)
+        system = System.uniform(topo, BoundedDelay.symmetric(1.0, 3.0))
+        samplers = {link: UniformDelay(1.0, 3.0) for link in topo.links}
+        clocks = DriftingClocks.draw(topo.nodes, 5.0, drift, seed=11)
+        return system, samplers, clocks
+
+    def test_rounds_structure(self):
+        system, samplers, clocks = self._setup(1e-5)
+        rounds = periodic_resync(
+            system, samplers, clocks, period=50.0, rounds=3, seed=1
+        )
+        assert [r.round_index for r in rounds] == [0, 1, 2]
+        for r in rounds:
+            assert r.claimed_precision > 0
+
+    def test_small_drift_keeps_spread_near_claim(self):
+        system, samplers, clocks = self._setup(1e-6)
+        rounds = periodic_resync(
+            system, samplers, clocks, period=100.0, rounds=3, seed=2
+        )
+        for r in rounds:
+            # drift error over the period is ~2e-4, negligible vs claim.
+            assert r.spread_after_sync <= r.claimed_precision + 1e-2
+            assert r.spread_before_next <= r.claimed_precision + 1e-2
+
+    def test_larger_drift_or_period_grows_residual(self):
+        system, samplers, clocks_small = self._setup(1e-6)
+        _, _, clocks_large = self._setup(1e-3)
+        small = periodic_resync(
+            system, samplers, clocks_small, period=200.0, rounds=3, seed=3
+        )
+        large = periodic_resync(
+            system, samplers, clocks_large, period=200.0, rounds=3, seed=3
+        )
+        drift_gap_small = sum(
+            abs(r.spread_before_next - r.spread_after_sync) for r in small
+        )
+        drift_gap_large = sum(
+            abs(r.spread_before_next - r.spread_after_sync) for r in large
+        )
+        assert drift_gap_large > drift_gap_small

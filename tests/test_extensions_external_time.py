@@ -1,0 +1,61 @@
+"""Tests for real-time anchoring (repro.extensions.external_time)."""
+
+import pytest
+
+from repro.core.synchronizer import ClockSynchronizer
+from repro.extensions.external_time import (
+    anchor_to_real_time,
+    real_time_error_bounds,
+    realized_real_time_errors,
+)
+from repro.graphs.topology import ring
+from repro.workloads.scenarios import bounded_uniform
+
+
+@pytest.fixture
+def synced():
+    scenario = bounded_uniform(ring(5), lb=1.0, ub=3.0, seed=21)
+    alpha = scenario.run()
+    result = ClockSynchronizer(scenario.system).from_execution(alpha)
+    return alpha, result
+
+
+class TestAnchoring:
+    def test_anchor_reads_real_time_exactly(self, synced):
+        alpha, result = synced
+        anchor = 2
+        anchored = anchor_to_real_time(
+            result, anchor, alpha.start_time(anchor)
+        )
+        errors = realized_real_time_errors(anchored, alpha.start_times())
+        assert errors[anchor] == pytest.approx(0.0)
+
+    def test_other_processors_within_pair_precision(self, synced):
+        alpha, result = synced
+        anchor = 0
+        anchored = anchor_to_real_time(
+            result, anchor, alpha.start_time(anchor)
+        )
+        errors = realized_real_time_errors(anchored, alpha.start_times())
+        bounds = real_time_error_bounds(result, anchor)
+        for p, err in errors.items():
+            assert err <= bounds[p] + 1e-9, p
+
+    def test_bounds_within_global_precision(self, synced):
+        _, result = synced
+        bounds = real_time_error_bounds(result, 0)
+        assert all(b <= result.precision + 1e-9 for b in bounds.values())
+
+    def test_anchoring_is_pure_translation(self, synced):
+        alpha, result = synced
+        anchored = anchor_to_real_time(result, 1, alpha.start_time(1))
+        diffs = {
+            p: anchored[p] - result.corrections[p] for p in anchored
+        }
+        values = list(diffs.values())
+        assert max(values) - min(values) == pytest.approx(0.0)
+
+    def test_unknown_anchor_rejected(self, synced):
+        _, result = synced
+        with pytest.raises(KeyError):
+            anchor_to_real_time(result, 99, 0.0)

@@ -1,0 +1,116 @@
+"""Tests for the online synchronizer (repro.extensions.online)."""
+
+import math
+
+import pytest
+
+from repro.core.synchronizer import ClockSynchronizer
+from repro.delays.system import UnknownLinkError
+from repro.extensions.online import OnlineSynchronizer
+from repro.graphs.topology import ring
+from repro.workloads.scenarios import bounded_uniform, heterogeneous
+
+
+@pytest.fixture
+def scenario():
+    return bounded_uniform(ring(5), lb=1.0, ub=3.0, seed=17)
+
+
+class TestStreamingEqualsBatch:
+    def test_ingest_views_matches_batch(self, scenario):
+        alpha = scenario.run()
+        online = OnlineSynchronizer(scenario.system)
+        count = online.ingest_views(alpha.views())
+        assert count == len(alpha.message_records())
+
+        batch = ClockSynchronizer(scenario.system).from_execution(alpha)
+        streamed = online.result()
+        assert streamed.precision == pytest.approx(batch.precision)
+        assert streamed.corrections == pytest.approx(batch.corrections)
+
+    def test_message_by_message_matches_batch(self, scenario):
+        alpha = scenario.run()
+        from repro.core.estimates import estimated_delays
+
+        online = OnlineSynchronizer(scenario.system)
+        for edge, delays in estimated_delays(alpha.views()).items():
+            for value in delays:
+                online.observe(edge[0], edge[1], value)
+        batch = ClockSynchronizer(scenario.system).from_execution(alpha)
+        assert online.precision() == pytest.approx(batch.precision)
+
+    def test_heterogeneous_system(self):
+        scenario = heterogeneous(ring(5), seed=4)
+        alpha = scenario.run()
+        online = OnlineSynchronizer(scenario.system)
+        online.ingest_views(alpha.views())
+        batch = ClockSynchronizer(scenario.system).from_execution(alpha)
+        assert online.precision() == pytest.approx(batch.precision)
+
+
+class TestIncrementalBehaviour:
+    def test_precision_monotone_in_observations(self, scenario):
+        alpha = scenario.run()
+        from repro.core.estimates import estimated_delays
+
+        online = OnlineSynchronizer(scenario.system)
+        previous = float("inf")
+        stream = [
+            (edge, value)
+            for edge, delays in sorted(
+                estimated_delays(alpha.views()).items(), key=repr
+            )
+            for value in delays
+        ]
+        for edge, value in stream:
+            online.observe(edge[0], edge[1], value)
+            current = online.precision()
+            if not math.isinf(previous):
+                assert current <= previous + 1e-9
+            if not math.isinf(current):
+                previous = current
+
+    def test_starts_unbounded(self, scenario):
+        online = OnlineSynchronizer(scenario.system)
+        assert math.isinf(online.precision())
+        assert not online.result().is_fully_synchronized
+
+    def test_caching_and_change_detection(self, scenario):
+        online = OnlineSynchronizer(scenario.system)
+        assert online.observe(0, 1, 2.0) is True  # new extreme
+        first = online.result()
+        # An interior observation changes no extreme: cache survives.
+        assert online.observe(0, 1, 2.0) is False
+        assert online.result() is first
+        # A new extreme invalidates.
+        assert online.observe(0, 1, 1.5) is True
+        assert online.result() is not first
+
+    def test_edge_stats(self, scenario):
+        online = OnlineSynchronizer(scenario.system)
+        online.observe(0, 1, 2.0)
+        online.observe(0, 1, 1.2)
+        stats = online.edge_stats(0, 1)
+        assert stats.count == 2
+        assert stats.min_delay == pytest.approx(1.2)
+        assert stats.max_delay == pytest.approx(2.0)
+        assert online.edge_stats(1, 0).count == 0
+
+    def test_observe_timestamps(self, scenario):
+        online = OnlineSynchronizer(scenario.system)
+        online.observe_timestamps(0, 1, send_clock=10.0, receive_clock=12.5)
+        assert online.edge_stats(0, 1).min_delay == pytest.approx(2.5)
+
+    def test_unknown_edge_rejected(self, scenario):
+        online = OnlineSynchronizer(scenario.system)
+        with pytest.raises(UnknownLinkError):
+            online.observe(0, 2, 1.0)  # ring-5: 0 and 2 not adjacent
+
+    def test_reset(self, scenario):
+        alpha = scenario.run()
+        online = OnlineSynchronizer(scenario.system)
+        online.ingest_views(alpha.views())
+        assert not math.isinf(online.precision())
+        online.reset()
+        assert online.observation_count == 0
+        assert math.isinf(online.precision())

@@ -1,0 +1,147 @@
+"""Tests for the loss-tolerant leader protocol
+(repro.extensions.reliable_leader)."""
+
+import pytest
+
+from repro.core.precision import realized_spread, rho_bar
+from repro.core.synchronizer import ClockSynchronizer
+from repro.extensions.leader import ProtocolIncomplete, leader_automata
+from repro.extensions.leader import corrections_from_execution
+from repro.extensions.reliable_leader import (
+    ReliableLeaderSyncAutomaton,
+    reliable_corrections_from_execution,
+    reliable_leader_automata,
+)
+from repro.graphs.topology import line, ring
+from repro.sim.network import NetworkSimulator
+from repro.workloads.scenarios import bounded_uniform
+
+
+def run_reliable(scenario, loss=None, seed=None, **kwargs):
+    automata = reliable_leader_automata(
+        scenario.system,
+        leader=0,
+        probe_times=[12.0, 16.0],
+        report_time=40.0,
+        retry_interval=kwargs.pop("retry_interval", 15.0),
+        max_retries=kwargs.pop("max_retries", 8),
+    )
+    sim = NetworkSimulator(
+        scenario.system,
+        scenario.samplers,
+        scenario.start_times,
+        seed=scenario.seed if seed is None else seed,
+        loss=loss,
+    )
+    return sim.run(automata)
+
+
+@pytest.fixture
+def scenario():
+    return bounded_uniform(ring(5), lb=1.0, ub=3.0, seed=11)
+
+
+class TestLossless:
+    def test_completes_and_validates(self, scenario):
+        alpha = run_reliable(scenario)
+        alpha.validate()
+        corrections = reliable_corrections_from_execution(alpha)
+        assert set(corrections) == set(scenario.system.processors)
+
+    def test_matches_plain_protocol_without_loss(self, scenario):
+        """Same probe observations -> same corrections as the plain
+        protocol (retransmission machinery is inert without loss)."""
+        reliable = run_reliable(scenario)
+        plain_automata = leader_automata(
+            scenario.system, leader=0, probe_times=[12.0, 16.0],
+            report_time=40.0,
+        )
+        sim = NetworkSimulator(
+            scenario.system, scenario.samplers, scenario.start_times,
+            seed=scenario.seed,
+        )
+        plain = sim.run(plain_automata)
+        a = reliable_corrections_from_execution(reliable)
+        b = corrections_from_execution(plain)
+        # Identical seeds but different message counts make the delay
+        # draws differ; compare guaranteed quality instead of raw values.
+        full_a = ClockSynchronizer(scenario.system).from_execution(reliable)
+        full_b = ClockSynchronizer(scenario.system).from_execution(plain)
+        assert rho_bar(full_a.ms_tilde, a) < float("inf")
+        assert rho_bar(full_b.ms_tilde, b) < float("inf")
+
+    def test_spread_within_guarantee(self, scenario):
+        alpha = run_reliable(scenario)
+        corrections = reliable_corrections_from_execution(alpha)
+        full = ClockSynchronizer(scenario.system).from_execution(alpha)
+        assert realized_spread(
+            alpha.start_times(), corrections
+        ) <= rho_bar(full.ms_tilde, corrections) + 1e-9
+
+
+class TestUnderLoss:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_survives_thirty_percent_loss(self, scenario, seed):
+        loss = {link: 0.3 for link in scenario.topology.links}
+        alpha = run_reliable(scenario, loss=loss, seed=seed)
+        corrections = reliable_corrections_from_execution(alpha)
+        assert len(corrections) == 5
+        full = ClockSynchronizer(scenario.system).from_execution(alpha)
+        assert realized_spread(
+            alpha.start_times(), corrections
+        ) <= rho_bar(full.ms_tilde, corrections) + 1e-9
+
+    def test_plain_protocol_deadlocks_where_reliable_survives(self, scenario):
+        """Find a loss seed that kills the plain protocol; the reliable
+        one must complete under the same conditions."""
+        loss = {link: 0.4 for link in scenario.topology.links}
+        plain_automata = leader_automata(
+            scenario.system, leader=0, probe_times=[12.0, 16.0],
+            report_time=40.0,
+        )
+        broke_plain = None
+        for seed in range(20):
+            sim = NetworkSimulator(
+                scenario.system, scenario.samplers, scenario.start_times,
+                seed=seed, loss=loss,
+            )
+            alpha = sim.run(plain_automata)
+            try:
+                corrections_from_execution(alpha)
+            except ProtocolIncomplete:
+                broke_plain = seed
+                break
+        assert broke_plain is not None, "40% loss never broke the plain protocol?"
+        alpha = run_reliable(scenario, loss=loss, seed=broke_plain)
+        reliable_corrections_from_execution(alpha)  # must not raise
+
+    def test_exhausted_retries_fail_loudly(self, scenario):
+        """Total loss on a report path: bounded retries, then a detected
+        (never silent) failure."""
+        dead = scenario.topology.links[0]
+        loss = {dead: 1.0}
+        alpha = run_reliable(
+            scenario, loss=loss, seed=1, max_retries=2, retry_interval=5.0
+        )
+        # Whether the run completes depends on whether the dead link is on
+        # the routing tree; with leader 0 and ring-5, links[0] = (0, 1) is.
+        with pytest.raises(ProtocolIncomplete):
+            reliable_corrections_from_execution(alpha)
+
+
+class TestValidation:
+    def test_constructor_validation(self, scenario):
+        from repro.extensions.leader import tree_routing
+
+        routing = tree_routing(scenario.topology, 0)
+        with pytest.raises(ValueError, match="report_time"):
+            ReliableLeaderSyncAutomaton(
+                me=0, system=scenario.system, leader=0,
+                probe_times=[10.0], report_time=5.0, next_hop=routing[0],
+            )
+        with pytest.raises(ValueError, match="retry_interval"):
+            ReliableLeaderSyncAutomaton(
+                me=0, system=scenario.system, leader=0,
+                probe_times=[10.0], report_time=20.0, next_hop=routing[0],
+                retry_interval=0.0,
+            )

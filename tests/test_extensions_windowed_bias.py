@@ -1,0 +1,156 @@
+"""Tests for the windowed bias model (repro.extensions.windowed_bias).
+
+Key reductions: ``W = inf`` reproduces Lemma 6.5 exactly; ``W = 0``
+degenerates to the no-bounds model; shrinking the window never tightens
+the local shifts (fewer constraints).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro._types import INF
+from repro.core.synchronizer import ClockSynchronizer
+from repro.delays.base import DirectionStats, PairTiming
+from repro.delays.bias import RoundTripBias
+from repro.delays.system import System
+from repro.extensions.windowed_bias import (
+    TimedObservation,
+    WindowedBias,
+    observations_from_views,
+    synchronize_windowed,
+    windowed_local_estimates,
+)
+from repro.graphs.topology import line, ring
+from repro.workloads.scenarios import round_trip_bias
+
+from conftest import make_two_node_execution
+
+
+def obs(pairs):
+    return [TimedObservation(send_clock=c, delay=d) for c, d in pairs]
+
+
+class TestConstruction:
+    def test_negative_params_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedBias(bias=-1.0, window=1.0)
+        with pytest.raises(ValueError):
+            WindowedBias(bias=1.0, window=-1.0)
+
+
+class TestMlsBound:
+    def test_infinite_window_equals_lemma_65(self):
+        fwd = obs([(10.0, 5.0), (20.0, 5.3)])
+        rev = obs([(12.0, 5.2), (22.0, 5.6)])
+        model = WindowedBias(bias=1.0, window=INF)
+        timing = PairTiming(
+            forward=DirectionStats.of([5.0, 5.3]),
+            reverse=DirectionStats.of([5.2, 5.6]),
+        )
+        assert model.mls_bound(fwd, rev) == pytest.approx(
+            RoundTripBias(1.0).mls_bound(timing)
+        )
+
+    def test_zero_window_equals_no_bounds(self):
+        """Distinct send clocks + W=0: only non-negativity remains."""
+        fwd = obs([(10.0, 5.0), (20.0, 5.3)])
+        rev = obs([(12.0, 5.2), (22.0, 5.6)])
+        model = WindowedBias(bias=1.0, window=0.0)
+        assert model.mls_bound(fwd, rev) == pytest.approx(5.0)  # dmin fwd
+
+    def test_only_in_window_pairs_constrain(self):
+        # Forward at clock 10; reverse at clocks 11 (in window 2) and
+        # 100 (out of window).  The out-of-window large delay must not
+        # tighten the shift.
+        fwd = obs([(10.0, 5.0)])
+        rev = obs([(11.0, 5.2), (100.0, 50.0)])
+        model = WindowedBias(bias=1.0, window=2.0)
+        expected = min(5.0, (1.0 + 5.0 - 5.2) / 2.0)
+        assert model.mls_bound(fwd, rev) == pytest.approx(expected)
+        # With the full window, the 50.0 delay would dominate:
+        full = WindowedBias(bias=1.0, window=INF)
+        assert full.mls_bound(fwd, rev) == pytest.approx(
+            (1.0 + 5.0 - 50.0) / 2.0
+        )
+
+    def test_no_forward_messages_unbounded(self):
+        model = WindowedBias(bias=1.0, window=5.0)
+        assert model.mls_bound([], obs([(1.0, 2.0)])) == INF
+
+    def test_window_monotonicity(self):
+        """Shrinking W relaxes constraints: mls is non-increasing in W."""
+        rng = random.Random(3)
+        fwd = obs([(rng.uniform(0, 50), rng.uniform(4, 6)) for _ in range(5)])
+        rev = obs([(rng.uniform(0, 50), rng.uniform(4, 6)) for _ in range(5)])
+        previous = INF
+        for window in [0.0, 1.0, 5.0, 20.0, 100.0]:
+            value = WindowedBias(bias=0.5, window=window).mls_bound(fwd, rev)
+            assert value <= previous + 1e-12
+            previous = value
+
+
+class TestAdmits:
+    def test_out_of_window_pairs_free(self):
+        model = WindowedBias(bias=0.1, window=1.0)
+        assert model.admits(obs([(0.0, 1.0)]), obs([(100.0, 50.0)]))
+
+    def test_in_window_pairs_checked(self):
+        model = WindowedBias(bias=0.1, window=1.0)
+        assert not model.admits(obs([(0.0, 1.0)]), obs([(0.5, 2.0)]))
+        assert model.admits(obs([(0.0, 1.0)]), obs([(0.5, 1.05)]))
+
+    def test_negative_delays_rejected(self):
+        model = WindowedBias(bias=1.0, window=1.0)
+        assert not model.admits(obs([(0.0, -0.1)]), [])
+
+
+class TestPipeline:
+    def test_observations_from_views(self):
+        alpha = make_two_node_execution(3.0, 7.0, [2.0], [2.5])
+        observations = observations_from_views(alpha.views())
+        (fwd,) = observations[(0, 1)]
+        assert fwd.send_clock == pytest.approx(10.0)
+        assert fwd.delay == pytest.approx(2.0 + 3.0 - 7.0)
+
+    def test_infinite_window_matches_plain_bias_pipeline(self):
+        scenario = round_trip_bias(ring(4), bias=0.5, seed=6)
+        alpha = scenario.run()
+        plain = ClockSynchronizer(scenario.system).from_execution(alpha)
+        models = {
+            link: WindowedBias(bias=0.5, window=INF)
+            for link in scenario.topology.links
+        }
+        windowed = synchronize_windowed(scenario.system, alpha.views(), models)
+        assert windowed.precision == pytest.approx(plain.precision)
+        assert windowed.corrections == pytest.approx(plain.corrections)
+
+    def test_smaller_window_never_improves_precision(self):
+        scenario = round_trip_bias(ring(4), bias=0.5, seed=8)
+        alpha = scenario.run()
+        views = alpha.views()
+        previous = None
+        for window in [INF, 20.0, 5.0, 0.0]:
+            models = {
+                link: WindowedBias(bias=0.5, window=window)
+                for link in scenario.topology.links
+            }
+            result = synchronize_windowed(scenario.system, views, models)
+            if previous is not None:
+                if math.isinf(result.precision):
+                    assert window <= 5.0  # may lose all constraints
+                else:
+                    assert result.precision >= previous - 1e-9
+                    previous = result.precision
+            else:
+                previous = result.precision
+
+    def test_missing_model_rejected(self):
+        scenario = round_trip_bias(line(3), bias=0.5, seed=1)
+        alpha = scenario.run()
+        observations = observations_from_views(alpha.views())
+        with pytest.raises(KeyError):
+            windowed_local_estimates(
+                scenario.topology, observations, {(0, 1): WindowedBias(0.5, 1.0)}
+            )

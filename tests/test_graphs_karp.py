@@ -1,0 +1,142 @@
+"""Unit tests for Karp's cycle-mean algorithm (repro.graphs.karp).
+
+Brute-force enumeration of simple cycles is the oracle; the critical
+cycle returned is always verified to achieve the reported mean.
+"""
+
+import random
+
+import pytest
+
+from repro.graphs.digraph import WeightedDigraph
+from repro.graphs.karp import (
+    cycle_mean,
+    cycle_weight,
+    enumerate_simple_cycle_means,
+    maximum_cycle_mean,
+    minimum_cycle_mean,
+)
+
+
+def two_cycles() -> WeightedDigraph:
+    """Cycle (0,1) has mean 3; cycle (0,1,2) has mean 2."""
+    return WeightedDigraph.from_edges(
+        [
+            (0, 1, 2.0),
+            (1, 0, 4.0),
+            (1, 2, 1.0),
+            (2, 0, 3.0),
+        ]
+    )
+
+
+def random_graph(rng: random.Random, n: int) -> WeightedDigraph:
+    g = WeightedDigraph()
+    for i in range(n):
+        g.add_node(i)
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < 0.5:
+                g.add_edge(u, v, rng.uniform(-5.0, 5.0))
+    return g
+
+
+class TestKnownInstances:
+    def test_min_mean_of_two_cycles(self):
+        result = minimum_cycle_mean(two_cycles())
+        assert result.mean == pytest.approx(2.0)
+        assert cycle_mean(two_cycles(), result.cycle) == pytest.approx(2.0)
+
+    def test_max_mean_of_two_cycles(self):
+        result = maximum_cycle_mean(two_cycles())
+        assert result.mean == pytest.approx(3.0)
+        assert cycle_mean(two_cycles(), result.cycle) == pytest.approx(3.0)
+
+    def test_self_loop(self):
+        g = WeightedDigraph.from_edges([(0, 0, -7.0), (0, 1, 1.0), (1, 0, 1.0)])
+        result = minimum_cycle_mean(g)
+        assert result.mean == pytest.approx(-7.0)
+        assert result.cycle == [0]
+
+    def test_acyclic_graph(self):
+        g = WeightedDigraph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)])
+        result = minimum_cycle_mean(g)
+        assert result.is_acyclic
+        assert result.mean is None and result.cycle is None
+
+    def test_single_node_no_edges(self):
+        g = WeightedDigraph()
+        g.add_node(0)
+        assert minimum_cycle_mean(g).is_acyclic
+
+    def test_empty_graph(self):
+        assert minimum_cycle_mean(WeightedDigraph()).is_acyclic
+
+    def test_uniform_weights(self):
+        g = WeightedDigraph.from_edges(
+            [(i, (i + 1) % 5, 2.5) for i in range(5)]
+        )
+        assert minimum_cycle_mean(g).mean == pytest.approx(2.5)
+        assert maximum_cycle_mean(g).mean == pytest.approx(2.5)
+
+    def test_negative_means_supported(self):
+        g = WeightedDigraph.from_edges([(0, 1, -1.0), (1, 0, -3.0)])
+        assert minimum_cycle_mean(g).mean == pytest.approx(-2.0)
+        assert maximum_cycle_mean(g).mean == pytest.approx(-2.0)
+
+    def test_cycle_spanning_two_sccs_ignored(self):
+        """The bridge edge is on no cycle and must not affect the mean."""
+        g = WeightedDigraph.from_edges(
+            [
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, -100.0),  # bridge
+                (2, 3, 4.0),
+                (3, 2, 4.0),
+            ]
+        )
+        assert minimum_cycle_mean(g).mean == pytest.approx(1.0)
+        assert maximum_cycle_mean(g).mean == pytest.approx(4.0)
+
+
+class TestAgainstBruteForce:
+    def test_min_matches_enumeration_on_random_graphs(self):
+        rng = random.Random(7)
+        for trial in range(20):
+            g = random_graph(rng, rng.randrange(3, 8))
+            all_cycles = enumerate_simple_cycle_means(g)
+            result = minimum_cycle_mean(g)
+            if not all_cycles:
+                assert result.is_acyclic
+                continue
+            expected = min(mean for mean, _ in all_cycles)
+            assert result.mean == pytest.approx(expected), f"trial {trial}"
+            # The witness cycle must achieve the mean.
+            assert cycle_mean(g, result.cycle) == pytest.approx(expected)
+
+    def test_max_matches_enumeration_on_random_graphs(self):
+        rng = random.Random(13)
+        for trial in range(20):
+            g = random_graph(rng, rng.randrange(3, 8))
+            all_cycles = enumerate_simple_cycle_means(g)
+            result = maximum_cycle_mean(g)
+            if not all_cycles:
+                assert result.is_acyclic
+                continue
+            expected = max(mean for mean, _ in all_cycles)
+            assert result.mean == pytest.approx(expected), f"trial {trial}"
+            assert cycle_mean(g, result.cycle) == pytest.approx(expected)
+
+
+class TestCycleHelpers:
+    def test_cycle_weight_and_mean(self):
+        g = two_cycles()
+        assert cycle_weight(g, [0, 1]) == pytest.approx(6.0)
+        assert cycle_mean(g, [0, 1]) == pytest.approx(3.0)
+        assert cycle_weight(g, [0, 1, 2]) == pytest.approx(6.0)
+        assert cycle_mean(g, [0, 1, 2]) == pytest.approx(2.0)
+
+    def test_enumeration_respects_limit(self):
+        g = random_graph(random.Random(1), 6)
+        limited = enumerate_simple_cycle_means(g, limit=3)
+        assert len(limited) <= 3

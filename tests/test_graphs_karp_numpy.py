@@ -1,0 +1,91 @@
+"""Tests for the numpy Karp backend (repro.graphs.karp_numpy)."""
+
+import random
+
+import pytest
+
+from repro.graphs.digraph import WeightedDigraph
+from repro.graphs.karp import cycle_mean, minimum_cycle_mean
+from repro.graphs.karp_numpy import (
+    maximum_cycle_mean_numpy,
+    minimum_cycle_mean_numpy,
+)
+
+
+def random_graph(rng, n, density=0.4):
+    g = WeightedDigraph()
+    for i in range(n):
+        g.add_node(i)
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < density:
+                g.add_edge(u, v, rng.uniform(-5.0, 5.0))
+    return g
+
+
+class TestKnownInstances:
+    def test_two_cycles(self):
+        g = WeightedDigraph.from_edges(
+            [(0, 1, 2.0), (1, 0, 4.0), (1, 2, 1.0), (2, 0, 3.0)]
+        )
+        assert minimum_cycle_mean_numpy(g).mean == pytest.approx(2.0)
+        assert maximum_cycle_mean_numpy(g).mean == pytest.approx(3.0)
+
+    def test_acyclic(self):
+        g = WeightedDigraph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        assert minimum_cycle_mean_numpy(g).is_acyclic
+
+    def test_empty(self):
+        assert minimum_cycle_mean_numpy(WeightedDigraph()).is_acyclic
+
+    def test_self_loop(self):
+        g = WeightedDigraph.from_edges(
+            [(0, 0, -7.0), (0, 1, 1.0), (1, 0, 1.0)]
+        )
+        assert minimum_cycle_mean_numpy(g).mean == pytest.approx(-7.0)
+
+    def test_witness_achieves_mean(self):
+        g = WeightedDigraph.from_edges(
+            [(0, 1, 2.0), (1, 0, 4.0), (1, 2, 1.0), (2, 0, 3.0)]
+        )
+        result = minimum_cycle_mean_numpy(g)
+        assert cycle_mean(g, result.cycle) == pytest.approx(result.mean)
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_scalar_karp(self, seed):
+        rng = random.Random(seed)
+        for _ in range(30):
+            g = random_graph(rng, rng.randrange(2, 10))
+            a = minimum_cycle_mean(g)
+            b = minimum_cycle_mean_numpy(g)
+            if a.is_acyclic:
+                assert b.is_acyclic
+            else:
+                assert b.mean == pytest.approx(a.mean, abs=1e-9)
+
+    def test_dense_large(self):
+        rng = random.Random(9)
+        g = random_graph(rng, 30, density=1.0)
+        a = minimum_cycle_mean(g)
+        b = minimum_cycle_mean_numpy(g)
+        assert b.mean == pytest.approx(a.mean, abs=1e-9)
+
+
+class TestShiftsBackend:
+    def test_registered_and_consistent(self):
+        from repro.core.shifts import CYCLE_MEAN_METHODS, shifts
+
+        assert "karp-numpy" in CYCLE_MEAN_METHODS
+        ms = {
+            (0, 1): 2.0,
+            (1, 2): 2.0,
+            (2, 0): 2.0,
+            (1, 0): 0.0,
+            (2, 1): 0.0,
+            (0, 2): 0.0,
+        }
+        a = shifts([0, 1, 2], ms, method="karp")
+        b = shifts([0, 1, 2], ms, method="karp-numpy")
+        assert b.precision == pytest.approx(a.precision)

@@ -1,0 +1,226 @@
+"""Unit tests for shortest paths (repro.graphs.shortest_paths).
+
+networkx serves as an independent oracle on random instances.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graphs.digraph import WeightedDigraph
+from repro.graphs.shortest_paths import (
+    NegativeCycleError,
+    all_pairs_shortest_paths,
+    bellman_ford,
+    dijkstra,
+    floyd_warshall,
+    floyd_warshall_numpy,
+    johnson,
+    reconstruct_path,
+)
+
+INF = float("inf")
+
+
+def diamond() -> WeightedDigraph:
+    """0 -> {1, 2} -> 3 with a shortcut; one negative edge, no neg cycle."""
+    return WeightedDigraph.from_edges(
+        [
+            (0, 1, 4.0),
+            (0, 2, 1.0),
+            (2, 1, -2.0),
+            (1, 3, 1.0),
+            (2, 3, 5.0),
+        ]
+    )
+
+
+def random_graph(rng: random.Random, n: int, negative: bool) -> WeightedDigraph:
+    g = WeightedDigraph()
+    for i in range(n):
+        g.add_node(i)
+    lo = -2.0 if negative else 0.0
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < 0.4:
+                g.add_edge(u, v, rng.uniform(lo, 10.0))
+    return g
+
+
+def to_nx(g: WeightedDigraph) -> nx.DiGraph:
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(g.nodes)
+    for u, v, w in g.edges():
+        nxg.add_edge(u, v, weight=w)
+    return nxg
+
+
+class TestBellmanFord:
+    def test_diamond_distances(self):
+        dist, _ = bellman_ford(diamond(), 0)
+        assert dist == pytest.approx({0: 0.0, 1: -1.0, 2: 1.0, 3: 0.0})
+
+    def test_unreachable_is_inf(self):
+        g = WeightedDigraph.from_edges([(0, 1, 1.0)])
+        g.add_node(2)
+        dist, _ = bellman_ford(g, 0)
+        assert dist[2] == INF
+
+    def test_missing_source_raises(self):
+        with pytest.raises(KeyError):
+            bellman_ford(diamond(), 42)
+
+    def test_negative_cycle_detected(self):
+        g = WeightedDigraph.from_edges(
+            [(0, 1, 1.0), (1, 2, -3.0), (2, 0, 1.0)]
+        )
+        with pytest.raises(NegativeCycleError):
+            bellman_ford(g, 0)
+
+    def test_negative_cycle_witness_is_a_cycle(self):
+        g = WeightedDigraph.from_edges(
+            [(0, 1, 1.0), (1, 2, -5.0), (2, 1, 1.0), (2, 3, 1.0)]
+        )
+        with pytest.raises(NegativeCycleError) as info:
+            bellman_ford(g, 0)
+        cycle = info.value.cycle
+        if cycle is not None:  # witness is best-effort
+            total = sum(
+                g.weight(cycle[i], cycle[(i + 1) % len(cycle)])
+                for i in range(len(cycle))
+            )
+            assert total < 0
+
+    def test_path_reconstruction(self):
+        dist, parent = bellman_ford(diamond(), 0)
+        assert reconstruct_path(parent, 0, 1) == [0, 2, 1]
+        assert reconstruct_path(parent, 0, 0) == [0]
+
+    def test_path_reconstruction_unreachable(self):
+        g = WeightedDigraph.from_edges([(0, 1, 1.0)])
+        g.add_node(2)
+        _, parent = bellman_ford(g, 0)
+        with pytest.raises(KeyError):
+            reconstruct_path(parent, 0, 2)
+
+    def test_matches_networkx_on_random_instances(self):
+        rng = random.Random(11)
+        for trial in range(15):
+            g = random_graph(rng, rng.randrange(3, 10), negative=True)
+            nxg = to_nx(g)
+            try:
+                theirs = nx.single_source_bellman_ford_path_length(nxg, 0)
+                neg = False
+            except nx.NetworkXUnbounded:
+                neg = True
+            if neg:
+                with pytest.raises(NegativeCycleError):
+                    bellman_ford(g, 0)
+            else:
+                dist, _ = bellman_ford(g, 0)
+                for node, d in theirs.items():
+                    assert dist[node] == pytest.approx(d)
+
+
+class TestDijkstra:
+    def test_matches_bellman_ford_nonnegative(self):
+        rng = random.Random(3)
+        for _ in range(10):
+            g = random_graph(rng, 8, negative=False)
+            d1, _ = dijkstra(g, 0)
+            d2, _ = bellman_ford(g, 0)
+            for node in g.nodes:
+                assert d1[node] == pytest.approx(d2[node])
+
+    def test_rejects_negative_weights(self):
+        g = WeightedDigraph.from_edges([(0, 1, -1.0)])
+        with pytest.raises(ValueError):
+            dijkstra(g, 0)
+
+
+class TestAllPairs:
+    def test_floyd_warshall_diamond(self):
+        dist = floyd_warshall(diamond())
+        assert dist[0][3] == pytest.approx(0.0)
+        assert dist[2][1] == pytest.approx(-2.0)
+        assert dist[3][0] == INF
+
+    def test_floyd_warshall_negative_cycle(self):
+        g = WeightedDigraph.from_edges(
+            [(0, 1, 1.0), (1, 0, -2.0)]
+        )
+        with pytest.raises(NegativeCycleError):
+            floyd_warshall(g)
+
+    def test_negative_self_loop_is_negative_cycle(self):
+        g = WeightedDigraph.from_edges([(0, 0, -1.0), (0, 1, 1.0)])
+        with pytest.raises(NegativeCycleError):
+            floyd_warshall(g)
+
+    def test_numpy_equals_scalar_floyd_warshall(self):
+        rng = random.Random(31)
+        for _ in range(12):
+            g = random_graph(rng, rng.randrange(1, 14), negative=True)
+            try:
+                expected = floyd_warshall(g)
+            except NegativeCycleError:
+                with pytest.raises(NegativeCycleError):
+                    floyd_warshall_numpy(g)
+                continue
+            actual = floyd_warshall_numpy(g)
+            for u in g.nodes:
+                for v in g.nodes:
+                    a, b = expected[u][v], actual[u][v]
+                    if a == INF or b == INF:
+                        assert a == b
+                    else:
+                        assert b == pytest.approx(a)
+
+    def test_numpy_floyd_warshall_empty(self):
+        assert floyd_warshall_numpy(WeightedDigraph()) == {}
+
+    def test_johnson_equals_floyd_warshall(self):
+        rng = random.Random(17)
+        for _ in range(10):
+            g = random_graph(rng, 9, negative=True)
+            try:
+                fw = floyd_warshall(g)
+            except NegativeCycleError:
+                with pytest.raises(NegativeCycleError):
+                    johnson(g)
+                continue
+            jo = johnson(g)
+            for u in g.nodes:
+                for v in g.nodes:
+                    assert jo[u][v] == pytest.approx(fw[u][v])
+
+    def test_dispatcher_agrees_with_floyd_warshall(self):
+        rng = random.Random(23)
+        # Deterministically find an instance without a negative cycle.
+        for _ in range(50):
+            g = random_graph(rng, 12, negative=True)
+            try:
+                expected = floyd_warshall(g)
+                break
+            except NegativeCycleError:
+                continue
+        else:
+            raise AssertionError("no negative-cycle-free instance in 50 draws")
+        actual = all_pairs_shortest_paths(g)
+        for u in g.nodes:
+            for v in g.nodes:
+                assert actual[u][v] == pytest.approx(expected[u][v])
+
+    def test_empty_graph(self):
+        assert all_pairs_shortest_paths(WeightedDigraph()) == {}
+
+    def test_triangle_inequality_holds(self):
+        rng = random.Random(29)
+        g = random_graph(rng, 8, negative=False)
+        dist = floyd_warshall(g)
+        for u in g.nodes:
+            for v in g.nodes:
+                for w in g.nodes:
+                    if dist[u][v] < INF and dist[v][w] < INF:
+                        assert dist[u][w] <= dist[u][v] + dist[v][w] + 1e-9

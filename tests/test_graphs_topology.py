@@ -1,0 +1,127 @@
+"""Unit tests for topology builders (repro.graphs.topology)."""
+
+import pytest
+
+from repro.graphs.topology import (
+    Topology,
+    binary_tree,
+    complete,
+    grid,
+    hypercube,
+    line,
+    random_connected,
+    ring,
+    star,
+)
+
+
+class TestValidation:
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError, match="self-link"):
+            Topology(name="bad", nodes=(0, 1), links=((0, 0),))
+
+    def test_duplicate_link_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Topology(name="bad", nodes=(0, 1), links=((0, 1), (1, 0)))
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Topology(name="bad", nodes=(0, 1), links=((0, 2),))
+
+
+class TestBuilders:
+    def test_line(self):
+        t = line(5)
+        assert t.n == 5
+        assert len(t.links) == 4
+        assert t.is_connected()
+        assert t.neighbors(0) == [1]
+        assert sorted(t.neighbors(2)) == [1, 3]
+
+    def test_line_of_one(self):
+        t = line(1)
+        assert t.n == 1 and t.links == ()
+        assert t.is_connected()
+
+    def test_ring(self):
+        t = ring(6)
+        assert len(t.links) == 6
+        assert all(len(t.neighbors(v)) == 2 for v in t.nodes)
+        assert t.is_connected()
+
+    def test_ring_requires_three(self):
+        with pytest.raises(ValueError):
+            ring(2)
+
+    def test_star(self):
+        t = star(7)
+        assert len(t.neighbors(0)) == 6
+        assert all(t.neighbors(v) == [0] for v in range(1, 7))
+
+    def test_complete(self):
+        t = complete(5)
+        assert len(t.links) == 10
+        assert all(len(t.neighbors(v)) == 4 for v in t.nodes)
+
+    def test_grid(self):
+        t = grid(3, 4)
+        assert t.n == 12
+        assert len(t.links) == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert t.is_connected()
+        # Corner has 2 neighbours, interior has 4.
+        assert len(t.neighbors(0)) == 2
+        assert len(t.neighbors(5)) == 4
+
+    def test_binary_tree(self):
+        t = binary_tree(3)
+        assert t.n == 15
+        assert len(t.links) == 14
+        assert t.is_connected()
+
+    def test_hypercube(self):
+        t = hypercube(3)
+        assert t.n == 8
+        assert len(t.links) == 12
+        assert all(len(t.neighbors(v)) == 3 for v in t.nodes)
+
+    def test_random_connected_is_connected(self):
+        for seed in range(5):
+            t = random_connected(12, extra_link_prob=0.1, seed=seed)
+            assert t.is_connected()
+            assert t.n == 12
+
+    def test_random_connected_deterministic(self):
+        a = random_connected(10, 0.3, seed=4)
+        b = random_connected(10, 0.3, seed=4)
+        assert a.links == b.links
+
+    def test_random_connected_prob_bounds(self):
+        with pytest.raises(ValueError):
+            random_connected(5, 1.5, seed=0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            line(0)
+        with pytest.raises(ValueError):
+            grid(0, 3)
+        with pytest.raises(ValueError):
+            binary_tree(-1)
+        with pytest.raises(ValueError):
+            hypercube(0)
+
+
+class TestDirectedEdges:
+    def test_both_orientations(self):
+        t = line(3)
+        edges = t.directed_edges()
+        assert len(edges) == 4
+        assert (0, 1) in edges and (1, 0) in edges
+
+    def test_has_link_orientation_free(self):
+        t = line(3)
+        assert t.has_link(0, 1) and t.has_link(1, 0)
+        assert not t.has_link(0, 2)
+
+    def test_disconnected_detection(self):
+        t = Topology(name="disc", nodes=(0, 1, 2, 3), links=((0, 1), (2, 3)))
+        assert not t.is_connected()

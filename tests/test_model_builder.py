@@ -1,0 +1,134 @@
+"""Tests for the execution builders (repro.model.builder)."""
+
+import pytest
+
+from repro.model.builder import (
+    ExecutionBuilder,
+    build_history,
+    two_processor_execution,
+)
+from repro.model.events import Message
+
+
+class TestExecutionBuilder:
+    def test_fluent_construction(self):
+        alpha = (
+            ExecutionBuilder()
+            .processor("p", start=5.0)
+            .processor("q", start=8.0)
+            .message("p", "q", send_clock=10.0, delay=2.0)
+            .message("q", "p", send_clock=12.0, delay=1.5)
+            .build()
+        )
+        assert alpha.start_time("p") == 5.0
+        assert alpha.start_time("q") == 8.0
+        delays = sorted(r.delay for r in alpha.message_records().values())
+        assert delays == pytest.approx([1.5, 2.0])
+
+    def test_receive_clock_derivation(self):
+        """Receive clock = S_p + c + d - S_q, the model identity."""
+        alpha = (
+            ExecutionBuilder()
+            .processor("p", start=5.0)
+            .processor("q", start=8.0)
+            .message("p", "q", send_clock=10.0, delay=2.0)
+            .build()
+        )
+        view_q = alpha.view("q")
+        (uid,) = view_q.receive_clock_times()
+        assert view_q.receive_clock_times()[uid] == pytest.approx(
+            5.0 + 10.0 + 2.0 - 8.0
+        )
+
+    def test_in_flight_messages_allowed(self):
+        alpha = (
+            ExecutionBuilder()
+            .processor("p", start=0.0)
+            .processor("q", start=0.0)
+            .in_flight_message("p", "q", send_clock=5.0)
+            .build()
+        )
+        assert alpha.message_records() == {}
+        assert len(alpha.view("p").sent_messages()) == 1
+
+    def test_payloads_carried(self):
+        alpha = (
+            ExecutionBuilder()
+            .processor(0, start=0.0)
+            .processor(1, start=0.0)
+            .message(0, 1, send_clock=1.0, delay=1.0, payload=("hello", 3))
+            .build()
+        )
+        (record,) = alpha.message_records().values()
+        assert record.message.payload == ("hello", 3)
+
+    def test_duplicate_processor_rejected(self):
+        builder = ExecutionBuilder().processor(0, start=0.0)
+        with pytest.raises(ValueError, match="already"):
+            builder.processor(0, start=1.0)
+
+    def test_undeclared_processor_rejected(self):
+        builder = ExecutionBuilder().processor(0, start=0.0)
+        with pytest.raises(ValueError, match="not declared"):
+            builder.message(0, 1, send_clock=1.0, delay=1.0)
+        with pytest.raises(ValueError, match="not declared"):
+            builder.in_flight_message(7, 0, send_clock=1.0)
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(ValueError, match="no processors"):
+            ExecutionBuilder().build()
+
+    def test_negative_delay_constructs_but_detected_by_systems(self):
+        """The builder is ground-truth-faithful: it can express a
+        physically impossible execution; admissibility checks catch it."""
+        from repro.delays.bounds import no_bounds
+        from repro.delays.system import System
+        from repro.graphs.topology import line
+
+        alpha = (
+            ExecutionBuilder()
+            .processor(0, start=0.0)
+            .processor(1, start=0.0)
+            .message(0, 1, send_clock=10.0, delay=-1.0)
+            .build()
+        )
+        system = System.uniform(line(2), no_bounds())
+        assert not system.is_admissible(alpha)
+
+
+class TestBuildHistory:
+    def test_simultaneous_recv_and_send_ordering(self):
+        """A receive and a send at the same clock: timer ordered last."""
+        m_in = Message(sender=1, receiver=0)
+        m_out = Message(sender=0, receiver=1)
+        history = build_history(
+            0, start=2.0, sends=[(5.0, m_out)], receives=[(5.0, m_in)]
+        )
+        history.validate()
+        kinds = [type(ts.step.interrupt).__name__ for ts in history.steps]
+        assert kinds == ["StartEvent", "MessageReceiveEvent", "TimerEvent"]
+
+    def test_multiple_sends_same_clock_batched(self):
+        msgs = [Message(sender=0, receiver=1) for _ in range(3)]
+        history = build_history(
+            0, start=0.0, sends=[(5.0, m) for m in msgs], receives=[]
+        )
+        timer_steps = [
+            ts for ts in history.steps if ts.step.sends
+        ]
+        assert len(timer_steps) == 1
+        assert len(timer_steps[0].step.sends) == 3
+
+
+class TestTwoProcessorExecution:
+    def test_defaults(self):
+        alpha = two_processor_execution(0.0, 0.0, [1.0, 2.0], [1.5])
+        assert len(alpha.message_records()) == 3
+        sends = alpha.view(0).send_clock_times()
+        assert sorted(sends.values()) == [10.0, 20.0]
+
+    def test_custom_send_clocks(self):
+        alpha = two_processor_execution(
+            0.0, 0.0, [1.0], [], send_clocks_p=[3.5]
+        )
+        assert list(alpha.view(0).send_clock_times().values()) == [3.5]

@@ -1,0 +1,81 @@
+"""Unit tests for the event vocabulary (repro.model.events)."""
+
+import pytest
+
+from repro.model.events import (
+    Message,
+    MessageReceiveEvent,
+    MessageSendEvent,
+    StartEvent,
+    TimerEvent,
+    TimerSetEvent,
+    describe_event,
+    interrupt_sort_key,
+)
+
+
+class TestMessage:
+    def test_uids_are_unique(self):
+        a = Message(sender=0, receiver=1)
+        b = Message(sender=0, receiver=1)
+        assert a.uid != b.uid
+
+    def test_edge(self):
+        m = Message(sender="p", receiver="q")
+        assert m.edge == ("p", "q")
+
+    def test_payload_defaults_to_none(self):
+        assert Message(sender=0, receiver=1).payload is None
+
+    def test_equality_includes_uid(self):
+        a = Message(sender=0, receiver=1, payload="x")
+        b = Message(sender=0, receiver=1, payload="x")
+        assert a != b  # distinct uids
+        assert a == a
+
+    def test_frozen(self):
+        m = Message(sender=0, receiver=1)
+        with pytest.raises(AttributeError):
+            m.sender = 2
+
+
+class TestInterruptClassification:
+    def test_interrupt_events(self):
+        m = Message(sender=0, receiver=1)
+        assert StartEvent().is_interrupt()
+        assert MessageReceiveEvent(message=m).is_interrupt()
+        assert TimerEvent(clock_time=1.0).is_interrupt()
+
+    def test_non_interrupt_events(self):
+        m = Message(sender=0, receiver=1)
+        assert not MessageSendEvent(message=m).is_interrupt()
+        assert not TimerSetEvent(clock_time=1.0).is_interrupt()
+
+    def test_sort_key_orders_timer_last(self):
+        m = Message(sender=0, receiver=1)
+        keys = [
+            interrupt_sort_key(StartEvent()),
+            interrupt_sort_key(MessageReceiveEvent(message=m)),
+            interrupt_sort_key(TimerEvent(clock_time=1.0)),
+        ]
+        assert keys == sorted(keys)
+        assert keys[0] < keys[1] < keys[2]
+
+    def test_sort_key_rejects_non_interrupts(self):
+        m = Message(sender=0, receiver=1)
+        with pytest.raises(TypeError):
+            interrupt_sort_key(MessageSendEvent(message=m))
+
+
+class TestDescribeEvent:
+    def test_start(self):
+        assert describe_event(StartEvent()) == "start"
+
+    def test_send_and_recv_mention_message(self):
+        m = Message(sender=0, receiver=1)
+        assert str(m.uid) in describe_event(MessageSendEvent(message=m))
+        assert str(m.uid) in describe_event(MessageReceiveEvent(message=m))
+
+    def test_timers_mention_clock(self):
+        assert "2.5" in describe_event(TimerSetEvent(clock_time=2.5))
+        assert "2.5" in describe_event(TimerEvent(clock_time=2.5))

@@ -1,0 +1,131 @@
+"""Unit tests for executions (repro.model.execution)."""
+
+import pytest
+
+from repro.model.events import Message, MessageSendEvent, StartEvent
+from repro.model.execution import (
+    Execution,
+    executions_equivalent,
+    shift_execution,
+    shift_vector_between,
+)
+from repro.model.steps import History, ModelError, Step, TimedStep
+
+from conftest import build_history, make_two_node_execution
+
+
+class TestConstruction:
+    def test_start_times(self):
+        alpha = make_two_node_execution(5.0, 8.0, [2.0], [2.0])
+        assert alpha.start_time(0) == 5.0
+        assert alpha.start_time(1) == 8.0
+        assert alpha.start_times() == {0: 5.0, 1: 8.0}
+
+    def test_mismatched_processor_key_rejected(self):
+        h = build_history(0, 0.0, [], [])
+        with pytest.raises(ModelError):
+            Execution({1: h})
+
+    def test_views_match_histories(self):
+        alpha = make_two_node_execution(1.0, 2.0, [1.0], [1.0])
+        views = alpha.views()
+        assert set(views) == {0, 1}
+        assert len(views[0]) == len(alpha.history(0))
+
+
+class TestMessageCorrespondence:
+    def test_delays_computed_from_real_times(self):
+        alpha = make_two_node_execution(5.0, 8.0, [2.0, 3.0], [1.5])
+        delays = sorted(r.delay for r in alpha.message_records().values())
+        assert delays == pytest.approx([1.5, 2.0, 3.0])
+
+    def test_records_on_edge(self):
+        alpha = make_two_node_execution(0.0, 0.0, [2.0, 3.0], [1.5])
+        assert len(alpha.records_on_edge(0, 1)) == 2
+        assert len(alpha.records_on_edge(1, 0)) == 1
+        assert alpha.records_on_edge(0, 0) == []
+
+    def test_received_but_never_sent_rejected(self):
+        phantom = Message(sender=1, receiver=0)
+        hist0 = build_history(0, 0.0, [], [(5.0, phantom)])
+        hist1 = build_history(1, 0.0, [], [])
+        with pytest.raises(ModelError, match="never sent"):
+            Execution({0: hist0, 1: hist1}).message_records()
+
+    def test_sent_twice_rejected(self):
+        msg = Message(sender=0, receiver=1)
+        hist0 = build_history(0, 0.0, [(5.0, msg), (6.0, msg)], [])
+        hist1 = build_history(1, 0.0, [], [(7.0, msg)])
+        with pytest.raises(ModelError, match="twice"):
+            Execution({0: hist0, 1: hist1}).message_records()
+
+    def test_sender_field_must_match(self):
+        msg = Message(sender=1, receiver=1)  # claims sender 1
+        hist0 = build_history(0, 0.0, [(5.0, msg)], [])
+        hist1 = build_history(1, 0.0, [], [(7.0, msg)])
+        with pytest.raises(ModelError, match="sender"):
+            Execution({0: hist0, 1: hist1}).message_records()
+
+    def test_unsent_messages_allowed_in_flight(self):
+        """A sent-but-not-received message is fine (still in transit)."""
+        msg = Message(sender=0, receiver=1)
+        hist0 = build_history(0, 0.0, [(5.0, msg)], [])
+        hist1 = build_history(1, 0.0, [], [])
+        records = Execution({0: hist0, 1: hist1}).message_records()
+        assert records == {}
+
+
+class TestShifting:
+    def test_shift_moves_start_times(self):
+        alpha = make_two_node_execution(5.0, 8.0, [2.0], [2.0])
+        beta = shift_execution(alpha, {0: 1.0, 1: -2.0})
+        assert beta.start_time(0) == 4.0
+        assert beta.start_time(1) == 10.0
+
+    def test_shift_changes_delays_by_sp_minus_sq(self):
+        alpha = make_two_node_execution(5.0, 8.0, [2.0], [3.0])
+        beta = shift_execution(alpha, {0: 1.0, 1: 0.0})
+        fwd = [r.delay for r in beta.records_on_edge(0, 1)]
+        rev = [r.delay for r in beta.records_on_edge(1, 0)]
+        # d' = d + s_p - s_q for p->q messages.
+        assert fwd == pytest.approx([3.0])
+        assert rev == pytest.approx([2.0])
+
+    def test_shift_preserves_equivalence(self):
+        alpha = make_two_node_execution(5.0, 8.0, [2.0], [2.0])
+        beta = shift_execution(alpha, {0: 3.0, 1: -1.5})
+        assert executions_equivalent(alpha, beta)
+        beta.validate()
+
+    def test_missing_processors_shift_zero(self):
+        alpha = make_two_node_execution(5.0, 8.0, [2.0], [2.0])
+        beta = shift_execution(alpha, {0: 1.0})
+        assert beta.start_time(1) == 8.0
+
+    def test_shift_vector_recovery(self):
+        alpha = make_two_node_execution(5.0, 8.0, [2.0], [2.0])
+        shifts = {0: 2.5, 1: -1.0}
+        beta = shift_execution(alpha, shifts)
+        recovered = shift_vector_between(alpha, beta)
+        assert recovered == pytest.approx(shifts)
+
+    def test_shift_vector_requires_equivalence(self):
+        alpha = make_two_node_execution(5.0, 8.0, [2.0], [2.0])
+        other = make_two_node_execution(5.0, 8.0, [2.0, 2.5], [2.0])
+        with pytest.raises(ModelError):
+            shift_vector_between(alpha, other)
+
+    def test_non_equivalent_different_processor_sets(self):
+        alpha = make_two_node_execution(5.0, 8.0, [2.0], [2.0])
+        solo = Execution({0: alpha.history(0)})
+        assert not executions_equivalent(alpha, solo)
+
+
+class TestValidation:
+    def test_validate_full(self, two_node_symmetric):
+        two_node_symmetric.validate()
+
+    def test_repr(self, two_node_symmetric):
+        text = repr(two_node_symmetric)
+        assert "processors=2" in text
+        assert "messages=2" in text

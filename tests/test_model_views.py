@@ -1,0 +1,65 @@
+"""Unit tests for views (repro.model.views)."""
+
+from repro.model.events import Message
+from repro.model.steps import shift_history
+from repro.model.views import View, views_equal
+
+from conftest import build_history, make_two_node_execution
+
+
+def sample_history():
+    return build_history(
+        me=0,
+        start=3.0,
+        sends=[(10.0, Message(sender=0, receiver=1, payload="a"))],
+        receives=[(12.5, Message(sender=1, receiver=0, payload="b"))],
+    )
+
+
+class TestViewExtraction:
+    def test_view_drops_real_times_keeps_clocks(self):
+        h = sample_history()
+        view = View.of(h)
+        assert len(view) == len(h)
+        clocks = [s.clock_time for s in view.steps]
+        assert clocks == [ts.step.clock_time for ts in h.steps]
+
+    def test_view_invariant_under_shift(self):
+        h = sample_history()
+        assert views_equal(View.of(h), View.of(shift_history(h, 42.0)))
+
+    def test_views_differ_across_processors(self):
+        alpha = make_two_node_execution(0.0, 0.0, [1.5], [1.5])
+        assert not views_equal(alpha.view(0), alpha.view(1))
+
+
+class TestViewMessageClocks:
+    def test_send_clock_times(self):
+        h = sample_history()
+        view = View.of(h)
+        sent = view.sent_messages()
+        assert len(sent) == 1
+        assert view.send_clock_times()[sent[0].uid] == 10.0
+
+    def test_receive_clock_times(self):
+        view = View.of(sample_history())
+        received = view.received_messages()
+        assert len(received) == 1
+        assert view.receive_clock_times()[received[0].uid] == 12.5
+
+    def test_estimated_delay_identity(self):
+        """d~ = recv_clock - send_clock == d + S_p - S_q (Lemma 6.1)."""
+        s_p, s_q, d = 4.0, 9.0, 2.5
+        alpha = make_two_node_execution(s_p, s_q, [d], [])
+        vp, vq = alpha.view(0), alpha.view(1)
+        uid = vq.received_messages()[0].uid
+        estimate = vq.receive_clock_times()[uid] - vp.send_clock_times()[uid]
+        assert abs(estimate - (d + s_p - s_q)) < 1e-12
+
+
+class TestViewRendering:
+    def test_str_contains_events(self):
+        text = str(View.of(sample_history()))
+        assert "start" in text
+        assert "send" in text
+        assert "recv" in text

@@ -1,0 +1,115 @@
+"""Property-based tests for the delay-model formulas (hypothesis).
+
+The paper's local-shift formulas (Lemmas 6.2/6.5, Theorem 5.6) are
+verified against an independent implementation path: bisection search
+over ``DelayAssumption.admits``.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro._types import INF
+from repro.delays.base import DirectionStats, PairTiming
+from repro.delays.bias import RoundTripBias
+from repro.delays.bounds import BoundedDelay, lower_bounds_only, no_bounds
+from repro.delays.composite import Composite
+from repro.experiments.e2_local_shifts import search_mls
+
+delays = st.lists(
+    st.floats(min_value=1.0, max_value=3.0, allow_nan=False),
+    min_size=1,
+    max_size=5,
+)
+
+
+def timing(fwd, rev):
+    return PairTiming(
+        forward=DirectionStats.of(list(fwd)),
+        reverse=DirectionStats.of(list(rev)),
+    )
+
+
+def check_formula_vs_search(assumption, fwd, rev, tol=1e-6):
+    formula = assumption.mls_bound(timing(fwd, rev))
+    searched = search_mls(assumption, fwd, rev)
+    if formula == INF or searched == INF:
+        assert formula == searched
+    else:
+        assert abs(formula - searched) < tol
+
+
+class TestBoundedFormula:
+    @given(delays, delays)
+    @settings(max_examples=50, deadline=None)
+    def test_lemma_62(self, fwd, rev):
+        check_formula_vs_search(BoundedDelay.symmetric(1.0, 3.0), fwd, rev)
+
+    @given(delays, delays)
+    @settings(max_examples=50, deadline=None)
+    def test_lower_only(self, fwd, rev):
+        check_formula_vs_search(lower_bounds_only(1.0), fwd, rev)
+
+    @given(delays, delays)
+    @settings(max_examples=50, deadline=None)
+    def test_no_bounds_corollary_64(self, fwd, rev):
+        assumption = no_bounds()
+        check_formula_vs_search(assumption, fwd, rev)
+        # Corollary 6.4 explicitly: mls = dmin(p, q).
+        assert assumption.mls_bound(timing(fwd, rev)) == min(fwd)
+
+
+class TestBiasFormula:
+    @given(
+        st.floats(min_value=5.0, max_value=15.0, allow_nan=False),
+        st.lists(
+            st.floats(min_value=-0.4, max_value=0.4, allow_nan=False),
+            min_size=1,
+            max_size=4,
+        ),
+        st.lists(
+            st.floats(min_value=-0.4, max_value=0.4, allow_nan=False),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_lemma_65(self, base, jit_fwd, jit_rev):
+        fwd = [base + j for j in jit_fwd]
+        rev = [base + j for j in jit_rev]
+        assumption = RoundTripBias(0.8)
+        assume(assumption.admits(fwd, rev))
+        check_formula_vs_search(assumption, fwd, rev)
+
+
+class TestCompositeFormula:
+    @given(delays, delays)
+    @settings(max_examples=50, deadline=None)
+    def test_theorem_56_min(self, fwd, rev):
+        a = BoundedDelay.symmetric(1.0, 3.0)
+        b = RoundTripBias(2.0)
+        composite = Composite.of(a, b)
+        assume(composite.admits(fwd, rev))
+        t = timing(fwd, rev)
+        assert composite.mls_bound(t) == min(
+            a.mls_bound(t), b.mls_bound(t)
+        )
+        check_formula_vs_search(composite, fwd, rev)
+
+
+class TestTranslationEquivariance:
+    @given(
+        delays,
+        delays,
+        st.floats(min_value=-20.0, max_value=20.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_corollary_63(self, fwd, rev, offset):
+        """Feeding translated delays translates the mls by the same amount
+        in the forward direction and by the negation in reverse -- the
+        fact that makes estimated delays sufficient (Lemma 6.1)."""
+        assumption = lower_bounds_only(1.0)
+        plain = assumption.mls_bound(timing(fwd, rev))
+        translated = assumption.mls_bound(
+            timing([d + offset for d in fwd], [d - offset for d in rev])
+        )
+        assert abs(translated - (plain + offset)) < 1e-9

@@ -1,0 +1,86 @@
+"""Property-based soundness tests for violation diagnosis.
+
+The critical safety property: the diagnosis never convicts an innocent
+link.  Whatever delays the adversary injects, every convicted link must
+actually violate its declared assumption (checked against ground truth),
+and on fully admissible executions the screen must stay silent.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis.diagnosis import diagnose
+from repro.delays.bounds import BoundedDelay
+from repro.delays.distributions import Constant, UniformDelay
+from repro.delays.system import System
+from repro.graphs.topology import ring
+from repro.sim.network import NetworkSimulator, SimulationConfig
+from repro.sim.protocols import probe_automata, probe_schedule
+
+LB, UB = 1.0, 3.0
+
+
+def run_with_delays(link_delays, seed=0):
+    """Simulate a ring-4 where each link runs at a chosen constant delay
+    (possibly violating the declared [1, 3] bounds)."""
+    topo = ring(4)
+    system = System.uniform(topo, BoundedDelay.symmetric(LB, UB))
+    samplers = {}
+    for link, delay in zip(topo.links, link_delays):
+        samplers[link] = (
+            Constant(delay) if delay is not None else UniformDelay(LB, UB)
+        )
+    sim = NetworkSimulator(
+        system, samplers, {p: 0.4 * p for p in topo.nodes}, seed=seed,
+        config=SimulationConfig(validate=False),
+    )
+    alpha = sim.run(dict(probe_automata(topo, probe_schedule(2, 5.0, 2.0))))
+    return system, alpha
+
+
+delay_choices = st.one_of(
+    st.none(),  # honest link (uniform within bounds)
+    st.floats(min_value=0.1, max_value=10.0, allow_nan=False),  # constant
+)
+
+
+class TestDiagnosisSoundness:
+    @given(st.tuples(delay_choices, delay_choices, delay_choices, delay_choices))
+    @settings(max_examples=40, deadline=None)
+    def test_convictions_always_correct(self, link_delays):
+        """Every convicted link truly violates; never an innocent one."""
+        system, alpha = run_with_delays(link_delays)
+        diagnosis = diagnose(system, alpha.views())
+        for link in diagnosis.convicted:
+            fwd, rev = system.link_delays(alpha, *link)
+            assert not system.assumptions[link].admits(fwd, rev), link
+
+    @given(
+        st.tuples(
+            *(
+                st.floats(min_value=LB, max_value=UB, allow_nan=False)
+                for _ in range(4)
+            )
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_admissible_executions_never_flagged(self, link_delays):
+        """Constant delays inside the bounds: no false alarms, ever."""
+        system, alpha = run_with_delays(link_delays)
+        assert system.is_admissible(alpha)
+        diagnosis = diagnose(system, alpha.views())
+        assert diagnosis.consistent
+
+    @given(st.tuples(delay_choices, delay_choices, delay_choices, delay_choices))
+    @settings(max_examples=25, deadline=None)
+    def test_repair_always_consistent(self, link_delays):
+        """After excluding the diagnosis' links, no negative cycles remain
+        (the repaired synchronization never raises)."""
+        from repro.analysis.diagnosis import synchronize_excluding
+
+        system, alpha = run_with_delays(link_delays)
+        diagnosis = diagnose(system, alpha.views())
+        result = synchronize_excluding(
+            system, alpha.views(), diagnosis.excluded_links
+        )
+        assert result.corrections  # computed without an exception

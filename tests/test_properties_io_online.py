@@ -1,0 +1,135 @@
+"""Property-based tests for serialization, online sync and offset intervals."""
+
+import math
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis.system_io import assumption_from_dict, assumption_to_dict
+from repro.analysis.trace import execution_from_dict, execution_to_dict
+from repro.core.synchronizer import ClockSynchronizer
+from repro.delays.bias import RoundTripBias
+from repro.delays.bounds import BoundedDelay
+from repro.delays.composite import Composite
+from repro.delays.system import System
+from repro.extensions.online import OnlineSynchronizer
+from repro.graphs.topology import line
+from repro.model.execution import executions_equivalent
+
+from conftest import make_two_node_execution
+
+starts = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+delays = st.lists(
+    st.floats(min_value=1.0, max_value=3.0, allow_nan=False),
+    min_size=0,
+    max_size=4,
+)
+nonempty_delays = st.lists(
+    st.floats(min_value=1.0, max_value=3.0, allow_nan=False),
+    min_size=1,
+    max_size=4,
+)
+
+
+@st.composite
+def assumptions(draw, depth=2):
+    kind = draw(st.sampled_from(["bounded", "bias"] + (["composite"] if depth else [])))
+    if kind == "bounded":
+        lb = draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+        width = draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+        unbounded = draw(st.booleans())
+        ub = float("inf") if unbounded else lb + width
+        return BoundedDelay(
+            lb_forward=lb, ub_forward=ub, lb_reverse=lb, ub_reverse=ub
+        )
+    if kind == "bias":
+        return RoundTripBias(
+            draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+        )
+    components = draw(
+        st.lists(assumptions(depth=depth - 1), min_size=1, max_size=3)
+    )
+    return Composite.of(*components)
+
+
+class TestSerializationProperties:
+    @given(assumptions())
+    @settings(max_examples=60, deadline=None)
+    def test_assumption_roundtrip(self, assumption):
+        assert assumption_from_dict(assumption_to_dict(assumption)) == assumption
+
+    @given(starts, starts, delays, delays)
+    @settings(max_examples=30, deadline=None)
+    def test_trace_roundtrip_preserves_everything(self, s_p, s_q, fwd, rev):
+        alpha = make_two_node_execution(s_p, s_q, fwd, rev)
+        beta = execution_from_dict(execution_to_dict(alpha))
+        assert executions_equivalent(alpha, beta)
+        assert beta.start_times() == alpha.start_times()
+        assert len(beta.message_records()) == len(alpha.message_records())
+
+
+class TestOnlineProperties:
+    @given(starts, starts, nonempty_delays, nonempty_delays)
+    @settings(max_examples=25, deadline=None)
+    def test_streaming_equals_batch(self, s_p, s_q, fwd, rev):
+        system = System.uniform(line(2), BoundedDelay.symmetric(1.0, 3.0))
+        alpha = make_two_node_execution(s_p, s_q, fwd, rev)
+        batch = ClockSynchronizer(system).from_execution(alpha)
+        online = OnlineSynchronizer(system)
+        online.ingest_views(alpha.views())
+        streamed = online.result()
+        assert streamed.precision == batch.precision
+        assert streamed.corrections == batch.corrections
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.booleans(),
+                st.floats(min_value=1.0, max_value=3.0, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_precision_monotone_under_stream(self, stream):
+        system = System.uniform(line(2), BoundedDelay.symmetric(1.0, 3.0))
+        online = OnlineSynchronizer(system)
+        previous = float("inf")
+        for forward, value in stream:
+            if forward:
+                online.observe(0, 1, value)
+            else:
+                online.observe(1, 0, value)
+            current = online.precision()
+            if not math.isinf(previous):
+                assert current <= previous + 1e-9
+            if not math.isinf(current):
+                previous = current
+
+
+class TestOffsetIntervalProperties:
+    @given(starts, starts, nonempty_delays, nonempty_delays)
+    @settings(max_examples=30, deadline=None)
+    def test_truth_always_inside_interval(self, s_p, s_q, fwd, rev):
+        system = System.uniform(line(2), BoundedDelay.symmetric(1.0, 3.0))
+        alpha = make_two_node_execution(s_p, s_q, fwd, rev)
+        result = ClockSynchronizer(system).from_execution(alpha)
+        low, high = result.offset_interval(0, 1)
+        assert low - 1e-9 <= (s_p - s_q) <= high + 1e-9
+
+    @given(starts, starts, nonempty_delays, nonempty_delays)
+    @settings(max_examples=30, deadline=None)
+    def test_interval_shift_invariant(self, s_p, s_q, fwd, rev):
+        """The interval is computed from views, so equivalent executions
+        yield the same interval even though their true offsets differ."""
+        from repro.model.execution import shift_execution
+
+        system = System.uniform(line(2), BoundedDelay.symmetric(1.0, 3.0))
+        alpha = make_two_node_execution(s_p, s_q, fwd, rev)
+        sync = ClockSynchronizer(system)
+        a = sync.from_execution(alpha).offset_interval(0, 1)
+        beta = shift_execution(alpha, {0: 0.25, 1: -0.5})
+        b = sync.from_execution(beta).offset_interval(0, 1)
+        assert a == b

@@ -1,0 +1,126 @@
+"""Property-based tests for shifting and views (hypothesis).
+
+These are the paper's foundational invariants: shifting is a group action
+on histories that preserves views (Lemma 4.1), and anything computed from
+views is invariant under it (Claim 3.1).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.estimates import estimated_delays
+from repro.core.synchronizer import ClockSynchronizer
+from repro.delays.bounds import BoundedDelay
+from repro.delays.system import System
+from repro.graphs.topology import line
+from repro.model.execution import (
+    executions_equivalent,
+    shift_execution,
+    shift_vector_between,
+)
+from repro.model.steps import shift_history
+from repro.model.views import View, views_equal
+
+from conftest import make_two_node_execution
+
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+small_delays = st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+starts = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+
+
+@st.composite
+def two_node_executions(draw):
+    s_p = draw(starts)
+    s_q = draw(starts)
+    n_fwd = draw(st.integers(min_value=0, max_value=4))
+    n_rev = draw(st.integers(min_value=0, max_value=4))
+    fwd = [draw(small_delays) for _ in range(n_fwd)]
+    rev = [draw(small_delays) for _ in range(n_rev)]
+    return make_two_node_execution(s_p, s_q, fwd, rev)
+
+
+def histories_approx_equal(a, b, tol=1e-9):
+    """Same steps, real times equal up to float rounding."""
+    if a.processor != b.processor or len(a) != len(b):
+        return False
+    return all(
+        x.step == y.step and abs(x.real_time - y.real_time) <= tol
+        for x, y in zip(a.steps, b.steps)
+    )
+
+
+class TestShiftGroupAction:
+    @given(two_node_executions(), finite_floats)
+    @settings(max_examples=40, deadline=None)
+    def test_shift_then_unshift_is_identity(self, alpha, s):
+        h = alpha.history(0)
+        assert histories_approx_equal(shift_history(shift_history(h, s), -s), h)
+
+    @given(two_node_executions(), finite_floats, finite_floats)
+    @settings(max_examples=40, deadline=None)
+    def test_shifts_compose(self, alpha, s1, s2):
+        h = alpha.history(0)
+        assert histories_approx_equal(
+            shift_history(shift_history(h, s1), s2), shift_history(h, s1 + s2)
+        )
+
+    @given(two_node_executions(), finite_floats, finite_floats)
+    @settings(max_examples=40, deadline=None)
+    def test_shifted_executions_are_equivalent(self, alpha, s0, s1):
+        beta = shift_execution(alpha, {0: s0, 1: s1})
+        assert executions_equivalent(alpha, beta)
+        beta.validate()
+
+    @given(two_node_executions(), finite_floats, finite_floats)
+    @settings(max_examples=40, deadline=None)
+    def test_shift_vector_recovered(self, alpha, s0, s1):
+        beta = shift_execution(alpha, {0: s0, 1: s1})
+        recovered = shift_vector_between(alpha, beta)
+        assert abs(recovered[0] - s0) < 1e-9
+        assert abs(recovered[1] - s1) < 1e-9
+
+    @given(two_node_executions(), finite_floats)
+    @settings(max_examples=40, deadline=None)
+    def test_views_invariant(self, alpha, s):
+        h = alpha.history(1)
+        assert views_equal(View.of(h), View.of(shift_history(h, s)))
+
+
+class TestClaim31:
+    @given(two_node_executions(), finite_floats, finite_floats)
+    @settings(max_examples=30, deadline=None)
+    def test_estimated_delays_shift_invariant(self, alpha, s0, s1):
+        beta = shift_execution(alpha, {0: s0, 1: s1})
+        assert estimated_delays(alpha.views()) == estimated_delays(
+            beta.views()
+        )
+
+    @given(
+        st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+        st.lists(
+            st.floats(min_value=1.0, max_value=3.0, allow_nan=False),
+            min_size=1,
+            max_size=3,
+        ),
+        st.lists(
+            st.floats(min_value=1.0, max_value=3.0, allow_nan=False),
+            min_size=1,
+            max_size=3,
+        ),
+        finite_floats,
+        finite_floats,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_corrections_shift_invariant(self, s_p, s_q, fwd, rev, t0, t1):
+        """The full pipeline output is a function of views only."""
+        system = System.uniform(line(2), BoundedDelay.symmetric(1.0, 3.0))
+        alpha = make_two_node_execution(s_p, s_q, fwd, rev)
+        beta = shift_execution(alpha, {0: t0, 1: t1})
+        sync = ClockSynchronizer(system)
+        a = sync.from_execution(alpha)
+        b = sync.from_execution(beta)
+        assert a.precision == b.precision
+        assert a.corrections == b.corrections

@@ -1,0 +1,119 @@
+"""Unit tests for the ready-made protocols (repro.sim.protocols)."""
+
+import pytest
+
+from repro.delays.bounds import no_bounds
+from repro.delays.distributions import Constant
+from repro.delays.system import System
+from repro.graphs.topology import line, ring, star
+from repro.model.events import MessageReceiveEvent
+from repro.sim.network import NetworkSimulator
+from repro.sim.protocols import (
+    Echo,
+    Probe,
+    echo_automata,
+    flood_automata,
+    probe_automata,
+    probe_schedule,
+)
+
+
+def run(topo, automata, seed=0, starts=None, delay=1.0):
+    system = System.uniform(topo, no_bounds())
+    samplers = {link: Constant(delay) for link in topo.links}
+    starts = starts or {p: 0.0 for p in topo.nodes}
+    return NetworkSimulator(system, samplers, starts, seed=seed).run(automata)
+
+
+class TestProbeSchedule:
+    def test_schedule_values(self):
+        assert probe_schedule(3, 5.0, 2.0) == (5.0, 7.0, 9.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            probe_schedule(0, 5.0, 2.0)
+        with pytest.raises(ValueError):
+            probe_schedule(1, 0.0, 2.0)
+        with pytest.raises(ValueError):
+            probe_schedule(1, 5.0, -1.0)
+
+
+class TestProbeAutomaton:
+    def test_message_count_and_payload_rounds(self):
+        topo = ring(4)
+        alpha = run(topo, dict(probe_automata(topo, probe_schedule(3, 1.0, 1.0))))
+        records = alpha.message_records().values()
+        assert len(records) == 4 * 2 * 3
+        rounds = {r.message.payload.round for r in records}
+        assert rounds == {0, 1, 2}
+        origins = {r.message.payload.origin for r in records}
+        assert origins == set(topo.nodes)
+
+    def test_probes_cover_both_directions(self):
+        topo = line(3)
+        alpha = run(topo, dict(probe_automata(topo, probe_schedule(1, 1.0, 1.0))))
+        edges = {r.edge for r in alpha.message_records().values()}
+        assert edges == {(0, 1), (1, 0), (1, 2), (2, 1)}
+
+    def test_rejects_nonpositive_probe_times(self):
+        with pytest.raises(ValueError):
+            probe_automata(line(2), [0.0])
+
+
+class TestEchoAutomaton:
+    def test_each_probe_gets_an_echo(self):
+        topo = line(2)
+        automata = dict(
+            echo_automata(topo, {0: probe_schedule(2, 1.0, 1.0)})
+        )
+        alpha = run(topo, automata)
+        records = list(alpha.message_records().values())
+        probes = [r for r in records if isinstance(r.message.payload, Probe)]
+        echoes = [r for r in records if isinstance(r.message.payload, Echo)]
+        assert len(probes) == 2
+        assert len(echoes) == 2
+        # Every echo references one of the probes and goes backwards.
+        for echo in echoes:
+            assert echo.edge == (1, 0)
+            assert echo.message.payload.probe in [
+                p.message.payload for p in probes
+            ]
+
+    def test_echo_automaton_rejects_bad_times(self):
+        from repro.sim.protocols import EchoAutomaton
+
+        with pytest.raises(ValueError):
+            EchoAutomaton(me=0, probe_times=[-1.0])
+
+
+class TestFloodAutomaton:
+    def test_flood_reaches_everyone_once(self):
+        topo = star(5)
+        alpha = run(topo, dict(flood_automata(topo, origins=[1])))
+        # Leaf 1 -> hub 0 -> other leaves; every processor sees the token.
+        for p in topo.nodes:
+            if p == 1:
+                continue
+            received = [
+                ts
+                for ts in alpha.history(p)
+                if isinstance(ts.step.interrupt, MessageReceiveEvent)
+            ]
+            assert any(
+                ts.step.interrupt.message.payload == ("flood", 1)
+                for ts in received
+            )
+
+    def test_flood_terminates_on_cycle(self):
+        topo = ring(6)
+        alpha = run(topo, dict(flood_automata(topo, origins=[0])))
+        alpha.validate()  # termination is implied by run() returning
+
+    def test_multiple_origins(self):
+        topo = ring(4)
+        alpha = run(topo, dict(flood_automata(topo, origins=[0, 2])))
+        final_states = {
+            p: alpha.history(p).steps[-1].step.new_state for p in topo.nodes
+        }
+        for state in final_states.values():
+            assert state == frozenset({0, 2})

@@ -1,0 +1,85 @@
+"""Unit tests for the event scheduler (repro.sim.scheduler)."""
+
+import pytest
+
+from repro.sim.scheduler import (
+    EventScheduler,
+    PRIORITY_RECEIVE,
+    PRIORITY_START,
+    PRIORITY_TIMER,
+)
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        s = EventScheduler()
+        s.schedule(3.0, PRIORITY_RECEIVE, "c")
+        s.schedule(1.0, PRIORITY_RECEIVE, "a")
+        s.schedule(2.0, PRIORITY_RECEIVE, "b")
+        assert [s.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_priority_breaks_time_ties(self):
+        s = EventScheduler()
+        s.schedule(1.0, PRIORITY_TIMER, "timer")
+        s.schedule(1.0, PRIORITY_START, "start")
+        s.schedule(1.0, PRIORITY_RECEIVE, "recv")
+        assert [s.pop().payload for _ in range(3)] == [
+            "start",
+            "recv",
+            "timer",
+        ]
+
+    def test_sequence_breaks_full_ties(self):
+        s = EventScheduler()
+        for i in range(5):
+            s.schedule(1.0, PRIORITY_RECEIVE, i)
+        assert [s.pop().payload for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_now_tracks_popped_time(self):
+        s = EventScheduler()
+        s.schedule(4.5, PRIORITY_RECEIVE, "x")
+        s.pop()
+        assert s.now == 4.5
+
+    def test_processed_counter(self):
+        s = EventScheduler()
+        s.schedule(1.0, PRIORITY_RECEIVE, "x")
+        s.schedule(2.0, PRIORITY_RECEIVE, "y")
+        s.pop()
+        s.pop()
+        assert s.processed == 2
+
+
+class TestLifecycle:
+    def test_empty_pop_returns_none(self):
+        assert EventScheduler().pop() is None
+
+    def test_bool_and_len(self):
+        s = EventScheduler()
+        assert not s and len(s) == 0
+        entry = s.schedule(1.0, PRIORITY_RECEIVE, "x")
+        assert s and len(s) == 1
+        s.cancel(entry)
+        assert not s and len(s) == 0
+
+    def test_cancelled_entries_skipped(self):
+        s = EventScheduler()
+        doomed = s.schedule(1.0, PRIORITY_RECEIVE, "dead")
+        s.schedule(2.0, PRIORITY_RECEIVE, "alive")
+        s.cancel(doomed)
+        assert s.pop().payload == "alive"
+        assert s.pop() is None
+
+    def test_scheduling_in_past_rejected(self):
+        s = EventScheduler()
+        s.schedule(5.0, PRIORITY_RECEIVE, "x")
+        s.pop()
+        with pytest.raises(ValueError):
+            s.schedule(4.0, PRIORITY_RECEIVE, "late")
+
+    def test_scheduling_at_current_instant_allowed(self):
+        s = EventScheduler()
+        s.schedule(5.0, PRIORITY_RECEIVE, "x")
+        s.pop()
+        s.schedule(5.0, PRIORITY_TIMER, "same-instant")
+        assert s.pop().payload == "same-instant"

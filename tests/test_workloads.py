@@ -1,0 +1,98 @@
+"""Unit tests for scenario builders (repro.workloads.scenarios)."""
+
+import pytest
+
+from repro.core.synchronizer import ClockSynchronizer
+from repro.delays.bias import RoundTripBias
+from repro.delays.bounds import BoundedDelay
+from repro.graphs.topology import line, ring
+from repro.workloads.scenarios import (
+    asymmetric_bounded,
+    bounded_uniform,
+    fully_asynchronous,
+    heterogeneous,
+    lower_bound_only,
+    round_trip_bias,
+)
+
+ALL_BUILDERS = [
+    lambda topo, seed: bounded_uniform(topo, lb=1.0, ub=3.0, seed=seed),
+    lambda topo, seed: lower_bound_only(topo, lb=1.0, mean_extra=2.0, seed=seed),
+    lambda topo, seed: fully_asynchronous(topo, mean_delay=2.0, seed=seed),
+    lambda topo, seed: round_trip_bias(topo, bias=0.5, seed=seed),
+    lambda topo, seed: asymmetric_bounded(
+        topo, lb=1.0, ub=5.0, skew_factor=0.7, seed=seed
+    ),
+    lambda topo, seed: heterogeneous(topo, seed=seed),
+]
+
+
+class TestScenarioExecution:
+    @pytest.mark.parametrize("builder", ALL_BUILDERS)
+    def test_runs_are_admissible_and_validate(self, builder):
+        scenario = builder(ring(4), 3)
+        alpha = scenario.run()
+        alpha.validate()
+        assert scenario.system.is_admissible(alpha)
+
+    @pytest.mark.parametrize("builder", ALL_BUILDERS)
+    def test_runs_are_reproducible(self, builder):
+        def fingerprint():
+            alpha = builder(ring(4), 9).run()
+            return sorted(
+                (r.edge, round(r.delay, 12))
+                for r in alpha.message_records().values()
+            )
+
+        assert fingerprint() == fingerprint()
+
+    @pytest.mark.parametrize("builder", ALL_BUILDERS)
+    def test_different_seeds_differ(self, builder):
+        a = builder(ring(4), 1).run()
+        b = builder(ring(4), 2).run()
+        da = sorted(r.delay for r in a.message_records().values())
+        db = sorted(r.delay for r in b.message_records().values())
+        assert da != db
+
+    @pytest.mark.parametrize("builder", ALL_BUILDERS)
+    def test_synchronizable(self, builder):
+        scenario = builder(ring(4), 5)
+        result = ClockSynchronizer(scenario.system).from_execution(
+            scenario.run()
+        )
+        assert result.is_fully_synchronized
+        assert result.precision < float("inf")
+
+
+class TestScenarioShapes:
+    def test_bounded_uniform_assumptions(self):
+        scenario = bounded_uniform(line(3), lb=1.0, ub=3.0)
+        for assumption in scenario.system.assumptions.values():
+            assert assumption == BoundedDelay.symmetric(1.0, 3.0)
+
+    def test_lower_bound_only_has_no_upper(self):
+        scenario = lower_bound_only(line(3), lb=1.0, mean_extra=1.0)
+        for assumption in scenario.system.assumptions.values():
+            assert not assumption.has_upper_bounds
+            assert assumption.lb_forward == 1.0
+
+    def test_bias_assumption(self):
+        scenario = round_trip_bias(line(3), bias=0.8)
+        for assumption in scenario.system.assumptions.values():
+            assert assumption == RoundTripBias(0.8)
+
+    def test_asymmetric_skew_factor_validated(self):
+        with pytest.raises(ValueError):
+            asymmetric_bounded(line(3), lb=1.0, ub=3.0, skew_factor=1.5)
+
+    def test_heterogeneous_mixes_assumption_kinds(self):
+        scenario = heterogeneous(ring(8), seed=0)
+        kinds = {
+            type(a).__name__ for a in scenario.system.assumptions.values()
+        }
+        assert len(kinds) >= 2  # genuinely mixed
+
+    def test_names_are_descriptive(self):
+        assert "bounded" in bounded_uniform(line(3), 1.0, 3.0).name
+        assert "bias" in round_trip_bias(line(3), 0.5).name
+        assert "hetero" in heterogeneous(line(3)).name
