@@ -1,15 +1,23 @@
 """E9 bench: regenerate the scaling table; time the two graph kernels
 (Karp max cycle mean, Bellman--Ford) at a fixed size so regressions in
-either show up independently of the end-to-end pipeline."""
+either show up independently of the end-to-end pipeline; race the matrix
+engine backends on the full pipeline and archive ``BENCH_engine.json``."""
 
+import json
 import random
+import time
+from pathlib import Path
 
 from conftest import show_tables
 
+from repro.core.estimates import local_shift_estimates
+from repro.core.synchronizer import ClockSynchronizer
 from repro.experiments import run_experiment
+from repro.graphs import ring
 from repro.graphs.digraph import WeightedDigraph
 from repro.graphs.karp import maximum_cycle_mean
 from repro.graphs.shortest_paths import bellman_ford
+from repro.workloads.scenarios import bounded_uniform
 
 
 def _dense_graph(n: int, seed: int = 0) -> WeightedDigraph:
@@ -38,3 +46,50 @@ def test_e9_bellman_ford_kernel(benchmark):
     g = _dense_graph(48, seed=1)
     dist = benchmark(lambda: bellman_ford(g, 0)[0])
     assert len(dist) == 48
+
+
+def test_e9_engine_backends(capsys):
+    """python vs numpy engine on the full pipeline; archives BENCH_engine.json.
+
+    The numpy engine must beat the reference dict/digraph engine by at
+    least 5x at n=64 (measured ~10x; the bound leaves CI headroom), and
+    both must agree on A^max to 1e-7.
+    """
+    records = []
+    for n in (8, 16, 32, 64):
+        scenario = bounded_uniform(ring(n), lb=1.0, ub=3.0, probes=2, seed=0)
+        mls = local_shift_estimates(scenario.system, scenario.run().views())
+        entry = {"n": n}
+        precisions = {}
+        for backend in ("python", "numpy"):
+            sync = ClockSynchronizer(scenario.system, backend=backend)
+            best = min(
+                _timed(sync.from_local_estimates, mls) for _ in range(3)
+            )
+            entry[f"{backend}_seconds"] = best
+            precisions[backend] = sync.from_local_estimates(mls).precision
+        assert abs(precisions["python"] - precisions["numpy"]) < 1e-7
+        entry["precision"] = precisions["python"]
+        entry["speedup"] = entry["python_seconds"] / entry["numpy_seconds"]
+        records.append(entry)
+
+    out = Path(__file__).resolve().parent / "BENCH_engine.json"
+    out.write_text(json.dumps(records, indent=2) + "\n")
+    with capsys.disabled():
+        print()
+        for entry in records:
+            print(
+                f"n={entry['n']:>3}  python {entry['python_seconds']:.5f}s  "
+                f"numpy {entry['numpy_seconds']:.5f}s  "
+                f"speedup {entry['speedup']:.1f}x"
+            )
+
+    final = records[-1]
+    assert final["n"] == 64
+    assert final["speedup"] >= 5.0
+
+
+def _timed(fn, *args):
+    t0 = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t0

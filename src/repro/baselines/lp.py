@@ -29,6 +29,7 @@ from scipy.optimize import linprog
 
 from repro._types import INF, NEG_INF, ProcessorId, Time
 from repro.core.estimates import estimated_delays
+from repro.engine import ProcessorIndex
 from repro.delays.base import DelayAssumption
 from repro.delays.bias import RoundTripBias, RoundTripBiasUnsigned
 from repro.delays.bounds import BoundedDelay
@@ -137,22 +138,21 @@ def system_constraints(
 
 
 def _solve_max_difference(
-    processors: Sequence[ProcessorId],
+    index: ProcessorIndex,
     constraints: Sequence[DifferenceConstraint],
     p: ProcessorId,
     q: ProcessorId,
 ) -> Time:
     """``max (y_q - y_p)`` subject to the difference constraints."""
-    index = {proc: i for i, proc in enumerate(processors)}
-    n = len(processors)
+    n = len(index)
     c = np.zeros(n)
-    c[index[q]] = -1.0  # linprog minimises; we want max y_q - y_p
-    c[index[p]] = 1.0
+    c[index.row(q)] = -1.0  # linprog minimises; we want max y_q - y_p
+    c[index.row(p)] = 1.0
 
     rows: List[np.ndarray] = []
     rhs: List[float] = []
     for con in constraints:
-        iu, iv = index[con.u], index[con.v]
+        iu, iv = index.row(con.u), index.row(con.v)
         if con.high != INF:
             row = np.zeros(n)
             row[iu] = 1.0
@@ -167,7 +167,7 @@ def _solve_max_difference(
             rhs.append(-con.low)
     # Pin y_p = 0 to remove the translation degree of freedom.
     a_eq = np.zeros((1, n))
-    a_eq[0, index[p]] = 1.0
+    a_eq[0, index.row(p)] = 1.0
 
     result = linprog(
         c,
@@ -191,15 +191,15 @@ def lp_ms_tilde(
     system: System, views: Mapping[ProcessorId, View]
 ) -> Dict[Tuple[ProcessorId, ProcessorId], Time]:
     """Every ``ms~(p, q)`` recomputed as a per-pair LP (oracle for Thm 5.5)."""
-    processors = list(system.processors)
+    index = ProcessorIndex(system.processors)
     constraints = system_constraints(system, views)
     out: Dict[Tuple[ProcessorId, ProcessorId], Time] = {}
-    for p in processors:
-        for q in processors:
+    for p in index:
+        for q in index:
             if p == q:
                 out[(p, q)] = 0.0
             else:
-                out[(p, q)] = _solve_max_difference(processors, constraints, p, q)
+                out[(p, q)] = _solve_max_difference(index, constraints, p, q)
     return out
 
 
@@ -212,42 +212,44 @@ def lp_optimal_corrections(
 
     Returns ``(corrections, epsilon)`` with ``x_root = 0``.  ``epsilon``
     must equal ``A^max`` by LP duality of the maximum cycle mean.
+
+    The constraint matrix (one row ``ms~(p,q) - x_p + x_q <= eps`` per
+    ordered pair) is assembled from the dense ``ms~`` matrix with array
+    indexing rather than a per-pair Python loop.
     """
-    processors = list(processors)
+    index = ProcessorIndex(processors)
+    n = len(index)
     if root is None:
-        root = processors[0]
-    index = {proc: i for i, proc in enumerate(processors)}
-    n = len(processors)
+        root = index.processor(0)
+    ms_matrix = index.matrix(dict(ms_tilde))
+    off_diagonal = ~np.eye(n, dtype=bool)
+    p_rows, q_rows = np.nonzero(off_diagonal & np.isinf(ms_matrix))
+    if len(p_rows):
+        p, q = index.processor(int(p_rows[0])), index.processor(int(q_rows[0]))
+        raise LPError(
+            f"ms~({p!r}, {q!r}) is infinite; no finite precision exists"
+        )
+
     # Variables: x_0 .. x_{n-1}, epsilon.
     c = np.zeros(n + 1)
     c[n] = 1.0
 
-    rows: List[np.ndarray] = []
-    rhs: List[float] = []
-    for p in processors:
-        for q in processors:
-            if p == q:
-                continue
-            ms = ms_tilde.get((p, q), INF)
-            if ms == INF:
-                raise LPError(
-                    f"ms~({p!r}, {q!r}) is infinite; no finite precision exists"
-                )
-            # ms~(p,q) - x_p + x_q <= eps
-            row = np.zeros(n + 1)
-            row[index[p]] = -1.0
-            row[index[q]] = 1.0
-            row[n] = -1.0
-            rows.append(row)
-            rhs.append(-ms)
+    p_rows, q_rows = np.nonzero(off_diagonal)
+    n_rows = len(p_rows)
+    a_ub = np.zeros((n_rows, n + 1))
+    arange = np.arange(n_rows)
+    a_ub[arange, p_rows] = -1.0
+    a_ub[arange, q_rows] = 1.0
+    a_ub[:, n] = -1.0
+    b_ub = -ms_matrix[p_rows, q_rows]
 
     a_eq = np.zeros((1, n + 1))
-    a_eq[0, index[root]] = 1.0
+    a_eq[0, index.row(root)] = 1.0
 
     result = linprog(
         c,
-        A_ub=np.array(rows),
-        b_ub=np.array(rhs),
+        A_ub=a_ub,
+        b_ub=b_ub,
         A_eq=a_eq,
         b_eq=np.zeros(1),
         bounds=[(None, None)] * (n + 1),
@@ -255,7 +257,9 @@ def lp_optimal_corrections(
     )
     if result.status != 0:
         raise LPError(f"LP solver failed: {result.message}")
-    corrections = {proc: float(result.x[index[proc]]) for proc in processors}
+    corrections = {
+        proc: float(result.x[index.row(proc)]) for proc in index
+    }
     return corrections, float(result.fun)
 
 

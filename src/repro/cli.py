@@ -47,7 +47,7 @@ def _cmd_all(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_demo(_args: argparse.Namespace) -> int:
+def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import (
         BoundedDelay,
         ClockSynchronizer,
@@ -69,9 +69,11 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
     sim = NetworkSimulator(system, samplers, starts, seed=7)
     alpha = sim.run(probe_automata(topo, probe_schedule(3, 20.0, 5.0)))
 
-    result = ClockSynchronizer(system).from_execution(alpha)
+    synchronizer = ClockSynchronizer(system, backend=args.backend)
+    result = synchronizer.from_execution(alpha)
     verify_certificate(result)
     print(f"topology:           {topo.name}")
+    print(f"engine backend:     {synchronizer.backend}")
     print(f"messages delivered: {len(alpha.message_records())}")
     print(f"optimal precision:  {result.precision:.4f}  (= A^max, certified)")
     print(f"realized spread:    "
@@ -137,8 +139,14 @@ def _cmd_sync_trace(args: argparse.Namespace) -> int:
         )
         print("  synchronizing the remaining links only:")
     else:
-        result = ClockSynchronizer(system).from_views(views)
+        synchronizer = ClockSynchronizer(system, backend=args.backend)
+        result = synchronizer.from_views(views)
         verify_certificate(result)
+        if args.timings:
+            stats = synchronizer.engine.stats
+            print(f"engine: {synchronizer.backend}")
+            for stage, seconds in sorted(stats.timings.items()):
+                print(f"  {stage}: {seconds * 1e3:.3f} ms")
 
     print(f"precision: {result.precision:.6g}"
           + ("  (certified optimal)" if diagnosis.consistent else ""))
@@ -176,9 +184,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_all.set_defaults(func=_cmd_all)
 
-    sub.add_parser("demo", help="run the quickstart demo").set_defaults(
-        func=_cmd_demo
-    )
+    p_demo = sub.add_parser("demo", help="run the quickstart demo")
+    _add_backend_argument(p_demo)
+    p_demo.set_defaults(func=_cmd_demo)
 
     p_record = sub.add_parser(
         "record", help="simulate a scenario and archive system + trace"
@@ -197,8 +205,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sync.add_argument("system", help="path to system.json")
     p_sync.add_argument("trace", help="path to trace.json")
+    _add_backend_argument(p_sync)
+    p_sync.add_argument(
+        "--timings",
+        action="store_true",
+        help="print the engine's per-stage timing breakdown",
+    )
     p_sync.set_defaults(func=_cmd_sync_trace)
     return parser
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    from repro.engine import AUTO_BACKEND, available_backends
+
+    parser.add_argument(
+        "--backend",
+        choices=[AUTO_BACKEND] + available_backends(),
+        default=None,
+        help="matrix engine backend (default: auto-select by system size)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -138,17 +138,22 @@ def shifts(
     # Step 2: corrections are distances under w = A^max - ms~.  Float
     # rounding can leave a cycle epsilon-negative; retry with a nudged
     # A^max rather than fail (the nudge is far below any meaningful
-    # precision scale).
+    # precision scale).  The complete edge list is built once; a nudge
+    # attempt only rewrites the stored weights.
     scale = max(1.0, abs(a_max))
+    base_edges = [
+        (p, q, a_max - ms_tilde[(p, q)])
+        for p in processors
+        for q in processors
+        if p != q
+    ]
+    w_graph = WeightedDigraph()
+    for p in processors:
+        w_graph.add_node(p)
     for attempt in range(4):
         nudge = attempt * 1e-9 * scale
-        w_graph = WeightedDigraph()
-        for p in processors:
-            w_graph.add_node(p)
-        for p in processors:
-            for q in processors:
-                if p != q:
-                    w_graph.add_edge(p, q, a_max + nudge - ms_tilde[(p, q)])
+        for p, q, base in base_edges:
+            w_graph.add_edge(p, q, base + nudge, keep="last")
         try:
             dist, _ = bellman_ford(w_graph, root)
             break

@@ -21,10 +21,10 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro._types import INF, ProcessorId, Time
 from repro.core.estimates import local_shift_estimates
-from repro.core.global_estimates import global_shift_estimates, shift_graph
 from repro.core.precision import rho_bar
-from repro.core.shifts import shifts
+from repro.core.shifts import CYCLE_MEAN_METHODS
 from repro.delays.system import System
+from repro.engine import ProcessorIndex, create_engine, resolve_backend_name
 from repro.model.execution import Execution
 from repro.model.views import View
 
@@ -111,7 +111,11 @@ class ClockSynchronizer:
     """Computes optimal corrections for a fixed system ``(G, A)``.
 
     The synchronizer is stateless across calls; each call processes one
-    set of views (one execution) independently.
+    set of views (one execution) independently.  ``backend`` selects the
+    matrix engine (``"python"``, ``"numpy"``, or ``None``/``"auto"`` to
+    pick by system size); ``method`` selects the cycle-mean algorithm of
+    SHIFTS step 1.  Both are validated eagerly, so a typo fails here
+    rather than deep inside the first synchronization.
     """
 
     def __init__(
@@ -119,17 +123,41 @@ class ClockSynchronizer:
         system: System,
         root: Optional[ProcessorId] = None,
         method: str = "karp",
+        backend: Optional[str] = None,
     ):
         self._system = system
         if root is not None and root not in system.processors:
             raise ValueError(f"root {root!r} is not a processor of the system")
+        if method not in CYCLE_MEAN_METHODS:
+            raise ValueError(
+                f"unknown cycle-mean method {method!r}; "
+                f"choose from {sorted(CYCLE_MEAN_METHODS)}"
+            )
         self._root = root
         self._method = method
+        self._index = ProcessorIndex(system.processors)
+        self._backend = resolve_backend_name(backend, len(self._index))
+        self._engine = create_engine(self._backend)
 
     @property
     def system(self) -> System:
         """The system ``(G, A)`` this synchronizer was built for."""
         return self._system
+
+    @property
+    def backend(self) -> str:
+        """Resolved name of the matrix engine in use."""
+        return self._backend
+
+    @property
+    def engine(self):
+        """The matrix engine (exposes per-stage ``stats``)."""
+        return self._engine
+
+    @property
+    def index(self) -> ProcessorIndex:
+        """The processor <-> matrix-row mapping of this synchronizer."""
+        return self._index
 
     def from_views(self, views: Mapping[ProcessorId, View]) -> SyncResult:
         """Run the full pipeline on one execution's views."""
@@ -150,22 +178,48 @@ class ClockSynchronizer:
         :mod:`repro.extensions.leader`) can ship local estimates to a
         leader instead of whole views.
         """
-        processors = list(self._system.processors)
-        ms_tilde = global_shift_estimates(processors, mls_tilde)
+        mls_matrix = self._index.matrix(mls_tilde)
+        ms_matrix = self._engine.global_estimates(mls_matrix)
+        return self.from_matrices(mls_tilde, mls_matrix, ms_matrix)
 
-        components = _synchronization_components(processors, mls_tilde)
+    def from_matrices(
+        self,
+        mls_tilde: Mapping[Tuple[ProcessorId, ProcessorId], Time],
+        mls_matrix,
+        ms_matrix,
+    ) -> SyncResult:
+        """SHIFTS-only entry for callers that already hold the closure.
+
+        ``mls_matrix``/``ms_matrix`` are row-indexed per :attr:`index`.
+        The online extension uses this to feed an incrementally-maintained
+        ``ms~`` matrix straight into component decomposition + SHIFTS.
+        """
+        index = self._index
+        engine = self._engine
         corrections: Dict[ProcessorId, Time] = {}
         component_results: List[ComponentResult] = []
-        for component in components:
+        for rows in engine.components(mls_matrix, ms_matrix):
+            component = [index.processor(r) for r in rows]
             root = self._root if self._root in component else component[0]
-            outcome = shifts(component, ms_tilde, root=root, method=self._method)
-            corrections.update(outcome.corrections)
+            outcome = engine.shifts(
+                ms_matrix,
+                rows=rows,
+                root_row=index.row(root),
+                method=self._method,
+            )
+            for row, value in zip(rows, outcome.corrections):
+                corrections[index.processor(row)] = float(value)
+            cycle = (
+                tuple(index.processor(r) for r in outcome.cycle_rows)
+                if outcome.cycle_rows is not None
+                else None
+            )
             component_results.append(
                 ComponentResult(
                     processors=tuple(component),
-                    precision=outcome.precision,
-                    critical_cycle=outcome.critical_cycle,
-                    root=outcome.root,
+                    precision=outcome.a_max,
+                    critical_cycle=cycle,
+                    root=root,
                 )
             )
 
@@ -178,7 +232,7 @@ class ClockSynchronizer:
             precision=precision,
             components=tuple(component_results),
             mls_tilde=dict(mls_tilde),
-            ms_tilde=ms_tilde,
+            ms_tilde=index.pairs(ms_matrix),
         )
 
     def from_execution(self, alpha: Execution) -> SyncResult:
@@ -188,25 +242,6 @@ class ClockSynchronizer:
         execution's real times, preserving Claim 3.1.
         """
         return self.from_views(alpha.views())
-
-
-def _synchronization_components(
-    processors, mls_tilde: Mapping[Tuple[ProcessorId, ProcessorId], Time]
-) -> List[List[ProcessorId]]:
-    """Maximal sets with finite pairwise shift estimates.
-
-    These are the strongly connected components of the finite-``mls~``
-    digraph: within one, finite paths exist both ways, so all pairwise
-    ``ms~`` are finite; across two, at least one direction is infinite.
-    Components are ordered by first appearance in ``processors`` so roots
-    are stable across runs.
-    """
-    graph = shift_graph(processors, mls_tilde)
-    sccs = graph.strongly_connected_components()
-    position = {p: i for i, p in enumerate(processors)}
-    ordered = [sorted(scc, key=lambda p: position[p]) for scc in sccs]
-    ordered.sort(key=lambda scc: position[scc[0]])
-    return ordered
 
 
 __all__ = ["ComponentResult", "SyncResult", "ClockSynchronizer"]

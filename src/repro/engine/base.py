@@ -1,0 +1,192 @@
+"""Abstract matrix engine for the GLOBAL ESTIMATES -> SHIFTS pipeline.
+
+An engine consumes dense row-indexed matrices (see
+:class:`~repro.engine.index.ProcessorIndex`) and provides the four
+operations the synchronization pipeline is made of:
+
+* ``global_estimates`` -- min-plus closure of the ``mls~`` matrix
+  (Theorem 5.5), raising
+  :class:`~repro.core.global_estimates.InconsistentViewsError` on a
+  negative cycle;
+* ``components`` -- the synchronization components (maximal row sets with
+  finite pairwise ``ms~``), ordered by first row for stable roots;
+* ``shifts`` -- SHIFTS (Theorems 4.4/4.6) on one component: the optimal
+  precision ``A^max`` (maximum cycle mean), a critical cycle witness, and
+  corrections as shortest-path distances under ``A^max - ms~``;
+* ``incremental_update`` -- optional single-edge decrease relaxation of a
+  cached closure (used by :mod:`repro.extensions.online`); backends that
+  do not support it return ``None`` and callers fall back to a full
+  recompute.
+
+Concrete backends implement the underscore hooks; the base class owns
+argument validation and the per-stage timing in :attr:`SyncEngine.stats`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import ClassVar, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.shifts import CYCLE_MEAN_METHODS, UnboundedPrecisionError
+from repro.engine.stats import EngineStats
+
+INF = float("inf")
+
+
+@dataclass(frozen=True)
+class EngineShifts:
+    """SHIFTS result in row space.
+
+    ``corrections[k]`` is the correction of the processor in ``rows[k]``
+    (the row sequence handed to :meth:`SyncEngine.shifts`); ``cycle_rows``
+    is the critical-cycle witness, also as global row indices.
+    """
+
+    corrections: np.ndarray
+    a_max: float
+    cycle_rows: Optional[Tuple[int, ...]]
+
+
+class SyncEngine(ABC):
+    """One backend of the matrix pipeline; stateless apart from stats."""
+
+    #: Registry name of the backend (e.g. ``"python"``, ``"numpy"``).
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Public, validated + timed entry points
+    # ------------------------------------------------------------------
+
+    def global_estimates(self, mls_matrix: np.ndarray) -> np.ndarray:
+        """``ms~`` matrix: min-plus closure of the ``mls~`` matrix."""
+        _check_square(mls_matrix)
+        with self.stats.stage("global_estimates"):
+            return self._closure(mls_matrix)
+
+    def components(
+        self, mls_matrix: np.ndarray, ms_matrix: np.ndarray
+    ) -> List[List[int]]:
+        """Synchronization components as row lists (sorted, stable order)."""
+        _check_square(mls_matrix)
+        _check_square(ms_matrix)
+        with self.stats.stage("components"):
+            return self._components(mls_matrix, ms_matrix)
+
+    def shifts(
+        self,
+        ms_matrix: np.ndarray,
+        rows: Optional[Sequence[int]] = None,
+        root_row: Optional[int] = None,
+        method: str = "karp",
+    ) -> EngineShifts:
+        """SHIFTS over ``rows`` of the ``ms~`` matrix (default: all rows).
+
+        Raises :class:`~repro.core.shifts.UnboundedPrecisionError` when a
+        pair inside ``rows`` has infinite estimate -- pass one
+        synchronization component at a time to avoid it.
+        """
+        _check_square(ms_matrix)
+        if method not in CYCLE_MEAN_METHODS:
+            raise ValueError(
+                f"unknown cycle-mean method {method!r}; "
+                f"choose from {sorted(CYCLE_MEAN_METHODS)}"
+            )
+        row_list = list(range(len(ms_matrix))) if rows is None else list(rows)
+        if not row_list:
+            raise ValueError("no rows")
+        if root_row is None:
+            root_row = row_list[0]
+        elif root_row not in row_list:
+            raise ValueError(f"root row {root_row} is not in rows")
+
+        with self.stats.stage("shifts"):
+            if len(row_list) == 1:
+                return EngineShifts(
+                    corrections=np.zeros(1), a_max=0.0, cycle_rows=None
+                )
+            sub = ms_matrix[np.ix_(row_list, row_list)]
+            infinite = [
+                (row_list[i], row_list[j])
+                for i in range(len(row_list))
+                for j in range(len(row_list))
+                if i != j and not np.isfinite(sub[i, j])
+            ]
+            if infinite:
+                raise UnboundedPrecisionError(infinite)
+            root_local = row_list.index(root_row)
+            result = self._shifts(sub, root_local, method)
+            corrections = result.corrections
+            if corrections[root_local] != 0.0:
+                # Pin x_root to exactly 0 (the nudged Bellman--Ford can
+                # leave an epsilon-sized residue at the root).
+                corrections = corrections - corrections[root_local]
+            cycle_rows = (
+                tuple(row_list[i] for i in result.cycle_rows)
+                if result.cycle_rows is not None
+                else None
+            )
+            return EngineShifts(
+                corrections=corrections,
+                a_max=result.a_max,
+                cycle_rows=cycle_rows,
+            )
+
+    def incremental_update(
+        self,
+        ms_matrix: np.ndarray,
+        changes: Sequence[Tuple[int, int, float]],
+    ) -> Optional[np.ndarray]:
+        """Closure after decreasing ``mls~`` entries ``(i, j, new_weight)``.
+
+        Returns a *new* matrix (the input is never mutated), or ``None``
+        when the backend has no incremental path and the caller should
+        recompute from scratch.  Only weight *decreases* are supported --
+        the online monotonicity guarantee (new observations only tighten
+        estimates) makes that the only case that occurs.
+        """
+        _check_square(ms_matrix)
+        with self.stats.stage("incremental_update"):
+            return self._incremental(ms_matrix, list(changes))
+
+    # ------------------------------------------------------------------
+    # Backend hooks
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def _closure(self, mls_matrix: np.ndarray) -> np.ndarray:
+        """Min-plus closure; raise ``InconsistentViewsError`` on neg. cycle."""
+
+    @abstractmethod
+    def _components(
+        self, mls_matrix: np.ndarray, ms_matrix: np.ndarray
+    ) -> List[List[int]]:
+        """Row components, each sorted ascending, ordered by first row."""
+
+    @abstractmethod
+    def _shifts(
+        self, sub: np.ndarray, root_local: int, method: str
+    ) -> EngineShifts:
+        """SHIFTS on an all-finite submatrix; cycle in *local* indices."""
+
+    def _incremental(
+        self, ms_matrix: np.ndarray, changes: List[Tuple[int, int, float]]
+    ) -> Optional[np.ndarray]:
+        """Default: no incremental support."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def _check_square(matrix: np.ndarray) -> None:
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+
+
+__all__ = ["EngineShifts", "SyncEngine"]

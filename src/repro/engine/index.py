@@ -1,0 +1,113 @@
+"""Stable processor-id <-> matrix-row mapping.
+
+Every matrix the engine layer handles is indexed by *rows*, not processor
+ids.  :class:`ProcessorIndex` is the single translation point: it fixes
+one row per processor (in first-appearance order, so roots and component
+ordering stay stable across runs) and converts between the pipeline's
+dict-of-pairs representation and dense ``numpy`` matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro._types import Edge, INF, ProcessorId, Time
+
+
+class ProcessorIndex:
+    """Immutable bijection between processor ids and matrix rows."""
+
+    __slots__ = ("_processors", "_rows")
+
+    def __init__(self, processors: Iterable[ProcessorId]):
+        self._processors: Tuple[ProcessorId, ...] = tuple(processors)
+        self._rows: Dict[ProcessorId, int] = {
+            p: i for i, p in enumerate(self._processors)
+        }
+        if len(self._rows) != len(self._processors):
+            raise ValueError("duplicate processor ids in index")
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+
+    @property
+    def processors(self) -> Tuple[ProcessorId, ...]:
+        """All processors, in row order."""
+        return self._processors
+
+    def __len__(self) -> int:
+        return len(self._processors)
+
+    def __iter__(self) -> Iterator[ProcessorId]:
+        return iter(self._processors)
+
+    def __contains__(self, processor: ProcessorId) -> bool:
+        return processor in self._rows
+
+    def row(self, processor: ProcessorId) -> int:
+        """The matrix row of ``processor`` (KeyError if unknown)."""
+        return self._rows[processor]
+
+    def processor(self, row: int) -> ProcessorId:
+        """The processor occupying ``row``."""
+        return self._processors[row]
+
+    def rows(self, processors: Iterable[ProcessorId]) -> List[int]:
+        """Rows of several processors, preserving order."""
+        return [self._rows[p] for p in processors]
+
+    # ------------------------------------------------------------------
+    # Matrix <-> dict conversion
+    # ------------------------------------------------------------------
+
+    def matrix(
+        self, pairs: Mapping[Edge, Time], default: float = INF
+    ) -> np.ndarray:
+        """Dense ``(n, n)`` weight matrix from a mapping of ordered pairs.
+
+        Missing pairs become ``default`` (``inf`` = "no constraint").  The
+        diagonal starts at 0 (the empty path); an explicit self-pair only
+        lowers it, mirroring how the dict pipeline treats self-loops (a
+        negative one is a negative cycle, a non-negative one is inert).
+        """
+        n = len(self._processors)
+        out = np.full((n, n), default, dtype=float)
+        np.fill_diagonal(out, 0.0)
+        rows = self._rows
+        for (p, q), weight in pairs.items():
+            i, j = rows[p], rows[q]
+            if i == j:
+                out[i, i] = min(out[i, i], weight)
+            else:
+                out[i, j] = weight
+        return out
+
+    def pairs(self, matrix: np.ndarray) -> Dict[Edge, Time]:
+        """Mapping over *all* ordered pairs (diagonal included) of a matrix."""
+        n = len(self._processors)
+        if matrix.shape != (n, n):
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match index size {n}"
+            )
+        procs = self._processors
+        out: Dict[Edge, Time] = {}
+        for i in range(n):
+            row = matrix[i]
+            p = procs[i]
+            for j in range(n):
+                out[(p, procs[j])] = float(row[j])
+        return out
+
+    def pair_rows(self, pairs: Sequence[Edge]) -> List[Tuple[int, int]]:
+        """Row-space version of a sequence of ordered processor pairs."""
+        rows = self._rows
+        return [(rows[p], rows[q]) for p, q in pairs]
+
+    def __repr__(self) -> str:
+        return f"ProcessorIndex(n={len(self._processors)})"
+
+
+__all__ = ["ProcessorIndex"]

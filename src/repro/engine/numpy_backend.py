@@ -1,0 +1,331 @@
+"""Dense numpy backend: the whole pipeline as matrix kernels.
+
+All three stages run as vectorized array programs over the row-indexed
+weight matrices:
+
+* GLOBAL ESTIMATES -- min-plus Floyd--Warshall, one broadcasted
+  ``minimum`` per pivot (:func:`min_plus_closure`);
+* components -- mutual-finiteness classes read directly off the closure;
+* SHIFTS step 1 -- Karp's recurrence as a level-by-level broadcast
+  (:func:`karp_max_cycle_mean_matrix`), with the critical-cycle witness
+  extracted from the tight-edge subgraph under vectorized Bellman--Ford
+  potentials (the same construction as :mod:`repro.graphs.karp`);
+* SHIFTS step 2 -- batched Bellman--Ford relaxation
+  (:func:`bellman_ford_matrix`) under ``w = A^max - ms~`` with the same
+  epsilon-nudge retry loop as the reference implementation.
+
+It also implements the incremental single-edge update used by
+:class:`repro.extensions.online.OnlineSynchronizer`: when one ``mls~``
+entry decreases, the cached closure is repaired by relaxing paths through
+the improved edge (two broadcast adds per change) instead of recomputing
+all pairs.  For a batch of decreases applied in sequence this is exact:
+a shortest path uses each decreased edge at most once (paths are simple
+when no negative cycle exists), so relaxing edges one at a time covers
+every new path, and a batch-created negative cycle surfaces as a negative
+diagonal entry.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.global_estimates import InconsistentViewsError
+from repro.engine.base import EngineShifts, SyncEngine
+from repro.graphs.digraph import WeightedDigraph
+from repro.graphs.howard import maximum_cycle_mean_howard
+
+INF = float("inf")
+_TOL = 1e-9
+
+
+# ----------------------------------------------------------------------
+# Kernels (module-level so tests and other layers can reuse them)
+# ----------------------------------------------------------------------
+
+
+def min_plus_closure(matrix: np.ndarray) -> np.ndarray:
+    """Min-plus transitive closure (Floyd--Warshall), input unmutated.
+
+    The kernel itself never raises: it returns the closure, and a
+    negative diagonal entry is the negative-cycle witness -- check with
+    :func:`has_negative_diagonal`.
+    """
+    dist = matrix.astype(float, copy=True)
+    n = len(dist)
+    for k in range(n):
+        np.minimum(dist, dist[:, k, None] + dist[None, k, :], out=dist)
+    return dist
+
+
+def has_negative_diagonal(matrix: np.ndarray, tol: float = _TOL) -> bool:
+    """Whether the closure's diagonal witnesses a negative cycle."""
+    return bool((np.diagonal(matrix) < -tol).any())
+
+
+def bellman_ford_matrix(
+    weights: np.ndarray, source: int, tol: float = _TOL
+) -> Optional[np.ndarray]:
+    """Single-source distances on a dense weight matrix.
+
+    Rounds of relaxation run as one broadcast per round with early exit.
+    Returns ``None`` when a negative cycle is reachable (the caller
+    decides whether that is an error or a retry-with-nudge).
+    """
+    n = len(weights)
+    dist = np.full(n, INF)
+    dist[source] = 0.0
+    for _ in range(max(0, n - 1)):
+        relaxed = np.minimum(dist, (dist[:, None] + weights).min(axis=0))
+        if not (relaxed < dist).any():
+            break
+        dist = relaxed
+    if ((dist[:, None] + weights).min(axis=0) < dist - tol).any():
+        return None
+    return dist
+
+
+def karp_max_cycle_mean_matrix(weights: np.ndarray) -> Optional[float]:
+    """Maximum cycle mean of a dense digraph given as a weight matrix.
+
+    ``inf`` encodes absent edges; the diagonal is ignored (no self-loops,
+    matching the complete ``ms~`` digraph SHIFTS builds).  Assumes the
+    off-diagonal part is strongly connected -- true for any all-finite
+    matrix with ``n >= 2``.  Returns ``None`` for ``n < 2``.
+    """
+    n = len(weights)
+    if n < 2:
+        return None
+    # Negate to reuse Karp's *minimum* recurrence; kill self-loops.
+    w = -weights.astype(float, copy=True)
+    np.fill_diagonal(w, INF)
+
+    levels = np.full((n + 1, n), INF)
+    levels[0, 0] = 0.0
+    for k in range(n):
+        levels[k + 1] = (levels[k][:, None] + w).min(axis=0)
+
+    d_n = levels[n]
+    ks = np.arange(n)
+    denominators = (n - ks)[:, None].astype(float)
+    with np.errstate(invalid="ignore"):
+        ratios = (d_n[None, :] - levels[:n, :]) / denominators
+    ratios[~np.isfinite(levels[:n, :])] = -INF
+    per_node_max = ratios.max(axis=0)
+
+    valid = np.isfinite(d_n) & np.isfinite(per_node_max)
+    if not valid.any():
+        return None
+    return -float(per_node_max[valid].min())
+
+
+def _potentials(weights: np.ndarray) -> Optional[np.ndarray]:
+    """Bellman--Ford potentials from a virtual source joined to every node.
+
+    Equivalent to distances from a zero-weight super-source; ``None``
+    when relaxation has not converged after ``n`` rounds (a float-noise
+    negative cycle -- the caller retries with slack).
+    """
+    n = len(weights)
+    dist = np.zeros(n)
+    for _ in range(n):
+        relaxed = np.minimum(dist, (dist[:, None] + weights).min(axis=0))
+        if not (relaxed < dist).any():
+            return dist
+        dist = relaxed
+    return None
+
+
+def _critical_cycle_matrix(
+    weights: np.ndarray, mean: float
+) -> Optional[List[int]]:
+    """A cycle of mean ``mean`` in a matrix whose *maximum* mean is ``mean``.
+
+    Mirror of :func:`repro.graphs.karp._critical_cycle` in matrix form:
+    work on negated weights (minimum-mean world), shift by the mean so
+    critical cycles become zero-weight, take tight edges under potentials,
+    and return any cycle of the tight subgraph.
+    """
+    n = len(weights)
+    shifted = -weights.astype(float, copy=True) + mean
+    np.fill_diagonal(shifted, INF)
+
+    h = None
+    for _ in range(3):
+        h = _potentials(shifted)
+        if h is not None:
+            break
+        shifted = shifted + _TOL
+    if h is None:
+        return None
+
+    finite = np.isfinite(weights) & ~np.eye(n, dtype=bool)
+    scale = max(1.0, float(np.abs(weights[finite]).max()) if finite.any() else 1.0)
+    tol = _TOL * scale * 10
+    # Tight: h[u] + (mean - w[u,v]) - h[v] ~ 0.
+    slack = h[:, None] + (mean - weights) - h[None, :]
+    tight = finite & (np.abs(slack) <= tol)
+    return _find_any_cycle_bool(tight)
+
+
+def _find_any_cycle_bool(adjacency: np.ndarray) -> Optional[List[int]]:
+    """Some directed cycle of a boolean adjacency matrix (DFS, iterative)."""
+    n = len(adjacency)
+    successors = [np.flatnonzero(adjacency[u]) for u in range(n)]
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = [WHITE] * n
+    parent: dict = {}
+    for root in range(n):
+        if color[root] != WHITE:
+            continue
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        color[root] = GRAY
+        while stack:
+            u, next_i = stack[-1]
+            advanced = False
+            succ = successors[u]
+            while next_i < len(succ):
+                v = int(succ[next_i])
+                next_i += 1
+                if color[v] == WHITE:
+                    color[v] = GRAY
+                    parent[v] = u
+                    stack[-1] = (u, next_i)
+                    stack.append((v, 0))
+                    advanced = True
+                    break
+                if color[v] == GRAY:
+                    cycle = [u]
+                    node = u
+                    while node != v:
+                        node = parent[node]
+                        cycle.append(node)
+                    cycle.reverse()
+                    return cycle
+            if advanced:
+                continue
+            stack[-1] = (u, next_i)
+            if next_i >= len(succ):
+                color[u] = BLACK
+                stack.pop()
+    return None
+
+
+# ----------------------------------------------------------------------
+# The backend
+# ----------------------------------------------------------------------
+
+
+class NumpyEngine(SyncEngine):
+    """Vectorized dense-matrix implementation of the pipeline."""
+
+    name = "numpy"
+
+    def _closure(self, mls_matrix: np.ndarray) -> np.ndarray:
+        closure = min_plus_closure(mls_matrix)
+        if has_negative_diagonal(closure):
+            raise InconsistentViewsError(
+                "local shift estimates contain a negative cycle; the "
+                "observed delays are inconsistent with the declared delay "
+                "assumptions"
+            )
+        return closure
+
+    def _components(
+        self, mls_matrix: np.ndarray, ms_matrix: np.ndarray
+    ) -> List[List[int]]:
+        # Mutual finiteness of the closure is exactly "same strongly
+        # connected component of the finite-mls~ digraph".
+        finite = np.isfinite(ms_matrix)
+        mutual = finite & finite.T
+        n = len(ms_matrix)
+        seen = np.zeros(n, dtype=bool)
+        components: List[List[int]] = []
+        for i in range(n):
+            if seen[i]:
+                continue
+            members = np.flatnonzero(mutual[i])
+            seen[members] = True
+            components.append([int(j) for j in members])
+        return components
+
+    def _shifts(
+        self, sub: np.ndarray, root_local: int, method: str
+    ) -> EngineShifts:
+        n = len(sub)
+
+        # Step 1: A^max, the maximum cycle mean of the complete submatrix.
+        if method == "howard":
+            graph = WeightedDigraph()
+            for i in range(n):
+                graph.add_node(i)
+            for i in range(n):
+                for j in range(n):
+                    if i != j:
+                        graph.add_edge(i, j, float(sub[i, j]))
+            result = maximum_cycle_mean_howard(graph)
+            a_max = result.mean
+            cycle = list(result.cycle) if result.cycle else None
+        else:  # "karp" and "karp-numpy" share the matrix recurrence
+            a_max = karp_max_cycle_mean_matrix(sub)
+            cycle = None
+        assert a_max is not None  # complete graph with n >= 2 has cycles
+        if cycle is None:
+            cycle = _critical_cycle_matrix(sub, a_max)
+
+        # Step 2: corrections as distances under w = A^max - ms~, with the
+        # same nudge ladder as the reference backend for float-rounded
+        # epsilon-negative cycles.
+        scale = max(1.0, abs(a_max))
+        base = a_max - sub
+        np.fill_diagonal(base, INF)
+        dist = None
+        for attempt in range(4):
+            dist = bellman_ford_matrix(base + attempt * 1e-9 * scale, root_local)
+            if dist is not None:
+                if attempt:
+                    self.stats.count("shifts.nudge_retries", attempt)
+                break
+        else:  # pragma: no cover - would need pathological float behaviour
+            raise AssertionError(
+                "negative cycle under w = A^max - ms~ persisted after "
+                "nudging; this contradicts the maximum cycle mean"
+            )
+
+        return EngineShifts(
+            corrections=dist,
+            a_max=float(a_max),
+            cycle_rows=tuple(cycle) if cycle else None,
+        )
+
+    def _incremental(
+        self, ms_matrix: np.ndarray, changes: List[Tuple[int, int, float]]
+    ) -> Optional[np.ndarray]:
+        closure = ms_matrix.astype(float, copy=True)
+        for i, j, weight in changes:
+            if i == j:
+                if weight < -_TOL:
+                    raise InconsistentViewsError(
+                        "negative self-estimate in incremental update"
+                    )
+                continue
+            through = closure[:, i, None] + (weight + closure[None, j, :])
+            np.minimum(closure, through, out=closure)
+        self.stats.count("incremental_update.relaxed_edges", len(changes))
+        if has_negative_diagonal(closure):
+            raise InconsistentViewsError(
+                "incrementally updated local shift estimates contain a "
+                "negative cycle; the observed delays are inconsistent with "
+                "the declared delay assumptions"
+            )
+        return closure
+
+
+__all__ = [
+    "NumpyEngine",
+    "min_plus_closure",
+    "has_negative_diagonal",
+    "bellman_ford_matrix",
+    "karp_max_cycle_mean_matrix",
+]

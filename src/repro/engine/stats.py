@@ -1,0 +1,73 @@
+"""Per-stage timing and counter hooks.
+
+Every engine owns an :class:`EngineStats`; the abstract base wraps each
+pipeline stage (``global_estimates``, ``components``, ``shifts``,
+``incremental_update``) in a timed region, and backends bump named
+counters for interesting events (nudge retries, relaxed edges, ...).
+Benchmarks read :meth:`EngineStats.snapshot` to report where time goes.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class EngineStats:
+    """Cumulative wall-clock seconds and event counts, keyed by stage name."""
+
+    __slots__ = ("_timings", "_counters")
+
+    def __init__(self) -> None:
+        self._timings: Dict[str, float] = {}
+        self._counters: Dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time one stage invocation; accumulates seconds and a call count."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._timings[name] = self._timings.get(name, 0.0) + elapsed
+            self._counters[f"{name}.calls"] = (
+                self._counters.get(f"{name}.calls", 0) + 1
+            )
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Bump a named counter."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        """Cumulative seconds per stage (a copy)."""
+        return dict(self._timings)
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Event counts (a copy)."""
+        return dict(self._counters)
+
+    def total_seconds(self) -> float:
+        """Total engine time across all stages."""
+        return sum(self._timings.values())
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Both tables at once, for serialization into benchmark reports."""
+        return {"timings": self.timings, "counters": dict(self._counters)}
+
+    def reset(self) -> None:
+        """Zero every timer and counter."""
+        self._timings.clear()
+        self._counters.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineStats(total={self.total_seconds():.6f}s, "
+            f"stages={sorted(self._timings)})"
+        )
+
+
+__all__ = ["EngineStats"]

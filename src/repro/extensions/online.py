@@ -22,8 +22,11 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional
 
+import numpy as np
+
 from repro._types import Edge, ProcessorId, Time
 from repro.core.estimates import estimated_delays
+from repro.core.global_estimates import InconsistentViewsError
 from repro.core.synchronizer import ClockSynchronizer, SyncResult
 from repro.delays.base import DirectionStats
 from repro.delays.system import System
@@ -36,15 +39,31 @@ class OnlineSynchronizer:
     Observations are *estimated delays* ``d~ = recv_clock - send_clock``
     per directed edge -- exactly what a receiver can compute locally from
     a timestamped message (Lemma 6.1).
+
+    On engines with an incremental path (the numpy backend), a refresh
+    after a few new observations does not redo GLOBAL ESTIMATES from
+    scratch: since new extremes only *tighten* ``mls~``, the cached
+    ``ms~`` closure is repaired by relaxing paths through the improved
+    entries only.  The ``streaming == batch`` invariant is unaffected --
+    the incremental closure is exact (see
+    :mod:`repro.engine.numpy_backend`) -- and is property-tested.
+
+    ``method`` and ``backend`` are validated eagerly at construction (via
+    :class:`~repro.core.synchronizer.ClockSynchronizer`), so a typo fails
+    here rather than at the first :meth:`result` call.
     """
 
     def __init__(self, system: System, root: Optional[ProcessorId] = None,
-                 method: str = "karp") -> None:
+                 method: str = "karp", backend: Optional[str] = None) -> None:
         self._system = system
-        self._synchronizer = ClockSynchronizer(system, root=root, method=method)
+        self._synchronizer = ClockSynchronizer(
+            system, root=root, method=method, backend=backend
+        )
         self._stats: Dict[Edge, DirectionStats] = {}
         self._observations = 0
         self._cached: Optional[SyncResult] = None
+        self._last_mls_matrix: Optional[np.ndarray] = None
+        self._last_ms_matrix: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -100,6 +119,11 @@ class OnlineSynchronizer:
     # ------------------------------------------------------------------
 
     @property
+    def synchronizer(self) -> ClockSynchronizer:
+        """The underlying batch synchronizer (exposes engine/backend/index)."""
+        return self._synchronizer
+
+    @property
     def observation_count(self) -> int:
         """Total observations ingested since construction or reset."""
         return self._observations
@@ -111,9 +135,49 @@ class OnlineSynchronizer:
     def result(self) -> SyncResult:
         """Current optimal corrections (recomputed only when stale)."""
         if self._cached is None:
-            mls_tilde = self._system.mls_from_stats(self._stats)
-            self._cached = self._synchronizer.from_local_estimates(mls_tilde)
+            self._cached = self._recompute()
         return self._cached
+
+    def _recompute(self) -> SyncResult:
+        sync = self._synchronizer
+        mls_tilde = self._system.mls_from_stats(self._stats)
+        mls_matrix = sync.index.matrix(mls_tilde)
+        ms_matrix = None
+        if self._last_ms_matrix is not None:
+            ms_matrix = self._incremental_closure(mls_matrix)
+        if ms_matrix is None:
+            ms_matrix = sync.engine.global_estimates(mls_matrix)
+        result = sync.from_matrices(mls_tilde, mls_matrix, ms_matrix)
+        self._last_mls_matrix = mls_matrix
+        self._last_ms_matrix = ms_matrix
+        return result
+
+    def _incremental_closure(
+        self, mls_matrix: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Repair the cached ``ms~`` closure from the new ``mls~`` matrix.
+
+        Returns ``None`` whenever the batch path must run instead: the
+        engine has no incremental support, an estimate *loosened*
+        (impossible under monotone ingestion, but guarded), or the update
+        exposed an inconsistency (the batch path re-derives the error
+        authoritatively).
+        """
+        old = self._last_mls_matrix
+        if old is None or (mls_matrix > old).any():
+            return None
+        changed = np.argwhere(mls_matrix < old)
+        if changed.size == 0:
+            return self._last_ms_matrix
+        changes = [
+            (int(i), int(j), float(mls_matrix[i, j])) for i, j in changed
+        ]
+        try:
+            return self._synchronizer.engine.incremental_update(
+                self._last_ms_matrix, changes
+            )
+        except InconsistentViewsError:
+            return None
 
     def precision(self) -> Time:
         """Current guaranteed precision (``inf`` until enough traffic)."""
@@ -124,6 +188,8 @@ class OnlineSynchronizer:
         self._stats.clear()
         self._observations = 0
         self._cached = None
+        self._last_mls_matrix = None
+        self._last_ms_matrix = None
 
 
 __all__ = ["OnlineSynchronizer"]

@@ -18,7 +18,7 @@ from repro.analysis.ground_truth import (
     shift_vector_is_admissible,
     true_global_shifts,
 )
-from repro.analysis.metrics import Summary, geometric_mean, ratio, summarize
+from repro.analysis.metrics import geometric_mean, ratio, summarize
 from repro.analysis.reporting import Table, fmt
 from repro.core.precision import realized_spread
 from repro.core.synchronizer import ClockSynchronizer

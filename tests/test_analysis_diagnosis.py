@@ -4,7 +4,6 @@ import math
 
 import pytest
 
-from repro._types import INF
 from repro.analysis.diagnosis import (
     diagnose,
     diagnose_and_repair,

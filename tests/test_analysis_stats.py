@@ -45,7 +45,6 @@ class TestExecutionStatistics:
         assert stats.duration == pytest.approx(13.0 - 1.0)
 
     def test_lossy_simulation_stats(self):
-        from repro.delays.distributions import UniformDelay
         from repro.sim.network import NetworkSimulator
         from repro.sim.protocols import probe_automata, probe_schedule
 

@@ -13,7 +13,6 @@ from repro.delays.bias import RoundTripBias
 from repro.delays.bounds import BoundedDelay
 from repro.delays.system import System
 from repro.graphs.topology import line
-from repro.model.execution import Execution
 
 from conftest import make_two_node_execution
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro._types import INF
 from repro.core.precision import rho_bar
-from repro.core.shifts import ShiftsOutcome, UnboundedPrecisionError, shifts
+from repro.core.shifts import UnboundedPrecisionError, shifts
 
 
 class TestHandComputedInstances:

@@ -18,7 +18,7 @@ from repro.extensions.probabilistic import (
     probabilistic_synchronize,
 )
 from repro.graphs.topology import ring
-from repro.sim.network import NetworkSimulator, SimulationConfig, draw_start_times
+from repro.sim.network import NetworkSimulator, draw_start_times
 from repro.sim.protocols import probe_automata, probe_schedule
 
 

@@ -12,7 +12,7 @@ from repro.extensions.reliable_leader import (
     reliable_corrections_from_execution,
     reliable_leader_automata,
 )
-from repro.graphs.topology import line, ring
+from repro.graphs.topology import ring
 from repro.sim.network import NetworkSimulator
 from repro.workloads.scenarios import bounded_uniform
 

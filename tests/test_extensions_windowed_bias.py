@@ -14,7 +14,6 @@ from repro._types import INF
 from repro.core.synchronizer import ClockSynchronizer
 from repro.delays.base import DirectionStats, PairTiming
 from repro.delays.bias import RoundTripBias
-from repro.delays.system import System
 from repro.extensions.windowed_bias import (
     TimedObservation,
     WindowedBias,

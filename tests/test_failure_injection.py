@@ -17,7 +17,7 @@ from repro.delays.distributions import Constant, UniformDelay
 from repro.delays.system import System
 from repro.graphs.topology import line, ring
 from repro.model.events import Event, StartEvent, TimerEvent
-from repro.sim.network import NetworkSimulator, SimulationConfig, SimulationError
+from repro.sim.network import NetworkSimulator, SimulationError
 from repro.sim.processor import Automaton, IdleAutomaton, Send, SetTimer, Transition
 from repro.sim.protocols import probe_automata, probe_schedule
 

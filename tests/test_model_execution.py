@@ -2,14 +2,14 @@
 
 import pytest
 
-from repro.model.events import Message, MessageSendEvent, StartEvent
+from repro.model.events import Message
 from repro.model.execution import (
     Execution,
     executions_equivalent,
     shift_execution,
     shift_vector_between,
 )
-from repro.model.steps import History, ModelError, Step, TimedStep
+from repro.model.steps import ModelError
 
 from conftest import build_history, make_two_node_execution
 

@@ -1,7 +1,6 @@
 """Property-based tests for serialization, online sync and offset intervals."""
 
 import math
-import random
 
 import hypothesis.strategies as st
 from hypothesis import given, settings
