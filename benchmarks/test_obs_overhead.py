@@ -1,0 +1,88 @@
+"""Observability overhead guard.
+
+The instrumentation added to the sim/pipeline/engine hot paths must be
+free when disabled: with the default no-op recorder installed the n=64
+E9 pipeline (numpy backend) must stay within 5% of the archived
+``BENCH_engine.json`` baseline.  ``test_e9_engine_backends`` regenerates
+that file earlier in the same benchmark run, so the comparison is
+same-machine, not cross-archive.
+
+A second (informational, loosely bounded) check times the pipeline with
+an enabled recorder to show what full tracing costs.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.estimates import local_shift_estimates
+from repro.core.synchronizer import ClockSynchronizer
+from repro.graphs import ring
+from repro.obs import get_recorder, NOOP, recording
+from repro.workloads.scenarios import bounded_uniform
+
+N = 64
+REPEATS = 9
+
+
+def _pipeline_inputs():
+    scenario = bounded_uniform(ring(N), lb=1.0, ub=3.0, probes=2, seed=0)
+    mls = local_shift_estimates(scenario.system, scenario.run().views())
+    return scenario.system, mls
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _baseline_seconds():
+    path = Path(__file__).resolve().parent / "BENCH_engine.json"
+    records = json.loads(path.read_text())
+    entry = next(r for r in records if r["n"] == N)
+    return entry["numpy_seconds"]
+
+
+def test_noop_recorder_overhead_under_5_percent(capsys):
+    assert get_recorder() is NOOP, "benchmark requires the disabled default"
+    system, mls = _pipeline_inputs()
+
+    # Mirror test_e9_engine_backends exactly (fresh synchronizer per
+    # timing) so the ratio compares methodology-identical numbers.
+    def once():
+        ClockSynchronizer(system, backend="numpy").from_local_estimates(mls)
+
+    once()  # warm import/caches before timing
+    disabled = _best_of(once)
+    baseline = _baseline_seconds()
+    with capsys.disabled():
+        print(
+            f"\nobs disabled {disabled:.5f}s  baseline {baseline:.5f}s  "
+            f"ratio {disabled / baseline:.3f}"
+        )
+    assert disabled <= baseline * 1.05, (
+        f"no-op instrumentation overhead {disabled / baseline - 1:.1%} "
+        f"exceeds 5% of BENCH_engine.json baseline"
+    )
+
+
+def test_enabled_recorder_overhead_is_bounded(capsys):
+    system, mls = _pipeline_inputs()
+    sync = ClockSynchronizer(system, backend="numpy")
+    sync.from_local_estimates(mls)
+    disabled = _best_of(lambda: sync.from_local_estimates(mls))
+    with recording() as rec:
+        enabled = _best_of(lambda: sync.from_local_estimates(mls))
+    assert rec.tracer.finished(), "recorder saw no spans"
+    with capsys.disabled():
+        print(
+            f"\nobs enabled {enabled:.5f}s  disabled {disabled:.5f}s  "
+            f"ratio {enabled / disabled:.2f}"
+        )
+    # Tracing is allowed to cost something, but a blow-up here means a
+    # hot loop started allocating spans per event instead of per run.
+    assert enabled <= disabled * 3.0

@@ -10,16 +10,138 @@ Installed as ``repro-clocksync`` (see pyproject) and runnable as
     repro-clocksync all --quick          # the entire suite
     repro-clocksync record out/          # simulate + archive system/trace
     repro-clocksync sync-trace out/system.json out/trace.json
+    repro-clocksync profile E9 --quick   # run under full instrumentation
+
+Every run subcommand accepts the observability flags ``--trace-out``
+(Chrome trace-event JSON, loads in Perfetto / ``chrome://tracing``),
+``--metrics-out`` (JSONL metrics dump) and ``--log-level``; ``--timings``
+prints the engine's per-stage breakdown.  ``profile`` enables the full
+recorder and prints a span-tree / top-stages report.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 from repro.experiments import DESCRIPTIONS, REGISTRY, run_experiment
 
+_LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+# ----------------------------------------------------------------------
+# Observability plumbing
+# ----------------------------------------------------------------------
+
+def _add_obs_arguments(
+    parser: argparse.ArgumentParser, timings: bool = True
+) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write spans as Chrome trace-event JSON "
+        "(open in Perfetto or chrome://tracing)",
+    )
+    group.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the metrics registry as JSONL (one record per series)",
+    )
+    group.add_argument(
+        "--log-level",
+        choices=_LOG_LEVELS,
+        default=None,
+        help="logging level for the repro logger",
+    )
+    if timings:
+        group.add_argument(
+            "--timings",
+            action="store_true",
+            help="print the engine's per-stage timing breakdown",
+        )
+
+
+@contextmanager
+def _observability(args: argparse.Namespace, force: bool = False) -> Iterator:
+    """Install a recorder for the command body when telemetry is wanted.
+
+    Yields the active :class:`~repro.obs.recorder.Recorder`, or ``None``
+    when every observability flag is off (the no-op recorder stays in
+    place and the run pays nothing).  Exports happen on exit, after the
+    command's own output.
+    """
+    if getattr(args, "log_level", None):
+        logging.basicConfig(format="%(name)s %(levelname)s: %(message)s")
+        logging.getLogger("repro").setLevel(args.log_level.upper())
+    wants = (
+        force
+        or args.trace_out is not None
+        or args.metrics_out is not None
+        or getattr(args, "timings", False)
+    )
+    if not wants:
+        yield None
+        return
+    from repro.obs import Recorder, set_recorder
+
+    recorder = Recorder()
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+        _export_telemetry(args, recorder)
+
+
+def _export_telemetry(args: argparse.Namespace, recorder) -> None:
+    from repro.obs import write_chrome_trace, write_metrics_jsonl
+
+    if args.trace_out is not None:
+        spans = recorder.tracer.finished()
+        path = write_chrome_trace(args.trace_out, spans)
+        print(f"trace written:   {path}  ({len(spans)} spans; "
+              f"open in Perfetto)")
+    if args.metrics_out is not None:
+        path = write_metrics_jsonl(args.metrics_out, recorder.registry)
+        print(f"metrics written: {path}  "
+              f"({len(recorder.registry)} series)")
+
+
+def _print_engine_timings(recorder) -> None:
+    """``--timings`` output for experiment sweeps.
+
+    Compatibility shim: the same ``  stage: x ms`` lines sync-trace has
+    always printed from ``EngineStats``, read back here through the
+    shared registry (every engine the sweep constructed reported into
+    it).
+    """
+    from repro.engine.stats import EngineStats
+
+    stats = EngineStats(registry=recorder.registry)
+    print("engine stage timings (all engines, cumulative):")
+    timings = stats.timings
+    if not timings:
+        print("  (no engine stages ran)")
+    for stage, seconds in sorted(timings.items()):
+        print(f"  {stage}: {seconds * 1e3:.3f} ms")
+
+
+def _print_run_summary(summary) -> None:
+    if summary is None:
+        return
+    for label, value in summary.lines():
+        print(f"{label + ':':<20}{value}")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
 
 def _cmd_list(_args: argparse.Namespace) -> int:
     width = max(len(k) for k in REGISTRY)
@@ -29,21 +151,29 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    try:
-        tables = run_experiment(args.id, quick=args.quick)
-    except KeyError as exc:
-        print(exc.args[0], file=sys.stderr)
-        return 2
-    for table in tables:
-        table.show()
+    with _observability(args) as recorder:
+        try:
+            tables = run_experiment(args.id, quick=args.quick)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        for table in tables:
+            table.show()
+        if args.timings and recorder is not None:
+            print()
+            _print_engine_timings(recorder)
     return 0
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
-    for key in sorted(REGISTRY, key=lambda k: int(k[1:])):
-        print(f"### {key}: {DESCRIPTIONS[key]}\n")
-        for table in run_experiment(key, quick=args.quick):
-            table.show()
+    with _observability(args) as recorder:
+        for key in sorted(REGISTRY, key=lambda k: int(k[1:])):
+            print(f"### {key}: {DESCRIPTIONS[key]}\n")
+            for table in run_experiment(key, quick=args.quick):
+                table.show()
+        if args.timings and recorder is not None:
+            print()
+            _print_engine_timings(recorder)
     return 0
 
 
@@ -62,27 +192,36 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         verify_certificate,
     )
 
-    topo = ring(5)
-    system = System.uniform(topo, BoundedDelay.symmetric(1.0, 3.0))
-    samplers = {link: UniformDelay(1.0, 3.0) for link in topo.links}
-    starts = draw_start_times(topo.nodes, max_skew=10.0, seed=7)
-    sim = NetworkSimulator(system, samplers, starts, seed=7)
-    alpha = sim.run(probe_automata(topo, probe_schedule(3, 20.0, 5.0)))
+    with _observability(args):
+        topo = ring(5)
+        system = System.uniform(topo, BoundedDelay.symmetric(1.0, 3.0))
+        samplers = {link: UniformDelay(1.0, 3.0) for link in topo.links}
+        starts = draw_start_times(topo.nodes, max_skew=10.0, seed=7)
+        sim = NetworkSimulator(system, samplers, starts, seed=7)
+        alpha = sim.run(probe_automata(topo, probe_schedule(3, 20.0, 5.0)))
 
-    synchronizer = ClockSynchronizer(system, backend=args.backend)
-    result = synchronizer.from_execution(alpha)
-    verify_certificate(result)
-    print(f"topology:           {topo.name}")
-    print(f"engine backend:     {synchronizer.backend}")
-    print(f"messages delivered: {len(alpha.message_records())}")
-    print(f"optimal precision:  {result.precision:.4f}  (= A^max, certified)")
-    print(f"realized spread:    "
-          f"{realized_spread(alpha.start_times(), result.corrections):.4f}")
-    print("corrections:")
-    for p, x in sorted(result.corrections.items(), key=lambda kv: repr(kv[0])):
-        print(f"  processor {p}: {x:+.4f}")
-    cycle = result.components[0].critical_cycle
-    print(f"critical cycle (optimality witness): {cycle}")
+        synchronizer = ClockSynchronizer(system, backend=args.backend)
+        result = synchronizer.from_execution(alpha)
+        verify_certificate(result)
+        print(f"topology:           {topo.name}")
+        print(f"engine backend:     {synchronizer.backend}")
+        _print_run_summary(sim.last_run_summary)
+        print(f"optimal precision:  {result.precision:.4f}  "
+              f"(= A^max, certified)")
+        print(f"realized spread:    "
+              f"{realized_spread(alpha.start_times(), result.corrections):.4f}")
+        print("corrections:")
+        for p, x in sorted(
+            result.corrections.items(), key=lambda kv: repr(kv[0])
+        ):
+            print(f"  processor {p}: {x:+.4f}")
+        cycle = result.components[0].critical_cycle
+        print(f"critical cycle (optimality witness): {cycle}")
+        if args.timings:
+            stats = synchronizer.engine.stats
+            print(f"engine: {synchronizer.backend}")
+            for stage, seconds in sorted(stats.timings.items()):
+                print(f"  {stage}: {seconds * 1e3:.3f} ms")
     return 0
 
 
@@ -95,22 +234,24 @@ def _cmd_record(args: argparse.Namespace) -> int:
     from repro.graphs import ring
     from repro.workloads.scenarios import bounded_uniform, heterogeneous
 
-    out = Path(args.directory)
-    out.mkdir(parents=True, exist_ok=True)
-    topology = ring(args.size)
-    if args.scenario == "bounded":
-        scenario = bounded_uniform(topology, lb=1.0, ub=3.0, seed=args.seed)
-    elif args.scenario == "hetero":
-        scenario = heterogeneous(topology, seed=args.seed)
-    else:  # pragma: no cover - argparse choices guard this
-        raise AssertionError(args.scenario)
-    alpha = scenario.run()
-    save_system(scenario.system, out / "system.json")
-    save_execution(alpha, out / "trace.json")
-    print(f"recorded {scenario.name}: "
-          f"{len(alpha.message_records())} messages")
-    print(f"  system: {out / 'system.json'}")
-    print(f"  trace:  {out / 'trace.json'}")
+    with _observability(args):
+        out = Path(args.directory)
+        out.mkdir(parents=True, exist_ok=True)
+        topology = ring(args.size)
+        if args.scenario == "bounded":
+            scenario = bounded_uniform(topology, lb=1.0, ub=3.0, seed=args.seed)
+        elif args.scenario == "hetero":
+            scenario = heterogeneous(topology, seed=args.seed)
+        else:  # pragma: no cover - argparse choices guard this
+            raise AssertionError(args.scenario)
+        alpha = scenario.run()
+        save_system(scenario.system, out / "system.json")
+        save_execution(alpha, out / "trace.json")
+        print(f"recorded {scenario.name}: "
+              f"{len(alpha.message_records())} messages")
+        _print_run_summary(scenario.last_run_summary)
+        print(f"  system: {out / 'system.json'}")
+        print(f"  trace:  {out / 'trace.json'}")
     return 0
 
 
@@ -122,41 +263,79 @@ def _cmd_sync_trace(args: argparse.Namespace) -> int:
     from repro.core.synchronizer import ClockSynchronizer
     from repro.core.optimality import verify_certificate
 
-    system = load_system(args.system)
-    alpha = load_execution(args.trace)
-    views = alpha.views()
+    with _observability(args):
+        system = load_system(args.system)
+        alpha = load_execution(args.trace)
+        views = alpha.views()
 
-    diagnosis = diagnose(system, views)
-    if not diagnosis.consistent:
-        print("WARNING: views are inconsistent with the declared "
-              "assumptions;")
-        print(f"  convicted links: {list(diagnosis.convicted)}")
-        print(f"  suspect links:   {list(diagnosis.suspects)}")
-        from repro.analysis.diagnosis import synchronize_excluding
+        diagnosis = diagnose(system, views)
+        if not diagnosis.consistent:
+            print("WARNING: views are inconsistent with the declared "
+                  "assumptions;")
+            print(f"  convicted links: {list(diagnosis.convicted)}")
+            print(f"  suspect links:   {list(diagnosis.suspects)}")
+            from repro.analysis.diagnosis import synchronize_excluding
 
-        result = synchronize_excluding(
-            system, views, diagnosis.excluded_links
-        )
-        print("  synchronizing the remaining links only:")
-    else:
-        synchronizer = ClockSynchronizer(system, backend=args.backend)
-        result = synchronizer.from_views(views)
-        verify_certificate(result)
-        if args.timings:
-            stats = synchronizer.engine.stats
-            print(f"engine: {synchronizer.backend}")
-            for stage, seconds in sorted(stats.timings.items()):
-                print(f"  {stage}: {seconds * 1e3:.3f} ms")
+            result = synchronize_excluding(
+                system, views, diagnosis.excluded_links
+            )
+            print("  synchronizing the remaining links only:")
+        else:
+            synchronizer = ClockSynchronizer(system, backend=args.backend)
+            result = synchronizer.from_views(views)
+            verify_certificate(result)
+            if args.timings:
+                stats = synchronizer.engine.stats
+                print(f"engine: {synchronizer.backend}")
+                for stage, seconds in sorted(stats.timings.items()):
+                    print(f"  {stage}: {seconds * 1e3:.3f} ms")
 
-    print(f"precision: {result.precision:.6g}"
-          + ("  (certified optimal)" if diagnosis.consistent else ""))
-    print()
-    from repro.analysis.report import sync_report
+        print(f"precision: {result.precision:.6g}"
+              + ("  (certified optimal)" if diagnosis.consistent else ""))
+        print()
+        from repro.analysis.report import sync_report
 
-    for table in sync_report(result):
-        table.show()
+        for table in sync_report(result):
+            table.show()
     return 0
 
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run one experiment under full instrumentation and report hot stages."""
+    from repro.obs import (
+        format_span_tree,
+        key_metrics_table,
+        top_stages_table,
+    )
+
+    with _observability(args, force=True) as recorder:
+        try:
+            tables = run_experiment(args.id, quick=args.quick)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        if args.show_tables:
+            for table in tables:
+                table.show()
+            print()
+        spans = recorder.tracer.finished()
+        quick = " --quick" if args.quick else ""
+        print(f"### profile {args.id.upper()}{quick}: "
+              f"{len(spans)} spans, {len(recorder.registry)} metric series\n")
+        print("span tree (aggregated by name path, sorted by total time):")
+        print(format_span_tree(spans, min_share=args.min_share))
+        print()
+        top_stages_table(spans, limit=args.top).show()
+        print()
+        key_metrics_table(
+            recorder.registry, prefixes=("sim.", "pipeline.", "online.")
+        ).show()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
@@ -176,16 +355,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument(
         "--quick", action="store_true", help="trimmed seeds/sizes"
     )
+    _add_obs_arguments(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_all = sub.add_parser("all", help="run the whole suite")
     p_all.add_argument(
         "--quick", action="store_true", help="trimmed seeds/sizes"
     )
+    _add_obs_arguments(p_all)
     p_all.set_defaults(func=_cmd_all)
 
     p_demo = sub.add_parser("demo", help="run the quickstart demo")
     _add_backend_argument(p_demo)
+    _add_obs_arguments(p_demo)
     p_demo.set_defaults(func=_cmd_demo)
 
     p_record = sub.add_parser(
@@ -197,6 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_record.add_argument("--size", type=int, default=5, help="ring size")
     p_record.add_argument("--seed", type=int, default=0)
+    _add_obs_arguments(p_record, timings=False)
     p_record.set_defaults(func=_cmd_record)
 
     p_sync = sub.add_parser(
@@ -206,12 +389,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_sync.add_argument("system", help="path to system.json")
     p_sync.add_argument("trace", help="path to trace.json")
     _add_backend_argument(p_sync)
-    p_sync.add_argument(
-        "--timings",
-        action="store_true",
-        help="print the engine's per-stage timing breakdown",
-    )
+    _add_obs_arguments(p_sync)
     p_sync.set_defaults(func=_cmd_sync_trace)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run an experiment under full instrumentation and "
+        "print a span-tree / top-stages report",
+    )
+    p_profile.add_argument("id", help="experiment id, e.g. E9")
+    p_profile.add_argument(
+        "--quick", action="store_true", help="trimmed seeds/sizes"
+    )
+    p_profile.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="rows in the top-stages table (default 10)",
+    )
+    p_profile.add_argument(
+        "--min-share", type=float, default=0.0, metavar="FRAC",
+        help="hide span-tree nodes below this fraction of total time",
+    )
+    p_profile.add_argument(
+        "--show-tables", action="store_true",
+        help="also print the experiment's own tables",
+    )
+    _add_obs_arguments(p_profile, timings=False)
+    p_profile.set_defaults(func=_cmd_profile)
     return parser
 
 

@@ -27,6 +27,7 @@ from repro.delays.system import System
 from repro.engine import ProcessorIndex, create_engine, resolve_backend_name
 from repro.model.execution import Execution
 from repro.model.views import View
+from repro.obs.recorder import get_recorder
 
 
 @dataclass(frozen=True)
@@ -166,8 +167,15 @@ class ClockSynchronizer:
             raise ValueError(
                 f"views missing for processors: {sorted(missing, key=repr)}"
             )
-        mls_tilde = local_shift_estimates(self._system, views)
-        return self.from_local_estimates(mls_tilde)
+        recorder = get_recorder()
+        with recorder.span(
+            "pipeline.from_views",
+            processors=len(self._index),
+            backend=self._backend,
+        ):
+            with recorder.span("pipeline.local_estimates"):
+                mls_tilde = local_shift_estimates(self._system, views)
+            return self.from_local_estimates(mls_tilde)
 
     def from_local_estimates(
         self, mls_tilde: Mapping[Tuple[ProcessorId, ProcessorId], Time]
@@ -178,8 +186,9 @@ class ClockSynchronizer:
         :mod:`repro.extensions.leader`) can ship local estimates to a
         leader instead of whole views.
         """
-        mls_matrix = self._index.matrix(mls_tilde)
-        ms_matrix = self._engine.global_estimates(mls_matrix)
+        with get_recorder().span("pipeline.global_estimates"):
+            mls_matrix = self._index.matrix(mls_tilde)
+            ms_matrix = self._engine.global_estimates(mls_matrix)
         return self.from_matrices(mls_tilde, mls_matrix, ms_matrix)
 
     def from_matrices(
@@ -196,37 +205,50 @@ class ClockSynchronizer:
         """
         index = self._index
         engine = self._engine
+        recorder = get_recorder()
         corrections: Dict[ProcessorId, Time] = {}
         component_results: List[ComponentResult] = []
-        for rows in engine.components(mls_matrix, ms_matrix):
-            component = [index.processor(r) for r in rows]
-            root = self._root if self._root in component else component[0]
-            outcome = engine.shifts(
-                ms_matrix,
-                rows=rows,
-                root_row=index.row(root),
-                method=self._method,
-            )
-            for row, value in zip(rows, outcome.corrections):
-                corrections[index.processor(row)] = float(value)
-            cycle = (
-                tuple(index.processor(r) for r in outcome.cycle_rows)
-                if outcome.cycle_rows is not None
-                else None
-            )
-            component_results.append(
-                ComponentResult(
-                    processors=tuple(component),
-                    precision=outcome.a_max,
-                    critical_cycle=cycle,
-                    root=root,
+        with recorder.span("pipeline.shifts"):
+            for rows in engine.components(mls_matrix, ms_matrix):
+                component = [index.processor(r) for r in rows]
+                root = self._root if self._root in component else component[0]
+                outcome = engine.shifts(
+                    ms_matrix,
+                    rows=rows,
+                    root_row=index.row(root),
+                    method=self._method,
                 )
-            )
+                for row, value in zip(rows, outcome.corrections):
+                    corrections[index.processor(row)] = float(value)
+                cycle = (
+                    tuple(index.processor(r) for r in outcome.cycle_rows)
+                    if outcome.cycle_rows is not None
+                    else None
+                )
+                component_results.append(
+                    ComponentResult(
+                        processors=tuple(component),
+                        precision=outcome.a_max,
+                        critical_cycle=cycle,
+                        root=root,
+                    )
+                )
 
         if len(component_results) == 1:
             precision = component_results[0].precision
         else:
             precision = INF
+        recorder.count("pipeline.syncs")
+        recorder.set_gauge("pipeline.components", len(component_results))
+        if corrections:
+            recorder.set_gauge(
+                "pipeline.correction_spread",
+                max(corrections.values()) - min(corrections.values()),
+            )
+        if precision != INF:
+            # A^max of the last fully-synchronized instance; inf (multiple
+            # components) is left out so the gauge stays JSON-clean.
+            recorder.set_gauge("pipeline.precision", precision)
         return SyncResult(
             corrections=corrections,
             precision=precision,

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.shifts import CYCLE_MEAN_METHODS, UnboundedPrecisionError
 from repro.engine.stats import EngineStats
+from repro.obs.metrics import MetricsRegistry
 
 INF = float("inf")
 
@@ -51,13 +52,22 @@ class EngineShifts:
 
 
 class SyncEngine(ABC):
-    """One backend of the matrix pipeline; stateless apart from stats."""
+    """One backend of the matrix pipeline; stateless apart from stats.
+
+    ``metrics_registry`` optionally injects the registry backing
+    :attr:`stats` (e.g. a campaign-wide registry); by default the stats
+    pick the process-wide recorder's registry when observability is
+    enabled and a private one otherwise (see
+    :class:`~repro.engine.stats.EngineStats`).
+    """
 
     #: Registry name of the backend (e.g. ``"python"``, ``"numpy"``).
     name: ClassVar[str] = "abstract"
 
-    def __init__(self) -> None:
-        self.stats = EngineStats()
+    def __init__(
+        self, metrics_registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        self.stats = EngineStats(registry=metrics_registry)
 
     # ------------------------------------------------------------------
     # Public, validated + timed entry points

@@ -31,6 +31,7 @@ from repro.core.synchronizer import ClockSynchronizer, SyncResult
 from repro.delays.base import DirectionStats
 from repro.delays.system import System
 from repro.model.views import View
+from repro.obs.recorder import get_recorder
 
 
 class OnlineSynchronizer:
@@ -93,6 +94,11 @@ class OnlineSynchronizer:
         )
         if changed:
             self._cached = None
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.count("online.observations")
+            if changed:
+                recorder.count("online.statistic_changes")
         return changed
 
     def observe_timestamps(
@@ -136,21 +142,28 @@ class OnlineSynchronizer:
         """Current optimal corrections (recomputed only when stale)."""
         if self._cached is None:
             self._cached = self._recompute()
+        else:
+            get_recorder().count("online.cache_hits")
         return self._cached
 
     def _recompute(self) -> SyncResult:
         sync = self._synchronizer
-        mls_tilde = self._system.mls_from_stats(self._stats)
-        mls_matrix = sync.index.matrix(mls_tilde)
-        ms_matrix = None
-        if self._last_ms_matrix is not None:
-            ms_matrix = self._incremental_closure(mls_matrix)
-        if ms_matrix is None:
-            ms_matrix = sync.engine.global_estimates(mls_matrix)
-        result = sync.from_matrices(mls_tilde, mls_matrix, ms_matrix)
-        self._last_mls_matrix = mls_matrix
-        self._last_ms_matrix = ms_matrix
-        return result
+        recorder = get_recorder()
+        with recorder.span("online.refresh"):
+            mls_tilde = self._system.mls_from_stats(self._stats)
+            mls_matrix = sync.index.matrix(mls_tilde)
+            ms_matrix = None
+            if self._last_ms_matrix is not None:
+                ms_matrix = self._incremental_closure(mls_matrix)
+            if ms_matrix is None:
+                recorder.count("online.full_recomputes")
+                ms_matrix = sync.engine.global_estimates(mls_matrix)
+            else:
+                recorder.count("online.incremental_repairs")
+            result = sync.from_matrices(mls_tilde, mls_matrix, ms_matrix)
+            self._last_mls_matrix = mls_matrix
+            self._last_ms_matrix = ms_matrix
+            return result
 
     def _incremental_closure(
         self, mls_matrix: np.ndarray

@@ -1,0 +1,94 @@
+"""Unified observability: spans, metrics, and exportable run telemetry.
+
+One measurement plane for the whole reproduction -- simulator, the
+GLOBAL ESTIMATES -> SHIFTS pipeline, the online synchronizer and the
+matrix engines all report into the same recorder:
+
+* :mod:`repro.obs.spans` -- nested timed regions with attributes,
+  thread-safe and contextvar-propagated;
+* :mod:`repro.obs.metrics` -- counters, gauges and fixed-bucket
+  histograms (no wall-clock or RNG in the data path);
+* :mod:`repro.obs.recorder` -- the facade instrumented code talks to;
+  the module-level default is a no-op whose disabled path costs one
+  attribute lookup;
+* :mod:`repro.obs.export` -- JSONL event logs, Chrome trace-event JSON
+  (loads in Perfetto / ``chrome://tracing``) and Prometheus text
+  exposition, plus validators CI runs against emitted artifacts;
+* :mod:`repro.obs.report` -- span-tree / top-stages reports backing
+  ``repro-clocksync profile``.
+
+Quickstart::
+
+    from repro.obs import recording, write_chrome_trace
+
+    with recording() as rec:
+        result = ClockSynchronizer(system).from_execution(alpha)
+    write_chrome_trace("trace.json", rec.tracer.finished())
+
+See DESIGN.md section 7 for the architecture and recorder lifecycle.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    prometheus_text,
+    validate_metrics_file,
+    validate_prometheus_text,
+    validate_trace_file,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_metrics_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_all,
+)
+from repro.obs.recorder import (
+    NOOP,
+    NoopRecorder,
+    Recorder,
+    get_recorder,
+    recording,
+    set_recorder,
+)
+from repro.obs.report import (
+    aggregate_spans,
+    format_span_tree,
+    key_metrics_table,
+    top_stages_table,
+)
+from repro.obs.spans import Span, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_all",
+    "NOOP",
+    "NoopRecorder",
+    "Recorder",
+    "get_recorder",
+    "recording",
+    "set_recorder",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "prometheus_text",
+    "write_chrome_trace",
+    "write_events_jsonl",
+    "write_metrics_jsonl",
+    "write_prometheus",
+    "validate_metrics_file",
+    "validate_prometheus_text",
+    "validate_trace_file",
+    "aggregate_spans",
+    "format_span_tree",
+    "key_metrics_table",
+    "top_stages_table",
+]

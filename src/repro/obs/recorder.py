@@ -1,0 +1,202 @@
+"""The recorder facade and the module-level no-op default.
+
+Instrumented code never imports the tracer or the registry directly; it
+asks for the process-wide recorder::
+
+    from repro.obs.recorder import get_recorder
+
+    rec = get_recorder()            # once per run/call, not per event
+    with rec.span("sim.run", seed=7):
+        ...
+        rec.count("sim.messages.delivered")
+
+By default the recorder is the shared :data:`NOOP` instance: ``enabled``
+is ``False``, ``span`` returns a reusable null context manager and every
+metric method is a ``pass`` -- the disabled path costs one attribute
+lookup plus an empty call, and hot loops can skip even that by checking
+``rec.enabled`` once.  :func:`set_recorder`/:func:`recording` install a
+real :class:`Recorder` (tracer + registry) for the duration of a
+profiled run.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import Span, Tracer
+
+
+class _NullSpan:
+    """Shared do-nothing span/context-manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+
+class _NullInstrument:
+    """Accepts every instrument method and does nothing.
+
+    Returned by the no-op recorder's ``counter``/``gauge``/``histogram``
+    so call sites can cache instruments unconditionally.
+    """
+
+    __slots__ = ()
+    value = 0.0
+    sum = 0.0
+    count = 0
+
+    def add(self, amount: float = 1.0) -> None:
+        pass
+
+    inc = add
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NoopRecorder:
+    """Observability disabled: every operation is free (and recorded nowhere)."""
+
+    enabled = False
+    registry: Optional[MetricsRegistry] = None
+    tracer: Optional[Tracer] = None
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def counter(self, name: str, description: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, description: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Optional[Sequence[float]] = None,
+        description: str = "",
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NoopRecorder()"
+
+
+class Recorder:
+    """Observability enabled: a tracer plus a metrics registry."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    def span(self, name: str, **attributes: Any):
+        """Context manager timing a nested region (see :class:`Tracer`)."""
+        return self.tracer.span(name, **attributes)
+
+    def current_span(self) -> Optional[Span]:
+        return self.tracer.current()
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self.registry.counter(name, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self.registry.gauge(name, description)
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Optional[Sequence[float]] = None,
+        description: str = "",
+    ) -> Histogram:
+        return self.registry.histogram(name, boundaries, description)
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """One-shot counter bump (prefer caching the instrument in loops)."""
+        self.registry.counter(name).add(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.registry.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.registry.histogram(name).observe(value)
+
+    def __repr__(self) -> str:
+        return (
+            f"Recorder(metrics={len(self.registry)}, "
+            f"spans={len(self.tracer)})"
+        )
+
+
+#: The shared disabled recorder (also what :func:`set_recorder` restores).
+NOOP = NoopRecorder()
+
+_recorder = NOOP
+
+
+def get_recorder():
+    """The process-wide recorder (the no-op singleton unless enabled)."""
+    return _recorder
+
+
+def set_recorder(recorder=None):
+    """Install ``recorder`` globally (``None`` restores the no-op).
+
+    Returns the previously installed recorder so callers can restore it.
+    """
+    global _recorder
+    previous = _recorder
+    _recorder = recorder if recorder is not None else NOOP
+    return previous
+
+
+@contextmanager
+def recording(recorder: Optional[Recorder] = None) -> Iterator[Recorder]:
+    """Enable observability for a ``with`` block; restores on exit."""
+    active = recorder if recorder is not None else Recorder()
+    previous = set_recorder(active)
+    try:
+        yield active
+    finally:
+        set_recorder(previous)
+
+
+__all__ = [
+    "NOOP",
+    "NoopRecorder",
+    "Recorder",
+    "get_recorder",
+    "recording",
+    "set_recorder",
+]

@@ -1,0 +1,131 @@
+"""Span-based tracer: nested timed regions with attributes.
+
+A *span* is one timed region of the run -- a simulation, a pipeline
+stage, an engine kernel.  Spans nest: the tracer tracks the current span
+in a :class:`contextvars.ContextVar`, so nesting follows the call stack
+and survives ``asyncio`` task switches, while each thread (worker
+engines, future parallel backends) gets its own independent stack.
+
+Timing uses ``time.perf_counter`` relative to the tracer's epoch; span
+ids come from a monotone counter.  Neither wall-clock time nor RNG is
+consulted, so traces of a deterministic run are deterministic up to
+durations.
+
+Finished spans accumulate in the tracer (behind a lock) until exported
+by :mod:`repro.obs.export` or summarized by :mod:`repro.obs.report`.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) timed region.
+
+    ``start``/``end`` are seconds since the owning tracer's epoch;
+    ``end`` is ``None`` while the region is still open.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    thread_id: int
+    end: Optional[float] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach one key/value pair (values should be JSON-safe)."""
+        self.attributes[key] = value
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, dur={self.duration:.6f}s)"
+        )
+
+
+class Tracer:
+    """Collects nested spans; thread-safe, contextvar-propagated."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._finished: List[Span] = []
+        self._ids = itertools.count(1)
+        self._epoch = time.perf_counter()
+        self._current: contextvars.ContextVar[Optional[Span]] = (
+            contextvars.ContextVar("repro_obs_current_span", default=None)
+        )
+
+    @property
+    def epoch(self) -> float:
+        """``perf_counter`` reading all span times are relative to."""
+        return self._epoch
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span of this context, if any."""
+        return self._current.get()
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a nested timed region; closes (and records) on exit.
+
+        The span is recorded even when the body raises, with an
+        ``error`` attribute naming the exception type, so traces of
+        failing runs show where they died.
+        """
+        parent = self._current.get()
+        entry = Span(
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            start=time.perf_counter() - self._epoch,
+            thread_id=threading.get_ident(),
+            attributes=dict(attributes),
+        )
+        token = self._current.set(entry)
+        try:
+            yield entry
+        except BaseException as exc:
+            entry.attributes.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            self._current.reset(token)
+            entry.end = time.perf_counter() - self._epoch
+            with self._lock:
+                self._finished.append(entry)
+
+    def finished(self) -> List[Span]:
+        """Snapshot of the finished spans, in completion order."""
+        with self._lock:
+            return list(self._finished)
+
+    def reset(self) -> None:
+        """Drop all finished spans (open ones keep recording)."""
+        with self._lock:
+            self._finished.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+    def __repr__(self) -> str:
+        return f"Tracer({len(self)} finished spans)"
+
+
+__all__ = ["Span", "Tracer"]

@@ -11,6 +11,7 @@ paper's optimality notion (Claim 3.1) relies on.
 
 from repro.sim.network import (
     NetworkSimulator,
+    RunSummary,
     SimulationConfig,
     SimulationError,
     draw_start_times,
@@ -37,6 +38,7 @@ from repro.sim.scheduler import EventScheduler
 
 __all__ = [
     "NetworkSimulator",
+    "RunSummary",
     "SimulationConfig",
     "SimulationError",
     "draw_start_times",

@@ -41,6 +41,7 @@ from repro.model.events import (
 )
 from repro.model.execution import Execution
 from repro.model.steps import History, Step, TimedStep
+from repro.obs.recorder import get_recorder
 from repro.sim.processor import Automaton, Transition
 from repro.sim.scheduler import (
     EventScheduler,
@@ -62,6 +63,40 @@ class SimulationConfig:
     max_events: int = 1_000_000
     #: Validate histories and delay-assumption admissibility after the run.
     validate: bool = True
+
+
+@dataclass
+class RunSummary:
+    """What one simulation run did, in numbers.
+
+    Available as :attr:`NetworkSimulator.last_run_summary` after
+    :meth:`NetworkSimulator.run` and surfaced by the CLI's ``demo`` and
+    ``record`` commands; the same figures feed the ``sim.*`` metric
+    series on instrumented runs.
+    """
+
+    #: Scheduler events popped (starts + receives + timers).
+    events_processed: int = 0
+    #: Messages handed to the delivery system.
+    messages_sent: int = 0
+    #: Messages whose receive event fired.
+    messages_delivered: int = 0
+    #: Messages dropped by configured link loss.
+    messages_dropped: int = 0
+    #: High-water mark of the future-event list.
+    peak_queue_depth: int = 0
+    #: Real time of the last event (``-inf`` for an empty run).
+    end_time: Time = float("-inf")
+
+    def lines(self) -> list:
+        """Human-readable summary rows (label, value)."""
+        return [
+            ("events processed", self.events_processed),
+            ("messages sent", self.messages_sent),
+            ("messages delivered", self.messages_delivered),
+            ("messages dropped", self.messages_dropped),
+            ("peak queue depth", self.peak_queue_depth),
+        ]
 
 
 class NetworkSimulator:
@@ -104,6 +139,7 @@ class NetworkSimulator:
         self._start_times = dict(start_times)
         self._seed = seed
         self._config = config or SimulationConfig()
+        self._last_summary: Optional[RunSummary] = None
 
         self._loss: Dict[Tuple[ProcessorId, ProcessorId], float] = {}
         links = set(system.topology.links)
@@ -149,6 +185,11 @@ class NetworkSimulator:
 
     # ------------------------------------------------------------------
 
+    @property
+    def last_run_summary(self) -> Optional[RunSummary]:
+        """Counters of the most recent :meth:`run` (``None`` before one)."""
+        return self._last_summary
+
     def run(self, automata: Mapping[ProcessorId, Automaton]) -> Execution:
         """Run to quiescence and return the recorded execution."""
         missing = set(self._system.processors) - set(automata)
@@ -157,6 +198,18 @@ class NetworkSimulator:
                 f"processors without automata: {sorted(missing, key=repr)}"
             )
 
+        recorder = get_recorder()
+        with recorder.span(
+            "sim.run",
+            processors=len(self._system.processors),
+            seed=self._seed,
+        ):
+            execution = self._run(automata, recorder)
+        return execution
+
+    def _run(
+        self, automata: Mapping[ProcessorId, Automaton], recorder
+    ) -> Execution:
         rng = random.Random(self._seed)
         samplers = {
             link: copy.deepcopy(sampler)
@@ -177,6 +230,19 @@ class NetworkSimulator:
         for p, s_p in self._start_times.items():
             scheduler.schedule(s_p, PRIORITY_START, ("start", p))
 
+        summary = RunSummary()
+        # Sampled only on instrumented runs; the disabled path pays one
+        # `enabled` check before the loop, nothing per event.
+        depth_histogram = (
+            recorder.histogram(
+                "sim.scheduler.queue_depth",
+                boundaries=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+                description="future-event-list depth sampled at each pop",
+            )
+            if recorder.enabled
+            else None
+        )
+
         while True:
             entry = scheduler.pop()
             if entry is None:
@@ -186,12 +252,15 @@ class NetworkSimulator:
                     f"event budget of {self._config.max_events} exceeded; "
                     f"protocol does not quiesce"
                 )
+            if depth_histogram is not None:
+                depth_histogram.observe(scheduler.raw_depth)
             kind = entry.payload[0]
             if kind == "start":
                 _, p = entry.payload
                 event = StartEvent()
             elif kind == "recv":
                 _, p, message = entry.payload
+                summary.messages_delivered += 1
                 event = MessageReceiveEvent(message=message)
             elif kind == "timer":
                 _, p, clock_t = entry.payload
@@ -214,7 +283,9 @@ class NetworkSimulator:
             for send in transition.sends:
                 message = Message(sender=p, receiver=send.to, payload=send.payload)
                 send_events.append(MessageSendEvent(message=message))
-                self._dispatch(scheduler, samplers, rng, message, now)
+                summary.messages_sent += 1
+                if not self._dispatch(scheduler, samplers, rng, message, now):
+                    summary.messages_dropped += 1
 
             timer_events = []
             for timer in transition.timers:
@@ -248,6 +319,19 @@ class NetworkSimulator:
                 )
             )
 
+        summary.events_processed = scheduler.processed
+        summary.peak_queue_depth = scheduler.peak_depth
+        summary.end_time = scheduler.now
+        self._last_summary = summary
+        recorder.count("sim.events_processed", scheduler.processed)
+        recorder.count("sim.messages.sent", summary.messages_sent)
+        recorder.count("sim.messages.delivered", summary.messages_delivered)
+        recorder.count("sim.messages.dropped", summary.messages_dropped)
+        recorder.count("sim.runs")
+        recorder.set_gauge(
+            "sim.scheduler.peak_queue_depth", scheduler.peak_depth
+        )
+
         histories = {
             p: History(processor=p, steps=tuple(step_list))
             for p, step_list in steps.items()
@@ -255,12 +339,14 @@ class NetworkSimulator:
         execution = Execution(histories)
 
         if self._config.validate:
-            execution.validate()
-            if not self._system.is_admissible(execution):
-                raise SimulationError(
-                    "simulated delays violate the system's delay assumptions; "
-                    "check that each link's sampler matches its assumption"
-                )
+            with recorder.span("sim.validate"):
+                execution.validate()
+                if not self._system.is_admissible(execution):
+                    raise SimulationError(
+                        "simulated delays violate the system's delay "
+                        "assumptions; check that each link's sampler "
+                        "matches its assumption"
+                    )
         return execution
 
     # ------------------------------------------------------------------
@@ -272,8 +358,12 @@ class NetworkSimulator:
         rng: random.Random,
         message: Message,
         send_time: Time,
-    ) -> None:
-        """Sample a delay for ``message`` and schedule its receive event."""
+    ) -> bool:
+        """Sample a delay for ``message`` and schedule its receive event.
+
+        Returns ``False`` when the message was lost in transit (configured
+        link loss), ``True`` when a receive event was scheduled.
+        """
         p, q = message.sender, message.receiver
         if (p, q) in samplers:
             sampler, direction = samplers[(p, q)], Direction.FORWARD
@@ -287,7 +377,7 @@ class NetworkSimulator:
             )
         loss = self._loss.get(link, 0.0)
         if loss and rng.random() < loss:
-            return  # lost in transit: sent, never received
+            return False  # lost in transit: sent, never received
         delay = sampler.sample(rng, direction)
         if delay < 0:
             raise SimulationError(
@@ -300,6 +390,7 @@ class NetworkSimulator:
         # instant (receives sort after starts within an instant).
         arrival = max(arrival, self._start_times[q])
         scheduler.schedule(arrival, PRIORITY_RECEIVE, ("recv", q, message))
+        return True
 
 
 def draw_start_times(
@@ -316,6 +407,7 @@ def draw_start_times(
 __all__ = [
     "SimulationError",
     "SimulationConfig",
+    "RunSummary",
     "NetworkSimulator",
     "draw_start_times",
 ]

@@ -42,6 +42,7 @@ class EventScheduler:
         self._counter = itertools.count()
         self._now: Time = float("-inf")
         self._processed = 0
+        self._peak_depth = 0
 
     @property
     def now(self) -> Time:
@@ -52,6 +53,21 @@ class EventScheduler:
     def processed(self) -> int:
         """How many events have been popped so far."""
         return self._processed
+
+    @property
+    def peak_depth(self) -> int:
+        """High-water mark of the queue (cancelled entries included)."""
+        return self._peak_depth
+
+    @property
+    def raw_depth(self) -> int:
+        """Current heap size, cancelled entries included (O(1)).
+
+        ``len(scheduler)`` counts only live entries but scans the heap;
+        this is the cheap reading the simulator samples into the
+        ``sim.scheduler.queue_depth`` histogram on instrumented runs.
+        """
+        return len(self._heap)
 
     def schedule(self, real_time: Time, priority: int, payload: Any) -> _Entry:
         """Enqueue ``payload`` at ``real_time``; returns a cancellable handle.
@@ -71,6 +87,8 @@ class EventScheduler:
             payload=payload,
         )
         heapq.heappush(self._heap, entry)
+        if len(self._heap) > self._peak_depth:
+            self._peak_depth = len(self._heap)
         return entry
 
     def cancel(self, entry: _Entry) -> None:

@@ -13,8 +13,8 @@ before its receiver starts (see :mod:`repro.sim.network`).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 from repro._types import ProcessorId, Time
 from repro.delays.bias import RoundTripBias
@@ -30,7 +30,7 @@ from repro.delays.distributions import (
 from repro.delays.system import System
 from repro.graphs.topology import Topology
 from repro.model.execution import Execution
-from repro.sim.network import NetworkSimulator, draw_start_times
+from repro.sim.network import NetworkSimulator, RunSummary, draw_start_times
 from repro.sim.processor import Automaton
 from repro.sim.protocols import probe_automata, probe_schedule
 
@@ -45,13 +45,19 @@ class Scenario:
     start_times: Dict[ProcessorId, Time]
     automata: Dict[ProcessorId, Automaton]
     seed: int
+    #: Counters of the most recent :meth:`run` (``None`` before one).
+    last_run_summary: Optional[RunSummary] = field(
+        default=None, compare=False, repr=False
+    )
 
     def run(self) -> Execution:
         """Simulate once and return the admissible execution."""
         simulator = NetworkSimulator(
             self.system, self.samplers, self.start_times, seed=self.seed
         )
-        return simulator.run(self.automata)
+        execution = simulator.run(self.automata)
+        self.last_run_summary = simulator.last_run_summary
+        return execution
 
     @property
     def topology(self) -> Topology:

@@ -1,8 +1,11 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import NOOP, get_recorder, validate_metrics_file, validate_trace_file
 
 
 class TestParser:
@@ -48,3 +51,77 @@ class TestCommands:
         assert main(["experiment", "E42"]) == 2
         err = capsys.readouterr().err
         assert "unknown experiment" in err
+
+    def test_demo_prints_run_summary(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "events processed" in out
+        assert "messages delivered" in out
+        assert "peak queue depth" in out
+
+
+class TestObservability:
+    def test_demo_writes_parseable_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.jsonl"
+        assert main([
+            "demo",
+            "--trace-out", str(trace),
+            "--metrics-out", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace written" in out and "metrics written" in out
+        assert validate_trace_file(trace) > 0
+        assert validate_metrics_file(metrics) > 0
+        names = {
+            json.loads(line)["name"]
+            for line in metrics.read_text().splitlines()
+        }
+        assert any(n.startswith("sim.") for n in names)
+        assert any(n.startswith("pipeline.") for n in names)
+        assert any(n.startswith("engine.") for n in names)
+        # the global recorder is restored to the no-op default
+        assert get_recorder() is NOOP
+
+    def test_experiment_timings_flag(self, capsys):
+        assert main(["experiment", "E1", "--quick", "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "engine stage timings" in out
+        assert "global_estimates:" in out
+
+    def test_profile_produces_report_and_files(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.jsonl"
+        assert main([
+            "profile", "E1", "--quick",
+            "--trace-out", str(trace),
+            "--metrics-out", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "top stages by self time" in out
+        assert "sim.run" in out
+        assert validate_trace_file(trace) > 0
+        assert validate_metrics_file(metrics) > 0
+        assert get_recorder() is NOOP
+
+    def test_profile_unknown_experiment(self, capsys):
+        assert main(["profile", "E42", "--quick"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_demo_timings(self, capsys):
+        assert main(["demo", "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "engine: " in out
+        assert "shifts:" in out
+
+    def test_record_accepts_obs_flags(self, tmp_path, capsys):
+        metrics = tmp_path / "m.jsonl"
+        assert main([
+            "record", str(tmp_path / "out"),
+            "--size", "4",
+            "--metrics-out", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "events processed" in out
+        assert validate_metrics_file(metrics) > 0

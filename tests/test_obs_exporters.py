@@ -1,0 +1,156 @@
+"""Tests for the exporters: Chrome trace, JSONL, Prometheus text."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Recorder,
+    Tracer,
+    chrome_trace,
+    prometheus_text,
+    validate_metrics_file,
+    validate_prometheus_text,
+    validate_trace_file,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_metrics_jsonl,
+)
+from repro.obs.export import sanitize_metric_name
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("pipeline.sync", backend="numpy"):
+        with tracer.span("engine.shifts"):
+            pass
+    return tracer
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("sim.events_processed", "events popped").add(42)
+    registry.gauge("pipeline.precision").set(1.25)
+    h = registry.histogram("engine.latency", boundaries=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    return registry
+
+
+class TestChromeTrace:
+    def test_document_shape_and_required_keys(self):
+        document = chrome_trace(_sample_tracer().finished())
+        assert "traceEvents" in document
+        complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 2
+        for event in complete:
+            for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+                assert key in event
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+
+    def test_round_trips_through_json_and_validator(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", _sample_tracer().finished())
+        loaded = json.loads(path.read_text())
+        assert loaded["traceEvents"]
+        assert validate_trace_file(path) == 2
+
+    def test_nonfinite_attributes_stay_json_clean(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s", precision=float("inf")):
+            pass
+        path = write_chrome_trace(tmp_path / "t.json", tracer.finished())
+        # strict JSON (no Infinity literals) must parse it
+        event = json.loads(
+            path.read_text(), parse_constant=lambda c: pytest.fail(c)
+        )["traceEvents"][-1]
+        assert event["args"]["precision"] == "inf"
+
+    def test_validator_rejects_malformed(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"ph": "X"}]}))
+        with pytest.raises(ValueError):
+            validate_trace_file(bad)
+        bad.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError):
+            validate_trace_file(bad)
+
+
+class TestJsonl:
+    def test_metrics_jsonl_parses_and_validates(self, tmp_path):
+        path = write_metrics_jsonl(tmp_path / "m.jsonl", _sample_registry())
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert {r["name"] for r in records} == {
+            "sim.events_processed",
+            "pipeline.precision",
+            "engine.latency",
+        }
+        by_name = {r["name"]: r for r in records}
+        assert by_name["sim.events_processed"]["value"] == 42
+        assert by_name["engine.latency"]["counts"] == [1, 1, 1]
+        assert validate_metrics_file(path) == 3
+
+    def test_events_jsonl_interleaves_spans_and_metrics(self, tmp_path):
+        recorder = Recorder(
+            registry=_sample_registry(), tracer=_sample_tracer()
+        )
+        path = write_events_jsonl(tmp_path / "events.jsonl", recorder)
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        kinds = {r["record"] for r in records}
+        assert kinds == {"span", "metric"}
+        spans = [r for r in records if r["record"] == "span"]
+        assert {s["name"] for s in spans} == {
+            "pipeline.sync", "engine.shifts"
+        }
+        child = next(s for s in spans if s["name"] == "engine.shifts")
+        parent = next(s for s in spans if s["name"] == "pipeline.sync")
+        assert child["parent"] == parent["id"]
+        assert validate_metrics_file(path) == len(records)
+
+    def test_validator_rejects_empty_and_garbage(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            validate_metrics_file(empty)
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_text('{"no": "record key"}\n')
+        with pytest.raises(ValueError):
+            validate_metrics_file(garbage)
+
+
+class TestPrometheus:
+    def test_exposition_grammar(self):
+        text = prometheus_text(_sample_registry())
+        assert validate_prometheus_text(text) > 0
+        for line in text.splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ", line)
+
+    def test_counter_gauge_histogram_sections(self):
+        text = prometheus_text(_sample_registry())
+        assert "# TYPE sim_events_processed counter" in text
+        assert "sim_events_processed 42" in text
+        assert "# HELP sim_events_processed events popped" in text
+        assert "pipeline_precision 1.25" in text
+        # histogram: cumulative buckets, +Inf, sum and count
+        assert 'engine_latency_bucket{le="0.1"} 1' in text
+        assert 'engine_latency_bucket{le="1"} 2' in text
+        assert 'engine_latency_bucket{le="+Inf"} 3' in text
+        assert "engine_latency_count 3" in text
+
+    def test_name_sanitization(self):
+        assert sanitize_metric_name("sim.queue-depth") == "sim_queue_depth"
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+    def test_infinite_gauge_renders_as_inf(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(float("inf"))
+        assert "g +Inf" in prometheus_text(registry)
+        assert validate_prometheus_text(prometheus_text(registry)) == 1
