@@ -1,0 +1,114 @@
+"""Protocol-telemetry overhead guard.
+
+The telemetry hooks added for causality tracing and invariant monitoring
+(``recorder.emit`` call sites in the simulator and the pipeline, the
+``pipeline.result`` event in ``from_matrices``) must be free when
+observability is disabled: with the default no-op recorder the n=64 E9
+pipeline (numpy backend) must stay within 5% of the archived
+``BENCH_engine.json`` baseline, same methodology as
+``test_obs_overhead.py``.
+
+A second check bounds the *enabled-but-unobserved* path: a live recorder
+with no observers attached must not emit (the guard is
+``recorder.enabled and recorder.observers``), so attaching telemetry
+later cannot tax runs that never asked for it.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.estimates import local_shift_estimates
+from repro.core.synchronizer import ClockSynchronizer
+from repro.graphs import ring
+from repro.obs import NOOP, get_recorder, recording
+from repro.obs.monitor import MonitorSuite
+from repro.workloads.scenarios import bounded_uniform
+
+N = 64
+REPEATS = 9
+
+
+def _pipeline_inputs():
+    scenario = bounded_uniform(ring(N), lb=1.0, ub=3.0, probes=2, seed=0)
+    mls = local_shift_estimates(scenario.system, scenario.run().views())
+    return scenario.system, mls
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _baseline_seconds():
+    path = Path(__file__).resolve().parent / "BENCH_engine.json"
+    records = json.loads(path.read_text())
+    entry = next(r for r in records if r["n"] == N)
+    return entry["numpy_seconds"]
+
+
+def test_disabled_telemetry_overhead_under_5_percent(capsys):
+    assert get_recorder() is NOOP, "benchmark requires the disabled default"
+    system, mls = _pipeline_inputs()
+
+    def once():
+        ClockSynchronizer(system, backend="numpy").from_local_estimates(mls)
+
+    once()  # warm import/caches before timing
+    disabled = _best_of(once)
+    baseline = _baseline_seconds()
+    with capsys.disabled():
+        print(
+            f"\ntelemetry disabled {disabled:.5f}s  baseline "
+            f"{baseline:.5f}s  ratio {disabled / baseline:.3f}"
+        )
+    assert disabled <= baseline * 1.05, (
+        f"disabled telemetry overhead {disabled / baseline - 1:.1%} "
+        f"exceeds 5% of BENCH_engine.json baseline"
+    )
+
+
+def test_monitored_run_cost_is_bounded(capsys):
+    """Monitors cost something; they must not dominate the pipeline."""
+    system, mls = _pipeline_inputs()
+    sync = ClockSynchronizer(system, backend="numpy")
+    sync.from_local_estimates(mls)
+    unmonitored = _best_of(lambda: sync.from_local_estimates(mls))
+    with recording() as recorder:
+        # Views-only monitors (no execution): the closure-structure
+        # triangle scan is O(n^3), same order as the pipeline itself.
+        suite = MonitorSuite()
+        recorder.add_observer(suite)
+        monitored = _best_of(lambda: sync.from_local_estimates(mls))
+    assert suite.checks >= REPEATS
+    assert suite.ok, [v.message for v in suite.violations]
+    with capsys.disabled():
+        print(
+            f"\nmonitored {monitored:.5f}s  unmonitored {unmonitored:.5f}s"
+            f"  ratio {monitored / unmonitored:.2f}"
+        )
+    assert monitored <= unmonitored * 25.0
+
+
+def test_enabled_recorder_without_observers_does_not_emit():
+    system, mls = _pipeline_inputs()
+    sync = ClockSynchronizer(system, backend="numpy")
+    with recording() as recorder:
+        sync.from_local_estimates(mls)
+        assert recorder.observers == []
+    # The pipeline.result guard requires observers; with none attached
+    # a later-added probe must have seen nothing retroactively.
+    seen = []
+
+    class Probe:
+        def on_telemetry(self, kind, data):
+            seen.append(kind)
+
+    with recording() as recorder:
+        recorder.add_observer(Probe())
+        sync.from_local_estimates(mls)
+    assert seen == ["pipeline.result"]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Mapping, Union
+from typing import Any, Dict, Mapping, Optional, Union
 
 from repro.model.events import (
     Event,
@@ -36,7 +36,16 @@ class TraceError(ValueError):
 
 
 #: Format version; bump on any incompatible change.
-TRACE_VERSION = 1
+#:
+#: v2 added the optional ``"telemetry"`` block (message flow records +
+#: simulated-time series captured alongside the run).  The execution
+#: payload is unchanged, so v1 files still load; v2 is only written when
+#: telemetry is actually attached, keeping telemetry-free saves
+#: bit-identical to v1.
+TRACE_VERSION = 2
+
+#: Versions :func:`execution_from_dict` accepts.
+SUPPORTED_TRACE_VERSIONS = (1, 2)
 
 
 # ----------------------------------------------------------------------
@@ -194,20 +203,59 @@ def _decode_history(data: Mapping[str, Any]) -> History:
 # ----------------------------------------------------------------------
 
 
-def execution_to_dict(alpha: Execution) -> Dict[str, Any]:
-    """The whole execution as a JSON-compatible dict."""
-    return {
-        "version": TRACE_VERSION,
+def telemetry_to_dict(
+    flow_log=None, timeline=None
+) -> Optional[Dict[str, Any]]:
+    """Optional telemetry block: flow records + simulated-time series.
+
+    Returns ``None`` when neither is given (so saves stay version 1);
+    accepts a :class:`~repro.obs.flow.FlowLog` and/or a
+    :class:`~repro.obs.timeline.Timeline`.
+    """
+    if flow_log is None and timeline is None:
+        return None
+    block: Dict[str, Any] = {}
+    if flow_log is not None:
+        from repro.obs.flow import flow_record_to_dict
+
+        block["messages"] = [
+            flow_record_to_dict(r) for r in flow_log.records()
+        ]
+    if timeline is not None:
+        block["timeseries"] = {
+            name: {
+                "description": timeline.get(name).description,
+                "points": [[t, v] for t, v in timeline.get(name).points],
+            }
+            for name in timeline.names()
+        }
+    return block
+
+
+def execution_to_dict(
+    alpha: Execution, telemetry: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """The whole execution as a JSON-compatible dict.
+
+    ``telemetry`` (see :func:`telemetry_to_dict`) embeds the run's flow
+    records / timelines; its presence bumps the written version to 2 so
+    telemetry-free traces remain byte-identical to the v1 format.
+    """
+    data: Dict[str, Any] = {
+        "version": TRACE_VERSION if telemetry is not None else 1,
         "histories": [_encode_history(h) for h in alpha.histories.values()],
     }
+    if telemetry is not None:
+        data["telemetry"] = telemetry
+    return data
 
 
 def execution_from_dict(data: Mapping[str, Any]) -> Execution:
     """Rebuild an execution; validates the result before returning it."""
-    if data.get("version") != TRACE_VERSION:
+    if data.get("version") not in SUPPORTED_TRACE_VERSIONS:
         raise TraceError(
             f"trace version {data.get('version')!r} unsupported "
-            f"(expected {TRACE_VERSION})"
+            f"(expected one of {SUPPORTED_TRACE_VERSIONS})"
         )
     histories = [_decode_history(h) for h in data["histories"]]
     alpha = Execution({h.processor: h for h in histories})
@@ -215,10 +263,23 @@ def execution_from_dict(data: Mapping[str, Any]) -> Execution:
     return alpha
 
 
-def save_execution(alpha: Execution, path: Union[str, Path]) -> None:
+def telemetry_from_dict(data: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
+    """The embedded telemetry block of a trace dict (``None`` on v1)."""
+    return data.get("telemetry")
+
+
+def save_execution(
+    alpha: Execution,
+    path: Union[str, Path],
+    telemetry: Optional[Dict[str, Any]] = None,
+) -> None:
     """Write the execution as JSON to ``path``."""
     Path(path).write_text(
-        json.dumps(execution_to_dict(alpha), indent=1, sort_keys=True)
+        json.dumps(
+            execution_to_dict(alpha, telemetry=telemetry),
+            indent=1,
+            sort_keys=True,
+        )
     )
 
 
@@ -227,11 +288,23 @@ def load_execution(path: Union[str, Path]) -> Execution:
     return execution_from_dict(json.loads(Path(path).read_text()))
 
 
+def load_execution_with_telemetry(
+    path: Union[str, Path],
+):
+    """Read ``(execution, telemetry_block_or_None)`` from a trace file."""
+    data = json.loads(Path(path).read_text())
+    return execution_from_dict(data), telemetry_from_dict(data)
+
+
 __all__ = [
     "TraceError",
     "TRACE_VERSION",
+    "SUPPORTED_TRACE_VERSIONS",
     "execution_to_dict",
     "execution_from_dict",
+    "telemetry_to_dict",
+    "telemetry_from_dict",
     "save_execution",
     "load_execution",
+    "load_execution_with_telemetry",
 ]

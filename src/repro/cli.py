@@ -11,12 +11,19 @@ Installed as ``repro-clocksync`` (see pyproject) and runnable as
     repro-clocksync record out/          # simulate + archive system/trace
     repro-clocksync sync-trace out/system.json out/trace.json
     repro-clocksync profile E9 --quick   # run under full instrumentation
+    repro-clocksync monitor bounded      # theorem-monitored demo workload
 
 Every run subcommand accepts the observability flags ``--trace-out``
 (Chrome trace-event JSON, loads in Perfetto / ``chrome://tracing``),
-``--metrics-out`` (JSONL metrics dump) and ``--log-level``; ``--timings``
-prints the engine's per-stage breakdown.  ``profile`` enables the full
-recorder and prints a span-tree / top-stages report.
+``--metrics-out`` (JSONL metrics dump), ``--flow-out`` (message-flow
+trace: simulated-time flow events merged with the wall-clock spans) and
+``--log-level``; ``--timings`` prints the engine's per-stage breakdown.
+``profile`` enables the full recorder and prints a span-tree /
+top-stages report.  ``monitor`` replays a workload through the online
+synchronizer under the invariant monitors of :mod:`repro.obs.monitor`
+and prints the simulated-time convergence table, per-link delay-estimate
+error statistics and the violation summary (exit code is nonzero only
+under ``--strict``).
 """
 
 from __future__ import annotations
@@ -54,6 +61,13 @@ def _add_obs_arguments(
         help="write the metrics registry as JSONL (one record per series)",
     )
     group.add_argument(
+        "--flow-out",
+        metavar="PATH",
+        default=None,
+        help="write message causality flows as Chrome trace-event JSON "
+        "(simulated-time flow arrows merged with the wall-clock spans)",
+    )
+    group.add_argument(
         "--log-level",
         choices=_LOG_LEVELS,
         default=None,
@@ -83,23 +97,28 @@ def _observability(args: argparse.Namespace, force: bool = False) -> Iterator:
         force
         or args.trace_out is not None
         or args.metrics_out is not None
+        or getattr(args, "flow_out", None) is not None
         or getattr(args, "timings", False)
     )
     if not wants:
         yield None
         return
-    from repro.obs import Recorder, set_recorder
+    from repro.obs import FlowLog, Recorder, set_recorder
 
     recorder = Recorder()
+    flow_log = None
+    if getattr(args, "flow_out", None) is not None:
+        flow_log = FlowLog()
+        recorder.add_observer(flow_log)
     previous = set_recorder(recorder)
     try:
         yield recorder
     finally:
         set_recorder(previous)
-        _export_telemetry(args, recorder)
+        _export_telemetry(args, recorder, flow_log)
 
 
-def _export_telemetry(args: argparse.Namespace, recorder) -> None:
+def _export_telemetry(args: argparse.Namespace, recorder, flow_log=None) -> None:
     from repro.obs import write_chrome_trace, write_metrics_jsonl
 
     if args.trace_out is not None:
@@ -111,6 +130,14 @@ def _export_telemetry(args: argparse.Namespace, recorder) -> None:
         path = write_metrics_jsonl(args.metrics_out, recorder.registry)
         print(f"metrics written: {path}  "
               f"({len(recorder.registry)} series)")
+    if getattr(args, "flow_out", None) is not None and flow_log is not None:
+        from repro.obs import write_flow_trace
+
+        path = write_flow_trace(
+            args.flow_out, flow_log, recorder.tracer.finished()
+        )
+        print(f"flows written:   {path}  ({len(flow_log)} messages; "
+              f"open in Perfetto)")
 
 
 def _print_engine_timings(recorder) -> None:
@@ -225,33 +252,181 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_scenario(name: str, size: int, seed: int):
+    from repro.graphs import ring
+    from repro.workloads.scenarios import bounded_uniform, heterogeneous
+
+    topology = ring(size)
+    if name == "bounded":
+        return bounded_uniform(topology, lb=1.0, ub=3.0, seed=seed)
+    if name == "hetero":
+        return heterogeneous(topology, seed=seed)
+    raise AssertionError(name)  # pragma: no cover - argparse choices
+
+
 def _cmd_record(args: argparse.Namespace) -> int:
     """Simulate a scenario and archive it as system.json + trace.json."""
     from pathlib import Path
 
     from repro.analysis.system_io import save_system
     from repro.analysis.trace import save_execution
-    from repro.graphs import ring
-    from repro.workloads.scenarios import bounded_uniform, heterogeneous
 
-    with _observability(args):
+    with _observability(args, force=args.with_telemetry) as recorder:
         out = Path(args.directory)
         out.mkdir(parents=True, exist_ok=True)
-        topology = ring(args.size)
-        if args.scenario == "bounded":
-            scenario = bounded_uniform(topology, lb=1.0, ub=3.0, seed=args.seed)
-        elif args.scenario == "hetero":
-            scenario = heterogeneous(topology, seed=args.seed)
-        else:  # pragma: no cover - argparse choices guard this
-            raise AssertionError(args.scenario)
-        alpha = scenario.run()
+        scenario = _build_scenario(args.scenario, args.size, args.seed)
+        telemetry = None
+        if args.with_telemetry:
+            from repro.analysis.trace import telemetry_to_dict
+            from repro.obs import FlowLog
+            from repro.obs.timeline import replay_online
+
+            flow_log = FlowLog()
+            recorder.add_observer(flow_log)
+            alpha = scenario.run()
+            replay = replay_online(scenario.system, alpha)
+            telemetry = telemetry_to_dict(
+                flow_log=flow_log, timeline=replay.timeline
+            )
+        else:
+            alpha = scenario.run()
         save_system(scenario.system, out / "system.json")
-        save_execution(alpha, out / "trace.json")
+        save_execution(alpha, out / "trace.json", telemetry=telemetry)
         print(f"recorded {scenario.name}: "
-              f"{len(alpha.message_records())} messages")
+              f"{len(alpha.message_records())} messages"
+              + (" (+telemetry)" if telemetry is not None else ""))
         _print_run_summary(scenario.last_run_summary)
         print(f"  system: {out / 'system.json'}")
         print(f"  trace:  {out / 'trace.json'}")
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    """Run a workload under the invariant monitors and report violations."""
+    from repro.analysis.reporting import Table
+    from repro.core.synchronizer import ClockSynchronizer
+    from repro.obs import FlowLog, histogram_quantiles_table
+    from repro.obs.monitor import MonitorSuite
+    from repro.obs.timeline import replay_online, write_timeline_jsonl
+
+    workload = args.workload
+    key = workload.upper()
+    with _observability(args, force=True) as recorder:
+        suite = MonitorSuite()
+        recorder.add_observer(suite)
+
+        if key in REGISTRY:
+            # Experiment mode: the monitors passively check every
+            # pipeline result the experiment produces (views-side
+            # monitors only -- no single ground-truth execution exists).
+            try:
+                tables = run_experiment(key, quick=args.quick)
+            except KeyError as exc:  # pragma: no cover - key checked above
+                print(exc.args[0], file=sys.stderr)
+                return 2
+            if args.show_tables:
+                for table in tables:
+                    table.show()
+                print()
+        elif workload in ("bounded", "hetero"):
+            flow_log = FlowLog()
+            recorder.add_observer(flow_log)
+            scenario = _build_scenario(workload, args.size, args.seed)
+            alpha = scenario.run()
+            suite.execution = alpha
+
+            corrupt_at = None
+            if args.corrupt is not None:
+                corrupt_at = min(10, len(alpha.message_records()) - 1)
+                print(f"injecting corrupted delay estimate: observation "
+                      f"#{corrupt_at} gets {args.corrupt:+g}\n")
+            replay = replay_online(
+                scenario.system,
+                alpha,
+                corrupt_at=corrupt_at,
+                corrupt_delta=args.corrupt or 0.0,
+            )
+            if args.corrupt is None:
+                # Complete views enable the exact mls~ identity checks.
+                result = ClockSynchronizer(scenario.system).from_execution(
+                    alpha
+                )
+                suite.check_final(scenario.system, result, alpha)
+
+            convergence = Table(
+                title=f"online convergence over simulated time "
+                f"({scenario.name})",
+                headers=["sim time", "observations", "precision A^max",
+                         "realized spread", "components"],
+            )
+            samples = replay.samples
+            if len(samples) > args.rows:
+                step = (len(samples) - 1) / (args.rows - 1)
+                samples = [
+                    samples[i]
+                    for i in sorted({round(k * step)
+                                     for k in range(args.rows)})
+                ]
+            for s in samples:
+                convergence.add_row(
+                    f"{s.sim_time:.3f}", s.observations,
+                    f"{s.precision:.6g}", f"{s.realized_spread:.6g}",
+                    s.components,
+                )
+            convergence.show()
+            print()
+
+            errors = Table(
+                title="per-link delay-estimate error (d~ - d = S_p - S_q; "
+                "spread ~0 on honest telemetry)",
+                headers=["edge", "msgs", "dropped", "mean d", "mean d~",
+                         "error", "error spread"],
+            )
+            for edge, stats in sorted(
+                flow_log.per_edge_error_stats().items(), key=repr
+            ):
+                errors.add_row(
+                    f"{edge[0]!r}->{edge[1]!r}", stats.messages,
+                    stats.dropped, f"{stats.mean_delay:.4f}",
+                    f"{stats.mean_estimated_delay:.4f}",
+                    f"{stats.estimate_error:+.4f}",
+                    f"{stats.error_spread:.2e}",
+                )
+            errors.show()
+            print()
+            histogram_quantiles_table(
+                recorder.registry,
+                names=("sim.message.delay", "sim.scheduler.queue_depth"),
+            ).show()
+            print()
+            if args.timeline_out is not None:
+                path = write_timeline_jsonl(
+                    args.timeline_out, replay.timeline
+                )
+                print(f"timeline written: {path}  "
+                      f"({len(replay.timeline)} series)")
+        else:
+            print(f"unknown workload {workload!r}; use 'bounded', 'hetero' "
+                  f"or an experiment id ({sorted(REGISTRY)})",
+                  file=sys.stderr)
+            return 2
+
+        suite.summary_table().show()
+        if suite.violations:
+            print(f"\n{len(suite.violations)} violation(s):")
+            for v in suite.violations[:args.rows]:
+                when = "" if v.sim_time is None else f" @t={v.sim_time:.3f}"
+                print(f"  [{v.monitor}]{when} {v.message}")
+            if len(suite.violations) > args.rows:
+                print(f"  ... and {len(suite.violations) - args.rows} more")
+        elif suite.checks:
+            print("\nall invariants held: every result matched the paper's "
+                  "guarantees")
+        else:
+            print("\nno synchronization results were produced -- nothing "
+                  "for the monitors to check")
+    if suite.violations and args.strict:
+        return 1
     return 0
 
 
@@ -304,6 +479,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     """Run one experiment under full instrumentation and report hot stages."""
     from repro.obs import (
         format_span_tree,
+        histogram_quantiles_table,
         key_metrics_table,
         top_stages_table,
     )
@@ -330,6 +506,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         key_metrics_table(
             recorder.registry, prefixes=("sim.", "pipeline.", "online.")
         ).show()
+        histograms = [
+            name
+            for name in recorder.registry.names()
+            if getattr(recorder.registry.get(name), "kind", "") == "histogram"
+        ]
+        if histograms:
+            print()
+            histogram_quantiles_table(recorder.registry).show()
     return 0
 
 
@@ -379,6 +563,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_record.add_argument("--size", type=int, default=5, help="ring size")
     p_record.add_argument("--seed", type=int, default=0)
+    p_record.add_argument(
+        "--with-telemetry",
+        action="store_true",
+        help="embed message flows + online-convergence timeline in the "
+        "trace (writes trace format v2)",
+    )
     _add_obs_arguments(p_record, timings=False)
     p_record.set_defaults(func=_cmd_record)
 
@@ -415,6 +605,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_arguments(p_profile, timings=False)
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_monitor = sub.add_parser(
+        "monitor",
+        help="run a workload under the paper's invariant monitors and "
+        "print convergence + violation reports",
+    )
+    p_monitor.add_argument(
+        "workload",
+        help="'bounded' or 'hetero' (simulate + replay online), or an "
+        "experiment id (e.g. E1) to monitor its pipeline runs",
+    )
+    p_monitor.add_argument("--size", type=int, default=5, help="ring size")
+    p_monitor.add_argument("--seed", type=int, default=0)
+    p_monitor.add_argument(
+        "--quick", action="store_true",
+        help="trimmed seeds/sizes (experiment mode)",
+    )
+    p_monitor.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero when any invariant violation was reported",
+    )
+    p_monitor.add_argument(
+        "--corrupt",
+        nargs="?", const=-1.5, default=None, type=float, metavar="DELTA",
+        help="deliberately corrupt one estimated delay by DELTA "
+        "(default -1.5) -- the monitors must catch it",
+    )
+    p_monitor.add_argument(
+        "--rows", type=int, default=12, metavar="N",
+        help="max rows in the convergence table / violation list",
+    )
+    p_monitor.add_argument(
+        "--show-tables", action="store_true",
+        help="also print the experiment's own tables (experiment mode)",
+    )
+    p_monitor.add_argument(
+        "--timeline-out",
+        metavar="PATH",
+        default=None,
+        help="write the simulated-time series as JSONL",
+    )
+    _add_obs_arguments(p_monitor, timings=False)
+    p_monitor.set_defaults(func=_cmd_monitor)
     return parser
 
 

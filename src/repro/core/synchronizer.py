@@ -249,13 +249,24 @@ class ClockSynchronizer:
             # A^max of the last fully-synchronized instance; inf (multiple
             # components) is left out so the gauge stays JSON-clean.
             recorder.set_gauge("pipeline.precision", precision)
-        return SyncResult(
+        result = SyncResult(
             corrections=corrections,
             precision=precision,
             components=tuple(component_results),
             mls_tilde=dict(mls_tilde),
             ms_tilde=index.pairs(ms_matrix),
         )
+        if recorder.enabled and recorder.observers:
+            # Every pipeline run -- batch or an online refresh -- passes
+            # through here, so this one emit lets invariant monitors (see
+            # repro.obs.monitor) check every result ever produced.
+            recorder.emit(
+                "pipeline.result",
+                system=self._system,
+                result=result,
+                sim_time=recorder.sim_time,
+            )
+        return result
 
     def from_execution(self, alpha: Execution) -> SyncResult:
         """Convenience: extract views from a recorded execution and run.

@@ -27,6 +27,7 @@ from repro.experiments import (
     e11_windowed,
     e12_probabilistic,
     e13_diagnosis,
+    e14_convergence,
 )
 
 #: Experiment id -> runner.  Keep ids in sync with DESIGN.md / EXPERIMENTS.md.
@@ -44,6 +45,7 @@ REGISTRY: Dict[str, Callable[..., List[Table]]] = {
     "E11": e11_windowed.run,
     "E12": e12_probabilistic.run,
     "E13": e13_diagnosis.run,
+    "E14": e14_convergence.run,
 }
 
 DESCRIPTIONS: Dict[str, str] = {
@@ -60,6 +62,7 @@ DESCRIPTIONS: Dict[str, str] = {
     "E11": "windowed bias: the 'sent around the same time' refinement",
     "E12": "probabilistic delay knowledge -> high-confidence precision",
     "E13": "detection/localization/repair of assumption violations",
+    "E14": "online convergence over simulated time, theorem-monitored",
 }
 
 

@@ -163,6 +163,17 @@ class OnlineSynchronizer:
             result = sync.from_matrices(mls_tilde, mls_matrix, ms_matrix)
             self._last_mls_matrix = mls_matrix
             self._last_ms_matrix = ms_matrix
+            if recorder.enabled and recorder.observers:
+                # from_matrices already emitted pipeline.result for the
+                # monitors; this adds the streaming context (observation
+                # count) for timeline/convergence subscribers.
+                recorder.emit(
+                    "online.result",
+                    system=self._system,
+                    result=result,
+                    observations=self._observations,
+                    sim_time=recorder.sim_time,
+                )
             return result
 
     def _incremental_closure(

@@ -60,6 +60,17 @@ class Message:
         """The directed link ``(sender, receiver)`` the message travels on."""
         return (self.sender, self.receiver)
 
+    @property
+    def trace_id(self) -> int:
+        """The message's causality-tracing id (alias of :attr:`uid`).
+
+        The uniqueness assumption that makes the send/receive
+        correspondence well defined is exactly what a tracing system
+        needs from a trace id, so telemetry reuses it: flow events,
+        causal-DAG records and Chrome flow arrows all key on this value.
+        """
+        return self.uid
+
 
 @dataclass(frozen=True)
 class Event:

@@ -15,7 +15,14 @@ matrix engines all report into the same recorder:
   (loads in Perfetto / ``chrome://tracing``) and Prometheus text
   exposition, plus validators CI runs against emitted artifacts;
 * :mod:`repro.obs.report` -- span-tree / top-stages reports backing
-  ``repro-clocksync profile``.
+  ``repro-clocksync profile``;
+* :mod:`repro.obs.flow` -- message causality tracing: per-message
+  lifecycle records with real vs estimated delay, Chrome *flow* events
+  and a causal-DAG JSONL;
+* :mod:`repro.obs.timeline` -- series sampled against *simulated* time
+  (online convergence, per-processor corrections);
+* :mod:`repro.obs.monitor` -- passive invariant monitors checking every
+  synchronization result against the paper's theorems.
 
 Quickstart::
 
@@ -25,7 +32,7 @@ Quickstart::
         result = ClockSynchronizer(system).from_execution(alpha)
     write_chrome_trace("trace.json", rec.tracer.finished())
 
-See DESIGN.md section 7 for the architecture and recorder lifecycle.
+See DESIGN.md sections 7 (spans/metrics) and 8 (protocol telemetry).
 """
 
 from repro.obs.export import (
@@ -58,10 +65,55 @@ from repro.obs.recorder import (
 from repro.obs.report import (
     aggregate_spans,
     format_span_tree,
+    histogram_quantiles_table,
     key_metrics_table,
+    quantile,
     top_stages_table,
 )
+from repro.obs.flow import (
+    EdgeErrorStats,
+    FlowLog,
+    FlowRecord,
+    chrome_flow_events,
+    validate_flow_trace_file,
+    write_causal_dag,
+    write_flow_trace,
+)
 from repro.obs.spans import Span, Tracer
+
+# timeline / monitor are exposed lazily (PEP 562): they reach into
+# repro.core, which imports the engine, which imports this package for
+# the metrics registry -- an eager import here would be circular.
+_LAZY = {
+    "ConvergenceSample": "repro.obs.timeline",
+    "ReplayResult": "repro.obs.timeline",
+    "Series": "repro.obs.timeline",
+    "Timeline": "repro.obs.timeline",
+    "replay_online": "repro.obs.timeline",
+    "timeline_jsonl_lines": "repro.obs.timeline",
+    "validate_timeline_file": "repro.obs.timeline",
+    "write_timeline_jsonl": "repro.obs.timeline",
+    "MonitorSuite": "repro.obs.monitor",
+    "MonitorViolationError": "repro.obs.monitor",
+    "Violation": "repro.obs.monitor",
+    "default_monitors": "repro.obs.monitor",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
 
 __all__ = [
     "DEFAULT_BUCKETS",
@@ -89,6 +141,16 @@ __all__ = [
     "validate_trace_file",
     "aggregate_spans",
     "format_span_tree",
+    "histogram_quantiles_table",
     "key_metrics_table",
+    "quantile",
     "top_stages_table",
+    "EdgeErrorStats",
+    "FlowLog",
+    "FlowRecord",
+    "chrome_flow_events",
+    "validate_flow_trace_file",
+    "write_causal_dag",
+    "write_flow_trace",
+    *sorted(_LAZY),
 ]

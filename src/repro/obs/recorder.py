@@ -22,7 +22,7 @@ profiled run.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Iterator, Optional, Sequence
+from typing import Any, Iterator, List, Optional, Sequence
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.spans import Span, Tracer
@@ -77,9 +77,23 @@ class NoopRecorder:
     enabled = False
     registry: Optional[MetricsRegistry] = None
     tracer: Optional[Tracer] = None
+    observers: Sequence[Any] = ()
+    sim_time: Optional[float] = None
 
     def span(self, name: str, **attributes: Any) -> _NullSpan:
         return _NULL_SPAN
+
+    def add_observer(self, observer: Any) -> None:
+        raise RuntimeError(
+            "cannot attach a telemetry observer to the no-op recorder; "
+            "install a Recorder first (see repro.obs.recording)"
+        )
+
+    def emit(self, kind: str, **data: Any) -> None:
+        pass
+
+    def set_sim_time(self, value: Optional[float]) -> None:
+        pass
 
     def counter(self, name: str, description: str = "") -> _NullInstrument:
         return _NULL_INSTRUMENT
@@ -109,7 +123,20 @@ class NoopRecorder:
 
 
 class Recorder:
-    """Observability enabled: a tracer plus a metrics registry."""
+    """Observability enabled: a tracer plus a metrics registry.
+
+    Beyond spans and metrics the recorder carries the *protocol telemetry*
+    hooks added for message causality tracing and invariant monitoring:
+
+    * :attr:`observers` -- passive subscribers (e.g.
+      :class:`~repro.obs.flow.FlowLog`,
+      :class:`~repro.obs.monitor.MonitorSuite`) that receive structured
+      events via :meth:`emit`;
+    * :attr:`sim_time` -- the current *simulated* time, plumbed from the
+      scheduler while a simulation (or an execution replay) is running,
+      and attached automatically to every span opened in that window so
+      wall-clock spans can be correlated with simulated-time series.
+    """
 
     enabled = True
 
@@ -120,10 +147,47 @@ class Recorder:
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        self.observers: List[Any] = []
+        self.sim_time: Optional[float] = None
 
     def span(self, name: str, **attributes: Any):
-        """Context manager timing a nested region (see :class:`Tracer`)."""
+        """Context manager timing a nested region (see :class:`Tracer`).
+
+        While a simulated clock is installed (:meth:`set_sim_time`), the
+        span additionally carries a ``sim_time`` attribute.
+        """
+        if self.sim_time is not None and "sim_time" not in attributes:
+            attributes["sim_time"] = self.sim_time
         return self.tracer.span(name, **attributes)
+
+    def add_observer(self, observer: Any) -> None:
+        """Subscribe ``observer`` to :meth:`emit` events.
+
+        Observers implement ``on_telemetry(kind, data)``; they must never
+        raise on unknown kinds (new emitters may appear before observers
+        learn about them).
+        """
+        if not callable(getattr(observer, "on_telemetry", None)):
+            raise TypeError(
+                f"observer {observer!r} has no on_telemetry(kind, data) method"
+            )
+        self.observers.append(observer)
+
+    def remove_observer(self, observer: Any) -> None:
+        """Unsubscribe a previously attached observer (missing is a no-op)."""
+        try:
+            self.observers.remove(observer)
+        except ValueError:
+            pass
+
+    def emit(self, kind: str, **data: Any) -> None:
+        """Fan one structured telemetry event out to every observer."""
+        for observer in self.observers:
+            observer.on_telemetry(kind, data)
+
+    def set_sim_time(self, value: Optional[float]) -> None:
+        """Install (or clear, with ``None``) the current simulated time."""
+        self.sim_time = value
 
     def current_span(self) -> Optional[Span]:
         return self.tracer.current()

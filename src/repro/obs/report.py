@@ -145,6 +145,69 @@ def top_stages_table(spans: Sequence[Span], limit: int = 10):
     return table
 
 
+def quantile(histogram, q: float) -> float:
+    """Bucket-interpolated quantile estimate of a fixed-bucket histogram.
+
+    Prometheus-style ``histogram_quantile``: find the bucket holding the
+    ``q``-th observation and interpolate linearly inside it (the first
+    bucket's lower edge is taken as 0, matching non-negative data).
+    Observations past the last finite boundary are clamped to it --
+    consistent with Prometheus, the estimate cannot exceed the largest
+    finite bucket edge.  Returns ``nan`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = histogram.count
+    if total == 0:
+        return float("nan")
+    target = q * total
+    counts = histogram.bucket_counts
+    boundaries = histogram.boundaries
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        previous = cumulative
+        cumulative += bucket_count
+        if cumulative >= target:
+            if index >= len(boundaries):
+                return float(boundaries[-1])
+            upper = boundaries[index]
+            lower = boundaries[index - 1] if index > 0 else 0.0
+            if bucket_count == 0:
+                return float(upper)
+            return lower + (upper - lower) * (target - previous) / bucket_count
+    return float(boundaries[-1])  # pragma: no cover - cumulative == count
+
+
+def histogram_quantiles_table(
+    registry,
+    names: Optional[Sequence[str]] = None,
+    quantiles: Sequence[float] = (0.5, 0.95, 0.99),
+):
+    """p50/p95/p99 (by default) of selected histograms, as a table."""
+    from repro.analysis.reporting import Table
+
+    table = Table(
+        title="histogram quantiles (bucket-interpolated)",
+        headers=["histogram", "count"]
+        + [f"p{q * 100:g}" for q in quantiles],
+    )
+    for instrument in registry.instruments():
+        if instrument.kind != "histogram":
+            continue
+        if names is not None and instrument.name not in names:
+            continue
+        table.add_row(
+            instrument.name,
+            instrument.count,
+            *(f"{quantile(instrument, q):.6g}" for q in quantiles),
+        )
+    table.add_note(
+        "estimates interpolate within fixed buckets; values beyond the "
+        "last finite boundary clamp to it"
+    )
+    return table
+
+
 def key_metrics_table(registry, prefixes: Optional[Sequence[str]] = None):
     """Counters and gauges (optionally filtered by prefix) as a table."""
     from repro.analysis.reporting import Table
@@ -170,6 +233,8 @@ __all__ = [
     "SpanNode",
     "aggregate_spans",
     "format_span_tree",
+    "histogram_quantiles_table",
     "key_metrics_table",
+    "quantile",
     "top_stages_table",
 ]

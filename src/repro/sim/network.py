@@ -215,7 +215,11 @@ class NetworkSimulator:
             link: copy.deepcopy(sampler)
             for link, sampler in self._samplers.items()
         }
-        scheduler = EventScheduler()
+        # Keep the recorder's simulated clock current while events fire,
+        # so spans opened during the run carry sim_time attributes.
+        scheduler = EventScheduler(
+            clock_listener=recorder.set_sim_time if recorder.enabled else None
+        )
 
         states: Dict[ProcessorId, Any] = {
             p: automata[p].initial_state() for p in self._system.processors
@@ -242,7 +246,81 @@ class NetworkSimulator:
             if recorder.enabled
             else None
         )
+        delay_histogram = (
+            recorder.histogram(
+                "sim.message.delay",
+                description="real delay d(m) of each dispatched message",
+            )
+            if recorder.enabled
+            else None
+        )
+        # Flow records are built only when someone is listening (e.g. a
+        # FlowLog observer); the disabled path pays one check per run.
+        emit_flow = recorder.enabled and bool(recorder.observers)
 
+        try:
+            self._event_loop(
+                automata,
+                scheduler,
+                samplers,
+                rng,
+                states,
+                steps,
+                pending_timers,
+                summary,
+                recorder,
+                depth_histogram,
+                delay_histogram,
+                emit_flow,
+            )
+        finally:
+            recorder.set_sim_time(None)
+
+        summary.events_processed = scheduler.processed
+        summary.peak_queue_depth = scheduler.peak_depth
+        summary.end_time = scheduler.now
+        self._last_summary = summary
+        recorder.count("sim.events_processed", scheduler.processed)
+        recorder.count("sim.messages.sent", summary.messages_sent)
+        recorder.count("sim.messages.delivered", summary.messages_delivered)
+        recorder.count("sim.messages.dropped", summary.messages_dropped)
+        recorder.count("sim.runs")
+        recorder.set_gauge(
+            "sim.scheduler.peak_queue_depth", scheduler.peak_depth
+        )
+
+        histories = {
+            p: History(processor=p, steps=tuple(step_list))
+            for p, step_list in steps.items()
+        }
+        execution = Execution(histories)
+
+        if self._config.validate:
+            with recorder.span("sim.validate"):
+                execution.validate()
+                if not self._system.is_admissible(execution):
+                    raise SimulationError(
+                        "simulated delays violate the system's delay "
+                        "assumptions; check that each link's sampler "
+                        "matches its assumption"
+                    )
+        return execution
+
+    def _event_loop(
+        self,
+        automata: Mapping[ProcessorId, Automaton],
+        scheduler: EventScheduler,
+        samplers: Mapping[Tuple[ProcessorId, ProcessorId], DelaySampler],
+        rng: random.Random,
+        states: Dict[ProcessorId, Any],
+        steps: Dict[ProcessorId, List[TimedStep]],
+        pending_timers: Dict[ProcessorId, Set[float]],
+        summary: RunSummary,
+        recorder,
+        depth_histogram,
+        delay_histogram,
+        emit_flow: bool,
+    ) -> None:
         while True:
             entry = scheduler.pop()
             if entry is None:
@@ -284,7 +362,16 @@ class NetworkSimulator:
                 message = Message(sender=p, receiver=send.to, payload=send.payload)
                 send_events.append(MessageSendEvent(message=message))
                 summary.messages_sent += 1
-                if not self._dispatch(scheduler, samplers, rng, message, now):
+                if not self._dispatch(
+                    scheduler,
+                    samplers,
+                    rng,
+                    message,
+                    now,
+                    recorder,
+                    delay_histogram,
+                    emit_flow,
+                ):
                     summary.messages_dropped += 1
 
             timer_events = []
@@ -319,36 +406,6 @@ class NetworkSimulator:
                 )
             )
 
-        summary.events_processed = scheduler.processed
-        summary.peak_queue_depth = scheduler.peak_depth
-        summary.end_time = scheduler.now
-        self._last_summary = summary
-        recorder.count("sim.events_processed", scheduler.processed)
-        recorder.count("sim.messages.sent", summary.messages_sent)
-        recorder.count("sim.messages.delivered", summary.messages_delivered)
-        recorder.count("sim.messages.dropped", summary.messages_dropped)
-        recorder.count("sim.runs")
-        recorder.set_gauge(
-            "sim.scheduler.peak_queue_depth", scheduler.peak_depth
-        )
-
-        histories = {
-            p: History(processor=p, steps=tuple(step_list))
-            for p, step_list in steps.items()
-        }
-        execution = Execution(histories)
-
-        if self._config.validate:
-            with recorder.span("sim.validate"):
-                execution.validate()
-                if not self._system.is_admissible(execution):
-                    raise SimulationError(
-                        "simulated delays violate the system's delay "
-                        "assumptions; check that each link's sampler "
-                        "matches its assumption"
-                    )
-        return execution
-
     # ------------------------------------------------------------------
 
     def _dispatch(
@@ -358,11 +415,19 @@ class NetworkSimulator:
         rng: random.Random,
         message: Message,
         send_time: Time,
+        recorder=None,
+        delay_histogram=None,
+        emit_flow: bool = False,
     ) -> bool:
         """Sample a delay for ``message`` and schedule its receive event.
 
         Returns ``False`` when the message was lost in transit (configured
-        link loss), ``True`` when a receive event was scheduled.
+        link loss), ``True`` when a receive event was scheduled.  With
+        ``emit_flow`` the full lifecycle is emitted as a ``message.flow``
+        telemetry event (a :class:`~repro.obs.flow.FlowRecord`): the
+        delivery system knows a message's fate the moment it is sent --
+        the delay is sampled here and receives are never cancelled -- so
+        one record carries send, delivery and both delays.
         """
         p, q = message.sender, message.receiver
         if (p, q) in samplers:
@@ -377,6 +442,10 @@ class NetworkSimulator:
             )
         loss = self._loss.get(link, 0.0)
         if loss and rng.random() < loss:
+            if emit_flow:
+                recorder.emit(
+                    "message.flow", record=self._flow_record(message, send_time, link)
+                )
             return False  # lost in transit: sent, never received
         delay = sampler.sample(rng, direction)
         if delay < 0:
@@ -388,9 +457,46 @@ class NetworkSimulator:
         # The model cannot represent a receive before the receiver's start
         # event; the delivery system holds such messages until the start
         # instant (receives sort after starts within an instant).
+        held = arrival < self._start_times[q]
         arrival = max(arrival, self._start_times[q])
         scheduler.schedule(arrival, PRIORITY_RECEIVE, ("recv", q, message))
+        if delay_histogram is not None:
+            delay_histogram.observe(arrival - send_time)
+        if emit_flow:
+            recorder.emit(
+                "message.flow",
+                record=self._flow_record(
+                    message, send_time, link, arrival=arrival, held=held
+                ),
+            )
         return True
+
+    def _flow_record(
+        self,
+        message: Message,
+        send_time: Time,
+        link: Tuple[ProcessorId, ProcessorId],
+        arrival: Optional[Time] = None,
+        held: bool = False,
+    ):
+        from repro.obs.flow import FlowRecord
+
+        p, q = message.sender, message.receiver
+        return FlowRecord(
+            trace_id=message.trace_id,
+            sender=p,
+            receiver=q,
+            link=link,
+            assumption=repr(self._system.assumptions[link]),
+            send_time=send_time,
+            send_clock=send_time - self._start_times[p],
+            status="delivered" if arrival is not None else "dropped",
+            arrival_time=arrival,
+            receive_clock=(
+                None if arrival is None else arrival - self._start_times[q]
+            ),
+            held=held,
+        )
 
 
 def draw_start_times(

@@ -8,6 +8,11 @@ A classic heap-based future-event list.  Entries are ordered by
   requires the timer last);
 * ``sequence`` is a monotone tiebreaker that keeps simultaneous
   same-priority events in schedule order and makes runs deterministic.
+
+A ``clock_listener`` callback, when given, is invoked with the new
+simulated time every time :meth:`EventScheduler.pop` advances it -- the
+hook the simulator uses to keep the recorder's ``sim_time`` current so
+spans and telemetry events carry simulated-time attributes.
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from typing import Any, Callable, List, Optional
 
 from repro._types import Time
 
@@ -37,12 +42,15 @@ class _Entry:
 class EventScheduler:
     """Priority queue of timed simulation events."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self, clock_listener: Optional[Callable[[Time], None]] = None
+    ) -> None:
         self._heap: List[_Entry] = []
         self._counter = itertools.count()
         self._now: Time = float("-inf")
         self._processed = 0
         self._peak_depth = 0
+        self._clock_listener = clock_listener
 
     @property
     def now(self) -> Time:
@@ -103,6 +111,8 @@ class EventScheduler:
                 continue
             self._now = entry.real_time
             self._processed += 1
+            if self._clock_listener is not None:
+                self._clock_listener(entry.real_time)
             return entry
         return None
 

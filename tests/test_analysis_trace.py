@@ -125,3 +125,82 @@ class TestErrorHandling:
         data = json.loads(path.read_text())  # must parse as vanilla JSON
         assert data["version"] == 1
         assert len(data["histories"]) == 4
+
+
+class TestTelemetryTrace:
+    """Trace v2: the optional telemetry block added for protocol telemetry."""
+
+    @pytest.fixture()
+    def captured(self):
+        from repro.obs import FlowLog, recording
+        from repro.obs.timeline import replay_online
+
+        scenario = bounded_uniform(ring(4), lb=1.0, ub=3.0, seed=7)
+        with recording() as recorder:
+            flow_log = FlowLog()
+            recorder.add_observer(flow_log)
+            alpha = scenario.run()
+            replay = replay_online(scenario.system, alpha)
+        return scenario, alpha, flow_log, replay.timeline
+
+    def test_telemetry_free_save_stays_version_1(self):
+        from repro.analysis.trace import telemetry_to_dict
+
+        alpha = make_two_node_execution(0.0, 0.0, [2.0], [])
+        assert telemetry_to_dict() is None
+        assert execution_to_dict(alpha)["version"] == 1
+
+    def test_round_trip_with_telemetry(self, captured, tmp_path):
+        from repro.analysis.trace import (
+            load_execution_with_telemetry,
+            telemetry_to_dict,
+        )
+
+        scenario, alpha, flow_log, timeline = captured
+        path = tmp_path / "trace.json"
+        telemetry = telemetry_to_dict(flow_log=flow_log, timeline=timeline)
+        save_execution(alpha, path, telemetry=telemetry)
+        data = json.loads(path.read_text())
+        assert data["version"] == 2
+
+        beta, loaded = load_execution_with_telemetry(path)
+        assert executions_equivalent(alpha, beta)
+        assert len(loaded["messages"]) == len(flow_log.records())
+        assert set(loaded["timeseries"]) == set(timeline.names())
+
+    def test_plain_loader_ignores_telemetry(self, captured, tmp_path):
+        from repro.analysis.trace import telemetry_to_dict
+
+        _, alpha, flow_log, _ = captured
+        path = tmp_path / "trace.json"
+        save_execution(
+            alpha, path, telemetry=telemetry_to_dict(flow_log=flow_log)
+        )
+        beta = load_execution(path)
+        assert executions_equivalent(alpha, beta)
+
+    def test_v1_file_loads_with_none_telemetry(self, tmp_path):
+        from repro.analysis.trace import load_execution_with_telemetry
+
+        alpha = make_two_node_execution(0.0, 0.0, [2.0], [])
+        path = tmp_path / "v1.json"
+        save_execution(alpha, path)
+        beta, telemetry = load_execution_with_telemetry(path)
+        assert telemetry is None
+        assert executions_equivalent(alpha, beta)
+
+    def test_monitors_pass_on_reloaded_execution(self, captured, tmp_path):
+        from repro.analysis.trace import telemetry_to_dict
+        from repro.obs.monitor import MonitorSuite
+
+        scenario, alpha, flow_log, timeline = captured
+        path = tmp_path / "trace.json"
+        save_execution(
+            alpha, path,
+            telemetry=telemetry_to_dict(flow_log=flow_log, timeline=timeline),
+        )
+        beta = load_execution(path)
+        result = ClockSynchronizer(scenario.system).from_execution(beta)
+        suite = MonitorSuite()
+        suite.check_final(scenario.system, result, beta)
+        assert suite.ok, [v.message for v in suite.violations]

@@ -125,3 +125,83 @@ class TestObservability:
         out = capsys.readouterr().out
         assert "events processed" in out
         assert validate_metrics_file(metrics) > 0
+
+
+class TestMonitorCommand:
+    def test_parser_accepts_monitor_variants(self):
+        parser = build_parser()
+        for argv in (
+            ["monitor", "bounded"],
+            ["monitor", "hetero", "--size", "4", "--seed", "3"],
+            ["monitor", "E8", "--quick", "--show-tables"],
+            ["monitor", "bounded", "--corrupt"],
+            ["monitor", "bounded", "--corrupt", "-2.5", "--strict"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_honest_workload_reports_zero_violations(self, capsys):
+        assert main(["monitor", "bounded", "--size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "online convergence over simulated time" in out
+        assert "per-link delay-estimate error" in out
+        assert "0 violations" in out
+        assert "all invariants held" in out
+        assert get_recorder() is NOOP
+
+    def test_corruption_is_reported_but_exit_zero_by_default(self, capsys):
+        assert main(["monitor", "bounded", "--corrupt"]) == 0
+        out = capsys.readouterr().out
+        assert "injecting corrupted delay estimate" in out
+        assert "violation(s):" in out
+
+    def test_corruption_with_strict_exits_nonzero(self, capsys):
+        assert main(["monitor", "bounded", "--corrupt", "--strict"]) == 1
+
+    def test_artifacts_written_and_valid(self, tmp_path, capsys):
+        from repro.obs import validate_flow_trace_file
+        from repro.obs.timeline import validate_timeline_file
+
+        flow = tmp_path / "flow.json"
+        timeline = tmp_path / "timeline.jsonl"
+        assert main([
+            "monitor", "bounded", "--size", "4",
+            "--flow-out", str(flow),
+            "--timeline-out", str(timeline),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "flows written" in out and "timeline written" in out
+        assert validate_flow_trace_file(flow) > 0
+        assert validate_timeline_file(timeline) > 0
+
+    def test_experiment_mode_checks_pipeline_results(self, capsys):
+        assert main(["monitor", "E2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        # E2 never runs the synchronization pipeline: the suite must say
+        # so instead of vacuously claiming the invariants held.
+        assert "nothing" in out and "all invariants held" not in out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["monitor", "nonsense"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
+class TestRecordTelemetry:
+    def test_record_with_telemetry_writes_v2_trace(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert main([
+            "record", str(out_dir), "--size", "4", "--with-telemetry",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(+telemetry)" in out
+        data = json.loads((out_dir / "trace.json").read_text())
+        assert data["version"] == 2
+        assert data["telemetry"]["messages"]
+        assert data["telemetry"]["timeseries"]
+
+    def test_record_without_telemetry_stays_v1(self, tmp_path):
+        out_dir = tmp_path / "out"
+        assert main(["record", str(out_dir), "--size", "4"]) == 0
+        data = json.loads((out_dir / "trace.json").read_text())
+        assert data["version"] == 1
+        assert "telemetry" not in data

@@ -13,9 +13,9 @@ from repro.experiments import DESCRIPTIONS, REGISTRY, run_experiment
 
 
 class TestRegistry:
-    def test_thirteen_experiments_registered(self):
-        assert len(REGISTRY) == 13
-        assert set(REGISTRY) == {f"E{i}" for i in range(1, 14)}
+    def test_fourteen_experiments_registered(self):
+        assert len(REGISTRY) == 14
+        assert set(REGISTRY) == {f"E{i}" for i in range(1, 15)}
         assert set(DESCRIPTIONS) == set(REGISTRY)
 
     def test_unknown_id_rejected(self):
@@ -135,6 +135,16 @@ class TestExperimentShapes:
         for row in coverage.rows:
             ok, held = row[-1].split("/")
             assert ok == held
+
+    def test_e14_monitored_convergence(self):
+        trajectory, summary = run_experiment("E14", quick=True)
+        # Zero monitor violations on every seed.
+        assert all(row[-1] == 0 for row in summary.rows)
+        assert all(row[2] > 0 for row in summary.rows)  # refreshes checked
+        finite = [
+            float(row[2]) for row in trajectory.rows if row[2] != "inf"
+        ]
+        assert finite == sorted(finite, reverse=True)  # precision tightens
 
     def test_e13_detection_threshold(self):
         detection, repair = run_experiment("E13", quick=True)

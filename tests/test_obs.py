@@ -271,3 +271,127 @@ class TestRecorderLifecycle:
         assert rec.registry.counter("c").value == 2.0
         assert rec.registry.gauge("g").value == 4.5
         assert rec.registry.histogram("h").count == 1
+
+
+class TestQuantile:
+    """Bucket-interpolated quantiles (repro.obs.report.quantile)."""
+
+    def _histogram(self, values, boundaries=(1.0, 2.0, 4.0)):
+        h = Histogram("h", boundaries=boundaries)
+        for v in values:
+            h.observe(v)
+        return h
+
+    def test_empty_histogram_is_nan(self):
+        import math
+
+        from repro.obs import quantile
+
+        assert math.isnan(quantile(self._histogram([]), 0.5))
+
+    def test_out_of_range_q_rejected(self):
+        from repro.obs import quantile
+
+        with pytest.raises(ValueError, match="quantile"):
+            quantile(self._histogram([1.0]), 1.5)
+
+    def test_median_interpolates_within_bucket(self):
+        from repro.obs import quantile
+
+        # 4 observations all in bucket (1, 2]: the median lands at the
+        # midpoint of the bucket under linear interpolation.
+        h = self._histogram([1.5, 1.5, 1.5, 1.5])
+        assert quantile(h, 0.5) == pytest.approx(1.5)
+
+    def test_first_bucket_lower_edge_is_zero(self):
+        from repro.obs import quantile
+
+        h = self._histogram([0.5, 0.5])
+        assert 0.0 < quantile(h, 0.5) <= 1.0
+
+    def test_overflow_clamps_to_last_boundary(self):
+        from repro.obs import quantile
+
+        h = self._histogram([100.0, 200.0])
+        assert quantile(h, 0.99) == 4.0
+
+    def test_quantiles_are_monotone_in_q(self):
+        from repro.obs import quantile
+
+        h = self._histogram([0.5, 1.5, 1.7, 2.5, 3.0, 3.9, 50.0])
+        values = [quantile(h, q) for q in (0.1, 0.25, 0.5, 0.75, 0.95)]
+        assert values == sorted(values)
+
+    def test_quantiles_table_lists_only_histograms(self):
+        from repro.obs import histogram_quantiles_table
+
+        registry = MetricsRegistry()
+        registry.counter("c").add()
+        registry.histogram("h", boundaries=(1.0, 2.0)).observe(1.5)
+        rendered = histogram_quantiles_table(registry).format()
+        assert "h" in rendered and "p95" in rendered
+        assert "\nc " not in rendered
+
+
+class TestTelemetryHooks:
+    """Recorder observer fan-out and the simulated clock."""
+
+    def test_emit_fans_out_to_observers(self):
+        seen = []
+
+        class Probe:
+            def on_telemetry(self, kind, data):
+                seen.append((kind, data))
+
+        rec = Recorder()
+        rec.add_observer(Probe())
+        rec.add_observer(Probe())
+        rec.emit("x.y", value=3)
+        assert seen == [("x.y", {"value": 3}), ("x.y", {"value": 3})]
+
+    def test_observer_without_hook_rejected(self):
+        rec = Recorder()
+        with pytest.raises(TypeError, match="on_telemetry"):
+            rec.add_observer(object())
+
+    def test_remove_observer(self):
+        seen = []
+
+        class Probe:
+            def on_telemetry(self, kind, data):
+                seen.append(kind)
+
+        rec = Recorder()
+        probe = Probe()
+        rec.add_observer(probe)
+        rec.remove_observer(probe)
+        rec.remove_observer(probe)  # absent -> no-op
+        rec.emit("gone")
+        assert seen == []
+
+    def test_noop_recorder_rejects_observers_but_swallows_emit(self):
+        with pytest.raises(RuntimeError, match="no-op recorder"):
+            NOOP.add_observer(object())
+        NOOP.emit("anything", x=1)  # must not raise
+        NOOP.set_sim_time(5.0)
+        assert NOOP.sim_time is None
+
+    def test_spans_inherit_sim_time(self):
+        rec = Recorder()
+        rec.set_sim_time(7.5)
+        with rec.span("work"):
+            pass
+        rec.set_sim_time(None)
+        with rec.span("later"):
+            pass
+        first, second = rec.tracer.finished()
+        assert first.attributes["sim_time"] == 7.5
+        assert "sim_time" not in second.attributes
+
+    def test_explicit_sim_time_attribute_wins(self):
+        rec = Recorder()
+        rec.set_sim_time(7.5)
+        with rec.span("work", sim_time=1.0):
+            pass
+        (span,) = rec.tracer.finished()
+        assert span.attributes["sim_time"] == 1.0

@@ -1,0 +1,196 @@
+"""Tests for message causality tracing (repro.obs.flow)."""
+
+import json
+
+import pytest
+
+from repro.core.synchronizer import ClockSynchronizer
+from repro.obs import recording
+from repro.obs.flow import (
+    FLOW_PID,
+    FlowLog,
+    FlowRecord,
+    causal_dag_lines,
+    chrome_flow_events,
+    flow_record_to_dict,
+    validate_flow_trace_file,
+    write_causal_dag,
+    write_flow_trace,
+)
+
+
+def _record(trace_id=1, send=0.0, arrival=2.0, offset=3.0, **overrides):
+    """A delivered p->q record with delay arrival-send and error offset."""
+    fields = dict(
+        trace_id=trace_id,
+        sender="p",
+        receiver="q",
+        link=("p", "q"),
+        assumption="BoundedDelay(1, 3)",
+        send_time=send,
+        send_clock=send,
+        status="delivered",
+        arrival_time=arrival,
+        receive_clock=arrival + offset,
+    )
+    fields.update(overrides)
+    return FlowRecord(**fields)
+
+
+class TestFlowRecord:
+    def test_delay_and_estimate(self):
+        record = _record(send=1.0, arrival=3.5, offset=-2.0)
+        assert record.delay == pytest.approx(2.5)
+        # d~ - d = S_p - S_q (Lemma 6.1), here forced to -2.
+        assert record.estimated_delay == pytest.approx(0.5)
+        assert record.estimate_error == pytest.approx(-2.0)
+        assert record.edge == ("p", "q")
+
+    def test_dropped_record_has_no_delay(self):
+        record = _record(
+            status="dropped", arrival_time=None, receive_clock=None
+        )
+        assert record.delay is None
+        assert record.estimated_delay is None
+        assert record.estimate_error is None
+
+
+class TestFlowLog:
+    def test_observer_ingests_only_flow_events(self):
+        log = FlowLog()
+        log.on_telemetry("message.flow", {"record": _record()})
+        log.on_telemetry("pipeline.result", {"anything": 1})
+        assert len(log) == 1
+
+    def test_delivered_filters_drops(self):
+        log = FlowLog()
+        log.record(_record(trace_id=1))
+        log.record(
+            _record(
+                trace_id=2, status="dropped",
+                arrival_time=None, receive_clock=None,
+            )
+        )
+        assert len(log.delivered()) == 1
+        assert len(log.records()) == 2
+
+    def test_per_edge_stats_flag_constant_error(self):
+        log = FlowLog()
+        for i, (send, arrival) in enumerate([(0, 2), (5, 6.5), (9, 11.2)]):
+            log.record(_record(trace_id=i, send=send, arrival=arrival))
+        stats = log.per_edge_error_stats()[("p", "q")]
+        assert stats.messages == 3 and stats.dropped == 0
+        assert stats.estimate_error == pytest.approx(3.0)
+        assert stats.error_spread == pytest.approx(0.0)
+
+    def test_per_edge_stats_all_dropped_is_nan(self):
+        log = FlowLog()
+        log.record(
+            _record(status="dropped", arrival_time=None, receive_clock=None)
+        )
+        stats = log.per_edge_error_stats()[("p", "q")]
+        assert stats.dropped == 1
+        assert stats.mean_delay != stats.mean_delay  # nan
+
+    def test_reset(self):
+        log = FlowLog()
+        log.record(_record())
+        log.reset()
+        assert len(log) == 0
+
+
+class TestSimulatorEmitsFlows:
+    def test_every_delivery_recorded_with_lemma_6_1_error(
+        self, ring5_scenario
+    ):
+        with recording() as recorder:
+            flow_log = FlowLog()
+            recorder.add_observer(flow_log)
+            alpha = ring5_scenario.run()
+        delivered = flow_log.delivered()
+        assert len(delivered) == len(alpha.message_records())
+        starts = alpha.start_times()
+        for record in delivered:
+            expected = starts[record.sender] - starts[record.receiver]
+            assert record.estimate_error == pytest.approx(expected)
+            assert record.trace_id >= 0
+            assert "Bounded" in record.assumption
+
+    def test_no_observer_means_no_flow_overhead_records(
+        self, ring5_scenario
+    ):
+        with recording() as recorder:
+            ring5_scenario.run()
+            # No observer attached: nothing listens, nothing recorded.
+            assert recorder.observers == []
+
+
+class TestChromeFlowExport:
+    @pytest.fixture()
+    def flow_log(self, ring5_scenario):
+        with recording() as recorder:
+            log = FlowLog()
+            recorder.add_observer(log)
+            ring5_scenario.run()
+        return log
+
+    def test_flow_arrows_pair_per_delivery(self, flow_log):
+        events = chrome_flow_events(flow_log)
+        starts = [e for e in events if e["ph"] == "s"]
+        ends = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == len(flow_log.delivered())
+        assert {e["id"] for e in starts} == {e["id"] for e in ends}
+        assert all(e["pid"] == FLOW_PID for e in starts + ends)
+
+    def test_write_and_validate_roundtrip(self, flow_log, tmp_path):
+        path = write_flow_trace(tmp_path / "flow.json", flow_log)
+        assert validate_flow_trace_file(path) == len(flow_log.delivered())
+
+    def test_merged_with_span_trace_keeps_both_pids(
+        self, ring5_scenario, tmp_path
+    ):
+        with recording() as recorder:
+            log = FlowLog()
+            recorder.add_observer(log)
+            alpha = ring5_scenario.run()
+            ClockSynchronizer(ring5_scenario.system).from_execution(alpha)
+            spans = recorder.tracer.finished()
+        path = write_flow_trace(tmp_path / "merged.json", log, spans)
+        document = json.loads(path.read_text())
+        pids = {e["pid"] for e in document["traceEvents"]}
+        assert FLOW_PID in pids and 1 in pids
+        assert validate_flow_trace_file(path) > 0
+
+    def test_validator_rejects_unpaired_flow(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({
+            "traceEvents": [
+                {"name": "m1", "ph": "s", "pid": 2, "id": 1, "ts": 0.0},
+            ]
+        }))
+        with pytest.raises(ValueError, match="unpaired"):
+            validate_flow_trace_file(path)
+
+
+class TestCausalDag:
+    def test_lines_are_json_with_both_delays(self):
+        log = FlowLog()
+        log.record(_record(send=1.0, arrival=3.0, offset=0.5))
+        (line,) = causal_dag_lines(log)
+        data = json.loads(line)
+        assert data["record"] == "message"
+        assert data["d"] == pytest.approx(2.0)
+        assert data["d_tilde"] == pytest.approx(2.5)
+
+    def test_write_causal_dag(self, tmp_path):
+        log = FlowLog()
+        log.record(_record(trace_id=7))
+        path = write_causal_dag(tmp_path / "dag.jsonl", log)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["trace_id"] == 7
+
+    def test_record_dict_is_json_clean(self):
+        data = flow_record_to_dict(_record())
+        json.dumps(data)  # must not raise
+        assert data["status"] == "delivered"

@@ -1,0 +1,158 @@
+"""Tests for simulated-time series and the online-convergence replay."""
+
+import math
+
+import pytest
+
+from repro.core.synchronizer import ClockSynchronizer
+from repro.obs import recording
+from repro.obs.recorder import get_recorder
+from repro.obs.timeline import (
+    Series,
+    Timeline,
+    replay_online,
+    validate_timeline_file,
+    write_timeline_jsonl,
+)
+
+
+class TestSeries:
+    def test_append_and_query(self):
+        series = Series("s", "desc")
+        series.append(1.0, 10.0)
+        series.append(1.0, 11.0)  # equal times are fine
+        series.append(2.5, 12.0)
+        assert series.points == [(1.0, 10.0), (1.0, 11.0), (2.5, 12.0)]
+        assert series.times() == [1.0, 1.0, 2.5]
+        assert series.values() == [10.0, 11.0, 12.0]
+        assert series.last() == (2.5, 12.0)
+        assert len(series) == 3
+
+    def test_time_must_be_monotone(self):
+        series = Series("s")
+        series.append(5.0, 0.0)
+        with pytest.raises(ValueError, match="precedes"):
+            series.append(4.0, 0.0)
+
+
+class TestTimeline:
+    def test_get_or_create_returns_same_series(self):
+        timeline = Timeline()
+        a = timeline.series("x", "first wins")
+        b = timeline.series("x", "ignored")
+        assert a is b
+        assert a.description == "first wins"
+
+    def test_sample_and_names_sorted(self):
+        timeline = Timeline()
+        timeline.sample("b", 0.0, 1.0)
+        timeline.sample("a", 0.0, 2.0)
+        assert timeline.names() == ["a", "b"]
+        assert "a" in timeline and "c" not in timeline
+        assert timeline.get("c") is None
+        assert len(timeline) == 2
+
+
+class TestJsonlExport:
+    def test_write_and_validate(self, tmp_path):
+        timeline = Timeline()
+        timeline.sample("x", 0.0, 1.0)
+        timeline.sample("x", 1.0, 2.0)
+        timeline.sample("y", 0.5, 3.0)
+        path = write_timeline_jsonl(tmp_path / "tl.jsonl", timeline)
+        assert validate_timeline_file(path) == 2
+
+    def test_validator_rejects_unsorted_points(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"record": "timeseries", "name": "x", '
+            '"points": [[2.0, 1.0], [1.0, 1.0]]}\n'
+        )
+        with pytest.raises(ValueError, match="sorted"):
+            validate_timeline_file(path)
+
+    def test_validator_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="no timeseries"):
+            validate_timeline_file(path)
+
+    def test_validator_rejects_nonfinite_point(self, tmp_path):
+        path = tmp_path / "inf.jsonl"
+        path.write_text(
+            '{"record": "timeseries", "name": "x", '
+            '"points": [[0.0, 1e999]]}\n'
+        )
+        with pytest.raises(ValueError, match="malformed"):
+            validate_timeline_file(path)
+
+
+class TestReplayOnline:
+    @pytest.fixture()
+    def replay(self, ring5_scenario):
+        alpha = ring5_scenario.run()
+        return alpha, replay_online(ring5_scenario.system, alpha)
+
+    def test_final_state_matches_batch_pipeline(
+        self, ring5_scenario, replay
+    ):
+        alpha, result = replay
+        batch = ClockSynchronizer(ring5_scenario.system).from_execution(
+            alpha
+        )
+        final = result.final
+        assert final.observations == len(alpha.message_records())
+        assert final.precision == pytest.approx(batch.precision)
+
+    def test_precision_tightens_monotonically(self, replay):
+        _, result = replay
+        finite = [
+            s.precision for s in result.samples
+            if math.isfinite(s.precision)
+        ]
+        assert finite, "precision never became finite"
+        assert all(b <= a + 1e-9 for a, b in zip(finite, finite[1:]))
+
+    def test_realized_spread_never_exceeds_guarantee(self, replay):
+        _, result = replay
+        for sample in result.samples:
+            if math.isfinite(sample.precision):
+                assert sample.realized_spread <= sample.precision + 1e-9
+
+    def test_timeline_series_populated(self, replay):
+        _, result = replay
+        names = result.timeline.names()
+        assert "online.observations" in names
+        assert "online.precision" in names
+        assert "online.realized_spread" in names
+        assert any(name.startswith("online.correction(") for name in names)
+
+    def test_per_pair_series_off_by_default(self, replay):
+        _, result = replay
+        assert not any(
+            name.startswith("online.ms~") for name in result.timeline.names()
+        )
+
+    def test_sim_time_cleared_after_replay(self, ring5_scenario):
+        alpha = ring5_scenario.run()
+        with recording() as recorder:
+            replay_online(ring5_scenario.system, alpha)
+            assert recorder.sim_time is None
+        assert get_recorder().sim_time is None
+
+    def test_corruption_hook_counts(self, ring5_scenario):
+        alpha = ring5_scenario.run()
+        result = replay_online(
+            ring5_scenario.system, alpha, corrupt_at=3, corrupt_delta=-1.5
+        )
+        assert result.corrupted_observations == 1
+
+    def test_spans_carry_sim_time_attribute(self, ring5_scenario):
+        alpha = ring5_scenario.run()
+        with recording() as recorder:
+            replay_online(ring5_scenario.system, alpha)
+            spans = recorder.tracer.finished()
+        refreshes = [s for s in spans if "sim_time" in s.attributes]
+        assert refreshes, "no span captured the simulated clock"
+        times = [s.attributes["sim_time"] for s in refreshes]
+        assert all(isinstance(t, float) for t in times)

@@ -1,0 +1,106 @@
+"""Property tests: the monitors are silent on honest runs and loud on
+corrupted ones.
+
+Two sides of the same coin.  Soundness of the *monitors*: across ~30
+randomized local systems (topology x delay model x seed), every theorem
+check passes on the pipeline's own output -- a false positive here means
+either the pipeline or a monitor is wrong, and both are bugs.
+Sensitivity: deliberately corrupting one estimated delay (the Lemma 6.1
+value the receiver computes) by more than the admissible slack must be
+reported, otherwise the monitors are decorative.
+"""
+
+import pytest
+
+from repro.core.synchronizer import ClockSynchronizer
+from repro.graphs.topology import complete, line, ring
+from repro.obs import recording
+from repro.obs.monitor import MonitorSuite
+from repro.obs.timeline import replay_online
+from repro.workloads.scenarios import bounded_uniform, heterogeneous
+
+
+def _scenarios():
+    cases = []
+    for seed in range(5):
+        cases.append((
+            f"bounded-ring5-s{seed}",
+            bounded_uniform(ring(5), lb=1.0, ub=3.0, seed=seed),
+        ))
+        cases.append((
+            f"bounded-line4-s{seed}",
+            bounded_uniform(line(4), lb=0.5, ub=2.0, seed=seed),
+        ))
+        cases.append((
+            f"bounded-complete4-s{seed}",
+            bounded_uniform(complete(4), lb=1.0, ub=4.0, seed=seed),
+        ))
+        cases.append((
+            f"hetero-ring4-s{seed}",
+            heterogeneous(ring(4), seed=seed),
+        ))
+        cases.append((
+            f"hetero-complete4-s{seed}",
+            heterogeneous(complete(4), seed=seed),
+        ))
+        cases.append((
+            f"hetero-line5-s{seed}",
+            heterogeneous(line(5), seed=seed),
+        ))
+    return cases
+
+
+CASES = _scenarios()
+
+
+@pytest.mark.parametrize(
+    "scenario", [c[1] for c in CASES], ids=[c[0] for c in CASES]
+)
+def test_honest_runs_have_zero_violations(scenario):
+    alpha = scenario.run()
+    result = ClockSynchronizer(scenario.system).from_execution(alpha)
+    suite = MonitorSuite()
+    suite.check_final(scenario.system, result, alpha)
+    assert suite.ok, [v.message for v in suite.violations]
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_honest_streaming_replay_has_zero_violations(seed):
+    scenario = bounded_uniform(ring(5), lb=1.0, ub=3.0, seed=seed)
+    alpha = scenario.run()
+    with recording() as recorder:
+        suite = MonitorSuite(execution=alpha)
+        recorder.add_observer(suite)
+        replay = replay_online(scenario.system, alpha)
+    assert suite.checks > 0
+    assert replay.inconsistent_refreshes == 0
+    assert suite.ok, [v.message for v in suite.violations]
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_corrupted_estimate_is_reported(seed):
+    """True-positive: a corrupted d~ beyond the slack always trips a
+    monitor (soundness, precision bound, or closure consistency)."""
+    scenario = bounded_uniform(ring(5), lb=1.0, ub=3.0, seed=seed)
+    alpha = scenario.run()
+    with recording() as recorder:
+        suite = MonitorSuite(execution=alpha)
+        recorder.add_observer(suite)
+        replay_online(
+            scenario.system, alpha, corrupt_at=10, corrupt_delta=-1.5
+        )
+    assert not suite.ok, "corruption went unreported"
+
+
+def test_corruption_within_slack_may_pass_but_never_crashes():
+    """A tiny corruption is indistinguishable from a faster message; the
+    monitors must stay structured (no exceptions) either way."""
+    scenario = bounded_uniform(ring(5), lb=1.0, ub=3.0, seed=0)
+    alpha = scenario.run()
+    with recording() as recorder:
+        suite = MonitorSuite(execution=alpha)
+        recorder.add_observer(suite)
+        replay_online(
+            scenario.system, alpha, corrupt_at=10, corrupt_delta=-1e-9
+        )
+    assert suite.checks > 0  # ran to completion, violations optional
