@@ -10,11 +10,16 @@ baselines (NTP-style, Cristian-style, and the Halpern--Megiddo--Munshi
 linear program), and an evaluation harness implementing the paper's
 ``rho_bar`` optimality measure exactly.
 
-Quickstart::
+Quickstart -- the two documented entry points are :func:`repro.run`
+(one execution -> certified-optimal corrections) and :func:`repro.sweep`
+(a whole builders x topologies x seeds grid -> one summary table, with
+optional ``workers=``/``shard=``/``cache_dir=`` for parallel, sharded
+and cached sweeps)::
 
+    import repro
     from repro import (
-        BoundedDelay, ClockSynchronizer, NetworkSimulator, System,
-        UniformDelay, draw_start_times, probe_automata, probe_schedule, ring,
+        BoundedDelay, NetworkSimulator, System, UniformDelay,
+        draw_start_times, probe_automata, probe_schedule, ring,
     )
 
     topo = ring(5)
@@ -24,10 +29,24 @@ Quickstart::
     sim = NetworkSimulator(system, samplers, starts, seed=7)
     alpha = sim.run(probe_automata(topo, probe_schedule(3, 20.0, 5.0)))
 
-    result = ClockSynchronizer(system).from_execution(alpha)
+    result = repro.run(system, alpha)      # certified optimal by default
     print(result.precision, result.corrections)
+
+    from repro.workloads import bounded_uniform
+    table = repro.sweep(
+        {"bounded": lambda t, s: bounded_uniform(t, 1.0, 3.0, seed=s)},
+        [ring(4), ring(6)],
+        seeds=range(3),
+        workers=4,                         # parallel across processes
+    )
+    table.show()
+
+The pieces behind the facade (:class:`ClockSynchronizer`, the
+:class:`~repro.workloads.Campaign` sweep API, the simulator, the delay
+models) remain importable for callers that need intermediate artifacts.
 """
 
+from repro.api import run, sweep
 from repro.core import (
     Certificate,
     CertificateError,
@@ -105,9 +124,12 @@ from repro.sim import (
     probe_schedule,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # facade
+    "run",
+    "sweep",
     # core
     "Certificate",
     "CertificateError",

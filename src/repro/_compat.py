@@ -1,0 +1,79 @@
+"""Deprecation shims for the keyword-only API transition.
+
+Release 1.1 makes every *option* argument of the public construction and
+sweep APIs keyword-only (see DESIGN.md section 9: options travel by
+name, data travels positionally).  Call sites that still pass options
+positionally keep working for one release: :func:`keyword_only_shim`
+maps excess positional arguments onto the keyword-only parameters in
+declaration order and emits a :class:`DeprecationWarning` naming the
+argument to fix.  The shim will be removed in the release after next,
+at which point positional options raise ``TypeError`` as plain Python
+would.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import warnings
+from typing import Any, Callable, TypeVar
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def keyword_only_shim(func: F) -> F:
+    """Accept legacy positional values for keyword-only parameters.
+
+    Wraps ``func`` (whose signature declares keyword-only parameters
+    after ``*``) so that extra positional arguments are rebound to the
+    keyword-only parameters in order, with a :class:`DeprecationWarning`
+    telling the caller how to spell the call going forward.
+    """
+    signature = inspect.signature(func)
+    positional = [
+        p.name
+        for p in signature.parameters.values()
+        if p.kind
+        in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    keyword_only = [
+        p.name
+        for p in signature.parameters.values()
+        if p.kind == p.KEYWORD_ONLY
+    ]
+    limit = len(positional)
+
+    @functools.wraps(func)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        if len(args) > limit:
+            extra = args[limit:]
+            if len(extra) > len(keyword_only):
+                raise TypeError(
+                    f"{func.__qualname__}() takes at most "
+                    f"{limit + len(keyword_only)} arguments "
+                    f"({limit + len(extra)} given)"
+                )
+            names = keyword_only[: len(extra)]
+            warnings.warn(
+                f"passing {', '.join(repr(n) for n in names)} to "
+                f"{func.__qualname__}() positionally is deprecated and "
+                f"will stop working in the next release; pass "
+                f"{'it' if len(names) == 1 else 'them'} by keyword "
+                f"(e.g. {names[0]}=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            for name, value in zip(names, extra):
+                if name in kwargs:
+                    raise TypeError(
+                        f"{func.__qualname__}() got multiple values for "
+                        f"argument {name!r}"
+                    )
+                kwargs[name] = value
+            args = args[:limit]
+        return func(*args, **kwargs)
+
+    return wrapper  # type: ignore[return-value]
+
+
+__all__ = ["keyword_only_shim"]

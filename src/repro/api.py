@@ -1,0 +1,112 @@
+"""Top-level facade: :func:`repro.run` and :func:`repro.sweep`.
+
+Two documented entry points cover the common uses of the library:
+
+* :func:`run` -- synchronize **one** execution against a system and get
+  the full :class:`~repro.core.synchronizer.SyncResult` (corrections,
+  ``A^max`` precision, components, offset intervals), certified optimal
+  by default;
+* :func:`sweep` -- run a whole (builders x topologies x seeds) grid on
+  the sharded campaign runner and get one summary
+  :class:`~repro.analysis.reporting.Table`, optionally parallel
+  (``workers=4``), sharded (``shard="1/4"``) and cached
+  (``cache_dir=...``).
+
+Everything the facade does is available a layer down
+(:class:`~repro.core.synchronizer.ClockSynchronizer`,
+:class:`~repro.workloads.campaign.Campaign`) for callers that need the
+intermediate artifacts.  All options are keyword-only by policy
+(DESIGN.md section 9).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+from repro._types import ProcessorId
+from repro.analysis.reporting import Table
+from repro.core.optimality import verify_certificate
+from repro.core.synchronizer import ClockSynchronizer, SyncResult
+from repro.delays.system import System
+from repro.graphs.topology import Topology
+from repro.model.execution import Execution
+from repro.model.views import View
+from repro.runner.sharding import Shard
+
+#: ``sweep`` accepts builders as a name->builder mapping or (name, builder)
+#: pairs; builders have the :data:`repro.workloads.campaign.ScenarioBuilder`
+#: shape.
+Builders = Union[
+    Mapping[str, object], Iterable[Tuple[str, object]]
+]
+
+
+def run(
+    system: System,
+    execution: Union[Execution, Mapping[ProcessorId, View]],
+    *,
+    backend: Optional[str] = None,
+    certify: bool = True,
+    root: Optional[ProcessorId] = None,
+    method: str = "karp",
+) -> SyncResult:
+    """Synchronize one execution optimally; the library's front door.
+
+    ``execution`` is either a recorded
+    :class:`~repro.model.execution.Execution` (only its views are
+    consulted, per Claim 3.1) or the views mapping itself.  With
+    ``certify=True`` (the default) the result's optimality certificate
+    is verified before returning -- a
+    :class:`~repro.core.optimality.CertificateError` here means a bug,
+    never bad luck.
+    """
+    synchronizer = ClockSynchronizer(
+        system, root=root, method=method, backend=backend
+    )
+    if isinstance(execution, Execution):
+        result = synchronizer.from_execution(execution)
+    else:
+        result = synchronizer.from_views(execution)
+    if certify:
+        verify_certificate(result)
+    return result
+
+
+def sweep(
+    builders: Builders,
+    topologies: Sequence[Topology],
+    *,
+    seeds: Iterable[int] = (0, 1, 2),
+    certify: bool = True,
+    workers: Optional[int] = None,
+    shard: Union[Shard, str, None] = None,
+    cache_dir: Optional[str] = None,
+    backend: Optional[str] = None,
+) -> Table:
+    """Run a campaign grid and summarise it as one table.
+
+    The grid is (builders x topologies x seeds); every cell simulates,
+    synchronizes and (by default) certifies one execution.  ``workers``
+    fans cells out over a process pool, ``shard="i/m"`` runs one
+    deterministic slice of the grid, and ``cache_dir`` skips cells an
+    earlier run already solved.  The table is byte-identical for any
+    worker count, and the union of all shards equals the full sweep.
+    """
+    from repro.workloads.campaign import Campaign
+
+    campaign = Campaign(seeds=seeds, certify=certify)
+    items = (
+        builders.items() if isinstance(builders, Mapping) else builders
+    )
+    for name, builder in items:
+        campaign.add(name, builder)  # type: ignore[arg-type]
+    return campaign.run(
+        topologies,
+        workers=workers,
+        shard=shard,
+        cache_dir=cache_dir,
+        backend=backend,
+    )
+
+
+__all__ = ["run", "sweep"]

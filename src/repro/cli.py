@@ -12,6 +12,17 @@ Installed as ``repro-clocksync`` (see pyproject) and runnable as
     repro-clocksync sync-trace out/system.json out/trace.json
     repro-clocksync profile E9 --quick   # run under full instrumentation
     repro-clocksync monitor bounded      # theorem-monitored demo workload
+    repro-clocksync campaign --preset e9c --workers 4
+    repro-clocksync campaign --preset e9c --shard 1/4 --resume
+
+``campaign`` runs a preset sweep grid on the sharded campaign runner:
+``--workers`` fans cells out over a process pool, ``--shard i/m`` runs
+one deterministic slice of the grid (the union of all ``m`` shards is
+the full sweep), and ``--cache-dir``/``--resume`` skip cells an earlier
+run already solved.  ``experiment``, ``all`` and ``monitor`` also accept
+``--workers``, which becomes the default for every campaign the command
+runs (the ``REPRO_WORKERS`` environment variable does the same
+process-wide).
 
 Every run subcommand accepts the observability flags ``--trace-out``
 (Chrome trace-event JSON, loads in Perfetto / ``chrome://tracing``),
@@ -178,7 +189,9 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    with _observability(args) as recorder:
+    from repro.runner.executor import default_workers
+
+    with default_workers(args.workers), _observability(args) as recorder:
         try:
             tables = run_experiment(args.id, quick=args.quick)
         except KeyError as exc:
@@ -193,7 +206,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
-    with _observability(args) as recorder:
+    from repro.runner.executor import default_workers
+
+    with default_workers(args.workers), _observability(args) as recorder:
         for key in sorted(REGISTRY, key=lambda k: int(k[1:])):
             print(f"### {key}: {DESCRIPTIONS[key]}\n")
             for table in run_experiment(key, quick=args.quick):
@@ -308,10 +323,12 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     from repro.obs import FlowLog, histogram_quantiles_table
     from repro.obs.monitor import MonitorSuite
     from repro.obs.timeline import replay_online, write_timeline_jsonl
+    from repro.runner.executor import default_workers
 
     workload = args.workload
     key = workload.upper()
-    with _observability(args, force=True) as recorder:
+    with default_workers(args.workers), \
+            _observability(args, force=True) as recorder:
         suite = MonitorSuite()
         recorder.add_observer(suite)
 
@@ -430,6 +447,61 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """Run a preset campaign grid on the sharded parallel runner."""
+    from repro.analysis.reporting import Table
+    from repro.experiments.common import CAMPAIGN_PRESETS
+    from repro.runner.cells import write_cell_results_jsonl
+
+    cache_dir = args.cache_dir
+    if args.resume and cache_dir is None:
+        cache_dir = ".repro-cache"
+    campaign, topologies = CAMPAIGN_PRESETS[args.preset](quick=args.quick)
+    with _observability(args) as recorder:
+        outcome = campaign.run_results(
+            topologies,
+            workers=args.workers,
+            shard=args.shard,
+            cache_dir=cache_dir,
+            backend=args.backend,
+        )
+        campaign.summarize(outcome.results).show()
+        if args.cells:
+            print()
+            detail = Table(
+                title="campaign cells (grid order)",
+                headers=["scenario", "topology", "seed", "precision",
+                         "realized", "sound", "backend", "cache",
+                         "seconds"],
+            )
+            for r in outcome.results:
+                detail.add_row(
+                    r.scenario, r.topology, r.seed, f"{r.precision:.6g}",
+                    f"{r.realized:.6g}", r.sound, r.backend,
+                    "hit" if r.cache_hit else "-", f"{r.seconds:.3f}",
+                )
+            detail.show()
+        summary = outcome.summary()
+        print()
+        print(f"cells:    {summary['cells']}  "
+              f"(shard {summary['shard'] or 'none'})")
+        print(f"workers:  {summary['workers']}")
+        print(f"cache:    {summary['cache_hits']} hit(s), "
+              f"{summary['cache_misses']} miss(es)"
+              + (f"  [{cache_dir}]" if cache_dir else "  [disabled]"))
+        print(f"elapsed:  {summary['seconds']:.3f} s")
+        if args.results_out is not None:
+            path = write_cell_results_jsonl(
+                args.results_out, outcome.results
+            )
+            print(f"results written: {path}  "
+                  f"({len(outcome.results)} cells)")
+        if args.timings and recorder is not None:
+            print()
+            _print_engine_timings(recorder)
+    return 0
+
+
 def _cmd_sync_trace(args: argparse.Namespace) -> int:
     """Synchronize an archived trace against an archived system."""
     from repro.analysis.diagnosis import diagnose
@@ -539,6 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument(
         "--quick", action="store_true", help="trimmed seeds/sizes"
     )
+    _add_workers_argument(p_exp)
     _add_obs_arguments(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
 
@@ -546,8 +619,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument(
         "--quick", action="store_true", help="trimmed seeds/sizes"
     )
+    _add_workers_argument(p_all)
     _add_obs_arguments(p_all)
     p_all.set_defaults(func=_cmd_all)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="run a preset sweep grid on the sharded parallel runner",
+    )
+    p_campaign.add_argument(
+        "--preset", choices=["demo", "e9c"], default="demo",
+        help="which campaign grid to run (default: demo)",
+    )
+    p_campaign.add_argument(
+        "--quick", action="store_true", help="trimmed seeds/sizes"
+    )
+    _add_workers_argument(p_campaign)
+    p_campaign.add_argument(
+        "--shard", metavar="I/M", default=None,
+        help="run only shard i of m (1-based); the union of all m "
+        "shards is the full grid",
+    )
+    p_campaign.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="content-addressed result cache directory (cells already "
+        "solved there are skipped)",
+    )
+    p_campaign.add_argument(
+        "--resume", action="store_true",
+        help="shorthand for --cache-dir .repro-cache",
+    )
+    p_campaign.add_argument(
+        "--cells", action="store_true",
+        help="also print the per-cell detail table",
+    )
+    p_campaign.add_argument(
+        "--results-out", metavar="PATH", default=None,
+        help="write per-cell results as JSONL (campaign.cell records)",
+    )
+    _add_backend_argument(p_campaign)
+    _add_obs_arguments(p_campaign)
+    p_campaign.set_defaults(func=_cmd_campaign)
 
     p_demo = sub.add_parser("demo", help="run the quickstart demo")
     _add_backend_argument(p_demo)
@@ -622,6 +734,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="trimmed seeds/sizes (experiment mode)",
     )
+    _add_workers_argument(p_monitor)
     p_monitor.add_argument(
         "--strict", action="store_true",
         help="exit nonzero when any invariant violation was reported",
@@ -649,6 +762,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_arguments(p_monitor, timings=False)
     p_monitor.set_defaults(func=_cmd_monitor)
     return parser
+
+
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="campaign worker processes (default: REPRO_WORKERS or 1)",
+    )
 
 
 def _add_backend_argument(parser: argparse.ArgumentParser) -> None:

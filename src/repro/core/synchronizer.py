@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro._compat import keyword_only_shim
 from repro._types import INF, ProcessorId, Time
 from repro.core.estimates import local_shift_estimates
 from repro.core.precision import rho_bar
@@ -117,11 +118,17 @@ class ClockSynchronizer:
     pick by system size); ``method`` selects the cycle-mean algorithm of
     SHIFTS step 1.  Both are validated eagerly, so a typo fails here
     rather than deep inside the first synchronization.
+
+    Options (``root``, ``method``, ``backend``) are keyword-only;
+    positional passing is deprecated (DESIGN.md section 9) and works for
+    one more release behind a :class:`DeprecationWarning` shim.
     """
 
+    @keyword_only_shim
     def __init__(
         self,
         system: System,
+        *,
         root: Optional[ProcessorId] = None,
         method: str = "karp",
         backend: Optional[str] = None,
@@ -189,19 +196,25 @@ class ClockSynchronizer:
         with get_recorder().span("pipeline.global_estimates"):
             mls_matrix = self._index.matrix(mls_tilde)
             ms_matrix = self._engine.global_estimates(mls_matrix)
-        return self.from_matrices(mls_tilde, mls_matrix, ms_matrix)
+        return self.from_matrices(
+            mls_tilde, mls_matrix=mls_matrix, ms_matrix=ms_matrix
+        )
 
+    @keyword_only_shim
     def from_matrices(
         self,
         mls_tilde: Mapping[Tuple[ProcessorId, ProcessorId], Time],
+        *,
         mls_matrix,
         ms_matrix,
     ) -> SyncResult:
         """SHIFTS-only entry for callers that already hold the closure.
 
-        ``mls_matrix``/``ms_matrix`` are row-indexed per :attr:`index`.
-        The online extension uses this to feed an incrementally-maintained
-        ``ms~`` matrix straight into component decomposition + SHIFTS.
+        ``mls_matrix``/``ms_matrix`` are row-indexed per :attr:`index`
+        and keyword-only (positional passing is deprecated; see DESIGN.md
+        section 9).  The online extension uses this to feed an
+        incrementally-maintained ``ms~`` matrix straight into component
+        decomposition + SHIFTS.
         """
         index = self._index
         engine = self._engine

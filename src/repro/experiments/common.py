@@ -5,21 +5,39 @@ Each experiment module exposes ``run(quick: bool = False) -> List[Table]``;
 CLI can run the full sweep.  The registry in
 :mod:`repro.experiments` maps experiment ids (E1..E10) to these
 functions.
+
+This module also hosts the *picklable* scenario builders shared by the
+campaign presets (CLI ``campaign`` subcommand, parallel-scaling
+benchmark).  Process pools under the ``spawn`` start method can only
+ship module-level functions to workers, so the builders live here
+rather than as lambdas at the call sites.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
-from repro.core.synchronizer import ClockSynchronizer, SyncResult
+from repro.api import run as _facade_run
+from repro.core.synchronizer import SyncResult
+from repro.graphs import Topology, ring
 from repro.model.execution import Execution
-from repro.workloads.scenarios import Scenario
+from repro.workloads.campaign import Campaign
+from repro.workloads.scenarios import (
+    Scenario,
+    bounded_uniform,
+    heterogeneous,
+    round_trip_bias,
+)
 
 
 def synchronize_scenario(scenario: Scenario) -> Tuple[Execution, SyncResult]:
-    """Run a scenario and synchronize it optimally; the common first step."""
+    """Run a scenario and synchronize it optimally; the common first step.
+
+    Routed through the :func:`repro.run` facade (certification off: the
+    experiments assert properties of the result themselves).
+    """
     alpha = scenario.run()
-    result = ClockSynchronizer(scenario.system).from_execution(alpha)
+    result = _facade_run(scenario.system, alpha, certify=False)
     return alpha, result
 
 
@@ -28,4 +46,69 @@ def seeds(quick: bool, full: int = 5, trimmed: int = 2) -> range:
     return range(trimmed if quick else full)
 
 
-__all__ = ["synchronize_scenario", "seeds"]
+# ----------------------------------------------------------------------
+# Picklable campaign builders and presets
+# ----------------------------------------------------------------------
+
+def bounded_ring_builder(topology: Topology, seed: int) -> Scenario:
+    """E9c's workload: symmetric bounded delays in [1, 3], two probe rounds."""
+    return bounded_uniform(topology, lb=1.0, ub=3.0, probes=2, seed=seed)
+
+
+def heterogeneous_builder(topology: Topology, seed: int) -> Scenario:
+    """Mixed per-link delay assumptions (the paper's general model)."""
+    return heterogeneous(topology, seed=seed)
+
+
+def round_trip_bias_builder(topology: Topology, seed: int) -> Scenario:
+    """Biased round trips: Theorem 4.6's model with bias 0.5."""
+    return round_trip_bias(topology, bias=0.5, seed=seed)
+
+
+def e9c_campaign(
+    quick: bool = False, seeds: Optional[range] = None
+) -> Tuple[Campaign, List[Topology]]:
+    """The E9c grid as a campaign: bounded rings over growing sizes.
+
+    Mirrors the sizes of experiment E9c's engine ablation so the
+    parallel-scaling benchmark and ``campaign --preset e9c`` exercise
+    the same cells.  Returns ``(campaign, topologies)``.
+    """
+    sizes = [8, 16] if quick else [8, 16, 32, 64]
+    if seeds is None:
+        seeds = range(2 if quick else 3)
+    campaign = Campaign(seeds=seeds)
+    campaign.add("bounded[1,3]", bounded_ring_builder)
+    return campaign, [ring(n) for n in sizes]
+
+
+def demo_campaign(
+    quick: bool = False, seeds: Optional[range] = None
+) -> Tuple[Campaign, List[Topology]]:
+    """A small mixed-model campaign for the CLI demo preset."""
+    sizes = [4, 6] if quick else [4, 6, 8]
+    if seeds is None:
+        seeds = range(2 if quick else 3)
+    campaign = Campaign(seeds=seeds)
+    campaign.add("bounded[1,3]", bounded_ring_builder)
+    campaign.add("heterogeneous", heterogeneous_builder)
+    campaign.add("round-trip-bias", round_trip_bias_builder)
+    return campaign, [ring(n) for n in sizes]
+
+
+CAMPAIGN_PRESETS = {
+    "demo": demo_campaign,
+    "e9c": e9c_campaign,
+}
+
+
+__all__ = [
+    "CAMPAIGN_PRESETS",
+    "bounded_ring_builder",
+    "demo_campaign",
+    "e9c_campaign",
+    "heterogeneous_builder",
+    "round_trip_bias_builder",
+    "seeds",
+    "synchronize_scenario",
+]

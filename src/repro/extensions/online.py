@@ -160,7 +160,9 @@ class OnlineSynchronizer:
                 ms_matrix = sync.engine.global_estimates(mls_matrix)
             else:
                 recorder.count("online.incremental_repairs")
-            result = sync.from_matrices(mls_tilde, mls_matrix, ms_matrix)
+            result = sync.from_matrices(
+                mls_tilde, mls_matrix=mls_matrix, ms_matrix=ms_matrix
+            )
             self._last_mls_matrix = mls_matrix
             self._last_ms_matrix = ms_matrix
             if recorder.enabled and recorder.observers:

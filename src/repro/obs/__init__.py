@@ -53,6 +53,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     merge_all,
+    registry_from_snapshot,
 )
 from repro.obs.recorder import (
     NOOP,
@@ -122,6 +123,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "merge_all",
+    "registry_from_snapshot",
     "NOOP",
     "NoopRecorder",
     "Recorder",

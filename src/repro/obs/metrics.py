@@ -340,6 +340,40 @@ def merge_all(registries: Iterable[MetricsRegistry]) -> MetricsRegistry:
     return total
 
 
+def registry_from_snapshot(snapshot: Dict[str, dict]) -> MetricsRegistry:
+    """Rebuild a registry from :meth:`MetricsRegistry.snapshot` data.
+
+    The inverse of :meth:`MetricsRegistry.snapshot`, up to instrument
+    descriptions (which snapshots do not carry).  This is the bridge the
+    parallel campaign runner uses to ship metrics across process
+    boundaries: instruments hold locks and are not picklable, but their
+    snapshots are plain data, so workers return snapshots and the parent
+    rebuilds registries and folds them together with :meth:`merge`.
+    """
+    registry = MetricsRegistry()
+    for name, data in snapshot.items():
+        kind = data.get("type")
+        if kind == "counter":
+            registry.counter(name).add(float(data["value"]))
+        elif kind == "gauge":
+            registry.gauge(name).set(float(data["value"]))
+        elif kind == "histogram":
+            histogram = registry.histogram(name, data["boundaries"])
+            counts = [int(c) for c in data["counts"]]
+            if len(counts) != len(histogram.boundaries) + 1:
+                raise ValueError(
+                    f"histogram {name!r} snapshot has {len(counts)} bucket "
+                    f"counts for {len(histogram.boundaries)} boundaries"
+                )
+            with histogram._lock:
+                histogram._bucket_counts = counts
+                histogram._sum = float(data["sum"])
+                histogram._count = int(data["count"])
+        else:
+            raise ValueError(f"unknown instrument type {kind!r} for {name!r}")
+    return registry
+
+
 __all__ = [
     "DEFAULT_BUCKETS",
     "Counter",
@@ -347,4 +381,5 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "merge_all",
+    "registry_from_snapshot",
 ]

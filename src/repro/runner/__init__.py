@@ -1,0 +1,72 @@
+"""Sharded, parallel execution of campaign cells.
+
+The runner layer is what makes sweeps scale: it knows nothing about
+delay models or theorems, only about *cells* -- independent
+(builder, topology, seed) work units -- and how to
+
+* partition them deterministically into shards
+  (:mod:`repro.runner.sharding`),
+* skip solved ones via a content-addressed result cache
+  (:mod:`repro.runner.cache`),
+* fan the rest out over a process pool or run them inline
+  (:mod:`repro.runner.executor`), and
+* merge the per-worker metrics back together through the obs layer's
+  ``merge()`` hooks.
+
+:mod:`repro.workloads.parallel` composes these into the campaign-facing
+:func:`~repro.workloads.parallel.run_campaign`.
+"""
+
+from repro.runner.cache import CACHE_VERSION, ResultCache, cell_cache_key
+from repro.runner.cells import (
+    CellBuilder,
+    CellOutcome,
+    CellResult,
+    CellSpec,
+    CellTask,
+    execute_cell,
+    validate_cell_results_file,
+    write_cell_results_jsonl,
+)
+from repro.runner.executor import (
+    ProcessExecutor,
+    SequentialExecutor,
+    WORKERS_ENV,
+    create_executor,
+    default_workers,
+    resolve_workers,
+    set_default_workers,
+)
+from repro.runner.sharding import (
+    Shard,
+    filter_shard,
+    in_shard,
+    parse_shard,
+    shard_index,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "CellBuilder",
+    "CellOutcome",
+    "CellResult",
+    "CellSpec",
+    "CellTask",
+    "ProcessExecutor",
+    "ResultCache",
+    "SequentialExecutor",
+    "Shard",
+    "WORKERS_ENV",
+    "cell_cache_key",
+    "create_executor",
+    "default_workers",
+    "execute_cell",
+    "filter_shard",
+    "in_shard",
+    "parse_shard",
+    "resolve_workers",
+    "set_default_workers",
+    "shard_index",
+    "validate_cell_results_file",
+    "write_cell_results_jsonl",
+]

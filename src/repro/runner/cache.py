@@ -1,0 +1,117 @@
+"""Content-addressed result cache for campaign cells.
+
+Repeated sweeps and resumed campaigns skip already-solved cells: a
+cell's result is stored under a sha256 digest of *what determines the
+result* -- the full system ``(G, A)`` (via the canonical
+:func:`~repro.analysis.system_io.system_to_dict` encoding), the per-link
+sampler specifications, the start times, the scenario name, the seed and
+the execution options (certification, backend).  Identical inputs hash
+identically across processes and sessions, so a cache directory shared
+between shard runners or CI jobs deduplicates work with no coordination.
+
+Cells whose scenarios cannot be digested (non-JSON-portable processor
+ids, samplers with value-free ``repr``) are simply not cached -- the
+cache degrades to a no-op rather than guessing at identity.  Custom
+builders should encode any parameter that is *not* visible in the
+system/samplers/start-times into the scenario ``name``, which is part
+of the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.analysis.system_io import SystemIOError, system_to_dict
+from repro.runner.cells import CellResult, CellTask
+
+#: Bump on any change to the key derivation or the stored record shape.
+CACHE_VERSION = 1
+
+
+def cell_cache_key(task: CellTask) -> Optional[str]:
+    """The cell's content digest, or ``None`` when it is not cacheable.
+
+    Builds the scenario (cheap: constructors only, no simulation) and
+    digests everything the result is a deterministic function of.
+    """
+    scenario = task.build(task.spec.topology, task.spec.seed)
+    try:
+        system = system_to_dict(scenario.system)
+    except SystemIOError:
+        return None
+    samplers = {
+        repr(link): repr(sampler)
+        for link, sampler in scenario.samplers.items()
+    }
+    start_times = {
+        repr(p): t for p, t in scenario.start_times.items()
+    }
+    payload: Dict[str, Any] = {
+        "version": CACHE_VERSION,
+        "system": system,
+        "samplers": samplers,
+        "start_times": start_times,
+        "automata": len(scenario.automata),
+        "scenario": scenario.name,
+        "builder": task.spec.builder,
+        "seed": task.spec.seed,
+        "certify": task.certify,
+        "backend": task.backend or "auto",
+    }
+    encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+class ResultCache:
+    """Directory of ``<digest>.json`` cell results."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def _path(self, key: str) -> Path:
+        return self._directory / f"{key}.json"
+
+    def get(self, key: Optional[str]) -> Optional[CellResult]:
+        """The cached result for ``key``, marked ``cache_hit``, or ``None``.
+
+        Unreadable or stale-format entries are treated as misses (and
+        recomputed), never as errors -- a cache must not be able to fail
+        a campaign.
+        """
+        if key is None:
+            return None
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            record = json.loads(path.read_text())
+            if record.get("version") != CACHE_VERSION:
+                return None
+            return CellResult.from_json(record["cell"]).as_cache_hit()
+        except (ValueError, KeyError, OSError):
+            return None
+
+    def put(self, key: Optional[str], result: CellResult) -> None:
+        """Store ``result`` under ``key`` (no-op for uncacheable cells)."""
+        if key is None:
+            return
+        record = {
+            "version": CACHE_VERSION,
+            "key": key,
+            "cell": result.to_json(),
+        }
+        self._path(key).write_text(json.dumps(record, sort_keys=True))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._directory.glob("*.json"))
+
+
+__all__ = ["CACHE_VERSION", "ResultCache", "cell_cache_key"]

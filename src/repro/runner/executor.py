@@ -1,0 +1,236 @@
+"""Cell executors: in-process sequential, and a multiprocessing pool.
+
+Both executors take an ordered list of :class:`~repro.runner.cells.CellTask`
+and return :class:`~repro.runner.cells.CellOutcome` in the *same* order,
+whatever the completion order was -- campaigns are deterministic by
+construction, so the executor must never reorder results.
+
+The sequential executor is the fallback (and the right choice for tests
+and tiny grids: a pool costs ~worker-startup per run).  The process
+executor fans cells out over ``multiprocessing``; on platforms with the
+``fork`` start method the task list is inherited by the workers at fork
+time, so builders may be closures or lambdas.  Under ``spawn`` the tasks
+travel by pickle instead, which requires module-level builders -- the
+error message says so when it bites.
+
+Worker-level telemetry goes to the ambient recorder (no-op unless
+observability is enabled): a ``campaign.execute`` span around the fan
+out, a ``campaign.cell.seconds`` latency histogram and a
+``campaign.queue.depth`` histogram sampling the number of cells still
+pending at each completion.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import get_recorder
+from repro.runner.cells import CellOutcome, CellTask, execute_cell
+
+#: Histogram boundaries for pending-cell counts (same integer ladder the
+#: simulator uses for scheduler queue depth).
+QUEUE_DEPTH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+_default_workers: Optional[int] = None
+
+#: Fork-inherited task list for pool workers (see ``ProcessExecutor``).
+_WORKER_TASKS: Optional[Sequence[CellTask]] = None
+
+
+def set_default_workers(workers: Optional[int]) -> Optional[int]:
+    """Install a process-wide default worker count; returns the previous.
+
+    ``None`` clears the default (the :data:`WORKERS_ENV` variable, then
+    1, applies).  The CLI uses this to let ``--workers`` on one
+    subcommand reach every campaign the command runs.
+    """
+    global _default_workers
+    previous = _default_workers
+    _default_workers = None if workers is None else max(1, int(workers))
+    return previous
+
+
+@contextmanager
+def default_workers(workers: Optional[int]) -> Iterator[None]:
+    """Scoped :func:`set_default_workers` (restores on exit)."""
+    previous = set_default_workers(workers)
+    try:
+        yield
+    finally:
+        set_default_workers(previous)
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count: explicit > default > env > 1."""
+    if workers is not None:
+        return max(1, int(workers))
+    if _default_workers is not None:
+        return _default_workers
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {env!r}"
+            ) from None
+    return 1
+
+
+def _observe_completion(
+    registry: Optional[MetricsRegistry], pending: int, seconds: float
+) -> None:
+    """Record one cell completion into ``registry`` (if any)."""
+    if registry is None:
+        return
+    registry.histogram(
+        "campaign.queue.depth", boundaries=QUEUE_DEPTH_BUCKETS
+    ).observe(pending)
+    registry.histogram("campaign.cell.seconds").observe(seconds)
+
+
+class SequentialExecutor:
+    """Runs cells one by one in this process (fallback + test executor)."""
+
+    workers = 1
+
+    def execute(
+        self,
+        tasks: Sequence[CellTask],
+        registry: Optional[MetricsRegistry] = None,
+    ) -> List[CellOutcome]:
+        recorder = get_recorder()
+        outcomes: List[CellOutcome] = []
+        with recorder.span(
+            "campaign.execute", workers=1, cells=len(tasks)
+        ):
+            pending = len(tasks)
+            for task in tasks:
+                started = time.perf_counter()
+                with recorder.span(
+                    "campaign.cell",
+                    scenario=task.spec.scenario_key,
+                    seed=task.spec.seed,
+                ):
+                    outcome = execute_cell(task)
+                pending -= 1
+                _observe_completion(
+                    registry, pending, time.perf_counter() - started
+                )
+                outcomes.append(outcome)
+        return outcomes
+
+
+def _worker_init(tasks: Optional[Sequence[CellTask]]) -> None:
+    """Pool initializer: receive tasks under spawn, inherit under fork."""
+    global _WORKER_TASKS
+    if tasks is not None:
+        _WORKER_TASKS = tasks
+
+
+def _run_indexed(index: int):
+    """Execute one task by index; returns (index, outcome, seconds)."""
+    assert _WORKER_TASKS is not None, "worker pool not initialized"
+    started = time.perf_counter()
+    outcome = execute_cell(_WORKER_TASKS[index])
+    return index, outcome, time.perf_counter() - started
+
+
+class ProcessExecutor:
+    """Fans cells out over a ``multiprocessing`` pool.
+
+    Results come back via ``imap_unordered`` (so queue-depth telemetry
+    sees real completion order) and are reassembled into input order.
+    Exceptions raised by a cell propagate to the caller, as they do in
+    the sequential executor.
+    """
+
+    def __init__(
+        self, workers: int, start_method: Optional[str] = None
+    ) -> None:
+        if workers < 2:
+            raise ValueError(
+                f"ProcessExecutor needs >= 2 workers, got {workers} "
+                f"(use SequentialExecutor for 1)"
+            )
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.workers = workers
+        self._start_method = start_method
+
+    def execute(
+        self,
+        tasks: Sequence[CellTask],
+        registry: Optional[MetricsRegistry] = None,
+    ) -> List[CellOutcome]:
+        global _WORKER_TASKS
+        if not tasks:
+            return []
+        recorder = get_recorder()
+        context = multiprocessing.get_context(self._start_method)
+        task_list = list(tasks)
+        # Under fork the children inherit the module global; under spawn
+        # the initializer ships a pickled copy instead.
+        initargs = (None,) if self._start_method == "fork" else (task_list,)
+        _WORKER_TASKS = task_list
+        outcomes: List[Optional[CellOutcome]] = [None] * len(task_list)
+        try:
+            with recorder.span(
+                "campaign.execute",
+                workers=self.workers,
+                cells=len(task_list),
+                start_method=self._start_method,
+            ):
+                with context.Pool(
+                    processes=self.workers,
+                    initializer=_worker_init,
+                    initargs=initargs,
+                ) as pool:
+                    pending = len(task_list)
+                    for index, outcome, seconds in pool.imap_unordered(
+                        _run_indexed, range(len(task_list)), chunksize=1
+                    ):
+                        pending -= 1
+                        _observe_completion(registry, pending, seconds)
+                        outcomes[index] = outcome
+        except (AttributeError, pickle.PicklingError) as exc:
+            # Unpicklable builder (lambda/closure) under spawn.
+            raise RuntimeError(
+                "campaign builders must be picklable (module-level "
+                "functions) to run under the 'spawn' start method; "
+                "use workers=1 or define the builder at module scope"
+            ) from exc
+        finally:
+            _WORKER_TASKS = None
+        assert all(o is not None for o in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+
+def create_executor(workers: Optional[int] = None):
+    """The right executor for ``workers`` (resolved via defaults/env)."""
+    count = resolve_workers(workers)
+    if count <= 1:
+        return SequentialExecutor()
+    return ProcessExecutor(count)
+
+
+__all__ = [
+    "ProcessExecutor",
+    "QUEUE_DEPTH_BUCKETS",
+    "SequentialExecutor",
+    "WORKERS_ENV",
+    "create_executor",
+    "default_workers",
+    "resolve_workers",
+    "set_default_workers",
+]

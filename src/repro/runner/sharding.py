@@ -1,0 +1,67 @@
+"""Deterministic shard partitioning for campaign cells.
+
+A shard is written ``i/m`` (1-based): "this invocation runs part ``i``
+of ``m``".  Cells are assigned to shards by a stable content hash of
+their (scenario, seed) coordinate -- *not* by list position -- so the
+partition is independent of grid enumeration order, stable across
+processes and Python versions (no ``hash()`` randomization), and the
+union of ``1/m .. m/m`` is exactly the full grid with no overlaps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterable, List, Tuple
+
+from repro.runner.cells import CellSpec
+
+Shard = Tuple[int, int]
+
+
+def parse_shard(text: str) -> Shard:
+    """Parse ``"i/m"`` into a validated ``(index, count)`` pair (1-based)."""
+    parts = text.split("/")
+    if len(parts) != 2:
+        raise ValueError(
+            f"shard must look like 'i/m' (e.g. '1/4'), got {text!r}"
+        )
+    try:
+        index, count = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ValueError(
+            f"shard must be two integers 'i/m', got {text!r}"
+        ) from None
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(
+            f"shard index must satisfy 1 <= i <= m, got {index}/{count}"
+        )
+    return (index, count)
+
+
+def shard_index(spec: CellSpec, count: int) -> int:
+    """The 0-based shard this cell belongs to, out of ``count``.
+
+    Hashes the cell's ``(scenario, seed)`` coordinate (scenario =
+    ``builder:topology``) with sha256, so assignment is deterministic
+    and uniform without any coordination between shard runners.
+    """
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    payload = json.dumps([spec.scenario_key, spec.seed])
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % count
+
+
+def in_shard(spec: CellSpec, shard: Shard) -> bool:
+    """Whether this cell belongs to the (1-based) ``shard``."""
+    index, count = shard
+    return shard_index(spec, count) == index - 1
+
+
+def filter_shard(specs: Iterable[CellSpec], shard: Shard) -> List[CellSpec]:
+    """The sub-list of ``specs`` owned by ``shard`` (original order kept)."""
+    return [spec for spec in specs if in_shard(spec, shard)]
+
+
+__all__ = ["Shard", "filter_shard", "in_shard", "parse_shard", "shard_index"]

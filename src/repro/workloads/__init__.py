@@ -1,6 +1,8 @@
 """Reproducible workload scenarios for experiments, tests and examples."""
 
+from repro.runner.cells import CellResult
 from repro.workloads.campaign import Campaign, CampaignCell, ScenarioBuilder
+from repro.workloads.parallel import CampaignOutcome, run_campaign
 from repro.workloads.scenarios import (
     Scenario,
     asymmetric_bounded,
@@ -14,6 +16,8 @@ from repro.workloads.scenarios import (
 __all__ = [
     "Campaign",
     "CampaignCell",
+    "CampaignOutcome",
+    "CellResult",
     "ScenarioBuilder",
     "Scenario",
     "asymmetric_bounded",
@@ -22,4 +26,5 @@ __all__ = [
     "heterogeneous",
     "lower_bound_only",
     "round_trip_bias",
+    "run_campaign",
 ]

@@ -1,6 +1,6 @@
 """Campaigns: parameter sweeps over scenarios, summarised in one table.
 
-Experiments E1..E13 are fixed narratives; a *campaign* is the ad-hoc
+Experiments E1..E14 are fixed narratives; a *campaign* is the ad-hoc
 counterpart — "sweep these topologies against these scenario builders
 over these seeds and show me the precision statistics".  Used by tests
 and handy interactively::
@@ -13,20 +13,31 @@ and handy interactively::
     campaign.add("bias", lambda t, s: round_trip_bias(t, 0.5, seed=s))
     table = campaign.run([ring(6), grid(3, 3)])
     table.show()
+
+Campaigns execute on the sharded runner of
+:mod:`repro.workloads.parallel`: pass ``workers=4`` to fan cells out over
+a process pool, ``shard="2/4"`` to run one deterministic quarter of the
+grid, and ``cache_dir=...`` to skip cells already solved by an earlier
+(or concurrent) run.  The produced tables are byte-identical whatever
+the worker count or sharding split — see DESIGN.md section 9.
+
+API policy (DESIGN.md section 9): option arguments are keyword-only.
+Passing them positionally still works for one release behind a
+``DeprecationWarning`` shim.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro._compat import keyword_only_shim
 from repro.analysis.metrics import summarize
 from repro.analysis.reporting import Table
-from repro.core.optimality import verify_certificate
-from repro.core.precision import realized_spread
-from repro.core.synchronizer import ClockSynchronizer
 from repro.graphs.topology import Topology
+from repro.runner.cells import CellResult, CellSpec, CellTask
+from repro.runner.sharding import Shard
+from repro.workloads.parallel import CampaignOutcome, run_campaign
 from repro.workloads.scenarios import Scenario
 
 #: A named way of building a scenario from (topology, seed).
@@ -47,12 +58,25 @@ class CampaignCell:
 class Campaign:
     """A sweep of scenario builders across topologies and seeds."""
 
-    def __init__(self, seeds: Iterable[int] = range(3), certify: bool = True):
-        self._seeds = list(seeds)
+    @keyword_only_shim
+    def __init__(
+        self,
+        *,
+        seeds: Iterable[int] = (0, 1, 2),
+        certify: bool = True,
+    ):
+        # Normalize eagerly: ``seeds`` may be a one-shot iterator, and a
+        # shared default must never leak mutable state between campaigns.
+        self._seeds = tuple(seeds)
         if not self._seeds:
             raise ValueError("campaign needs at least one seed")
         self._builders: List[Tuple[str, ScenarioBuilder]] = []
         self._certify = certify
+
+    @property
+    def seeds(self) -> Tuple[int, ...]:
+        """The seeds every (builder, topology) cell is run with."""
+        return self._seeds
 
     def add(self, name: str, builder: ScenarioBuilder) -> "Campaign":
         """Register one named scenario family; returns self for chaining."""
@@ -61,47 +85,107 @@ class Campaign:
         self._builders.append((name, builder))
         return self
 
-    def run_cells(
-        self, topologies: Sequence[Topology]
-    ) -> List[CampaignCell]:
-        """Execute the full sweep and return per-cell raw results."""
+    def tasks(
+        self,
+        topologies: Sequence[Topology],
+        *,
+        backend: Optional[str] = None,
+    ) -> List[CellTask]:
+        """The full grid as executable cells, in canonical order.
+
+        Canonical order is builders outer, topologies inner, seeds
+        innermost — the order :meth:`run` has always reported in.
+        """
         if not self._builders:
             raise ValueError("campaign has no scenario builders")
-        cells: List[CampaignCell] = []
+        cells: List[CellTask] = []
         for name, builder in self._builders:
             for topology in topologies:
-                precisions: List[float] = []
-                realized: List[float] = []
-                certified = True
                 for seed in self._seeds:
-                    scenario = builder(topology, seed)
-                    alpha = scenario.run()
-                    result = ClockSynchronizer(
-                        scenario.system
-                    ).from_execution(alpha)
-                    if self._certify:
-                        verify_certificate(result)
-                    precisions.append(result.precision)
-                    spread = realized_spread(
-                        alpha.start_times(), result.corrections
+                    cells.append(
+                        CellTask(
+                            spec=CellSpec(
+                                builder=name, topology=topology, seed=seed
+                            ),
+                            build=builder,
+                            certify=self._certify,
+                            backend=backend,
+                        )
                     )
-                    realized.append(spread)
-                    if not math.isinf(result.precision):
-                        if spread > result.precision + 1e-9:
-                            certified = False
-                cells.append(
-                    CampaignCell(
-                        builder=name,
-                        topology=topology.name,
-                        precisions=tuple(precisions),
-                        realized=tuple(realized),
-                        certified=certified,
-                    )
-                )
         return cells
 
-    def run(self, topologies: Sequence[Topology]) -> Table:
-        """Execute the sweep and summarise it as one table."""
+    @keyword_only_shim
+    def run_results(
+        self,
+        topologies: Sequence[Topology],
+        *,
+        workers: Optional[int] = None,
+        shard: Union[Shard, str, None] = None,
+        cache_dir: Optional[str] = None,
+        backend: Optional[str] = None,
+    ) -> CampaignOutcome:
+        """Execute the sweep; returns typed cell results + merged metrics."""
+        return run_campaign(
+            self.tasks(topologies, backend=backend),
+            workers=workers,
+            shard=shard,
+            cache_dir=cache_dir,
+        )
+
+    @keyword_only_shim
+    def run_cells(
+        self,
+        topologies: Sequence[Topology],
+        *,
+        workers: Optional[int] = None,
+        shard: Union[Shard, str, None] = None,
+        cache_dir: Optional[str] = None,
+        backend: Optional[str] = None,
+    ) -> List[CampaignCell]:
+        """Execute the full sweep and return per-cell aggregated results.
+
+        One :class:`CampaignCell` per (builder, topology) pair, seeds
+        aggregated, in canonical order.  Under sharding, pairs whose
+        seeds all live in other shards are omitted.
+        """
+        outcome = self.run_results(
+            topologies,
+            workers=workers,
+            shard=shard,
+            cache_dir=cache_dir,
+            backend=backend,
+        )
+        return self.group_results(outcome.results)
+
+    @staticmethod
+    def group_results(
+        results: Sequence[CellResult],
+    ) -> List[CampaignCell]:
+        """Aggregate per-seed results into per-(builder, topology) cells."""
+        grouped: "dict[Tuple[str, str], List[CellResult]]" = {}
+        order: List[Tuple[str, str]] = []
+        for result in results:
+            key = (result.scenario, result.topology)
+            if key not in grouped:
+                grouped[key] = []
+                order.append(key)
+            grouped[key].append(result)
+        cells: List[CampaignCell] = []
+        for builder, topology in order:
+            group = grouped[(builder, topology)]
+            cells.append(
+                CampaignCell(
+                    builder=builder,
+                    topology=topology,
+                    precisions=tuple(r.precision for r in group),
+                    realized=tuple(r.realized for r in group),
+                    certified=all(r.sound for r in group),
+                )
+            )
+        return cells
+
+    def summarize(self, results: Sequence[CellResult]) -> Table:
+        """The campaign summary table for already-computed results."""
         table = Table(
             title=f"Campaign ({len(self._seeds)} seeds per cell)",
             headers=[
@@ -113,7 +197,7 @@ class Campaign:
                 "sound",
             ],
         )
-        for cell in self.run_cells(topologies):
+        for cell in self.group_results(results):
             stats = summarize(cell.precisions)
             table.add_row(
                 cell.builder,
@@ -129,5 +213,25 @@ class Campaign:
         )
         return table
 
+    @keyword_only_shim
+    def run(
+        self,
+        topologies: Sequence[Topology],
+        *,
+        workers: Optional[int] = None,
+        shard: Union[Shard, str, None] = None,
+        cache_dir: Optional[str] = None,
+        backend: Optional[str] = None,
+    ) -> Table:
+        """Execute the sweep and summarise it as one table."""
+        outcome = self.run_results(
+            topologies,
+            workers=workers,
+            shard=shard,
+            cache_dir=cache_dir,
+            backend=backend,
+        )
+        return self.summarize(outcome.results)
 
-__all__ = ["Campaign", "CampaignCell", "ScenarioBuilder"]
+
+__all__ = ["Campaign", "CampaignCell", "CellResult", "ScenarioBuilder"]

@@ -1,0 +1,156 @@
+"""The sharded campaign runner: cells in, merged results + metrics out.
+
+:func:`run_campaign` is the engine under :meth:`Campaign.run
+<repro.workloads.campaign.Campaign.run>` and :func:`repro.sweep`:
+
+1. **Shard** -- keep only the cells owned by ``shard`` (``"i/m"``),
+   partitioned by the stable (scenario, seed) hash of
+   :mod:`repro.runner.sharding`;
+2. **Cache** -- look every remaining cell up in the content-addressed
+   :class:`~repro.runner.cache.ResultCache` (when a ``cache_dir`` is
+   given) and skip solved ones;
+3. **Execute** -- fan the misses out over the
+   :class:`~repro.runner.executor.ProcessExecutor` (``workers >= 2``) or
+   run them inline, each cell under its own recorder;
+4. **Merge** -- rebuild each worker's metrics snapshot into a
+   :class:`~repro.obs.metrics.MetricsRegistry` and fold everything into
+   one campaign registry via the existing ``merge()`` hooks (also merged
+   into the ambient recorder when observability is on, so ``--metrics-out``
+   sees the whole sweep).
+
+Determinism contract: the returned results -- and any table built from
+them -- are byte-identical for any ``workers`` count, and the union of
+all ``m`` shards equals the unsharded run.  Only wall-clock series
+(``*.seconds`` counters/histograms) may differ between runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.stats import EngineStats
+from repro.obs.metrics import MetricsRegistry, registry_from_snapshot
+from repro.obs.recorder import get_recorder
+from repro.runner.cache import ResultCache, cell_cache_key
+from repro.runner.cells import CellResult, CellTask
+from repro.runner.executor import (
+    ProcessExecutor,
+    SequentialExecutor,
+    resolve_workers,
+)
+from repro.runner.sharding import Shard, in_shard, parse_shard
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything one (possibly sharded) campaign run produced.
+
+    ``results`` are in grid order (builders outer, topologies inner,
+    seeds innermost), restricted to this shard when sharded.
+    ``registry`` holds the merged metrics of every *executed* cell
+    (cache-restored cells contribute their stored timings to the result
+    rows but no metrics -- they did not run).
+    """
+
+    results: Tuple[CellResult, ...]
+    registry: MetricsRegistry
+    workers: int
+    shard: Optional[Shard]
+    cache_hits: int
+    cache_misses: int
+    seconds: float
+
+    @property
+    def engine_stats(self) -> EngineStats:
+        """Merged per-stage engine timings, as a stats view."""
+        return EngineStats(registry=self.registry)
+
+    def summary(self) -> Dict[str, object]:
+        """Plain-data run summary (for logs and JSON reports)."""
+        return {
+            "cells": len(self.results),
+            "workers": self.workers,
+            "shard": None if self.shard is None else
+            f"{self.shard[0]}/{self.shard[1]}",
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "seconds": self.seconds,
+        }
+
+
+def run_campaign(
+    tasks: Sequence[CellTask],
+    *,
+    workers: Optional[int] = None,
+    shard: Union[Shard, str, None] = None,
+    cache_dir: Optional[str] = None,
+) -> CampaignOutcome:
+    """Execute campaign cells sharded/parallel/cached; see module docstring."""
+    started = time.perf_counter()
+    if isinstance(shard, str):
+        shard = parse_shard(shard)
+    worker_count = resolve_workers(workers)
+    selected = list(tasks)
+    if shard is not None:
+        selected = [t for t in selected if in_shard(t.spec, shard)]
+
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    merged = MetricsRegistry()
+    recorder = get_recorder()
+
+    results: List[Optional[CellResult]] = [None] * len(selected)
+    misses: List[Tuple[int, CellTask, Optional[str]]] = []
+    with recorder.span(
+        "campaign.run",
+        cells=len(selected),
+        workers=worker_count,
+        shard="-" if shard is None else f"{shard[0]}/{shard[1]}",
+        cached=cache is not None,
+    ):
+        for position, task in enumerate(selected):
+            key = cell_cache_key(task) if cache is not None else None
+            hit = cache.get(key) if cache is not None else None
+            if hit is not None:
+                results[position] = hit
+            else:
+                misses.append((position, task, key))
+
+        if misses:
+            executor = (
+                ProcessExecutor(worker_count)
+                if worker_count > 1 and len(misses) > 1
+                else SequentialExecutor()
+            )
+            outcomes = executor.execute(
+                [task for _, task, _ in misses], registry=merged
+            )
+            for (position, task, key), outcome in zip(misses, outcomes):
+                results[position] = outcome.result
+                merged.merge(registry_from_snapshot(outcome.metrics))
+                if cache is not None:
+                    cache.put(key, outcome.result)
+
+    hits = sum(1 for r in results if r is not None and r.cache_hit)
+    merged.counter("campaign.cells.total").add(len(selected))
+    merged.counter("campaign.cache.hits").add(hits)
+    merged.counter("campaign.cache.misses").add(len(misses))
+    if recorder.enabled:
+        # Surface the sweep's metrics in the ambient registry so CLI
+        # --metrics-out / --timings aggregate over the whole campaign.
+        recorder.registry.merge(merged)
+
+    assert all(r is not None for r in results)
+    return CampaignOutcome(
+        results=tuple(results),  # type: ignore[arg-type]
+        registry=merged,
+        workers=worker_count,
+        shard=shard,
+        cache_hits=hits,
+        cache_misses=len(misses),
+        seconds=time.perf_counter() - started,
+    )
+
+
+__all__ = ["CampaignOutcome", "run_campaign"]

@@ -186,6 +186,83 @@ class TestMonitorCommand:
         assert "unknown workload" in capsys.readouterr().err
 
 
+class TestCampaignCommand:
+    def test_parser_accepts_campaign_variants(self):
+        parser = build_parser()
+        for argv in (
+            ["campaign"],
+            ["campaign", "--preset", "e9c", "--quick"],
+            ["campaign", "--workers", "4", "--shard", "2/4"],
+            ["campaign", "--resume", "--cells"],
+            ["campaign", "--cache-dir", "x", "--results-out", "y.jsonl"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_workers_flag_on_other_subcommands(self):
+        parser = build_parser()
+        for argv in (
+            ["experiment", "E1", "--workers", "2"],
+            ["all", "--quick", "--workers", "2"],
+            ["monitor", "bounded", "--workers", "2"],
+        ):
+            assert parser.parse_args(argv).workers == 2
+
+    def test_demo_preset_runs_and_summarises(self, capsys):
+        assert main(["campaign", "--quick", "--cells"]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign (2 seeds per cell)" in out
+        assert "campaign cells (grid order)" in out
+        assert "bounded[1,3]" in out
+        assert "cache:    0 hit(s)" in out
+
+    def test_shard_runs_subset(self, capsys):
+        assert main([
+            "campaign", "--preset", "e9c", "--quick", "--shard", "1/2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(shard 1/2)" in out
+
+    def test_cache_resume_hits_on_second_run(self, tmp_path, capsys):
+        argv = [
+            "campaign", "--preset", "e9c", "--quick",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 hit(s), 4 miss(es)" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "4 hit(s), 0 miss(es)" in second
+
+    def test_results_out_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro.runner import validate_cell_results_file
+
+        path = tmp_path / "cells.jsonl"
+        assert main([
+            "campaign", "--quick", "--results-out", str(path),
+        ]) == 0
+        assert "results written" in capsys.readouterr().out
+        assert validate_cell_results_file(path) == 12
+
+    def test_campaign_obs_flags(self, tmp_path, capsys):
+        metrics = tmp_path / "m.jsonl"
+        assert main([
+            "campaign", "--quick", "--metrics-out", str(metrics),
+            "--timings",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "engine stage timings" in out
+        assert validate_metrics_file(metrics) > 0
+        names = {
+            json.loads(line)["name"]
+            for line in metrics.read_text().splitlines()
+        }
+        assert "campaign.cells.total" in names
+        assert "campaign.cell.seconds" in names
+        assert get_recorder() is NOOP
+
+
 class TestRecordTelemetry:
     def test_record_with_telemetry_writes_v2_trace(self, tmp_path, capsys):
         out_dir = tmp_path / "out"
