@@ -52,6 +52,7 @@ from repro.core import (
     CertificateError,
     ClockSynchronizer,
     ComponentResult,
+    DegradedResult,
     IncompleteViewsError,
     InconsistentViewsError,
     ShiftsOutcome,
@@ -135,6 +136,7 @@ __all__ = [
     "CertificateError",
     "ClockSynchronizer",
     "ComponentResult",
+    "DegradedResult",
     "IncompleteViewsError",
     "InconsistentViewsError",
     "ShiftsOutcome",

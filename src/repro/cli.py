@@ -14,6 +14,8 @@ Installed as ``repro-clocksync`` (see pyproject) and runnable as
     repro-clocksync monitor bounded      # theorem-monitored demo workload
     repro-clocksync campaign --preset e9c --workers 4
     repro-clocksync campaign --preset e9c --shard 1/4 --resume
+    repro-clocksync faults template plan.json   # fault-plan starting point
+    repro-clocksync demo --faults plan.json     # chaos-mode quickstart
 
 ``campaign`` runs a preset sweep grid on the sharded campaign runner:
 ``--workers`` fans cells out over a process pool, ``--shard i/m`` runs
@@ -35,6 +37,14 @@ synchronizer under the invariant monitors of :mod:`repro.obs.monitor`
 and prints the simulated-time convergence table, per-link delay-estimate
 error statistics and the violation summary (exit code is nonzero only
 under ``--strict``).
+
+Fault injection (DESIGN.md section 10): ``faults`` writes or validates a
+:mod:`repro.faults` plan file; ``demo``, ``monitor`` and ``campaign``
+accept ``--faults PLAN.json`` to inject that plan into every simulated
+run.  ``campaign`` additionally accepts ``--cell-timeout``/``--retries``
+/``--retry-backoff``, which switch it onto the robust runner: failing
+cells are retried and ultimately quarantined (and reported) instead of
+aborting the sweep.
 """
 
 from __future__ import annotations
@@ -177,6 +187,17 @@ def _print_run_summary(summary) -> None:
         print(f"{label + ':':<20}{value}")
 
 
+def _load_faults(path: str):
+    """Load a ``--faults PLAN.json`` argument or exit with a clear error."""
+    from repro.faults.plan import FaultPlanError, load_fault_plan
+
+    try:
+        return load_fault_plan(path)
+    except FaultPlanError as exc:
+        print(f"bad fault plan: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
@@ -223,6 +244,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import (
         BoundedDelay,
         ClockSynchronizer,
+        InconsistentViewsError,
         NetworkSimulator,
         System,
         UniformDelay,
@@ -234,16 +256,24 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         verify_certificate,
     )
 
+    faults = _load_faults(args.faults) if args.faults is not None else None
     with _observability(args):
         topo = ring(5)
         system = System.uniform(topo, BoundedDelay.symmetric(1.0, 3.0))
         samplers = {link: UniformDelay(1.0, 3.0) for link in topo.links}
         starts = draw_start_times(topo.nodes, max_skew=10.0, seed=7)
-        sim = NetworkSimulator(system, samplers, starts, seed=7)
+        sim = NetworkSimulator(system, samplers, starts, seed=7, faults=faults)
         alpha = sim.run(probe_automata(topo, probe_schedule(3, 20.0, 5.0)))
 
         synchronizer = ClockSynchronizer(system, backend=args.backend)
-        result = synchronizer.from_execution(alpha)
+        try:
+            result = synchronizer.from_execution(alpha)
+        except InconsistentViewsError as exc:
+            print("pipeline rejected the views as inconsistent -- the "
+                  "injected faults broke the delay assumptions:",
+                  file=sys.stderr)
+            print(f"  {exc}", file=sys.stderr)
+            return 1
         verify_certificate(result)
         print(f"topology:           {topo.name}")
         print(f"engine backend:     {synchronizer.backend}")
@@ -259,6 +289,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             print(f"  processor {p}: {x:+.4f}")
         cycle = result.components[0].critical_cycle
         print(f"critical cycle (optimality witness): {cycle}")
+        if result.is_degraded:
+            print("degraded result:")
+            for line in result.degraded.lines():
+                print(f"  {line}")
         if args.timings:
             stats = synchronizer.engine.stats
             print(f"engine: {synchronizer.backend}")
@@ -336,6 +370,9 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             # Experiment mode: the monitors passively check every
             # pipeline result the experiment produces (views-side
             # monitors only -- no single ground-truth execution exists).
+            if args.faults is not None:
+                print("--faults is ignored in experiment mode "
+                      "(experiments own their scenarios)", file=sys.stderr)
             try:
                 tables = run_experiment(key, quick=args.quick)
             except KeyError as exc:  # pragma: no cover - key checked above
@@ -349,8 +386,13 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             flow_log = FlowLog()
             recorder.add_observer(flow_log)
             scenario = _build_scenario(workload, args.size, args.seed)
+            if args.faults is not None:
+                scenario = scenario.with_faults(_load_faults(args.faults))
             alpha = scenario.run()
             suite.execution = alpha
+            if args.faults is not None:
+                _print_run_summary(scenario.last_run_summary)
+                print()
 
             corrupt_at = None
             if args.corrupt is not None:
@@ -365,10 +407,20 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             )
             if args.corrupt is None:
                 # Complete views enable the exact mls~ identity checks.
-                result = ClockSynchronizer(scenario.system).from_execution(
-                    alpha
-                )
-                suite.check_final(scenario.system, result, alpha)
+                # Injected faults that break the delay assumptions make
+                # the pipeline reject the views instead -- report that,
+                # don't crash.
+                from repro import InconsistentViewsError
+
+                try:
+                    result = ClockSynchronizer(
+                        scenario.system
+                    ).from_execution(alpha)
+                    suite.check_final(scenario.system, result, alpha)
+                except InconsistentViewsError as exc:
+                    print("final pipeline check: views rejected as "
+                          f"inconsistent ({exc}) -- expected when "
+                          "injected faults break the delay assumptions\n")
 
             convergence = Table(
                 title=f"online convergence over simulated time "
@@ -457,6 +509,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.resume and cache_dir is None:
         cache_dir = ".repro-cache"
     campaign, topologies = CAMPAIGN_PRESETS[args.preset](quick=args.quick)
+    if args.faults is not None:
+        campaign = campaign.with_faults(_load_faults(args.faults))
     with _observability(args) as recorder:
         outcome = campaign.run_results(
             topologies,
@@ -464,6 +518,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             shard=args.shard,
             cache_dir=cache_dir,
             backend=args.backend,
+            cell_timeout=args.cell_timeout,
+            retries=args.retries,
+            retry_backoff=args.retry_backoff,
         )
         campaign.summarize(outcome.results).show()
         if args.cells:
@@ -490,6 +547,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
               f"{summary['cache_misses']} miss(es)"
               + (f"  [{cache_dir}]" if cache_dir else "  [disabled]"))
         print(f"elapsed:  {summary['seconds']:.3f} s")
+        if outcome.cache_corrupt:
+            plural = "y" if outcome.cache_corrupt == 1 else "ies"
+            print(f"WARNING:  {outcome.cache_corrupt} corrupt cache "
+                  f"entr{plural} ignored (re-executed those cells)")
+        if outcome.quarantined:
+            print(f"quarantined: {len(outcome.quarantined)} cell(s)  "
+                  f"({outcome.retried} retried)")
+            for f in outcome.quarantined:
+                print(f"  {f.scenario} @ {f.topology} seed {f.seed}: "
+                      f"{f.kind} after {f.attempts} attempt(s) -- "
+                      f"{f.message}")
+        elif outcome.retried:
+            print(f"retried:  {outcome.retried} cell(s), all recovered")
         if args.results_out is not None:
             path = write_cell_results_jsonl(
                 args.results_out, outcome.results
@@ -499,6 +569,42 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         if args.timings and recorder is not None:
             print()
             _print_engine_timings(recorder)
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Write a template fault plan, or validate one against a scenario."""
+    from repro.faults.plan import (
+        FaultPlanError,
+        dump_fault_plan,
+        example_plan,
+        load_fault_plan,
+    )
+
+    if args.action == "template":
+        path = dump_fault_plan(example_plan(), args.path)
+        print(f"template fault plan written: {path}")
+        print("edit the edge/processor ids for your topology, then:")
+        print(f"  repro-clocksync faults validate {path}")
+        print(f"  repro-clocksync demo --faults {path}")
+        return 0
+    try:
+        plan = load_fault_plan(args.path)
+    except FaultPlanError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(f"plan {plan.name!r} (seed {plan.seed}): "
+          f"{len(plan.faults)} fault(s)")
+    for kind, faults in sorted(plan.by_kind().items()):
+        print(f"  {kind}: {len(faults)}")
+    scenario = _build_scenario(args.scenario, args.size, args.seed)
+    try:
+        plan.validate_for(scenario.system)
+    except FaultPlanError as exc:
+        print(f"INVALID for {scenario.name}: {exc}", file=sys.stderr)
+        return 1
+    print(f"valid for scenario {scenario.name} "
+          f"({scenario.system.topology.name})")
     return 0
 
 
@@ -657,14 +763,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--results-out", metavar="PATH", default=None,
         help="write per-cell results as JSONL (campaign.cell records)",
     )
+    _add_faults_argument(p_campaign)
+    robust = p_campaign.add_argument_group(
+        "robustness",
+        "any of these switches the sweep onto the robust runner: failing "
+        "cells are retried, then quarantined and reported instead of "
+        "aborting the campaign",
+    )
+    robust.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per cell (enforced in-worker)",
+    )
+    robust.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-run failed cells up to N extra times (default 0)",
+    )
+    robust.add_argument(
+        "--retry-backoff", type=float, default=0.0, metavar="SECONDS",
+        help="sleep SECONDS * attempt between retry rounds",
+    )
     _add_backend_argument(p_campaign)
     _add_obs_arguments(p_campaign)
     p_campaign.set_defaults(func=_cmd_campaign)
 
     p_demo = sub.add_parser("demo", help="run the quickstart demo")
+    _add_faults_argument(p_demo)
     _add_backend_argument(p_demo)
     _add_obs_arguments(p_demo)
     p_demo.set_defaults(func=_cmd_demo)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="write or validate fault plans for --faults PLAN.json",
+    )
+    p_faults.add_argument(
+        "action", choices=["template", "validate"],
+        help="'template' writes an example plan to PATH; 'validate' "
+        "parses PATH and checks it against a scenario's topology",
+    )
+    p_faults.add_argument("path", metavar="PATH", help="fault plan JSON file")
+    p_faults.add_argument(
+        "--scenario", choices=["bounded", "hetero"], default="bounded",
+        help="scenario to validate against (default: bounded)",
+    )
+    p_faults.add_argument("--size", type=int, default=5, help="ring size")
+    p_faults.add_argument("--seed", type=int, default=0)
+    p_faults.set_defaults(func=_cmd_faults)
 
     p_record = sub.add_parser(
         "record", help="simulate a scenario and archive system + trace"
@@ -759,9 +903,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the simulated-time series as JSONL",
     )
+    _add_faults_argument(p_monitor)
     _add_obs_arguments(p_monitor, timings=False)
     p_monitor.set_defaults(func=_cmd_monitor)
     return parser
+
+
+def _add_faults_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", metavar="PLAN.json", default=None,
+        help="inject the fault plan from this JSON file into every "
+        "simulated run (write a starting point with "
+        "'repro-clocksync faults template PLAN.json')",
+    )
 
 
 def _add_workers_argument(parser: argparse.ArgumentParser) -> None:

@@ -19,6 +19,7 @@ from repro.core.estimates import (
     IncompleteViewsError,
     estimated_delays,
     local_shift_estimates,
+    partial_estimated_delays,
     true_local_shifts,
 )
 from repro.core.global_estimates import (
@@ -43,6 +44,7 @@ from repro.core.shifts import ShiftsOutcome, UnboundedPrecisionError, shifts
 from repro.core.synchronizer import (
     ClockSynchronizer,
     ComponentResult,
+    DegradedResult,
     SyncResult,
 )
 
@@ -50,6 +52,7 @@ __all__ = [
     "IncompleteViewsError",
     "estimated_delays",
     "local_shift_estimates",
+    "partial_estimated_delays",
     "true_local_shifts",
     "InconsistentViewsError",
     "global_shift_estimates",
@@ -68,5 +71,6 @@ __all__ = [
     "shifts",
     "ClockSynchronizer",
     "ComponentResult",
+    "DegradedResult",
     "SyncResult",
 ]

@@ -18,7 +18,7 @@ GLOBAL ESTIMATES and SHIFTS need.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Tuple
 
 from repro._types import Edge, ProcessorId, Time
 from repro.delays.system import System
@@ -59,6 +59,38 @@ def estimated_delays(
     return out
 
 
+def partial_estimated_delays(
+    views: Mapping[ProcessorId, View]
+) -> Tuple[Dict[Edge, List[Time]], int]:
+    """Estimated delays from a possibly *incomplete* set of views.
+
+    Like :func:`estimated_delays`, but a receive whose send appears in
+    no view (an *orphan* -- its sender's view was lost, e.g. a crashed
+    or partitioned processor) is skipped instead of raising.  Returns
+    ``(delays, orphan_count)``; each skipped observation widens the
+    resulting estimates (fewer samples -> looser ``mls~``), which is
+    sound: degraded answers are conservative, never wrong (Lemma 6.2
+    direction "honest samples only tighten").
+    """
+    send_clocks: Dict[int, Time] = {}
+    senders: Dict[int, ProcessorId] = {}
+    for p, view in views.items():
+        for uid, clock in view.send_clock_times().items():
+            send_clocks[uid] = clock
+            senders[uid] = p
+
+    out: Dict[Edge, List[Time]] = {}
+    orphans = 0
+    for q, view in views.items():
+        for uid, recv_clock in view.receive_clock_times().items():
+            if uid not in send_clocks:
+                orphans += 1
+                continue
+            p = senders[uid]
+            out.setdefault((p, q), []).append(recv_clock - send_clocks[uid])
+    return out, orphans
+
+
 def local_shift_estimates(
     system: System, views: Mapping[ProcessorId, View]
 ) -> Dict[Edge, Time]:
@@ -83,6 +115,7 @@ def true_local_shifts(system: System, alpha) -> Dict[Edge, Time]:
 __all__ = [
     "IncompleteViewsError",
     "estimated_delays",
+    "partial_estimated_delays",
     "local_shift_estimates",
     "true_local_shifts",
 ]

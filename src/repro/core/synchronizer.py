@@ -21,7 +21,10 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro._compat import keyword_only_shim
 from repro._types import INF, ProcessorId, Time
-from repro.core.estimates import local_shift_estimates
+from repro.core.estimates import (
+    local_shift_estimates,
+    partial_estimated_delays,
+)
 from repro.core.precision import rho_bar
 from repro.core.shifts import CYCLE_MEAN_METHODS
 from repro.delays.system import System
@@ -42,6 +45,60 @@ class ComponentResult:
 
 
 @dataclass(frozen=True)
+class DegradedResult:
+    """Structured record of how a pipeline run degraded, never an exception.
+
+    Attached to :attr:`SyncResult.degraded` when the inputs were
+    incomplete (missing views, orphan receives) or the decomposition had
+    to improvise (requested root outside a component, processors left in
+    singleton components).  Every degradation is *conservative*: skipped
+    samples and missing views only loosen estimates toward the ``inf``
+    sentinel, they never tighten a bound that honest data would not
+    support (Lemma 6.2 soundness).
+    """
+
+    #: Processors whose view was unavailable (crashed / partitioned).
+    missing_views: Tuple[ProcessorId, ...] = ()
+    #: Receives whose matching send appeared in no available view.
+    orphan_receives: int = 0
+    #: Components where the requested root was absent, as
+    #: ``(requested_root, substitute_root)`` pairs.
+    root_substitutions: Tuple[Tuple[ProcessorId, ProcessorId], ...] = ()
+    #: Processors synchronized only with themselves (no finite mutual
+    #: shift estimate connects them to anyone).
+    isolated_processors: Tuple[ProcessorId, ...] = ()
+
+    @property
+    def is_degraded(self) -> bool:
+        """Whether any degradation actually occurred."""
+        return bool(
+            self.missing_views
+            or self.orphan_receives
+            or self.root_substitutions
+            or self.isolated_processors
+        )
+
+    def lines(self) -> Tuple[str, ...]:
+        """Human-readable degradation report (one line per phenomenon)."""
+        out = []
+        if self.missing_views:
+            out.append(
+                "missing views: "
+                + ", ".join(repr(p) for p in self.missing_views)
+            )
+        if self.orphan_receives:
+            out.append(f"orphan receives skipped: {self.orphan_receives}")
+        for requested, used in self.root_substitutions:
+            out.append(f"root {requested!r} unavailable; used {used!r}")
+        if self.isolated_processors:
+            out.append(
+                "isolated processors: "
+                + ", ".join(repr(p) for p in self.isolated_processors)
+            )
+        return tuple(out)
+
+
+@dataclass(frozen=True)
 class SyncResult:
     """Everything the pipeline produced for one set of views.
 
@@ -58,11 +115,19 @@ class SyncResult:
     components: Tuple[ComponentResult, ...]
     mls_tilde: Dict[Tuple[ProcessorId, ProcessorId], Time]
     ms_tilde: Dict[Tuple[ProcessorId, ProcessorId], Time]
+    #: Degradation record for runs over incomplete inputs (``None`` for
+    #: clean runs; see :class:`DegradedResult`).
+    degraded: Optional[DegradedResult] = None
 
     @property
     def is_fully_synchronized(self) -> bool:
         """Whether a single finite precision covers every processor pair."""
         return len(self.components) == 1
+
+    @property
+    def is_degraded(self) -> bool:
+        """Whether this result was produced in degraded mode."""
+        return self.degraded is not None and self.degraded.is_degraded
 
     def corrected_clock(self, p: ProcessorId, clock_time: Time) -> Time:
         """The logical clock of ``p``: local clock plus correction."""
@@ -167,12 +232,30 @@ class ClockSynchronizer:
         """The processor <-> matrix-row mapping of this synchronizer."""
         return self._index
 
-    def from_views(self, views: Mapping[ProcessorId, View]) -> SyncResult:
-        """Run the full pipeline on one execution's views."""
-        missing = set(self._system.processors) - set(views)
-        if missing:
+    @keyword_only_shim
+    def from_views(
+        self,
+        views: Mapping[ProcessorId, View],
+        *,
+        allow_partial: bool = False,
+    ) -> SyncResult:
+        """Run the full pipeline on one execution's views.
+
+        With ``allow_partial=True`` an incomplete set of views (crashed
+        or partitioned processors) degrades gracefully instead of
+        raising: missing processors contribute no samples, receives
+        whose send was lost with a missing view are skipped, and the
+        result carries a :class:`DegradedResult` describing exactly what
+        was missing.  Estimates only loosen (toward the ``inf``
+        sentinel), so degraded corrections remain sound for the
+        processors that *are* connected by surviving data.
+        """
+        missing = tuple(
+            sorted(set(self._system.processors) - set(views), key=repr)
+        )
+        if missing and not allow_partial:
             raise ValueError(
-                f"views missing for processors: {sorted(missing, key=repr)}"
+                f"views missing for processors: {list(missing)}"
             )
         recorder = get_recorder()
         with recorder.span(
@@ -180,24 +263,42 @@ class ClockSynchronizer:
             processors=len(self._index),
             backend=self._backend,
         ):
+            degraded: Optional[DegradedResult] = None
             with recorder.span("pipeline.local_estimates"):
-                mls_tilde = local_shift_estimates(self._system, views)
-            return self.from_local_estimates(mls_tilde)
+                if allow_partial:
+                    delays, orphans = partial_estimated_delays(views)
+                    mls_tilde = self._system.mls_from_delays(delays)
+                    if missing or orphans:
+                        degraded = DegradedResult(
+                            missing_views=missing,
+                            orphan_receives=orphans,
+                        )
+                else:
+                    mls_tilde = local_shift_estimates(self._system, views)
+            return self.from_local_estimates(mls_tilde, degraded=degraded)
 
+    @keyword_only_shim
     def from_local_estimates(
-        self, mls_tilde: Mapping[Tuple[ProcessorId, ProcessorId], Time]
+        self,
+        mls_tilde: Mapping[Tuple[ProcessorId, ProcessorId], Time],
+        *,
+        degraded: Optional[DegradedResult] = None,
     ) -> SyncResult:
         """Run GLOBAL ESTIMATES + SHIFTS on precomputed ``mls~`` values.
 
         Exposed separately so distributed front-ends (see
         :mod:`repro.extensions.leader`) can ship local estimates to a
-        leader instead of whole views.
+        leader instead of whole views.  ``degraded`` threads an upstream
+        degradation record through to the result.
         """
         with get_recorder().span("pipeline.global_estimates"):
             mls_matrix = self._index.matrix(mls_tilde)
             ms_matrix = self._engine.global_estimates(mls_matrix)
         return self.from_matrices(
-            mls_tilde, mls_matrix=mls_matrix, ms_matrix=ms_matrix
+            mls_tilde,
+            mls_matrix=mls_matrix,
+            ms_matrix=ms_matrix,
+            degraded=degraded,
         )
 
     @keyword_only_shim
@@ -207,6 +308,7 @@ class ClockSynchronizer:
         *,
         mls_matrix,
         ms_matrix,
+        degraded: Optional[DegradedResult] = None,
     ) -> SyncResult:
         """SHIFTS-only entry for callers that already hold the closure.
 
@@ -214,17 +316,25 @@ class ClockSynchronizer:
         and keyword-only (positional passing is deprecated; see DESIGN.md
         section 9).  The online extension uses this to feed an
         incrementally-maintained ``ms~`` matrix straight into component
-        decomposition + SHIFTS.
+        decomposition + SHIFTS.  ``degraded`` threads an upstream
+        degradation record through; this stage extends it with its own
+        improvisations (root substitutions, isolated processors).
         """
         index = self._index
         engine = self._engine
         recorder = get_recorder()
         corrections: Dict[ProcessorId, Time] = {}
         component_results: List[ComponentResult] = []
+        root_substitutions: List[Tuple[ProcessorId, ProcessorId]] = []
+        isolated: List[ProcessorId] = []
         with recorder.span("pipeline.shifts"):
             for rows in engine.components(mls_matrix, ms_matrix):
                 component = [index.processor(r) for r in rows]
                 root = self._root if self._root in component else component[0]
+                if self._root is not None and root != self._root:
+                    root_substitutions.append((self._root, root))
+                if len(component) == 1 and len(self._index) > 1:
+                    isolated.append(component[0])
                 outcome = engine.shifts(
                     ms_matrix,
                     rows=rows,
@@ -247,11 +357,24 @@ class ClockSynchronizer:
                     )
                 )
 
+        if degraded is not None or root_substitutions or isolated:
+            base = degraded if degraded is not None else DegradedResult()
+            degraded = DegradedResult(
+                missing_views=base.missing_views,
+                orphan_receives=base.orphan_receives,
+                root_substitutions=tuple(root_substitutions),
+                isolated_processors=tuple(isolated),
+            )
+            if not degraded.is_degraded:
+                degraded = None
+
         if len(component_results) == 1:
             precision = component_results[0].precision
         else:
             precision = INF
         recorder.count("pipeline.syncs")
+        if degraded is not None:
+            recorder.count("pipeline.degraded")
         recorder.set_gauge("pipeline.components", len(component_results))
         if corrections:
             recorder.set_gauge(
@@ -268,6 +391,7 @@ class ClockSynchronizer:
             components=tuple(component_results),
             mls_tilde=dict(mls_tilde),
             ms_tilde=index.pairs(ms_matrix),
+            degraded=degraded,
         )
         if recorder.enabled and recorder.observers:
             # Every pipeline run -- batch or an online refresh -- passes
@@ -290,4 +414,9 @@ class ClockSynchronizer:
         return self.from_views(alpha.views())
 
 
-__all__ = ["ComponentResult", "SyncResult", "ClockSynchronizer"]
+__all__ = [
+    "ComponentResult",
+    "DegradedResult",
+    "SyncResult",
+    "ClockSynchronizer",
+]

@@ -28,6 +28,7 @@ from repro.experiments import (
     e12_probabilistic,
     e13_diagnosis,
     e14_convergence,
+    e15_faults,
 )
 
 #: Experiment id -> runner.  Keep ids in sync with DESIGN.md / EXPERIMENTS.md.
@@ -46,6 +47,7 @@ REGISTRY: Dict[str, Callable[..., List[Table]]] = {
     "E12": e12_probabilistic.run,
     "E13": e13_diagnosis.run,
     "E14": e14_convergence.run,
+    "E15": e15_faults.run,
 }
 
 DESCRIPTIONS: Dict[str, str] = {
@@ -63,6 +65,7 @@ DESCRIPTIONS: Dict[str, str] = {
     "E12": "probabilistic delay knowledge -> high-confidence precision",
     "E13": "detection/localization/repair of assumption violations",
     "E14": "online convergence over simulated time, theorem-monitored",
+    "E15": "graceful degradation: precision vs injected message loss",
 }
 
 

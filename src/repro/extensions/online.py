@@ -28,7 +28,7 @@ from repro._types import Edge, ProcessorId, Time
 from repro.core.estimates import estimated_delays
 from repro.core.global_estimates import InconsistentViewsError
 from repro.core.synchronizer import ClockSynchronizer, SyncResult
-from repro.delays.base import DirectionStats
+from repro.delays.base import DirectionStats, PairTiming
 from repro.delays.system import System
 from repro.model.views import View
 from repro.obs.recorder import get_recorder
@@ -52,10 +52,33 @@ class OnlineSynchronizer:
     ``method`` and ``backend`` are validated eagerly at construction (via
     :class:`~repro.core.synchronizer.ClockSynchronizer`), so a typo fails
     here rather than at the first :meth:`result` call.
+
+    Robustness options (both off by default, preserving the exact
+    ``streaming == batch`` contract):
+
+    * ``reject_outliers=True`` screens each observation against the
+      link's own delay assumption before admitting it: if the tentative
+      statistics would make the link's estimated 2-cycle
+      ``mls~(p,q) + mls~(q,p)`` negative -- impossible for honest
+      samples by Lemma 6.2 soundness -- the observation is rejected
+      (counted as ``online.outliers_rejected``).  A corrupted timestamp
+      can therefore poison at most the *first* samples of a direction,
+      never overturn an established consistent statistic.
+    * ``fallback=True`` makes :meth:`result` degrade gracefully when the
+      ingested statistics have become globally inconsistent (e.g. a
+      corrupted timestamp slipped through on a fresh edge): instead of
+      raising :class:`InconsistentViewsError`, the last successfully
+      computed result is served (counted as ``online.fallbacks``), and
+      the synchronizer keeps retrying on later queries -- a successful
+      recompute after fallbacks counts ``online.recoveries``.  Use
+      :meth:`drop_edge_stats` to discard a poisoned edge and recover
+      for real.
     """
 
     def __init__(self, system: System, root: Optional[ProcessorId] = None,
-                 method: str = "karp", backend: Optional[str] = None) -> None:
+                 method: str = "karp", backend: Optional[str] = None,
+                 *, reject_outliers: bool = False,
+                 fallback: bool = False) -> None:
         self._system = system
         self._synchronizer = ClockSynchronizer(
             system, root=root, method=method, backend=backend
@@ -65,6 +88,16 @@ class OnlineSynchronizer:
         self._cached: Optional[SyncResult] = None
         self._last_mls_matrix: Optional[np.ndarray] = None
         self._last_ms_matrix: Optional[np.ndarray] = None
+        self._reject_outliers = reject_outliers
+        self._fallback = fallback
+        self._last_good: Optional[SyncResult] = None
+        self._in_fallback = False
+        self._outliers_rejected = 0
+        self._fallbacks_served = 0
+        # Staleness bookkeeping: the observation ordinal at which each
+        # directed edge last received a sample / last changed a statistic.
+        self._edge_last_seen: Dict[Edge, int] = {}
+        self._edge_last_change: Dict[Edge, int] = {}
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -87,19 +120,56 @@ class OnlineSynchronizer:
             min_delay=min(old.min_delay, estimated_delay),
             max_delay=max(old.max_delay, estimated_delay),
         )
-        self._stats[edge] = new
+        recorder = get_recorder()
         self._observations += 1
+        if self._reject_outliers and self._is_outlier(
+            sender, receiver, new
+        ):
+            # Do not admit the sample: it would make the link's own
+            # 2-cycle infeasible, which no honest observation can.
+            self._outliers_rejected += 1
+            self._edge_last_seen[edge] = self._observations
+            if recorder.enabled:
+                recorder.count("online.observations")
+                recorder.count("online.outliers_rejected")
+            return False
+        self._stats[edge] = new
         changed = (
             new.min_delay != old.min_delay or new.max_delay != old.max_delay
         )
+        self._edge_last_seen[edge] = self._observations
         if changed:
             self._cached = None
-        recorder = get_recorder()
+            self._edge_last_change[edge] = self._observations
         if recorder.enabled:
             recorder.count("online.observations")
             if changed:
                 recorder.count("online.statistic_changes")
         return changed
+
+    def _is_outlier(
+        self,
+        sender: ProcessorId,
+        receiver: ProcessorId,
+        tentative: DirectionStats,
+    ) -> bool:
+        """Whether admitting ``tentative`` would break the link's 2-cycle.
+
+        By Lemma 6.2 the per-link shift intervals derived from honest
+        samples always satisfy ``mls~(p,q) + mls~(q,p) >= 0`` (the true
+        offset lies in both).  A sample whose admission would drive the
+        sum negative is provably corrupt *relative to the already
+        accepted samples* and is rejected.  (If the corrupt sample
+        arrives first, later honest traffic gets rejected instead --
+        screening is symmetric; :meth:`drop_edge_stats` breaks the tie.)
+        """
+        assumption = self._system.assumption_oriented(sender, receiver)
+        timing = PairTiming(
+            forward=tentative,
+            reverse=self._stats.get((receiver, sender), DirectionStats()),
+        )
+        mls_pq, mls_qp = assumption.mls_pair(timing)
+        return mls_pq + mls_qp < -1e-9
 
     def observe_timestamps(
         self,
@@ -138,12 +208,103 @@ class OnlineSynchronizer:
         """Current sufficient statistics of one directed edge."""
         return self._stats.get((sender, receiver), DirectionStats())
 
+    @property
+    def outliers_rejected(self) -> int:
+        """Observations rejected by the Lemma 6.2 soundness screen."""
+        return self._outliers_rejected
+
+    @property
+    def fallbacks_served(self) -> int:
+        """Queries answered from the last-good result during inconsistency."""
+        return self._fallbacks_served
+
+    @property
+    def in_fallback(self) -> bool:
+        """Whether the most recent query had to serve the last-good result."""
+        return self._in_fallback
+
+    def edge_staleness(
+        self, sender: ProcessorId, receiver: ProcessorId
+    ) -> int:
+        """Observations ingested since edge ``sender -> receiver`` last saw one.
+
+        An edge that never received a sample is maximally stale: its
+        staleness equals the total observation count.  Staleness is
+        measured in *observation ordinals*, not wall time -- the online
+        synchronizer has no clock of its own.
+        """
+        last = self._edge_last_seen.get((sender, receiver), 0)
+        return self._observations - last
+
+    def stale_edges(self, threshold: int) -> Dict[Edge, int]:
+        """Directed edges whose staleness is >= ``threshold``.
+
+        Covers every directed edge of the system, so silent links (down,
+        partitioned, or simply idle) show up even though they never
+        produced an observation.
+        """
+        out: Dict[Edge, int] = {}
+        for p, q in self._system.directed_edges():
+            staleness = self.edge_staleness(p, q)
+            if staleness >= threshold:
+                out[(p, q)] = staleness
+        return out
+
+    def drop_edge_stats(
+        self, sender: ProcessorId, receiver: ProcessorId
+    ) -> bool:
+        """Discard the accumulated statistics of one directed edge.
+
+        The recovery lever for a poisoned direction (corrupted
+        timestamps that slipped past screening): dropping the edge
+        *loosens* its estimate back to the unconstrained sentinel, so
+        the next :meth:`result` recomputes from scratch -- the cached
+        incremental closure is only valid under tightening and is
+        invalidated here.  Returns whether anything was dropped.
+        """
+        edge = (sender, receiver)
+        had = edge in self._stats
+        self._stats.pop(edge, None)
+        self._edge_last_change.pop(edge, None)
+        self._edge_last_seen.pop(edge, None)
+        if had:
+            self._cached = None
+            self._last_mls_matrix = None
+            self._last_ms_matrix = None
+            get_recorder().count("online.edge_drops")
+        return had
+
     def result(self) -> SyncResult:
-        """Current optimal corrections (recomputed only when stale)."""
+        """Current optimal corrections (recomputed only when stale).
+
+        With ``fallback=True`` a recompute that discovers globally
+        inconsistent statistics serves the last successfully computed
+        result instead of raising (the failure is NOT cached, so every
+        later query retries the recompute).
+        """
+        recorder = get_recorder()
         if self._cached is None:
-            self._cached = self._recompute()
+            try:
+                self._cached = self._recompute()
+            except InconsistentViewsError:
+                if not self._fallback or self._last_good is None:
+                    raise
+                self._in_fallback = True
+                self._fallbacks_served += 1
+                if recorder.enabled:
+                    recorder.count("online.fallbacks")
+                    recorder.emit(
+                        "online.fallback",
+                        observations=self._observations,
+                        sim_time=recorder.sim_time,
+                    )
+                return self._last_good
+            if self._in_fallback:
+                self._in_fallback = False
+                recorder.count("online.recoveries")
+            self._last_good = self._cached
         else:
-            get_recorder().count("online.cache_hits")
+            recorder.count("online.cache_hits")
         return self._cached
 
     def _recompute(self) -> SyncResult:
@@ -216,6 +377,12 @@ class OnlineSynchronizer:
         self._cached = None
         self._last_mls_matrix = None
         self._last_ms_matrix = None
+        self._last_good = None
+        self._in_fallback = False
+        self._outliers_rejected = 0
+        self._fallbacks_served = 0
+        self._edge_last_seen.clear()
+        self._edge_last_change.clear()
 
 
 __all__ = ["OnlineSynchronizer"]

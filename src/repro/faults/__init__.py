@@ -1,0 +1,49 @@
+"""Fault injection: deterministic misbehaviour for graceful degradation.
+
+The paper assumes a benign delivery system; this package deliberately
+breaks that assumption.  A :class:`FaultPlan` (declarative, seeded,
+JSON round-trippable) describes message loss, link outages, processor
+crashes, timestamp corruption and duplicate delivery; the
+:class:`FaultInjector` executes it inside
+:class:`~repro.sim.network.NetworkSimulator`, logging every injection
+and emitting ``fault.injected`` telemetry events.  DESIGN.md section 10
+specifies the degradation semantics each downstream layer must uphold.
+"""
+
+from repro.faults.injector import (
+    DispatchDecision,
+    FaultInjector,
+    FaultLog,
+    InjectedFault,
+)
+from repro.faults.plan import (
+    DuplicateDelivery,
+    Fault,
+    FaultPlan,
+    FaultPlanError,
+    LinkDown,
+    MessageLoss,
+    ProcessorCrash,
+    TimestampCorruption,
+    dump_fault_plan,
+    example_plan,
+    load_fault_plan,
+)
+
+__all__ = [
+    "DispatchDecision",
+    "DuplicateDelivery",
+    "Fault",
+    "FaultInjector",
+    "FaultLog",
+    "FaultPlan",
+    "FaultPlanError",
+    "InjectedFault",
+    "LinkDown",
+    "MessageLoss",
+    "ProcessorCrash",
+    "TimestampCorruption",
+    "dump_fault_plan",
+    "example_plan",
+    "load_fault_plan",
+]

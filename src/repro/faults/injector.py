@@ -1,0 +1,255 @@
+"""The fault injector: executes a :class:`~repro.faults.plan.FaultPlan`.
+
+One injector is built per simulation run (mirroring the per-run deep
+copy of samplers) and consulted from the simulator's dispatch path and
+event loop.  Design invariants:
+
+* **Determinism** -- all probabilistic choices come from a private
+  ``random.Random`` seeded by ``(run seed, plan seed)``, so the same
+  scenario + plan always injects the same faults, and the simulator's
+  own delay RNG is untouched: messages the plan leaves alone get
+  exactly the delays they would get in a fault-free run.
+* **Observability** -- every injected fault is recorded as an
+  :class:`InjectedFault` in the :class:`FaultLog` *and* emitted as a
+  ``fault.injected`` telemetry event, so FlowLog-style observers and
+  the theorem monitors can line injected faults up with the violations
+  (or graceful degradation) they cause.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro._types import Edge, ProcessorId, Time
+from repro.faults.plan import (
+    DuplicateDelivery,
+    FaultPlan,
+    LinkDown,
+    MessageLoss,
+    ProcessorCrash,
+    TimestampCorruption,
+)
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault the injector actually applied to one event."""
+
+    kind: str
+    time: Time
+    edge: Optional[Edge] = None
+    processor: Optional[ProcessorId] = None
+    message_uid: Optional[int] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-clean rendering (ids coerced via repr when needed)."""
+        def clean(value: Any) -> Any:
+            if isinstance(value, (bool, int, float, str)) or value is None:
+                return value
+            if isinstance(value, tuple):
+                return [clean(v) for v in value]
+            return repr(value)
+
+        return {
+            "record": "fault",
+            "kind": self.kind,
+            "time": self.time,
+            "edge": clean(self.edge),
+            "processor": clean(self.processor),
+            "message_uid": self.message_uid,
+            "detail": {k: clean(v) for k, v in self.detail.items()},
+        }
+
+
+class FaultLog:
+    """Everything one run's injector did, in injection order."""
+
+    def __init__(self) -> None:
+        self.entries: List[InjectedFault] = []
+
+    def append(self, entry: InjectedFault) -> None:
+        self.entries.append(entry)
+
+    def counts(self) -> Dict[str, int]:
+        """Injection counts per fault kind."""
+        out: Dict[str, int] = {}
+        for entry in self.entries:
+            out[entry.kind] = out.get(entry.kind, 0) + 1
+        return out
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.entries if e.kind == kind)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def lines(self) -> List[Tuple[str, int]]:
+        """Human-readable (kind, count) rows, stable order."""
+        return sorted(self.counts().items())
+
+
+@dataclass
+class DispatchDecision:
+    """What the injector decided for one message dispatch."""
+
+    drop: bool = False
+    cause: Optional[str] = None
+    delay_delta: Time = 0.0
+    duplicate_extra: Optional[Time] = None
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan` to one simulation run.
+
+    The simulator asks two questions:
+
+    * :meth:`on_dispatch` -- for every sent message: drop it? perturb
+      its delay? schedule a duplicate delivery?
+    * :meth:`crashed` -- before delivering a receive/timer interrupt:
+      is the target processor inside a fail-silent crash window?
+
+    Recording (log + telemetry event) happens in :meth:`record`, called
+    by the simulator at the moment the fault takes effect so the event
+    carries the run's recorder and simulated-time context.
+    """
+
+    def __init__(self, plan: FaultPlan, system, run_seed: int = 0) -> None:
+        plan.validate_for(system)
+        self._plan = plan
+        self._system = system
+        self._rng = random.Random((run_seed * 1_000_003 + plan.seed) & 0x7FFFFFFF)
+        self._ordinals: Dict[Edge, int] = {}
+        self.log = FaultLog()
+
+        self._losses: List[MessageLoss] = []
+        self._link_downs: List[LinkDown] = []
+        self._crashes: Dict[ProcessorId, List[ProcessorCrash]] = {}
+        self._corruptions: List[TimestampCorruption] = []
+        self._duplicates: List[DuplicateDelivery] = []
+        for f in plan.faults:
+            if isinstance(f, MessageLoss):
+                self._losses.append(f)
+            elif isinstance(f, LinkDown):
+                self._link_downs.append(f)
+            elif isinstance(f, ProcessorCrash):
+                self._crashes.setdefault(f.processor, []).append(f)
+            elif isinstance(f, TimestampCorruption):
+                self._corruptions.append(f)
+            elif isinstance(f, DuplicateDelivery):
+                self._duplicates.append(f)
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self._plan
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _matches(edge_filter: Optional[Edge], edge: Edge) -> bool:
+        """Directed-edge match (``None`` matches everything)."""
+        return edge_filter is None or edge_filter == edge
+
+    def _link_matches(self, edge_filter: Edge, edge: Edge) -> bool:
+        """Undirected link match (either orientation)."""
+        p, q = edge_filter
+        return edge in ((p, q), (q, p))
+
+    def crashed(self, processor: ProcessorId, t: Time) -> bool:
+        """Whether ``processor`` is inside a crash window at real time ``t``."""
+        return any(
+            crash.covers(t) for crash in self._crashes.get(processor, ())
+        )
+
+    def on_dispatch(self, message, send_time: Time) -> DispatchDecision:
+        """Decide the fate of one message at its send instant.
+
+        Consulted *before* the delay is sampled; a dropped message must
+        not consume a delay draw, otherwise the plan would perturb the
+        delays of unrelated messages.
+        """
+        edge = (message.sender, message.receiver)
+        ordinal = self._ordinals.get(edge, 0)
+        self._ordinals[edge] = ordinal + 1
+        decision = DispatchDecision()
+
+        for down in self._link_downs:
+            if self._link_matches(down.edge, edge) and down.covers(send_time):
+                decision.drop = True
+                decision.cause = "link-down"
+                return decision
+
+        for loss in self._losses:
+            if not self._matches(loss.edge, edge):
+                continue
+            if ordinal in loss.pattern:
+                decision.drop = True
+                decision.cause = "message-loss"
+                return decision
+            if loss.rate and self._rng.random() < loss.rate:
+                decision.drop = True
+                decision.cause = "message-loss"
+                return decision
+
+        for corruption in self._corruptions:
+            if not self._matches(corruption.edge, edge):
+                continue
+            if corruption.rate >= 1.0 or self._rng.random() < corruption.rate:
+                delta = corruption.offset
+                if corruption.jitter:
+                    delta += self._rng.uniform(
+                        -corruption.jitter, corruption.jitter
+                    )
+                decision.delay_delta += delta
+
+        for duplicate in self._duplicates:
+            if not self._matches(duplicate.edge, edge):
+                continue
+            if self._rng.random() < duplicate.rate:
+                decision.duplicate_extra = duplicate.extra_delay
+                break
+
+        return decision
+
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        kind: str,
+        t: Time,
+        recorder=None,
+        edge: Optional[Edge] = None,
+        processor: Optional[ProcessorId] = None,
+        message_uid: Optional[int] = None,
+        **detail: Any,
+    ) -> InjectedFault:
+        """Log one injected fault and emit it as a ``fault.injected`` event."""
+        entry = InjectedFault(
+            kind=kind,
+            time=t,
+            edge=edge,
+            processor=processor,
+            message_uid=message_uid,
+            detail=dict(detail),
+        )
+        self.log.append(entry)
+        if recorder is not None and recorder.enabled:
+            recorder.count(f"faults.{kind}")
+            if recorder.observers:
+                recorder.emit(
+                    "fault.injected", fault=entry, sim_time=recorder.sim_time
+                )
+        return entry
+
+
+__all__ = [
+    "DispatchDecision",
+    "FaultInjector",
+    "FaultLog",
+    "InjectedFault",
+]

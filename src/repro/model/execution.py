@@ -65,6 +65,7 @@ class Execution:
                     f"history registered under {p!r} belongs to {h.processor!r}"
                 )
         self._records: Optional[Dict[int, MessageRecord]] = None
+        self._duplicates: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -105,7 +106,19 @@ class Execution:
     # ------------------------------------------------------------------
 
     def message_records(self) -> Dict[int, MessageRecord]:
-        """Match sends to receives by uid; also validates the bijection."""
+        """Match sends to receives by uid; also validates the correspondence.
+
+        Sends without a receive are "in flight" (or lost) and simply
+        absent from the records.  A uid received *more than once* --
+        duplicate delivery, a delivery-system fault the benign model
+        rules out but :mod:`repro.faults` can inject -- degrades
+        gracefully: the **first** receive wins (it is the authentic
+        transit sample; later copies are retransmissions of the same
+        send) and the extra deliveries are reported via
+        :attr:`duplicate_receives`.  :meth:`validate` still rejects
+        duplicates unless explicitly allowed, so fault-free pipelines
+        keep the strict one-to-one correspondence guarantee.
+        """
         if self._records is not None:
             return self._records
 
@@ -122,18 +135,31 @@ class Execution:
                 sends[ev.message.uid] = (ev.message, real_time)
 
         records: Dict[int, MessageRecord] = {}
+        duplicates: Dict[int, int] = {}
         for q, h in self._histories.items():
             for real_time, ev in h.receives():
                 uid = ev.message.uid
                 if uid not in sends:
                     raise ModelError(f"message {uid} received but never sent")
-                if uid in records:
-                    raise ModelError(f"message {uid} received twice")
                 if ev.message.receiver != q:
                     raise ModelError(
                         f"{q!r} received a message addressed to "
                         f"{ev.message.receiver!r}"
                     )
+                if uid in records:
+                    duplicates[uid] = duplicates.get(uid, 1) + 1
+                    if real_time < records[uid].receive_real_time:
+                        # Histories iterate in real-time order per
+                        # processor, so an earlier receive can only show
+                        # up here if the duplicate crossed processors --
+                        # impossible for same-uid deliveries (one
+                        # receiver), but keep first-wins authoritative.
+                        records[uid] = MessageRecord(
+                            message=records[uid].message,
+                            send_real_time=records[uid].send_real_time,
+                            receive_real_time=real_time,
+                        )
+                    continue
                 msg, send_time = sends[uid]
                 records[uid] = MessageRecord(
                     message=msg,
@@ -141,7 +167,18 @@ class Execution:
                     receive_real_time=real_time,
                 )
         self._records = records
+        self._duplicates = duplicates
         return records
+
+    @property
+    def duplicate_receives(self) -> Dict[int, int]:
+        """``uid -> total delivery count`` for uids delivered more than once.
+
+        Empty for executions of a benign delivery system.  Populated by
+        :meth:`message_records` (computed lazily on first access).
+        """
+        self.message_records()
+        return dict(self._duplicates)
 
     def delivered_messages(self) -> List[MessageRecord]:
         """All delivered messages, in send-time order."""
@@ -163,11 +200,22 @@ class Execution:
     # Validation
     # ------------------------------------------------------------------
 
-    def validate(self) -> None:
-        """Check every history plus the message correspondence."""
+    def validate(self, allow_duplicates: bool = False) -> None:
+        """Check every history plus the message correspondence.
+
+        ``allow_duplicates`` tolerates uids delivered more than once
+        (duplicate-delivery faults); by default they are a model
+        violation, as in the paper's benign delivery system.
+        """
         for h in self._histories.values():
             h.validate()
         self.message_records()
+        if not allow_duplicates and self._duplicates:
+            uid = next(iter(self._duplicates))
+            raise ModelError(
+                f"message {uid} received twice "
+                f"({len(self._duplicates)} duplicated uid(s) in total)"
+            )
 
     def __repr__(self) -> str:
         n = len(self._histories)

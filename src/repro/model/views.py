@@ -62,13 +62,30 @@ class View:
         return out
 
     def receive_clock_times(self) -> Dict[int, Time]:
-        """Map ``message uid -> clock time at which this processor received it``."""
+        """Map ``message uid -> clock time at which this processor received it``.
+
+        A uid received more than once (duplicate delivery -- a delivery
+        system fault, see :mod:`repro.faults`) keeps its *first* receive
+        time: the first delivery is the message's authentic transit
+        sample, later copies are retransmission noise, and first-wins
+        keeps the view-level statistic consistent with
+        :meth:`repro.model.execution.Execution.message_records`.
+        """
         out: Dict[int, Time] = {}
         for step in self.steps:
             iv = step.interrupt
             if isinstance(iv, MessageReceiveEvent):
-                out[iv.message.uid] = step.clock_time
+                out.setdefault(iv.message.uid, step.clock_time)
         return out
+
+    def duplicate_receive_uids(self) -> Tuple[int, ...]:
+        """Uids delivered to this processor more than once, in view order."""
+        seen: Dict[int, int] = {}
+        for step in self.steps:
+            iv = step.interrupt
+            if isinstance(iv, MessageReceiveEvent):
+                seen[iv.message.uid] = seen.get(iv.message.uid, 0) + 1
+        return tuple(uid for uid, n in seen.items() if n > 1)
 
     def received_messages(self):
         """Messages received, in view order."""

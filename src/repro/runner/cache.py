@@ -21,14 +21,18 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.analysis.system_io import SystemIOError, system_to_dict
 from repro.runner.cells import CellResult, CellTask
 
+logger = logging.getLogger("repro.runner.cache")
+
 #: Bump on any change to the key derivation or the stored record shape.
-CACHE_VERSION = 1
+#: 2: fault plans became part of the cell identity (``faults`` key).
+CACHE_VERSION = 2
 
 
 def cell_cache_key(task: CellTask) -> Optional[str]:
@@ -60,21 +64,39 @@ def cell_cache_key(task: CellTask) -> Optional[str]:
         "seed": task.spec.seed,
         "certify": task.certify,
         "backend": task.backend or "auto",
+        # The scenario name already encodes the plan's name+seed (see
+        # Scenario.with_faults), but the full serialized plan makes two
+        # distinct plans with the same label hash differently.
+        "faults": (
+            scenario.faults.to_json() if scenario.faults is not None else None
+        ),
     }
     encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
     return hashlib.sha256(encoded).hexdigest()
 
 
 class ResultCache:
-    """Directory of ``<digest>.json`` cell results."""
+    """Directory of ``<digest>.json`` cell results.
+
+    :attr:`corrupt_entries` distinguishes *corruption* (an entry file
+    exists but cannot be parsed back into a cell result -- truncated
+    write, bit rot, concurrent writer) from an ordinary cold-cache miss
+    or a deliberate format-version bump, both of which stay silent.
+    """
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
+        self._corrupt_entries = 0
 
     @property
     def directory(self) -> Path:
         return self._directory
+
+    @property
+    def corrupt_entries(self) -> int:
+        """Entries that existed but failed to parse, since construction."""
+        return self._corrupt_entries
 
     def _path(self, key: str) -> Path:
         return self._directory / f"{key}.json"
@@ -84,7 +106,9 @@ class ResultCache:
 
         Unreadable or stale-format entries are treated as misses (and
         recomputed), never as errors -- a cache must not be able to fail
-        a campaign.
+        a campaign.  A *corrupt* entry (present but unparseable) is
+        additionally counted on :attr:`corrupt_entries` and logged, so
+        disk-level problems do not masquerade as cold caches.
         """
         if key is None:
             return None
@@ -93,10 +117,30 @@ class ResultCache:
             return None
         try:
             record = json.loads(path.read_text())
-            if record.get("version") != CACHE_VERSION:
-                return None
+        except (ValueError, OSError) as exc:
+            self._corrupt_entries += 1
+            logger.warning(
+                "corrupt cache entry %s (%s); treating as miss", path, exc
+            )
+            return None
+        if not isinstance(record, dict):
+            self._corrupt_entries += 1
+            logger.warning(
+                "corrupt cache entry %s (not a record); treating as miss",
+                path,
+            )
+            return None
+        if record.get("version") != CACHE_VERSION:
+            # A clean version mismatch is a deliberate format change,
+            # not corruption: plain miss.
+            return None
+        try:
             return CellResult.from_json(record["cell"]).as_cache_hit()
-        except (ValueError, KeyError, OSError):
+        except (ValueError, KeyError, TypeError) as exc:
+            self._corrupt_entries += 1
+            logger.warning(
+                "corrupt cache entry %s (%s); treating as miss", path, exc
+            )
             return None
 
     def put(self, key: Optional[str], result: CellResult) -> None:

@@ -22,16 +22,25 @@ pending at each completion.
 
 from __future__ import annotations
 
+import concurrent.futures
 import multiprocessing
 import os
 import pickle
+import signal
+import threading
 import time
 from contextlib import contextmanager
-from typing import Iterator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Union
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import get_recorder
 from repro.runner.cells import CellOutcome, CellTask, execute_cell
+
+try:  # BrokenProcessPool moved around between 3.x versions
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover
+    BrokenProcessPool = concurrent.futures.BrokenExecutor  # type: ignore
 
 #: Histogram boundaries for pending-cell counts (same integer ladder the
 #: simulator uses for scheduler queue depth).
@@ -44,6 +53,64 @@ _default_workers: Optional[int] = None
 
 #: Fork-inherited task list for pool workers (see ``ProcessExecutor``).
 _WORKER_TASKS: Optional[Sequence[CellTask]] = None
+
+#: Per-cell wall-clock budget enforced inside robust workers (seconds).
+_WORKER_TIMEOUT: Optional[float] = None
+
+
+class CellTimeoutError(RuntimeError):
+    """A cell exceeded its per-cell wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A cell that could not produce a result, with why and how hard we tried.
+
+    ``kind`` is ``"timeout"`` (exceeded the per-cell budget), ``"crash"``
+    (the worker process died -- SIGKILL, OOM, segfault) or ``"error"``
+    (the cell raised an ordinary exception).  Robust campaign runs
+    quarantine these instead of hanging or aborting the whole sweep.
+    """
+
+    scenario: str
+    topology: str
+    seed: int
+    kind: str
+    message: str
+    attempts: int = 1
+
+    def to_json(self) -> dict:
+        return {
+            "type": "campaign.cell.failure",
+            "scenario": self.scenario,
+            "topology": self.topology,
+            "seed": self.seed,
+            "kind": self.kind,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+
+def resolve_start_method(preferred: Optional[str] = None) -> str:
+    """The multiprocessing start method to use: ``fork`` with ``spawn`` fallback.
+
+    ``fork`` keeps closures/lambdas working (children inherit the task
+    list); platforms without it (Windows, and macOS where ``fork`` is
+    unsafe with threads) fall back to ``spawn``, where tasks travel by
+    pickle.  An explicit ``preferred`` is validated against the
+    platform's supported methods.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if preferred is not None:
+        if preferred not in methods:
+            raise ValueError(
+                f"start method {preferred!r} not supported here; "
+                f"available: {methods}"
+            )
+        return preferred
+    if "fork" in methods:
+        return "fork"
+    return "spawn" if "spawn" in methods else methods[0]
 
 
 def set_default_workers(workers: Optional[int]) -> Optional[int]:
@@ -162,11 +229,8 @@ class ProcessExecutor:
                 f"ProcessExecutor needs >= 2 workers, got {workers} "
                 f"(use SequentialExecutor for 1)"
             )
-        if start_method is None:
-            methods = multiprocessing.get_all_start_methods()
-            start_method = "fork" if "fork" in methods else methods[0]
         self.workers = workers
-        self._start_method = start_method
+        self._start_method = resolve_start_method(start_method)
 
     def execute(
         self,
@@ -216,6 +280,263 @@ class ProcessExecutor:
         return outcomes  # type: ignore[return-value]
 
 
+# ----------------------------------------------------------------------
+# Robust execution: per-cell timeouts, worker-death containment
+# ----------------------------------------------------------------------
+
+#: One executed-or-failed entry per input task, in input order.
+RobustOutcome = Union[CellOutcome, CellFailure]
+
+
+def _failure(task: CellTask, kind: str, message: str) -> CellFailure:
+    spec = task.spec
+    return CellFailure(
+        scenario=spec.builder,
+        topology=spec.topology.name,
+        seed=spec.seed,
+        kind=kind,
+        message=message,
+    )
+
+
+def _raise_cell_timeout(signum, frame):
+    raise CellTimeoutError("cell exceeded its wall-clock budget")
+
+
+@contextmanager
+def _cell_alarm(timeout: Optional[float]) -> Iterator[None]:
+    """Arm SIGALRM for ``timeout`` seconds around one cell, when possible.
+
+    Timeouts need a main-thread POSIX process (``signal.setitimer``); on
+    other configurations the context is a no-op and hung cells are only
+    contained by worker death (``crash``) handling.
+    """
+    usable = (
+        timeout is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+    previous = signal.signal(signal.SIGALRM, _raise_cell_timeout)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _worker_init_robust(
+    tasks: Optional[Sequence[CellTask]], timeout: Optional[float]
+) -> None:
+    """Robust-pool initializer: tasks (spawn) plus the per-cell budget."""
+    global _WORKER_TASKS, _WORKER_TIMEOUT
+    if tasks is not None:
+        _WORKER_TASKS = tasks
+    _WORKER_TIMEOUT = timeout
+
+
+def _run_indexed_robust(index: int):
+    """Execute one task by index under the worker's per-cell alarm.
+
+    Pool workers run tasks in their main thread, so the SIGALRM-based
+    budget applies to whatever the cell does -- including sleeping.
+    """
+    assert _WORKER_TASKS is not None, "worker pool not initialized"
+    started = time.perf_counter()
+    with _cell_alarm(_WORKER_TIMEOUT):
+        outcome = execute_cell(_WORKER_TASKS[index])
+    return index, outcome, time.perf_counter() - started
+
+
+class RobustSequentialExecutor:
+    """In-process execution that degrades failures to :class:`CellFailure`.
+
+    Timeouts are enforced with the same in-process alarm as the pool
+    workers.  A cell that kills the *process* cannot be contained here
+    (there is only one process); use :class:`RobustProcessExecutor` with
+    ``workers >= 2`` for crash isolation.
+    """
+
+    workers = 1
+
+    def __init__(self, timeout: Optional[float] = None) -> None:
+        self._timeout = timeout
+
+    def execute(
+        self,
+        tasks: Sequence[CellTask],
+        registry: Optional[MetricsRegistry] = None,
+    ) -> List[RobustOutcome]:
+        recorder = get_recorder()
+        out: List[RobustOutcome] = []
+        with recorder.span(
+            "campaign.execute", workers=1, cells=len(tasks), robust=True
+        ):
+            pending = len(tasks)
+            for task in tasks:
+                started = time.perf_counter()
+                try:
+                    with _cell_alarm(self._timeout):
+                        outcome: RobustOutcome = execute_cell(task)
+                except CellTimeoutError as exc:
+                    outcome = _failure(task, "timeout", str(exc))
+                except Exception as exc:  # noqa: BLE001 -- quarantine, not crash
+                    outcome = _failure(
+                        task, "error", f"{type(exc).__name__}: {exc}"
+                    )
+                pending -= 1
+                _observe_completion(
+                    registry, pending, time.perf_counter() - started
+                )
+                out.append(outcome)
+        return out
+
+
+class RobustProcessExecutor:
+    """A process pool that survives worker death and contains hung cells.
+
+    Built on :class:`concurrent.futures.ProcessPoolExecutor`, which --
+    unlike ``multiprocessing.Pool.imap_unordered`` -- *detects* a worker
+    dying mid-task (SIGKILL, OOM) and fails the pending futures with
+    ``BrokenProcessPool`` instead of hanging forever.  Cells left
+    unresolved by a broken pool are then re-run one at a time in fresh
+    single-worker pools, so exactly the culprit cells are reported as
+    ``crash`` failures and every innocent bystander still completes.
+
+    Per-cell timeouts run *inside* the worker via ``SIGALRM``, so a
+    timed-out cell fails cheaply without killing its worker.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        timeout: Optional[float] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers < 2:
+            raise ValueError(
+                f"RobustProcessExecutor needs >= 2 workers, got {workers} "
+                f"(use RobustSequentialExecutor for 1)"
+            )
+        self.workers = workers
+        self._timeout = timeout
+        self._start_method = resolve_start_method(start_method)
+
+    def _initargs(self, task_list: List[CellTask]):
+        tasks = None if self._start_method == "fork" else task_list
+        return (tasks, self._timeout)
+
+    def execute(
+        self,
+        tasks: Sequence[CellTask],
+        registry: Optional[MetricsRegistry] = None,
+    ) -> List[RobustOutcome]:
+        global _WORKER_TASKS
+        if not tasks:
+            return []
+        recorder = get_recorder()
+        context = multiprocessing.get_context(self._start_method)
+        task_list = list(tasks)
+        _WORKER_TASKS = task_list
+        out: List[Optional[RobustOutcome]] = [None] * len(task_list)
+        unresolved: List[int] = []
+        try:
+            with recorder.span(
+                "campaign.execute",
+                workers=self.workers,
+                cells=len(task_list),
+                start_method=self._start_method,
+                robust=True,
+            ):
+                with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=context,
+                    initializer=_worker_init_robust,
+                    initargs=self._initargs(task_list),
+                ) as pool:
+                    futures = {
+                        pool.submit(_run_indexed_robust, i): i
+                        for i in range(len(task_list))
+                    }
+                    pending = len(task_list)
+                    for future in concurrent.futures.as_completed(futures):
+                        i = futures[future]
+                        try:
+                            index, outcome, seconds = future.result()
+                            out[index] = outcome
+                            pending -= 1
+                            _observe_completion(registry, pending, seconds)
+                        except CellTimeoutError as exc:
+                            out[i] = _failure(task_list[i], "timeout", str(exc))
+                            pending -= 1
+                        except BrokenProcessPool:
+                            # Some worker died; which task killed it is not
+                            # knowable from here.  Re-run the unresolved
+                            # cells in isolation below.
+                            unresolved.append(i)
+                            pending -= 1
+                        except Exception as exc:  # noqa: BLE001
+                            out[i] = _failure(
+                                task_list[i],
+                                "error",
+                                f"{type(exc).__name__}: {exc}",
+                            )
+                            pending -= 1
+                for i in sorted(unresolved):
+                    out[i] = self._run_isolated(context, task_list, i, registry)
+        finally:
+            _WORKER_TASKS = None
+        assert all(o is not None for o in out)
+        return out  # type: ignore[return-value]
+
+    def _run_isolated(
+        self,
+        context,
+        task_list: List[CellTask],
+        index: int,
+        registry: Optional[MetricsRegistry],
+    ) -> RobustOutcome:
+        """Re-run one cell in a fresh single-worker pool.
+
+        If the pool breaks again, *this* cell is the culprit and is
+        reported as a ``crash``; otherwise the cell was an innocent
+        casualty of a sibling's crash and completes normally.
+        """
+        global _WORKER_TASKS
+        _WORKER_TASKS = task_list
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=1,
+                mp_context=context,
+                initializer=_worker_init_robust,
+                initargs=self._initargs(task_list),
+            ) as pool:
+                future = pool.submit(_run_indexed_robust, index)
+                try:
+                    _, outcome, seconds = future.result()
+                    _observe_completion(registry, 0, seconds)
+                    return outcome
+                except CellTimeoutError as exc:
+                    return _failure(task_list[index], "timeout", str(exc))
+                except BrokenProcessPool:
+                    return _failure(
+                        task_list[index],
+                        "crash",
+                        "worker process died while executing this cell",
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    return _failure(
+                        task_list[index],
+                        "error",
+                        f"{type(exc).__name__}: {exc}",
+                    )
+        finally:
+            _WORKER_TASKS = None
+
+
 def create_executor(workers: Optional[int] = None):
     """The right executor for ``workers`` (resolved via defaults/env)."""
     count = resolve_workers(workers)
@@ -225,12 +546,17 @@ def create_executor(workers: Optional[int] = None):
 
 
 __all__ = [
+    "CellFailure",
+    "CellTimeoutError",
     "ProcessExecutor",
     "QUEUE_DEPTH_BUCKETS",
+    "RobustProcessExecutor",
+    "RobustSequentialExecutor",
     "SequentialExecutor",
     "WORKERS_ENV",
     "create_executor",
     "default_workers",
+    "resolve_start_method",
     "resolve_workers",
     "set_default_workers",
 ]

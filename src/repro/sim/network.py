@@ -39,6 +39,8 @@ from repro.model.events import (
     TimerEvent,
     TimerSetEvent,
 )
+from repro.faults.injector import FaultInjector, FaultLog
+from repro.faults.plan import FaultPlan
 from repro.model.execution import Execution
 from repro.model.steps import History, Step, TimedStep
 from repro.obs.recorder import get_recorder
@@ -87,16 +89,33 @@ class RunSummary:
     peak_queue_depth: int = 0
     #: Real time of the last event (``-inf`` for an empty run).
     end_time: Time = float("-inf")
+    #: Duplicate deliveries injected by a fault plan.
+    messages_duplicated: int = 0
+    #: Receive/timer interrupts suppressed by crash windows.
+    crash_suppressed: int = 0
+    #: Total faults injected by the run's fault plan (0 without one).
+    faults_injected: int = 0
+    #: The execution violated the delay assumptions because of injected
+    #: timestamp corruption (downgraded from a hard error; see
+    #: :class:`NetworkSimulator`).
+    inadmissible: bool = False
 
     def lines(self) -> list:
         """Human-readable summary rows (label, value)."""
-        return [
+        rows = [
             ("events processed", self.events_processed),
             ("messages sent", self.messages_sent),
             ("messages delivered", self.messages_delivered),
             ("messages dropped", self.messages_dropped),
             ("peak queue depth", self.peak_queue_depth),
         ]
+        if self.faults_injected:
+            rows.append(("faults injected", self.faults_injected))
+            rows.append(("messages duplicated", self.messages_duplicated))
+            rows.append(("crash-suppressed events", self.crash_suppressed))
+            if self.inadmissible:
+                rows.append(("assumptions violated (injected)", 1))
+        return rows
 
 
 class NetworkSimulator:
@@ -124,6 +143,18 @@ class NetworkSimulator:
         not lose messages"; losing them anyway is how the test-suite
         probes graceful degradation (fewer observations, never wrong
         answers).
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` executed by a
+        per-run :class:`~repro.faults.injector.FaultInjector`.  Loss,
+        link-down and crash faults keep the execution well formed (more
+        "in flight" messages, fewer steps); duplicate delivery marks
+        the execution's extra receives (first delivery wins in the
+        records); timestamp corruption may make the execution violate
+        the delay assumptions -- since that violation is known-injected,
+        the post-run admissibility check downgrades from a hard
+        :class:`SimulationError` to a ``sim.faults.inadmissible``
+        telemetry event plus :attr:`RunSummary.inadmissible`, and the
+        theorem monitors are expected to flag the corrupted estimates.
     """
 
     def __init__(
@@ -134,12 +165,19 @@ class NetworkSimulator:
         seed: int = 0,
         config: Optional[SimulationConfig] = None,
         loss: Optional[Mapping[Tuple[ProcessorId, ProcessorId], float]] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self._system = system
         self._start_times = dict(start_times)
         self._seed = seed
         self._config = config or SimulationConfig()
         self._last_summary: Optional[RunSummary] = None
+        self._faults = faults if faults else None
+        if self._faults is not None:
+            # Fail at construction, not mid-run: plans naming unknown
+            # links/processors are configuration errors.
+            self._faults.validate_for(system)
+        self._last_fault_log: Optional[FaultLog] = None
 
         self._loss: Dict[Tuple[ProcessorId, ProcessorId], float] = {}
         links = set(system.topology.links)
@@ -190,6 +228,12 @@ class NetworkSimulator:
         """Counters of the most recent :meth:`run` (``None`` before one)."""
         return self._last_summary
 
+    @property
+    def last_fault_log(self) -> Optional[FaultLog]:
+        """Faults injected by the most recent :meth:`run` (``None`` when
+        the simulator has no fault plan or has not run yet)."""
+        return self._last_fault_log
+
     def run(self, automata: Mapping[ProcessorId, Automaton]) -> Execution:
         """Run to quiescence and return the recorded execution."""
         missing = set(self._system.processors) - set(automata)
@@ -215,6 +259,11 @@ class NetworkSimulator:
             link: copy.deepcopy(sampler)
             for link, sampler in self._samplers.items()
         }
+        injector = (
+            FaultInjector(self._faults, self._system, run_seed=self._seed)
+            if self._faults is not None
+            else None
+        )
         # Keep the recorder's simulated clock current while events fire,
         # so spans opened during the run carry sim_time attributes.
         scheduler = EventScheduler(
@@ -272,6 +321,7 @@ class NetworkSimulator:
                 depth_histogram,
                 delay_histogram,
                 emit_flow,
+                injector,
             )
         finally:
             recorder.set_sim_time(None)
@@ -279,6 +329,11 @@ class NetworkSimulator:
         summary.events_processed = scheduler.processed
         summary.peak_queue_depth = scheduler.peak_depth
         summary.end_time = scheduler.now
+        if injector is not None:
+            summary.faults_injected = len(injector.log)
+            self._last_fault_log = injector.log
+        else:
+            self._last_fault_log = None
         self._last_summary = summary
         recorder.count("sim.events_processed", scheduler.processed)
         recorder.count("sim.messages.sent", summary.messages_sent)
@@ -297,13 +352,41 @@ class NetworkSimulator:
 
         if self._config.validate:
             with recorder.span("sim.validate"):
-                execution.validate()
+                execution.validate(
+                    allow_duplicates=summary.messages_duplicated > 0
+                )
                 if not self._system.is_admissible(execution):
-                    raise SimulationError(
-                        "simulated delays violate the system's delay "
-                        "assumptions; check that each link's sampler "
-                        "matches its assumption"
+                    corrupted = injector is not None and injector.log.count(
+                        "timestamp-corruption"
                     )
+                    if corrupted:
+                        # The violation is known-injected: degrade to a
+                        # recorded deviation instead of failing the run,
+                        # so monitors downstream get to flag the
+                        # corrupted estimates (that is the point of the
+                        # corruption fault class).
+                        summary.inadmissible = True
+                        injector.record(
+                            "inadmissible-execution",
+                            scheduler.now,
+                            recorder,
+                            corruptions=corrupted,
+                        )
+                        if recorder.enabled and recorder.observers:
+                            recorder.emit(
+                                "sim.faults.inadmissible",
+                                corruptions=corrupted,
+                                sim_time=recorder.sim_time,
+                            )
+                    else:
+                        raise SimulationError(
+                            "simulated delays violate the system's delay "
+                            "assumptions; check that each link's sampler "
+                            "matches its assumption"
+                        )
+        if injector is not None:
+            # Validation may have logged one more deviation entry.
+            summary.faults_injected = len(injector.log)
         return execution
 
     def _event_loop(
@@ -320,6 +403,7 @@ class NetworkSimulator:
         depth_histogram,
         delay_histogram,
         emit_flow: bool,
+        injector=None,
     ) -> None:
         while True:
             entry = scheduler.pop()
@@ -335,14 +419,50 @@ class NetworkSimulator:
             kind = entry.payload[0]
             if kind == "start":
                 _, p = entry.payload
+                # Start events always fire: the model requires every
+                # history to begin with a start, and a crash window
+                # covering it silences the processor from its first
+                # interrupt onwards instead.
                 event = StartEvent()
             elif kind == "recv":
                 _, p, message = entry.payload
+                if injector is not None and injector.crashed(
+                    p, entry.real_time
+                ):
+                    # Fail-silent: the message is dropped at a crashed
+                    # receiver (in flight forever, like link loss).
+                    summary.crash_suppressed += 1
+                    summary.messages_dropped += 1
+                    injector.record(
+                        "processor-crash",
+                        entry.real_time,
+                        recorder,
+                        processor=p,
+                        message_uid=message.uid,
+                        suppressed="recv",
+                    )
+                    continue
                 summary.messages_delivered += 1
                 event = MessageReceiveEvent(message=message)
             elif kind == "timer":
                 _, p, clock_t = entry.payload
                 pending_timers[p].discard(round(clock_t, 9))
+                if injector is not None and injector.crashed(
+                    p, entry.real_time
+                ):
+                    # Timers due inside a crash window are lost, not
+                    # deferred (condition 6 only requires fired timers
+                    # to have been set, so the history stays valid).
+                    summary.crash_suppressed += 1
+                    injector.record(
+                        "processor-crash",
+                        entry.real_time,
+                        recorder,
+                        processor=p,
+                        suppressed="timer",
+                        clock_time=clock_t,
+                    )
+                    continue
                 event = TimerEvent(clock_time=clock_t)
             else:  # pragma: no cover - internal invariant
                 raise SimulationError(f"unknown payload {entry.payload!r}")
@@ -371,6 +491,8 @@ class NetworkSimulator:
                     recorder,
                     delay_histogram,
                     emit_flow,
+                    injector,
+                    summary,
                 ):
                     summary.messages_dropped += 1
 
@@ -418,16 +540,23 @@ class NetworkSimulator:
         recorder=None,
         delay_histogram=None,
         emit_flow: bool = False,
+        injector=None,
+        summary: Optional[RunSummary] = None,
     ) -> bool:
         """Sample a delay for ``message`` and schedule its receive event.
 
         Returns ``False`` when the message was lost in transit (configured
-        link loss), ``True`` when a receive event was scheduled.  With
-        ``emit_flow`` the full lifecycle is emitted as a ``message.flow``
-        telemetry event (a :class:`~repro.obs.flow.FlowRecord`): the
-        delivery system knows a message's fate the moment it is sent --
-        the delay is sampled here and receives are never cancelled -- so
-        one record carries send, delivery and both delays.
+        link loss or an injected loss/link-down fault), ``True`` when a
+        receive event was scheduled.  An injected drop still *burns* the
+        delay draw the benign run would have made, so a fault plan never
+        perturbs the delays of the messages it leaves alone (surviving
+        traffic is byte-identical to the fault-free run, message for
+        message).  With ``emit_flow`` the full lifecycle
+        is emitted as a ``message.flow`` telemetry event (a
+        :class:`~repro.obs.flow.FlowRecord`): the delivery system knows a
+        message's fate the moment it is sent -- the delay is sampled here
+        and receives are never cancelled -- so one record carries send,
+        delivery and both delays.
         """
         p, q = message.sender, message.receiver
         if (p, q) in samplers:
@@ -440,6 +569,25 @@ class NetworkSimulator:
             raise SimulationError(
                 f"{p!r} sent a message to {q!r} but there is no such link"
             )
+        decision = (
+            injector.on_dispatch(message, send_time)
+            if injector is not None
+            else None
+        )
+        if decision is not None and decision.drop:
+            sampler.sample(rng, direction)  # burn the draw (see docstring)
+            injector.record(
+                decision.cause,
+                send_time,
+                recorder,
+                edge=(p, q),
+                message_uid=message.uid,
+            )
+            if emit_flow:
+                recorder.emit(
+                    "message.flow", record=self._flow_record(message, send_time, link)
+                )
+            return False  # injected drop: sent, never received
         loss = self._loss.get(link, 0.0)
         if loss and rng.random() < loss:
             if emit_flow:
@@ -453,6 +601,18 @@ class NetworkSimulator:
                 f"sampler for link ({p!r}, {q!r}) produced negative delay "
                 f"{delay}"
             )
+        if decision is not None and decision.delay_delta:
+            corrupted = max(0.0, delay + decision.delay_delta)
+            injector.record(
+                "timestamp-corruption",
+                send_time,
+                recorder,
+                edge=(p, q),
+                message_uid=message.uid,
+                original_delay=delay,
+                corrupted_delay=corrupted,
+            )
+            delay = corrupted
         arrival = send_time + delay
         # The model cannot represent a receive before the receiver's start
         # event; the delivery system holds such messages until the start
@@ -460,6 +620,26 @@ class NetworkSimulator:
         held = arrival < self._start_times[q]
         arrival = max(arrival, self._start_times[q])
         scheduler.schedule(arrival, PRIORITY_RECEIVE, ("recv", q, message))
+        if decision is not None and decision.duplicate_extra is not None:
+            # At-least-once delivery: the same message object is handed
+            # over again later.  Views and message records deduplicate
+            # by uid (first delivery wins), so downstream statistics
+            # stay sound while the automaton sees the duplicate.
+            scheduler.schedule(
+                arrival + decision.duplicate_extra,
+                PRIORITY_RECEIVE,
+                ("recv", q, message),
+            )
+            if summary is not None:
+                summary.messages_duplicated += 1
+            injector.record(
+                "duplicate-delivery",
+                send_time,
+                recorder,
+                edge=(p, q),
+                message_uid=message.uid,
+                extra_delay=decision.duplicate_extra,
+            )
         if delay_histogram is not None:
             delay_histogram.observe(arrival - send_time)
         if emit_flow:

@@ -37,6 +37,7 @@ class _Entry:
     sequence: int
     payload: Any = field(compare=False)
     cancelled: bool = field(compare=False, default=False)
+    popped: bool = field(compare=False, default=False)
 
 
 class EventScheduler:
@@ -99,16 +100,30 @@ class EventScheduler:
             self._peak_depth = len(self._heap)
         return entry
 
-    def cancel(self, entry: _Entry) -> None:
-        """Mark an entry dead; it will be skipped when popped."""
+    def cancel(self, entry: _Entry) -> bool:
+        """Mark an entry dead; it will be skipped when popped.
+
+        Safe to call at any time: cancelling an entry that was already
+        popped (delivered) or already cancelled is a no-op.  Returns
+        ``True`` only when this call actually prevented a delivery --
+        the caller can tell "cancelled in time" from "too late" without
+        inspecting scheduler internals.  Crash/restart fault handling
+        relies on this being idempotent (a crash window may try to
+        cancel the same timer from several code paths).
+        """
+        if entry.popped or entry.cancelled:
+            return False
         entry.cancelled = True
+        return True
 
     def pop(self) -> Optional[_Entry]:
         """Remove and return the earliest live entry, or ``None`` if empty."""
         while self._heap:
             entry = heapq.heappop(self._heap)
             if entry.cancelled:
+                entry.popped = True
                 continue
+            entry.popped = True
             self._now = entry.real_time
             self._processed += 1
             if self._clock_listener is not None:

@@ -85,6 +85,22 @@ class Campaign:
         self._builders.append((name, builder))
         return self
 
+    def with_faults(self, plan) -> "Campaign":
+        """A copy of this campaign whose every scenario runs under ``plan``.
+
+        Builders are wrapped with
+        :func:`repro.faults.chaos.with_fault_plan`, which keeps them
+        picklable for the process-pool runner.  The fault plan is part
+        of each cell's cache identity, so faulted and fault-free sweeps
+        never share cache entries.
+        """
+        from repro.faults.chaos import with_fault_plan
+
+        clone = Campaign(seeds=self._seeds, certify=self._certify)
+        for name, builder in self._builders:
+            clone.add(name, with_fault_plan(builder, plan))
+        return clone
+
     def tasks(
         self,
         topologies: Sequence[Topology],
@@ -123,13 +139,25 @@ class Campaign:
         shard: Union[Shard, str, None] = None,
         cache_dir: Optional[str] = None,
         backend: Optional[str] = None,
+        cell_timeout: Optional[float] = None,
+        retries: int = 0,
+        retry_backoff: float = 0.0,
     ) -> CampaignOutcome:
-        """Execute the sweep; returns typed cell results + merged metrics."""
+        """Execute the sweep; returns typed cell results + merged metrics.
+
+        ``cell_timeout``/``retries``/``retry_backoff`` enable the robust
+        runner: failing cells are retried and ultimately quarantined on
+        the outcome instead of aborting the sweep (see
+        :func:`~repro.workloads.parallel.run_campaign`).
+        """
         return run_campaign(
             self.tasks(topologies, backend=backend),
             workers=workers,
             shard=shard,
             cache_dir=cache_dir,
+            cell_timeout=cell_timeout,
+            retries=retries,
+            retry_backoff=retry_backoff,
         )
 
     @keyword_only_shim

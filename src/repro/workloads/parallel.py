@@ -27,7 +27,7 @@ all ``m`` shards equals the unsharded run.  Only wall-clock series
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.engine.stats import EngineStats
@@ -36,7 +36,10 @@ from repro.obs.recorder import get_recorder
 from repro.runner.cache import ResultCache, cell_cache_key
 from repro.runner.cells import CellResult, CellTask
 from repro.runner.executor import (
+    CellFailure,
     ProcessExecutor,
+    RobustProcessExecutor,
+    RobustSequentialExecutor,
     SequentialExecutor,
     resolve_workers,
 )
@@ -61,6 +64,16 @@ class CampaignOutcome:
     cache_hits: int
     cache_misses: int
     seconds: float
+    #: Cells that never produced a result (crash/timeout/error after all
+    #: retries); excluded from ``results``.  Empty unless robustness
+    #: options were used and something actually failed.
+    quarantined: Tuple[CellFailure, ...] = ()
+    #: Cells that needed at least one retry (whether or not they
+    #: eventually succeeded).
+    retried: int = 0
+    #: Cache entries that existed but failed to parse (corruption, not
+    #: cold cache); see :class:`~repro.runner.cache.ResultCache`.
+    cache_corrupt: int = 0
 
     @property
     def engine_stats(self) -> EngineStats:
@@ -77,6 +90,9 @@ class CampaignOutcome:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "seconds": self.seconds,
+            "quarantined": [f.to_json() for f in self.quarantined],
+            "retried": self.retried,
+            "cache_corrupt": self.cache_corrupt,
         }
 
 
@@ -86,11 +102,31 @@ def run_campaign(
     workers: Optional[int] = None,
     shard: Union[Shard, str, None] = None,
     cache_dir: Optional[str] = None,
+    cell_timeout: Optional[float] = None,
+    retries: int = 0,
+    retry_backoff: float = 0.0,
 ) -> CampaignOutcome:
-    """Execute campaign cells sharded/parallel/cached; see module docstring."""
+    """Execute campaign cells sharded/parallel/cached; see module docstring.
+
+    Robustness (all off by default, preserving the exact legacy
+    behavior where any cell failure propagates):
+
+    * ``cell_timeout`` bounds each cell's wall-clock seconds (enforced
+      in-worker via ``SIGALRM`` on POSIX);
+    * ``retries`` re-runs failed cells up to that many extra times,
+      sleeping ``retry_backoff * attempt`` seconds between rounds;
+    * cells still failing afterwards are *quarantined* -- reported on
+      :attr:`CampaignOutcome.quarantined` and excluded from ``results``
+      -- instead of aborting (or hanging) the whole sweep.  All other
+      cells are byte-identical to a fault-free run (the determinism
+      contract is per cell).
+    """
     started = time.perf_counter()
     if isinstance(shard, str):
         shard = parse_shard(shard)
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    robust = cell_timeout is not None or retries > 0
     worker_count = resolve_workers(workers)
     selected = list(tasks)
     if shard is not None:
@@ -102,12 +138,15 @@ def run_campaign(
 
     results: List[Optional[CellResult]] = [None] * len(selected)
     misses: List[Tuple[int, CellTask, Optional[str]]] = []
+    failures: Dict[int, CellFailure] = {}
+    retried_positions: set = set()
     with recorder.span(
         "campaign.run",
         cells=len(selected),
         workers=worker_count,
         shard="-" if shard is None else f"{shard[0]}/{shard[1]}",
         cached=cache is not None,
+        robust=robust,
     ):
         for position, task in enumerate(selected):
             key = cell_cache_key(task) if cache is not None else None
@@ -117,7 +156,7 @@ def run_campaign(
             else:
                 misses.append((position, task, key))
 
-        if misses:
+        if misses and not robust:
             executor = (
                 ProcessExecutor(worker_count)
                 if worker_count > 1 and len(misses) > 1
@@ -131,25 +170,72 @@ def run_campaign(
                 merged.merge(registry_from_snapshot(outcome.metrics))
                 if cache is not None:
                     cache.put(key, outcome.result)
+        elif misses:
+            pending = list(misses)
+            for attempt in range(retries + 1):
+                if attempt > 0:
+                    retried_positions.update(p for p, _, _ in pending)
+                    if retry_backoff > 0:
+                        time.sleep(retry_backoff * attempt)
+                executor = (
+                    RobustProcessExecutor(worker_count, timeout=cell_timeout)
+                    if worker_count > 1 and len(pending) > 1
+                    else RobustSequentialExecutor(timeout=cell_timeout)
+                )
+                outcomes = executor.execute(
+                    [task for _, task, _ in pending], registry=merged
+                )
+                still_failing: List[Tuple[int, CellTask, Optional[str]]] = []
+                for (position, task, key), outcome in zip(pending, outcomes):
+                    if isinstance(outcome, CellFailure):
+                        failures[position] = replace(
+                            outcome, attempts=attempt + 1
+                        )
+                        still_failing.append((position, task, key))
+                        continue
+                    failures.pop(position, None)
+                    results[position] = outcome.result
+                    merged.merge(registry_from_snapshot(outcome.metrics))
+                    if cache is not None:
+                        cache.put(key, outcome.result)
+                pending = still_failing
+                if not pending:
+                    break
+            for position, failure in sorted(failures.items()):
+                recorder.emit(
+                    "campaign.cell.quarantined", failure=failure.to_json()
+                )
 
+    quarantined = tuple(failure for _, failure in sorted(failures.items()))
     hits = sum(1 for r in results if r is not None and r.cache_hit)
+    corrupt = cache.corrupt_entries if cache is not None else 0
     merged.counter("campaign.cells.total").add(len(selected))
     merged.counter("campaign.cache.hits").add(hits)
     merged.counter("campaign.cache.misses").add(len(misses))
+    if quarantined:
+        merged.counter("campaign.cells.quarantined").add(len(quarantined))
+    if retried_positions:
+        merged.counter("campaign.cells.retried").add(len(retried_positions))
+    if corrupt:
+        merged.counter("campaign.cache.corrupt").add(corrupt)
     if recorder.enabled:
         # Surface the sweep's metrics in the ambient registry so CLI
         # --metrics-out / --timings aggregate over the whole campaign.
         recorder.registry.merge(merged)
 
-    assert all(r is not None for r in results)
+    kept = tuple(r for r in results if r is not None)
+    assert len(kept) + len(quarantined) == len(selected)
     return CampaignOutcome(
-        results=tuple(results),  # type: ignore[arg-type]
+        results=kept,
         registry=merged,
         workers=worker_count,
         shard=shard,
         cache_hits=hits,
         cache_misses=len(misses),
         seconds=time.perf_counter() - started,
+        quarantined=quarantined,
+        retried=len(retried_positions),
+        cache_corrupt=corrupt,
     )
 
 

@@ -13,7 +13,7 @@ before its receiver starts (see :mod:`repro.sim.network`).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
 from repro._types import ProcessorId, Time
@@ -28,6 +28,8 @@ from repro.delays.distributions import (
     UniformDelay,
 )
 from repro.delays.system import System
+from repro.faults.injector import FaultLog
+from repro.faults.plan import FaultPlan
 from repro.graphs.topology import Topology
 from repro.model.execution import Execution
 from repro.sim.network import NetworkSimulator, RunSummary, draw_start_times
@@ -45,19 +47,58 @@ class Scenario:
     start_times: Dict[ProcessorId, Time]
     automata: Dict[ProcessorId, Automaton]
     seed: int
+    #: Optional fault plan injected into every :meth:`run` (see
+    #: :mod:`repro.faults`); part of the scenario's identity, so the
+    #: campaign cache never conflates faulted and fault-free cells.
+    faults: Optional[FaultPlan] = None
     #: Counters of the most recent :meth:`run` (``None`` before one).
     last_run_summary: Optional[RunSummary] = field(
         default=None, compare=False, repr=False
     )
+    #: Faults injected by the most recent :meth:`run` (``None`` without
+    #: a plan or before a run).
+    last_fault_log: Optional[FaultLog] = field(
+        default=None, compare=False, repr=False
+    )
 
     def run(self) -> Execution:
-        """Simulate once and return the admissible execution."""
+        """Simulate once and return the recorded execution.
+
+        Fault-free scenarios always yield admissible executions; a
+        scenario with a corruption-injecting fault plan may yield an
+        inadmissible one (flagged on :attr:`last_run_summary`).
+        """
         simulator = NetworkSimulator(
-            self.system, self.samplers, self.start_times, seed=self.seed
+            self.system,
+            self.samplers,
+            self.start_times,
+            seed=self.seed,
+            faults=self.faults,
         )
         execution = simulator.run(self.automata)
         self.last_run_summary = simulator.last_run_summary
+        self.last_fault_log = simulator.last_fault_log
         return execution
+
+    def with_faults(self, plan: Optional[FaultPlan]) -> "Scenario":
+        """A copy of this scenario carrying ``plan`` (``None`` clears it).
+
+        The name is suffixed with the plan's identity so caches, tables
+        and logs distinguish faulted runs from their fault-free twins.
+        """
+        base = self.name.split("+faults[", 1)[0]
+        name = (
+            base
+            if plan is None
+            else f"{base}+faults[{plan.name}:{plan.seed}]"
+        )
+        return replace(
+            self,
+            name=name,
+            faults=plan,
+            last_run_summary=None,
+            last_fault_log=None,
+        )
 
     @property
     def topology(self) -> Topology:

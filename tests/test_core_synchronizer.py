@@ -110,6 +110,103 @@ class TestComponents:
         assert result.corrections[3] == pytest.approx(0.0)
 
 
+class TestGracefulDegradation:
+    """allow_partial: incomplete views degrade, never lie (ISSUE 5)."""
+
+    @pytest.fixture
+    def crashed(self):
+        """A ring-4 run whose processor 2 lost its view entirely."""
+        scenario = bounded_uniform(ring(4), lb=1.0, ub=3.0, seed=0)
+        alpha = scenario.run()
+        views = alpha.views()
+        del views[2]
+        return scenario, alpha, views
+
+    def test_partial_views_accepted_and_accounted(self, crashed):
+        scenario, _, views = crashed
+        result = ClockSynchronizer(scenario.system).from_views(
+            views, allow_partial=True
+        )
+        assert result.is_degraded
+        assert result.degraded.missing_views == (2,)
+        # Receives of messages 2 sent survive in the other views but
+        # their sends are lost: skipped and counted, not raised.
+        assert result.degraded.orphan_receives > 0
+        # Both of 2's links lost all samples, so 2 ends up alone.
+        assert result.degraded.isolated_processors == (2,)
+        assert len(result.components) == 2
+
+    def test_degraded_corrections_stay_sound(self, crashed):
+        """The surviving component's certified precision still covers the
+        realized spread of its processors -- degradation is conservative."""
+        scenario, alpha, views = crashed
+        result = ClockSynchronizer(scenario.system).from_views(
+            views, allow_partial=True
+        )
+        survivors = max(
+            result.components, key=lambda c: len(c.processors)
+        )
+        assert set(survivors.processors) == {0, 1, 3}
+        assert survivors.precision != INF
+        starts = {
+            p: t
+            for p, t in alpha.start_times().items()
+            if p in survivors.processors
+        }
+        corrections = {
+            p: result.corrections[p] for p in survivors.processors
+        }
+        assert (
+            realized_spread(starts, corrections)
+            <= survivors.precision + 1e-9
+        )
+
+    def test_partial_estimated_delays_counts_orphans(self, crashed):
+        from repro.core.estimates import (
+            estimated_delays,
+            partial_estimated_delays,
+        )
+
+        scenario, alpha, views = crashed
+        full = estimated_delays(alpha.views())
+        delays, orphans = partial_estimated_delays(views)
+        sent_by_2 = sum(
+            len(values) for edge, values in full.items() if edge[0] == 2
+        )
+        assert orphans == sent_by_2 > 0
+        # Surviving edges keep exactly their fault-free samples.
+        assert delays == {
+            edge: values for edge, values in full.items() if 2 not in edge
+        }
+
+    def test_clean_run_is_not_degraded(self):
+        scenario = bounded_uniform(ring(4), lb=1.0, ub=3.0, seed=0)
+        result = ClockSynchronizer(scenario.system).from_execution(
+            scenario.run()
+        )
+        assert not result.is_degraded
+        assert result.degraded is None
+
+    def test_root_substitution_is_recorded(self, crashed):
+        scenario, _, views = crashed
+        result = ClockSynchronizer(scenario.system, root=2).from_views(
+            views, allow_partial=True
+        )
+        (substitution,) = [
+            s for s in result.degraded.root_substitutions if s[0] == 2
+        ]
+        assert substitution[1] in {0, 1, 3}
+
+    def test_degraded_lines_describe_the_damage(self, crashed):
+        scenario, _, views = crashed
+        result = ClockSynchronizer(scenario.system).from_views(
+            views, allow_partial=True
+        )
+        text = "\n".join(result.degraded.lines())
+        assert "orphan" in text
+        assert "isolated" in text
+
+
 class TestSyncResultHelpers:
     def test_corrected_clock(self):
         scenario = bounded_uniform(ring(4), lb=1.0, ub=3.0, seed=1)

@@ -13,9 +13,9 @@ from repro.experiments import DESCRIPTIONS, REGISTRY, run_experiment
 
 
 class TestRegistry:
-    def test_fourteen_experiments_registered(self):
-        assert len(REGISTRY) == 14
-        assert set(REGISTRY) == {f"E{i}" for i in range(1, 15)}
+    def test_fifteen_experiments_registered(self):
+        assert len(REGISTRY) == 15
+        assert set(REGISTRY) == {f"E{i}" for i in range(1, 16)}
         assert set(DESCRIPTIONS) == set(REGISTRY)
 
     def test_unknown_id_rejected(self):
@@ -145,6 +145,13 @@ class TestExperimentShapes:
             float(row[2]) for row in trajectory.rows if row[2] != "inf"
         ]
         assert finite == sorted(finite, reverse=True)  # precision tightens
+
+    def test_e15_loss_degrades_but_never_violates(self):
+        (table,) = run_experiment("E15", quick=True)
+        assert all(row[-1] == 0 for row in table.rows)  # no violations
+        baseline, lossy = table.rows[0], table.rows[-1]
+        assert float(baseline[2]) == 0.0  # fault-free run drops nothing
+        assert float(lossy[2]) > 0.0  # lossy run actually dropped traffic
 
     def test_e13_detection_threshold(self):
         detection, repair = run_experiment("E13", quick=True)

@@ -4,6 +4,7 @@ import math
 
 import pytest
 
+from repro.core.global_estimates import InconsistentViewsError
 from repro.core.synchronizer import ClockSynchronizer
 from repro.delays.system import UnknownLinkError
 from repro.extensions.online import OnlineSynchronizer
@@ -151,3 +152,120 @@ class TestIncrementalBehaviour:
         online.reset()
         assert online.observation_count == 0
         assert math.isinf(online.precision())
+
+
+def poison_for(online, sender=0, receiver=1):
+    """A forward sample guaranteed to break edge's 2-cycle soundness.
+
+    ``mls~(p,q) + mls~(q,p)`` is translation invariant, so a sample ten
+    units below the observed forward minimum drives the de-translated
+    2-cycle budget to at most ``-6`` under the [1, 3] bounds -- corrupt
+    relative to any honest history, whatever the clock offsets are.
+    """
+    return online.edge_stats(sender, receiver).min_delay - 10.0
+
+
+class TestRobustness:
+    """Staleness, outlier screening and fallback (ISSUE 5 degradation)."""
+
+    def test_outlier_rejected_without_touching_the_result(self, scenario):
+        alpha = scenario.run()
+        online = OnlineSynchronizer(scenario.system, reject_outliers=True)
+        online.ingest_views(alpha.views())
+        baseline = online.result()
+        stats_before = online.edge_stats(0, 1)
+        assert online.observe(0, 1, poison_for(online)) is False
+        assert online.outliers_rejected == 1
+        assert online.edge_stats(0, 1) == stats_before
+        assert online.result() is baseline  # cache untouched by rejection
+
+    def test_without_screening_poison_is_admitted_and_raises(self, scenario):
+        alpha = scenario.run()
+        online = OnlineSynchronizer(scenario.system)
+        online.ingest_views(alpha.views())
+        assert online.observe(0, 1, poison_for(online)) is True
+        assert online.outliers_rejected == 0
+        with pytest.raises(InconsistentViewsError):
+            online.result()
+
+    def test_fallback_serves_last_good_then_recovers(self, scenario):
+        alpha = scenario.run()
+        online = OnlineSynchronizer(scenario.system, fallback=True)
+        online.ingest_views(alpha.views())
+        good = online.result()
+        online.observe(0, 1, poison_for(online))
+
+        assert online.result() is good  # served, not raised
+        assert online.in_fallback
+        assert online.fallbacks_served == 1
+        # The failure is not cached: every later query retries.
+        assert online.result() is good
+        assert online.fallbacks_served == 2
+
+        # Recovery lever: discard the poisoned direction.
+        assert online.drop_edge_stats(0, 1) is True
+        recovered = online.result()
+        assert not online.in_fallback
+        # The reverse direction's samples still bound the dropped edge
+        # (Lemma 6.2 cross terms), so precision stays finite.
+        assert not math.isinf(recovered.precision)
+
+    def test_fallback_with_no_last_good_still_raises(self, scenario):
+        online = OnlineSynchronizer(scenario.system, fallback=True)
+        online.observe(0, 1, 2.0)
+        online.observe(1, 0, 2.0)
+        online.observe(0, 1, -8.0)  # 2-cycle budget -8: inconsistent
+        with pytest.raises(InconsistentViewsError):
+            online.result()
+
+    def test_edge_staleness_counts_observations_since_last_sample(
+        self, scenario
+    ):
+        online = OnlineSynchronizer(scenario.system)
+        for value in (2.0, 1.5, 2.5):
+            online.observe(0, 1, value)
+        assert online.edge_staleness(0, 1) == 0
+        assert online.edge_staleness(1, 0) == 3  # never seen: maximally stale
+
+    def test_stale_edges_covers_silent_links(self, scenario):
+        online = OnlineSynchronizer(scenario.system)
+        for value in (2.0, 1.5, 2.5):
+            online.observe(0, 1, value)
+        stale = online.stale_edges(3)
+        # Every directed edge of ring-5 except the one that saw traffic.
+        assert len(stale) == 9
+        assert (0, 1) not in stale
+        assert stale[(1, 0)] == 3
+        assert online.stale_edges(4) == {}
+
+    def test_rejected_observation_still_freshens_its_edge(self, scenario):
+        """A rejected sample is evidence the link is alive -- staleness
+        tracks traffic, not admission."""
+        online = OnlineSynchronizer(scenario.system, reject_outliers=True)
+        online.observe(0, 1, 2.0)
+        online.observe(1, 0, 2.0)
+        assert online.observe(0, 1, poison_for(online)) is False
+        assert online.edge_staleness(0, 1) == 0
+        assert online.edge_staleness(1, 0) == 1
+
+    def test_drop_edge_stats_reports_whether_anything_dropped(self, scenario):
+        online = OnlineSynchronizer(scenario.system)
+        assert online.drop_edge_stats(0, 1) is False
+        online.observe(0, 1, 2.0)
+        assert online.drop_edge_stats(0, 1) is True
+        assert online.edge_stats(0, 1).count == 0
+
+    def test_reset_clears_robustness_state(self, scenario):
+        alpha = scenario.run()
+        online = OnlineSynchronizer(
+            scenario.system, reject_outliers=True, fallback=True
+        )
+        online.ingest_views(alpha.views())
+        online.result()
+        online.observe(0, 1, poison_for(online))
+        assert online.outliers_rejected == 1
+        online.reset()
+        assert online.outliers_rejected == 0
+        assert online.fallbacks_served == 0
+        assert not online.in_fallback
+        assert online.stale_edges(1) == {}

@@ -1,0 +1,257 @@
+"""Robust campaign execution (repro.runner.executor + parallel runner).
+
+Worker death, hung cells, transient failures and cache corruption must
+degrade to quarantined/retried cells and counters -- never to a hung
+``imap_unordered`` or an aborted sweep.  The misbehaving cells come from
+:mod:`repro.faults.chaos`, whose builders read their schedule from
+environment variables (so they misbehave inside pool workers too).
+"""
+
+import json
+import signal
+
+import pytest
+
+from repro.faults.chaos import (
+    CHAOS_DIR_ENV,
+    CRASH_ENV,
+    FLAKY_ENV,
+    HANG_ENV,
+    HANG_SECONDS_ENV,
+    chaos_bounded_builder,
+)
+from repro.graphs.topology import ring
+from repro.runner.cache import CACHE_VERSION, ResultCache, cell_cache_key
+from repro.runner.cells import CellSpec, CellTask
+from repro.runner.executor import (
+    CellFailure,
+    ProcessExecutor,
+    RobustProcessExecutor,
+    RobustSequentialExecutor,
+    SequentialExecutor,
+    resolve_start_method,
+)
+from repro.workloads.parallel import run_campaign
+
+HAS_SIGALRM = hasattr(signal, "SIGALRM")
+
+
+def chaos_tasks(seeds, certify=True):
+    return [
+        CellTask(
+            spec=CellSpec(
+                builder="chaos-bounded", topology=ring(4), seed=seed
+            ),
+            build=chaos_bounded_builder,
+            certify=certify,
+        )
+        for seed in seeds
+    ]
+
+
+def clean_env(monkeypatch):
+    for name in (CRASH_ENV, HANG_ENV, HANG_SECONDS_ENV, FLAKY_ENV,
+                 CHAOS_DIR_ENV):
+        monkeypatch.delenv(name, raising=False)
+
+
+class TestStartMethod:
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError, match="not supported"):
+            resolve_start_method("teleport")
+
+    def test_honors_explicit_spawn(self):
+        assert resolve_start_method("spawn") == "spawn"
+
+    def test_defaults_to_fork_where_available(self):
+        import multiprocessing
+
+        if "fork" in multiprocessing.get_all_start_methods():
+            assert resolve_start_method() == "fork"
+        else:  # pragma: no cover - non-POSIX platforms
+            assert resolve_start_method() == "spawn"
+
+
+class TestSpawnPath:
+    def test_process_executor_spawn_matches_sequential(self, monkeypatch):
+        """Module-level builders travel by pickle under spawn."""
+        clean_env(monkeypatch)
+        tasks = chaos_tasks([0, 1])
+        sequential = SequentialExecutor().execute(tasks)
+        spawned = ProcessExecutor(2, start_method="spawn").execute(tasks)
+        # Fingerprints exclude wall-clock seconds, which legitimately
+        # differ between runs.
+        assert [o.result.fingerprint() for o in spawned] == [
+            o.result.fingerprint() for o in sequential
+        ]
+
+    def test_robust_executor_spawn_path(self, monkeypatch):
+        clean_env(monkeypatch)
+        tasks = chaos_tasks([0, 1])
+        outcomes = RobustProcessExecutor(
+            2, start_method="spawn"
+        ).execute(tasks)
+        assert not any(isinstance(o, CellFailure) for o in outcomes)
+        assert [o.result.seed for o in outcomes] == [0, 1]
+
+
+class TestWorkerDeath:
+    def test_sigkilled_worker_is_quarantined_not_hung(self, monkeypatch):
+        """BrokenProcessPool containment: the culprit cell is identified,
+        innocent bystanders still complete."""
+        clean_env(monkeypatch)
+        monkeypatch.setenv(CRASH_ENV, "1")
+        tasks = chaos_tasks([0, 1, 2])
+        outcomes = RobustProcessExecutor(2).execute(tasks)
+        kinds = [
+            o.kind if isinstance(o, CellFailure) else "ok" for o in outcomes
+        ]
+        assert kinds == ["ok", "crash", "ok"]
+        failure = outcomes[1]
+        assert failure.seed == 1
+        assert "died" in failure.message
+
+    def test_crash_failure_serializes(self, monkeypatch):
+        clean_env(monkeypatch)
+        monkeypatch.setenv(CRASH_ENV, "0")
+        (outcome,) = [
+            o
+            for o in RobustProcessExecutor(2).execute(chaos_tasks([0, 3]))
+            if isinstance(o, CellFailure)
+        ]
+        record = outcome.to_json()
+        assert record["type"] == "campaign.cell.failure"
+        assert record["kind"] == "crash"
+
+
+@pytest.mark.skipif(not HAS_SIGALRM, reason="needs SIGALRM")
+class TestTimeouts:
+    def test_hung_cell_times_out_sequentially(self, monkeypatch):
+        clean_env(monkeypatch)
+        monkeypatch.setenv(HANG_ENV, "0")
+        monkeypatch.setenv(HANG_SECONDS_ENV, "30")
+        outcomes = RobustSequentialExecutor(timeout=0.3).execute(
+            chaos_tasks([0, 1])
+        )
+        assert isinstance(outcomes[0], CellFailure)
+        assert outcomes[0].kind == "timeout"
+        assert not isinstance(outcomes[1], CellFailure)
+
+    def test_hung_cell_times_out_in_worker(self, monkeypatch):
+        clean_env(monkeypatch)
+        monkeypatch.setenv(HANG_ENV, "1")
+        monkeypatch.setenv(HANG_SECONDS_ENV, "30")
+        outcomes = RobustProcessExecutor(2, timeout=0.5).execute(
+            chaos_tasks([0, 1, 2])
+        )
+        kinds = [
+            o.kind if isinstance(o, CellFailure) else "ok" for o in outcomes
+        ]
+        assert kinds == ["ok", "timeout", "ok"]
+
+
+class TestErrors:
+    def test_raising_cell_is_quarantined_as_error(self, monkeypatch):
+        clean_env(monkeypatch)
+        monkeypatch.setenv(FLAKY_ENV, "0")  # no CHAOS_DIR: raises every time
+        outcomes = RobustSequentialExecutor().execute(chaos_tasks([0, 1]))
+        assert isinstance(outcomes[0], CellFailure)
+        assert outcomes[0].kind == "error"
+        assert "FlakyCellError" in outcomes[0].message
+        assert not isinstance(outcomes[1], CellFailure)
+
+
+class TestCampaignRetry:
+    def test_flaky_cell_recovers_on_retry(self, monkeypatch, tmp_path):
+        clean_env(monkeypatch)
+        monkeypatch.setenv(FLAKY_ENV, "1")
+        monkeypatch.setenv(CHAOS_DIR_ENV, str(tmp_path))
+        outcome = run_campaign(chaos_tasks([0, 1, 2]), workers=1, retries=1)
+        assert not outcome.quarantined
+        assert outcome.retried == 1
+        assert [r.seed for r in outcome.results] == [0, 1, 2]
+
+    def test_exhausted_retries_quarantine(self, monkeypatch):
+        clean_env(monkeypatch)
+        monkeypatch.setenv(FLAKY_ENV, "1")  # no CHAOS_DIR: never recovers
+        outcome = run_campaign(chaos_tasks([0, 1, 2]), workers=1, retries=1)
+        assert len(outcome.quarantined) == 1
+        failure = outcome.quarantined[0]
+        assert failure.seed == 1
+        assert failure.attempts == 2
+        assert [r.seed for r in outcome.results] == [0, 2]
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            run_campaign(chaos_tasks([0]), retries=-1)
+
+    def test_quarantine_preserves_surviving_cells(self, monkeypatch):
+        """Acceptance: surviving cells are byte-identical to a fault-free
+        run of the same grid."""
+        clean_env(monkeypatch)
+        control = run_campaign(chaos_tasks([0, 1, 2, 3]), workers=1)
+        monkeypatch.setenv(FLAKY_ENV, "2")  # never recovers
+        chaotic = run_campaign(
+            chaos_tasks([0, 1, 2, 3]), workers=1, retries=1
+        )
+        assert [f.seed for f in chaotic.quarantined] == [2]
+        expected = [r for r in control.results if r.seed != 2]
+        assert [r.fingerprint() for r in chaotic.results] == [
+            r.fingerprint() for r in expected
+        ]
+
+
+class TestCacheCorruption:
+    def put_one(self, cache, monkeypatch):
+        clean_env(monkeypatch)
+        (task,) = chaos_tasks([0])
+        key = cell_cache_key(task)
+        outcome = run_campaign([task], cache_dir=str(cache.directory))
+        assert cache.get(key) is not None
+        return key, outcome.results[0]
+
+    def test_truncated_entry_counts_as_corrupt(self, monkeypatch, tmp_path):
+        cache = ResultCache(tmp_path)
+        key, _ = self.put_one(cache, monkeypatch)
+        path = cache.directory / f"{key}.json"
+        path.write_text(path.read_text()[:40])  # truncated write
+        assert cache.get(key) is None
+        assert cache.corrupt_entries == 1
+
+    def test_non_record_entry_counts_as_corrupt(self, monkeypatch, tmp_path):
+        cache = ResultCache(tmp_path)
+        key, _ = self.put_one(cache, monkeypatch)
+        (cache.directory / f"{key}.json").write_text('["not", "a", "dict"]')
+        assert cache.get(key) is None
+        assert cache.corrupt_entries == 1
+
+    def test_version_mismatch_is_a_plain_miss(self, monkeypatch, tmp_path):
+        cache = ResultCache(tmp_path)
+        key, _ = self.put_one(cache, monkeypatch)
+        path = cache.directory / f"{key}.json"
+        record = json.loads(path.read_text())
+        record["version"] = CACHE_VERSION - 1
+        path.write_text(json.dumps(record))
+        assert cache.get(key) is None
+        assert cache.corrupt_entries == 0  # deliberate format change
+
+    def test_campaign_surfaces_corruption_count(self, monkeypatch, tmp_path):
+        clean_env(monkeypatch)
+        tasks = chaos_tasks([0, 1])
+        first = run_campaign(tasks, cache_dir=str(tmp_path))
+        key = cell_cache_key(tasks[0])
+        (tmp_path / f"{key}.json").write_text("{garbage")
+        again = run_campaign(tasks, cache_dir=str(tmp_path))
+        assert again.cache_corrupt == 1
+        assert again.cache_hits == 1  # the intact entry still hit
+        assert [r.fingerprint() for r in again.results] == [
+            r.fingerprint() for r in first.results
+        ]
+
+    def test_corruption_warning_is_logged(self, monkeypatch, tmp_path, caplog):
+        cache = ResultCache(tmp_path)
+        key, _ = self.put_one(cache, monkeypatch)
+        (cache.directory / f"{key}.json").write_text("{garbage")
+        with caplog.at_level("WARNING", logger="repro.runner.cache"):
+            cache.get(key)
+        assert any("corrupt cache entry" in r.message for r in caplog.records)

@@ -70,6 +70,33 @@ class TestLifecycle:
         assert s.pop().payload == "alive"
         assert s.pop() is None
 
+    def test_cancel_reports_whether_it_prevented_delivery(self):
+        s = EventScheduler()
+        entry = s.schedule(1.0, PRIORITY_RECEIVE, "x")
+        assert s.cancel(entry) is True
+
+    def test_cancel_twice_is_a_noop(self):
+        s = EventScheduler()
+        entry = s.schedule(1.0, PRIORITY_RECEIVE, "x")
+        assert s.cancel(entry) is True
+        assert s.cancel(entry) is False  # second cancel changed nothing
+        assert s.pop() is None
+
+    def test_cancel_after_pop_is_a_noop(self):
+        s = EventScheduler()
+        entry = s.schedule(1.0, PRIORITY_RECEIVE, "x")
+        assert s.pop() is entry
+        assert s.cancel(entry) is False  # too late: already delivered
+        assert entry.cancelled is False  # history is not rewritten
+
+    def test_cancel_after_cancelled_pop_is_a_noop(self):
+        s = EventScheduler()
+        entry = s.schedule(1.0, PRIORITY_RECEIVE, "x")
+        s.schedule(2.0, PRIORITY_RECEIVE, "y")
+        s.cancel(entry)
+        assert s.pop().payload == "y"  # skips (and retires) the dead entry
+        assert s.cancel(entry) is False
+
     def test_scheduling_in_past_rejected(self):
         s = EventScheduler()
         s.schedule(5.0, PRIORITY_RECEIVE, "x")
