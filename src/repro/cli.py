@@ -14,17 +14,25 @@ Installed as ``repro-clocksync`` (see pyproject) and runnable as
     repro-clocksync monitor bounded      # theorem-monitored demo workload
     repro-clocksync campaign --preset e9c --workers 4
     repro-clocksync campaign --preset e9c --shard 1/4 --resume
+    repro-clocksync campaign --preset e9c --shard 1/2 --results-dir out/
+    repro-clocksync campaign merge out/        # fuse shard streams
     repro-clocksync faults template plan.json   # fault-plan starting point
     repro-clocksync demo --faults plan.json     # chaos-mode quickstart
 
 ``campaign`` runs a preset sweep grid on the sharded campaign runner:
-``--workers`` fans cells out over a process pool, ``--shard i/m`` runs
-one deterministic slice of the grid (the union of all ``m`` shards is
-the full sweep), and ``--cache-dir``/``--resume`` skip cells an earlier
-run already solved.  ``experiment``, ``all`` and ``monitor`` also accept
-``--workers``, which becomes the default for every campaign the command
-runs (the ``REPRO_WORKERS`` environment variable does the same
-process-wide).
+``--workers`` fans cells out over a process pool (``--executor async``
+overlaps them on an event loop instead), ``--shard i/m`` runs one
+deterministic slice of the grid (the union of all ``m`` shards is the
+full sweep), and ``--cache-dir``/``--resume`` skip cells an earlier run
+already solved.  ``--results-dir`` streams every completed cell to a
+durable JSONL shard file as it finishes -- a killed invocation re-run
+with the same ``--results-dir`` resumes from its last durable cell, and
+``campaign merge DIR...`` fuses any number of shard streams back into
+the canonical table (byte-identical to a single-process run), reporting
+gaps, overlaps and grid mismatches.  ``experiment``, ``all`` and
+``monitor`` also accept ``--workers``, which becomes the default for
+every campaign the command runs (the ``REPRO_WORKERS`` environment
+variable does the same process-wide).
 
 Every run subcommand accepts the observability flags ``--trace-out``
 (Chrome trace-event JSON, loads in Perfetto / ``chrome://tracing``),
@@ -500,10 +508,63 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    """Run a preset campaign grid, or merge shard streams."""
+    if args.action == "merge":
+        return _cmd_campaign_merge(args)
+    if args.sources:
+        print("positional shard sources are only valid with "
+              "'campaign merge'", file=sys.stderr)
+        return 2
+    return _cmd_campaign_run(args)
+
+
+def _cmd_campaign_merge(args: argparse.Namespace) -> int:
+    """Fuse shard JSONL streams into the canonical campaign table."""
+    from pathlib import Path
+
+    from repro.runner.merge import MergeError, merge_shards
+    from repro.workloads.campaign import summarize_results
+
+    sources = list(args.sources)
+    if not sources and args.results_dir is not None:
+        sources = [args.results_dir]
+    if not sources:
+        print("campaign merge needs shard sources (directories or "
+              "manifest files), e.g.: repro-clocksync campaign merge out/",
+              file=sys.stderr)
+        return 2
+    try:
+        merged = merge_shards(sources)
+    except MergeError as exc:
+        print(f"merge failed: {exc}", file=sys.stderr)
+        return 2
+    table = summarize_results(
+        merged.results, seeds_per_cell=merged.seeds_per_cell
+    )
+    table.show()
+    print()
+    for line in merged.report.lines():
+        print(line)
+    if args.table_out is not None:
+        path = Path(args.table_out)
+        path.write_text(table.format() + "\n")
+        print(f"table written: {path}")
+    if args.results_out is not None:
+        from repro.runner.cells import write_cell_results_jsonl
+
+        path = write_cell_results_jsonl(args.results_out, merged.results)
+        print(f"results written: {path}  ({len(merged.results)} cells)")
+    return 0 if merged.report.complete else 1
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
     """Run a preset campaign grid on the sharded parallel runner."""
+    from pathlib import Path
+
     from repro.analysis.reporting import Table
     from repro.experiments.common import CAMPAIGN_PRESETS
     from repro.runner.cells import write_cell_results_jsonl
+    from repro.workloads.campaign import summarize_groups
 
     cache_dir = args.cache_dir
     if args.resume and cache_dir is None:
@@ -521,8 +582,22 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             cell_timeout=args.cell_timeout,
             retries=args.retries,
             retry_backoff=args.retry_backoff,
+            results_dir=args.results_dir,
+            bounded_memory=args.bounded_memory,
+            executor=args.executor,
+            cache_max_entries=args.cache_max_entries,
         )
-        campaign.summarize(outcome.results).show()
+        if outcome.aggregates is not None:
+            table = summarize_groups(
+                outcome.aggregates, seeds_per_cell=len(campaign.seeds)
+            )
+        else:
+            table = campaign.summarize(outcome.results)
+        table.show()
+        if args.table_out is not None:
+            path = Path(args.table_out)
+            path.write_text(table.format() + "\n")
+            print(f"table written: {path}")
         if args.cells:
             print()
             detail = Table(
@@ -547,6 +622,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
               f"{summary['cache_misses']} miss(es)"
               + (f"  [{cache_dir}]" if cache_dir else "  [disabled]"))
         print(f"elapsed:  {summary['seconds']:.3f} s")
+        if outcome.manifest is not None:
+            print(f"stream:   {outcome.manifest}"
+                  + (f"  ({outcome.resumed} cell(s) resumed)"
+                     if outcome.resumed else ""))
+        if outcome.cache_evicted:
+            print(f"evicted:  {outcome.cache_evicted} cache entr"
+                  f"{'y' if outcome.cache_evicted == 1 else 'ies'} "
+                  f"(LRU bound)")
         if outcome.cache_corrupt:
             plural = "y" if outcome.cache_corrupt == 1 else "ies"
             print(f"WARNING:  {outcome.cache_corrupt} corrupt cache "
@@ -731,7 +814,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_campaign = sub.add_parser(
         "campaign",
-        help="run a preset sweep grid on the sharded parallel runner",
+        help="run a preset sweep grid on the sharded parallel runner, "
+        "or merge shard result streams",
+    )
+    p_campaign.add_argument(
+        "action", nargs="?", choices=["run", "merge"], default="run",
+        help="'run' (default) executes the grid; 'merge' fuses shard "
+        "JSONL streams produced with --results-dir",
+    )
+    p_campaign.add_argument(
+        "sources", nargs="*", metavar="SOURCE",
+        help="(merge only) results directories or manifest files to fuse",
     )
     p_campaign.add_argument(
         "--preset", choices=["demo", "e9c"], default="demo",
@@ -762,6 +855,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument(
         "--results-out", metavar="PATH", default=None,
         help="write per-cell results as JSONL (campaign.cell records)",
+    )
+    streaming = p_campaign.add_argument_group(
+        "streaming",
+        "fleet-scale options: stream results durably as they complete, "
+        "resume killed shards, bound memory",
+    )
+    streaming.add_argument(
+        "--results-dir", metavar="DIR", default=None,
+        help="stream each completed cell to an append-only JSONL shard "
+        "in DIR (fsync'd); re-running with the same DIR resumes from "
+        "the last durable cell, and 'campaign merge DIR' fuses shards",
+    )
+    streaming.add_argument(
+        "--bounded-memory", action="store_true",
+        help="drop each result after streaming it (requires "
+        "--results-dir); the table is built from running aggregates",
+    )
+    streaming.add_argument(
+        "--executor", choices=["process", "async"], default=None,
+        help="cell fan-out: 'process' pool (default; CPU-bound cells) "
+        "or 'async' event loop + threads (I/O-bound cells)",
+    )
+    streaming.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="bound --cache-dir to N entries (LRU-by-mtime eviction)",
+    )
+    streaming.add_argument(
+        "--table-out", metavar="PATH", default=None,
+        help="also write the summary table to PATH (byte-comparable "
+        "across runs, shards and merges)",
     )
     _add_faults_argument(p_campaign)
     robust = p_campaign.add_argument_group(

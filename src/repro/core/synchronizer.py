@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro._compat import keyword_only_shim
 from repro._types import INF, ProcessorId, Time
 from repro.core.estimates import (
     local_shift_estimates,
@@ -184,12 +183,11 @@ class ClockSynchronizer:
     SHIFTS step 1.  Both are validated eagerly, so a typo fails here
     rather than deep inside the first synchronization.
 
-    Options (``root``, ``method``, ``backend``) are keyword-only;
-    positional passing is deprecated (DESIGN.md section 9) and works for
-    one more release behind a :class:`DeprecationWarning` shim.
+    Options (``root``, ``method``, ``backend``) are keyword-only
+    (DESIGN.md section 9); passing them positionally raises
+    ``TypeError`` -- the one-release deprecation shim has been removed.
     """
 
-    @keyword_only_shim
     def __init__(
         self,
         system: System,
@@ -232,7 +230,6 @@ class ClockSynchronizer:
         """The processor <-> matrix-row mapping of this synchronizer."""
         return self._index
 
-    @keyword_only_shim
     def from_views(
         self,
         views: Mapping[ProcessorId, View],
@@ -277,7 +274,6 @@ class ClockSynchronizer:
                     mls_tilde = local_shift_estimates(self._system, views)
             return self.from_local_estimates(mls_tilde, degraded=degraded)
 
-    @keyword_only_shim
     def from_local_estimates(
         self,
         mls_tilde: Mapping[Tuple[ProcessorId, ProcessorId], Time],
@@ -301,7 +297,6 @@ class ClockSynchronizer:
             degraded=degraded,
         )
 
-    @keyword_only_shim
     def from_matrices(
         self,
         mls_tilde: Mapping[Tuple[ProcessorId, ProcessorId], Time],
@@ -313,8 +308,8 @@ class ClockSynchronizer:
         """SHIFTS-only entry for callers that already hold the closure.
 
         ``mls_matrix``/``ms_matrix`` are row-indexed per :attr:`index`
-        and keyword-only (positional passing is deprecated; see DESIGN.md
-        section 9).  The online extension uses this to feed an
+        and keyword-only (positional passing raises ``TypeError``; see
+        DESIGN.md section 9).  The online extension uses this to feed an
         incrementally-maintained ``ms~`` matrix straight into component
         decomposition + SHIFTS.  ``degraded`` threads an upstream
         degradation record through; this stage extends it with its own

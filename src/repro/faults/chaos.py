@@ -24,6 +24,13 @@ With no variables set the builder is exactly the E9c workload
 (``bounded_uniform(lb=1, ub=3, probes=2)``), so fault-free control runs
 are byte-identical to :func:`repro.experiments.common.bounded_ring_builder`
 campaigns cell for cell.
+
+Chaos composes with the streaming runner: when a campaign runs with a
+``results_dir``/sink, every quarantined chaos cell is persisted as a
+durable ``campaign.cell.failure`` record in the shard's JSONL stream
+(see :mod:`repro.runner.sink`), so a resumed shard does not retry a
+cell already known to be poisonous, and the merge pipeline can tell a
+quarantined cell (known failure) from a gap (missing data).
 """
 
 from __future__ import annotations
@@ -31,9 +38,10 @@ from __future__ import annotations
 import os
 import signal
 import time
+from contextlib import contextmanager
 from functools import partial
 from pathlib import Path
-from typing import Callable, Set
+from typing import Callable, Dict, Iterator, Optional, Set
 
 from repro.faults.plan import FaultPlan
 from repro.graphs.topology import Topology
@@ -82,6 +90,50 @@ def chaos_bounded_builder(topology: Topology, seed: int) -> Scenario:
     return bounded_uniform(topology, lb=1.0, ub=3.0, probes=2, seed=seed)
 
 
+@contextmanager
+def scheduled_chaos(
+    crash: Optional[Set[int]] = None,
+    hang: Optional[Set[int]] = None,
+    flaky: Optional[Set[int]] = None,
+    chaos_dir: Optional[str] = None,
+    hang_seconds: Optional[float] = None,
+) -> Iterator[None]:
+    """Scoped chaos schedule: sets the env variables, restores on exit.
+
+    Sugar over the raw environment protocol so tests and CI scripts
+    stop hand-rolling ``monkeypatch.setenv`` ladders::
+
+        with scheduled_chaos(crash={3}, flaky={5}, chaos_dir=tmp):
+            outcome = campaign.run_results(..., retries=1)
+
+    Seeds land in worker processes under both ``fork`` and ``spawn``
+    because the schedule travels via ``os.environ``.
+    """
+    values: Dict[str, Optional[str]] = {
+        CRASH_ENV: ",".join(str(s) for s in sorted(crash)) if crash else None,
+        HANG_ENV: ",".join(str(s) for s in sorted(hang)) if hang else None,
+        FLAKY_ENV: ",".join(str(s) for s in sorted(flaky)) if flaky else None,
+        CHAOS_DIR_ENV: chaos_dir,
+        HANG_SECONDS_ENV: (
+            None if hang_seconds is None else repr(float(hang_seconds))
+        ),
+    }
+    previous = {name: os.environ.get(name) for name in values}
+    try:
+        for name, value in values.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        yield
+    finally:
+        for name, value in previous.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
 def _faulted_build(
     builder: Callable[[Topology, int], Scenario],
     plan: FaultPlan,
@@ -114,5 +166,6 @@ __all__ = [
     "HANG_ENV",
     "HANG_SECONDS_ENV",
     "chaos_bounded_builder",
+    "scheduled_chaos",
     "with_fault_plan",
 ]

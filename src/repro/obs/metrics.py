@@ -312,6 +312,41 @@ class MetricsRegistry:
                     mine._sum += instrument.sum
                     mine._count += instrument.count
 
+    def merge_snapshot(self, snapshot: Dict[str, dict]) -> None:
+        """Fold one :meth:`snapshot` dict directly into this registry.
+
+        The incremental counterpart of ``merge(registry_from_snapshot(s))``
+        without materializing the intermediate registry -- the streaming
+        campaign runner and the shard merge pipeline fold thousands of
+        per-cell snapshots read off disk through this path.  Same
+        semantics as :meth:`merge`: counters and histograms add, gauges
+        take the snapshot's reading.
+        """
+        for name, data in snapshot.items():
+            kind = data.get("type")
+            if kind == "counter":
+                self.counter(name).add(float(data["value"]))
+            elif kind == "gauge":
+                self.gauge(name).set(float(data["value"]))
+            elif kind == "histogram":
+                histogram = self.histogram(name, data["boundaries"])
+                counts = [int(c) for c in data["counts"]]
+                if len(counts) != len(histogram.boundaries) + 1:
+                    raise ValueError(
+                        f"histogram {name!r} snapshot has {len(counts)} "
+                        f"bucket counts for {len(histogram.boundaries)} "
+                        f"boundaries"
+                    )
+                with histogram._lock:
+                    for i, count in enumerate(counts):
+                        histogram._bucket_counts[i] += count
+                    histogram._sum += float(data["sum"])
+                    histogram._count += int(data["count"])
+            else:
+                raise ValueError(
+                    f"unknown instrument type {kind!r} for {name!r}"
+                )
+
     def reset(self, prefix: str = "") -> None:
         """Drop every instrument whose name starts with ``prefix``."""
         with self._lock:
@@ -351,26 +386,7 @@ def registry_from_snapshot(snapshot: Dict[str, dict]) -> MetricsRegistry:
     rebuilds registries and folds them together with :meth:`merge`.
     """
     registry = MetricsRegistry()
-    for name, data in snapshot.items():
-        kind = data.get("type")
-        if kind == "counter":
-            registry.counter(name).add(float(data["value"]))
-        elif kind == "gauge":
-            registry.gauge(name).set(float(data["value"]))
-        elif kind == "histogram":
-            histogram = registry.histogram(name, data["boundaries"])
-            counts = [int(c) for c in data["counts"]]
-            if len(counts) != len(histogram.boundaries) + 1:
-                raise ValueError(
-                    f"histogram {name!r} snapshot has {len(counts)} bucket "
-                    f"counts for {len(histogram.boundaries)} boundaries"
-                )
-            with histogram._lock:
-                histogram._bucket_counts = counts
-                histogram._sum = float(data["sum"])
-                histogram._count = int(data["count"])
-        else:
-            raise ValueError(f"unknown instrument type {kind!r} for {name!r}")
+    registry.merge_snapshot(snapshot)
     return registry
 
 

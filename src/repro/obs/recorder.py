@@ -21,6 +21,7 @@ profiled run.
 
 from __future__ import annotations
 
+import contextvars
 from contextlib import contextmanager
 from typing import Any, Iterator, List, Optional, Sequence
 
@@ -226,22 +227,29 @@ class Recorder:
 #: The shared disabled recorder (also what :func:`set_recorder` restores).
 NOOP = NoopRecorder()
 
-_recorder = NOOP
+#: Context-local recorder slot.  A ``ContextVar`` instead of a module
+#: global so concurrent cells (asyncio tasks, ``asyncio.to_thread``
+#: workers -- both copy the current context) each see their *own*
+#: recorder under :func:`recording`, while single-threaded callers keep
+#: the exact process-wide semantics they always had (``fork`` pool
+#: workers inherit the forking thread's context).
+_recorder_var: "contextvars.ContextVar" = contextvars.ContextVar(
+    "repro_recorder", default=NOOP
+)
 
 
 def get_recorder():
-    """The process-wide recorder (the no-op singleton unless enabled)."""
-    return _recorder
+    """The ambient recorder (the no-op singleton unless enabled)."""
+    return _recorder_var.get()
 
 
 def set_recorder(recorder=None):
-    """Install ``recorder`` globally (``None`` restores the no-op).
+    """Install ``recorder`` in the current context (``None`` restores the no-op).
 
     Returns the previously installed recorder so callers can restore it.
     """
-    global _recorder
-    previous = _recorder
-    _recorder = recorder if recorder is not None else NOOP
+    previous = _recorder_var.get()
+    _recorder_var.set(recorder if recorder is not None else NOOP)
     return previous
 
 

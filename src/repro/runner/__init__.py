@@ -1,4 +1,4 @@
-"""Sharded, parallel execution of campaign cells.
+"""Sharded, streamed, parallel execution of campaign cells.
 
 The runner layer is what makes sweeps scale: it knows nothing about
 delay models or theorems, only about *cells* -- independent
@@ -8,10 +8,12 @@ delay models or theorems, only about *cells* -- independent
   (:mod:`repro.runner.sharding`),
 * skip solved ones via a content-addressed result cache
   (:mod:`repro.runner.cache`),
-* fan the rest out over a process pool or run them inline
-  (:mod:`repro.runner.executor`), and
-* merge the per-worker metrics back together through the obs layer's
-  ``merge()`` hooks.
+* fan the rest out over a process pool, an asyncio loop, or inline
+  (:mod:`repro.runner.executor`),
+* stream every completion to a durable, resumable JSONL shard
+  (:mod:`repro.runner.sink`), and
+* fuse independently produced shards back into the canonical
+  single-process view (:mod:`repro.runner.merge`).
 
 :mod:`repro.workloads.parallel` composes these into the campaign-facing
 :func:`~repro.workloads.parallel.run_campaign`.
@@ -29,13 +31,26 @@ from repro.runner.cells import (
     write_cell_results_jsonl,
 )
 from repro.runner.executor import (
+    AsyncExecutor,
+    CellFailure,
+    CellTimeoutError,
     ProcessExecutor,
+    RobustProcessExecutor,
+    RobustSequentialExecutor,
     SequentialExecutor,
     WORKERS_ENV,
     create_executor,
     default_workers,
+    guard_cell,
     resolve_workers,
     set_default_workers,
+)
+from repro.runner.merge import (
+    MergeError,
+    MergeReport,
+    MergedCampaign,
+    find_manifests,
+    merge_shards,
 )
 from repro.runner.sharding import (
     Shard,
@@ -44,26 +59,49 @@ from repro.runner.sharding import (
     parse_shard,
     shard_index,
 )
+from repro.runner.sink import (
+    MANIFEST_VERSION,
+    ResultSink,
+    SinkRecovery,
+    grid_fingerprint,
+    read_stream_records,
+)
 
 __all__ = [
+    "AsyncExecutor",
     "CACHE_VERSION",
     "CellBuilder",
+    "CellFailure",
     "CellOutcome",
     "CellResult",
     "CellSpec",
     "CellTask",
+    "CellTimeoutError",
+    "MANIFEST_VERSION",
+    "MergeError",
+    "MergeReport",
+    "MergedCampaign",
     "ProcessExecutor",
     "ResultCache",
+    "ResultSink",
+    "RobustProcessExecutor",
+    "RobustSequentialExecutor",
     "SequentialExecutor",
     "Shard",
+    "SinkRecovery",
     "WORKERS_ENV",
     "cell_cache_key",
     "create_executor",
     "default_workers",
     "execute_cell",
     "filter_shard",
+    "find_manifests",
+    "grid_fingerprint",
+    "guard_cell",
     "in_shard",
+    "merge_shards",
     "parse_shard",
+    "read_stream_records",
     "resolve_workers",
     "set_default_workers",
     "shard_index",

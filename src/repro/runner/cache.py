@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
+import os
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
@@ -32,7 +33,8 @@ logger = logging.getLogger("repro.runner.cache")
 
 #: Bump on any change to the key derivation or the stored record shape.
 #: 2: fault plans became part of the cell identity (``faults`` key).
-CACHE_VERSION = 2
+#: 3: cell records carry the ``degraded`` flag.
+CACHE_VERSION = 3
 
 
 def cell_cache_key(task: CellTask) -> Optional[str]:
@@ -82,21 +84,47 @@ class ResultCache:
     exists but cannot be parsed back into a cell result -- truncated
     write, bit rot, concurrent writer) from an ordinary cold-cache miss
     or a deliberate format-version bump, both of which stay silent.
+
+    ``max_entries`` bounds the directory: when a :meth:`put` would
+    exceed it, the least-recently-*used* entries (by file mtime -- hits
+    touch their entry, so a long-lived cache shared across resumed
+    shards keeps its hot set) are evicted and counted on
+    :attr:`evicted_entries`.  ``None`` (the default) leaves the cache
+    unbounded, exactly as before.
     """
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1 or None, got {max_entries}"
+            )
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
         self._corrupt_entries = 0
+        self._evicted_entries = 0
+        self._max_entries = max_entries
 
     @property
     def directory(self) -> Path:
         return self._directory
 
     @property
+    def max_entries(self) -> Optional[int]:
+        return self._max_entries
+
+    @property
     def corrupt_entries(self) -> int:
         """Entries that existed but failed to parse, since construction."""
         return self._corrupt_entries
+
+    @property
+    def evicted_entries(self) -> int:
+        """Entries removed by the LRU bound, since construction."""
+        return self._evicted_entries
 
     def _path(self, key: str) -> Path:
         return self._directory / f"{key}.json"
@@ -135,13 +163,15 @@ class ResultCache:
             # not corruption: plain miss.
             return None
         try:
-            return CellResult.from_json(record["cell"]).as_cache_hit()
+            cell = CellResult.from_json(record["cell"]).as_cache_hit()
         except (ValueError, KeyError, TypeError) as exc:
             self._corrupt_entries += 1
             logger.warning(
                 "corrupt cache entry %s (%s); treating as miss", path, exc
             )
             return None
+        self._touch(path)
+        return cell
 
     def put(self, key: Optional[str], result: CellResult) -> None:
         """Store ``result`` under ``key`` (no-op for uncacheable cells)."""
@@ -153,6 +183,35 @@ class ResultCache:
             "cell": result.to_json(),
         }
         self._path(key).write_text(json.dumps(record, sort_keys=True))
+        if self._max_entries is not None:
+            self._evict_to_bound()
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh the entry's mtime (it is the LRU recency signal)."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # recency update is best-effort; the hit still counts
+
+    def _evict_to_bound(self) -> None:
+        """Drop least-recently-used entries until the bound holds."""
+        entries = []
+        for path in self._directory.glob("*.json"):
+            try:
+                entries.append((path.stat().st_mtime, str(path), path))
+            except OSError:
+                continue  # vanished under a concurrent writer
+        excess = len(entries) - self._max_entries
+        if excess <= 0:
+            return
+        entries.sort()  # oldest mtime first; path string breaks ties
+        for _, _, path in entries[:excess]:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self._evicted_entries += 1
 
     def __len__(self) -> int:
         return sum(1 for _ in self._directory.glob("*.json"))

@@ -81,7 +81,10 @@ class CellResult:
     ``timings`` holds the engine's per-stage seconds for this cell;
     ``seconds`` is the cell's wall-clock time.  ``cache_hit`` marks
     results restored from the content-addressed cache (their timings are
-    the original run's).
+    the original run's).  ``degraded`` marks results the pipeline
+    produced in degraded mode (fault-injected runs with isolated
+    processors or root substitutions; see
+    :class:`~repro.core.synchronizer.DegradedResult`).
     """
 
     scenario: str
@@ -95,6 +98,7 @@ class CellResult:
     seconds: float
     timings: Dict[str, float] = field(default_factory=dict)
     cache_hit: bool = False
+    degraded: bool = False
 
     def fingerprint(self) -> Tuple[str, str, int, float, float, float, bool]:
         """The deterministic part of the result (no wall-clock fields).
@@ -132,6 +136,7 @@ class CellResult:
             "seconds": self.seconds,
             "timings": {k: v for k, v in sorted(self.timings.items())},
             "cache_hit": self.cache_hit,
+            "degraded": self.degraded,
         }
 
     @classmethod
@@ -157,6 +162,7 @@ class CellResult:
             seconds=float(data["seconds"]),
             timings={k: float(v) for k, v in data.get("timings", {}).items()},
             cache_hit=bool(data.get("cache_hit", False)),
+            degraded=bool(data.get("degraded", False)),
         )
 
     def as_cache_hit(self) -> "CellResult":
@@ -213,6 +219,7 @@ def execute_cell(task: CellTask) -> CellOutcome:
         backend=synchronizer.backend,
         seconds=time.perf_counter() - started,
         timings=timings,
+        degraded=result.is_degraded,
     )
     return CellOutcome(result=cell, metrics=recorder.registry.snapshot())
 

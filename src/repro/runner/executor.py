@@ -1,9 +1,18 @@
-"""Cell executors: in-process sequential, and a multiprocessing pool.
+"""Cell executors: sequential, multiprocessing pools, and asyncio.
 
-Both executors take an ordered list of :class:`~repro.runner.cells.CellTask`
-and return :class:`~repro.runner.cells.CellOutcome` in the *same* order,
-whatever the completion order was -- campaigns are deterministic by
-construction, so the executor must never reorder results.
+Every executor takes an ordered list of :class:`~repro.runner.cells.CellTask`
+and exposes two views of the same run:
+
+* :meth:`execute` -- the legacy barrier API: all outcomes, in *input*
+  order, whatever the completion order was;
+* :meth:`execute_iter` -- the streaming API: ``(index, outcome)`` pairs
+  yielded in *completion* order, so callers (the streaming campaign
+  runner, its JSONL result sink) can durably persist and release each
+  result the moment it exists instead of holding the whole grid in
+  memory.
+
+``execute`` is implemented on top of ``execute_iter`` for every
+executor, so the two can never disagree.
 
 The sequential executor is the fallback (and the right choice for tests
 and tiny grids: a pool costs ~worker-startup per run).  The process
@@ -11,7 +20,15 @@ executor fans cells out over ``multiprocessing``; on platforms with the
 ``fork`` start method the task list is inherited by the workers at fork
 time, so builders may be closures or lambdas.  Under ``spawn`` the tasks
 travel by pickle instead, which requires module-level builders -- the
-error message says so when it bites.
+error message says so when it bites.  The asyncio executor
+(:class:`AsyncExecutor`) overlaps cells on one process via an event
+loop plus worker threads -- the seam I/O-bound cells (live-runtime
+probes, network-backed scenarios) plug into.
+
+Robustness (per-cell timeout, failure quarantine) is one shared wrapper,
+:func:`guard_cell`, layered identically over all three families: the
+robust executors degrade a failing cell to a typed
+:class:`CellFailure` instead of aborting (or hanging) the sweep.
 
 Worker-level telemetry goes to the ambient recorder (no-op unless
 observability is enabled): a ``campaign.execute`` span around the fan
@@ -22,6 +39,7 @@ pending at each completion.
 
 from __future__ import annotations
 
+import asyncio
 import concurrent.futures
 import multiprocessing
 import os
@@ -31,7 +49,15 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Union
+from typing import (
+    Callable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import get_recorder
@@ -69,7 +95,10 @@ class CellFailure:
     ``kind`` is ``"timeout"`` (exceeded the per-cell budget), ``"crash"``
     (the worker process died -- SIGKILL, OOM, segfault) or ``"error"``
     (the cell raised an ordinary exception).  Robust campaign runs
-    quarantine these instead of hanging or aborting the whole sweep.
+    quarantine these instead of hanging or aborting the whole sweep;
+    the streaming result sink persists them as ``campaign.cell.failure``
+    JSONL records so shard merges can tell a quarantined cell from a
+    gap.
     """
 
     scenario: str
@@ -78,6 +107,11 @@ class CellFailure:
     kind: str
     message: str
     attempts: int = 1
+
+    @property
+    def key(self) -> Tuple[str, str, int]:
+        """The failed cell's identity (same shape as ``CellSpec.key``)."""
+        return (self.scenario, self.topology, self.seed)
 
     def to_json(self) -> dict:
         return {
@@ -89,6 +123,23 @@ class CellFailure:
             "message": self.message,
             "attempts": self.attempts,
         }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CellFailure":
+        """Rebuild a failure from :meth:`to_json` output."""
+        if data.get("type") != "campaign.cell.failure":
+            raise ValueError(
+                f"not a campaign.cell.failure record: "
+                f"type={data.get('type')!r}"
+            )
+        return cls(
+            scenario=data["scenario"],
+            topology=data["topology"],
+            seed=int(data["seed"]),
+            kind=data["kind"],
+            message=data["message"],
+            attempts=int(data.get("attempts", 1)),
+        )
 
 
 def resolve_start_method(preferred: Optional[str] = None) -> str:
@@ -165,123 +216,8 @@ def _observe_completion(
     registry.histogram("campaign.cell.seconds").observe(seconds)
 
 
-class SequentialExecutor:
-    """Runs cells one by one in this process (fallback + test executor)."""
-
-    workers = 1
-
-    def execute(
-        self,
-        tasks: Sequence[CellTask],
-        registry: Optional[MetricsRegistry] = None,
-    ) -> List[CellOutcome]:
-        recorder = get_recorder()
-        outcomes: List[CellOutcome] = []
-        with recorder.span(
-            "campaign.execute", workers=1, cells=len(tasks)
-        ):
-            pending = len(tasks)
-            for task in tasks:
-                started = time.perf_counter()
-                with recorder.span(
-                    "campaign.cell",
-                    scenario=task.spec.scenario_key,
-                    seed=task.spec.seed,
-                ):
-                    outcome = execute_cell(task)
-                pending -= 1
-                _observe_completion(
-                    registry, pending, time.perf_counter() - started
-                )
-                outcomes.append(outcome)
-        return outcomes
-
-
-def _worker_init(tasks: Optional[Sequence[CellTask]]) -> None:
-    """Pool initializer: receive tasks under spawn, inherit under fork."""
-    global _WORKER_TASKS
-    if tasks is not None:
-        _WORKER_TASKS = tasks
-
-
-def _run_indexed(index: int):
-    """Execute one task by index; returns (index, outcome, seconds)."""
-    assert _WORKER_TASKS is not None, "worker pool not initialized"
-    started = time.perf_counter()
-    outcome = execute_cell(_WORKER_TASKS[index])
-    return index, outcome, time.perf_counter() - started
-
-
-class ProcessExecutor:
-    """Fans cells out over a ``multiprocessing`` pool.
-
-    Results come back via ``imap_unordered`` (so queue-depth telemetry
-    sees real completion order) and are reassembled into input order.
-    Exceptions raised by a cell propagate to the caller, as they do in
-    the sequential executor.
-    """
-
-    def __init__(
-        self, workers: int, start_method: Optional[str] = None
-    ) -> None:
-        if workers < 2:
-            raise ValueError(
-                f"ProcessExecutor needs >= 2 workers, got {workers} "
-                f"(use SequentialExecutor for 1)"
-            )
-        self.workers = workers
-        self._start_method = resolve_start_method(start_method)
-
-    def execute(
-        self,
-        tasks: Sequence[CellTask],
-        registry: Optional[MetricsRegistry] = None,
-    ) -> List[CellOutcome]:
-        global _WORKER_TASKS
-        if not tasks:
-            return []
-        recorder = get_recorder()
-        context = multiprocessing.get_context(self._start_method)
-        task_list = list(tasks)
-        # Under fork the children inherit the module global; under spawn
-        # the initializer ships a pickled copy instead.
-        initargs = (None,) if self._start_method == "fork" else (task_list,)
-        _WORKER_TASKS = task_list
-        outcomes: List[Optional[CellOutcome]] = [None] * len(task_list)
-        try:
-            with recorder.span(
-                "campaign.execute",
-                workers=self.workers,
-                cells=len(task_list),
-                start_method=self._start_method,
-            ):
-                with context.Pool(
-                    processes=self.workers,
-                    initializer=_worker_init,
-                    initargs=initargs,
-                ) as pool:
-                    pending = len(task_list)
-                    for index, outcome, seconds in pool.imap_unordered(
-                        _run_indexed, range(len(task_list)), chunksize=1
-                    ):
-                        pending -= 1
-                        _observe_completion(registry, pending, seconds)
-                        outcomes[index] = outcome
-        except (AttributeError, pickle.PicklingError) as exc:
-            # Unpicklable builder (lambda/closure) under spawn.
-            raise RuntimeError(
-                "campaign builders must be picklable (module-level "
-                "functions) to run under the 'spawn' start method; "
-                "use workers=1 or define the builder at module scope"
-            ) from exc
-        finally:
-            _WORKER_TASKS = None
-        assert all(o is not None for o in outcomes)
-        return outcomes  # type: ignore[return-value]
-
-
 # ----------------------------------------------------------------------
-# Robust execution: per-cell timeouts, worker-death containment
+# The shared robustness wrapper: timeout + failure quarantine
 # ----------------------------------------------------------------------
 
 #: One executed-or-failed entry per input task, in input order.
@@ -297,6 +233,25 @@ def _failure(task: CellTask, kind: str, message: str) -> CellFailure:
         kind=kind,
         message=message,
     )
+
+
+def guard_cell(
+    task: CellTask, run: Callable[[], CellOutcome]
+) -> RobustOutcome:
+    """Run one cell, degrading any failure to a :class:`CellFailure`.
+
+    The single quarantine policy every robust executor (sequential,
+    process pool, asyncio) shares: a :class:`CellTimeoutError` becomes a
+    ``timeout`` failure, any other exception an ``error`` failure, and
+    nothing short of worker death (which only process pools can contain,
+    as a ``crash``) propagates.
+    """
+    try:
+        return run()
+    except CellTimeoutError as exc:
+        return _failure(task, "timeout", str(exc))
+    except Exception as exc:  # noqa: BLE001 -- quarantine, not crash
+        return _failure(task, "error", f"{type(exc).__name__}: {exc}")
 
 
 def _raise_cell_timeout(signum, frame):
@@ -328,74 +283,200 @@ def _cell_alarm(timeout: Optional[float]) -> Iterator[None]:
         signal.signal(signal.SIGALRM, previous)
 
 
-def _worker_init_robust(
-    tasks: Optional[Sequence[CellTask]], timeout: Optional[float]
+def run_cell_with_budget(
+    task: CellTask, timeout: Optional[float]
+) -> CellOutcome:
+    """Execute one cell under the in-process SIGALRM budget (if usable)."""
+    with _cell_alarm(timeout):
+        return execute_cell(task)
+
+
+# ----------------------------------------------------------------------
+# Executor base: execute() is always the barrier view of execute_iter()
+# ----------------------------------------------------------------------
+
+class _ExecutorBase:
+    """Shared barrier API: collect the stream back into input order."""
+
+    workers = 1
+    #: Whether this executor degrades failures to :class:`CellFailure`
+    #: (robust) instead of propagating them (plain).
+    robust = False
+
+    def execute_iter(
+        self,
+        tasks: Sequence[CellTask],
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        raise NotImplementedError
+
+    def execute(
+        self,
+        tasks: Sequence[CellTask],
+        registry: Optional[MetricsRegistry] = None,
+    ) -> List:
+        out: List[Optional[RobustOutcome]] = [None] * len(tasks)
+        for index, outcome in self.execute_iter(tasks, registry=registry):
+            out[index] = outcome
+        assert all(o is not None for o in out)
+        return out  # type: ignore[return-value]
+
+
+class SequentialExecutor(_ExecutorBase):
+    """Runs cells one by one in this process (fallback + test executor)."""
+
+    workers = 1
+
+    def _run_one(self, task: CellTask):
+        """One cell; the robust subclass overrides this with the guard."""
+        return execute_cell(task)
+
+    def execute_iter(
+        self,
+        tasks: Sequence[CellTask],
+        registry: Optional[MetricsRegistry] = None,
+    ) -> Iterator[Tuple[int, RobustOutcome]]:
+        recorder = get_recorder()
+        with recorder.span(
+            "campaign.execute",
+            workers=1,
+            cells=len(tasks),
+            robust=self.robust,
+        ):
+            pending = len(tasks)
+            for index, task in enumerate(tasks):
+                started = time.perf_counter()
+                with recorder.span(
+                    "campaign.cell",
+                    scenario=task.spec.scenario_key,
+                    seed=task.spec.seed,
+                ):
+                    outcome = self._run_one(task)
+                pending -= 1
+                _observe_completion(
+                    registry, pending, time.perf_counter() - started
+                )
+                yield index, outcome
+
+
+class RobustSequentialExecutor(SequentialExecutor):
+    """In-process execution that degrades failures to :class:`CellFailure`.
+
+    Exactly :class:`SequentialExecutor` with :func:`guard_cell` around
+    each cell (the shared quarantine wrapper) plus the in-process alarm
+    budget.  A cell that kills the *process* cannot be contained here
+    (there is only one process); use :class:`RobustProcessExecutor` with
+    ``workers >= 2`` for crash isolation.
+    """
+
+    robust = True
+
+    def __init__(self, timeout: Optional[float] = None) -> None:
+        self._timeout = timeout
+
+    def _run_one(self, task: CellTask) -> RobustOutcome:
+        return guard_cell(
+            task, lambda: run_cell_with_budget(task, self._timeout)
+        )
+
+
+# ----------------------------------------------------------------------
+# Process pools
+# ----------------------------------------------------------------------
+
+def _worker_init(
+    tasks: Optional[Sequence[CellTask]], timeout: Optional[float] = None
 ) -> None:
-    """Robust-pool initializer: tasks (spawn) plus the per-cell budget."""
+    """Pool initializer: tasks under spawn (inherited under fork) + budget."""
     global _WORKER_TASKS, _WORKER_TIMEOUT
     if tasks is not None:
         _WORKER_TASKS = tasks
     _WORKER_TIMEOUT = timeout
 
 
-def _run_indexed_robust(index: int):
-    """Execute one task by index under the worker's per-cell alarm.
+def _run_indexed(index: int):
+    """Execute one task by index; returns (index, outcome, seconds).
 
     Pool workers run tasks in their main thread, so the SIGALRM-based
-    budget applies to whatever the cell does -- including sleeping.
+    budget (when armed by the robust pool) applies to whatever the cell
+    does -- including sleeping.
     """
     assert _WORKER_TASKS is not None, "worker pool not initialized"
     started = time.perf_counter()
-    with _cell_alarm(_WORKER_TIMEOUT):
-        outcome = execute_cell(_WORKER_TASKS[index])
+    outcome = run_cell_with_budget(_WORKER_TASKS[index], _WORKER_TIMEOUT)
     return index, outcome, time.perf_counter() - started
 
 
-class RobustSequentialExecutor:
-    """In-process execution that degrades failures to :class:`CellFailure`.
+class ProcessExecutor(_ExecutorBase):
+    """Fans cells out over a ``multiprocessing`` pool.
 
-    Timeouts are enforced with the same in-process alarm as the pool
-    workers.  A cell that kills the *process* cannot be contained here
-    (there is only one process); use :class:`RobustProcessExecutor` with
-    ``workers >= 2`` for crash isolation.
+    Results stream back via ``imap_unordered`` (so queue-depth telemetry
+    and the result sink see real completion order); :meth:`execute`
+    reassembles them into input order.  Exceptions raised by a cell
+    propagate to the caller, as they do in the sequential executor.
     """
 
-    workers = 1
+    def __init__(
+        self, workers: int, start_method: Optional[str] = None
+    ) -> None:
+        if workers < 2:
+            raise ValueError(
+                f"ProcessExecutor needs >= 2 workers, got {workers} "
+                f"(use SequentialExecutor for 1)"
+            )
+        self.workers = workers
+        self._start_method = resolve_start_method(start_method)
 
-    def __init__(self, timeout: Optional[float] = None) -> None:
-        self._timeout = timeout
-
-    def execute(
+    def execute_iter(
         self,
         tasks: Sequence[CellTask],
         registry: Optional[MetricsRegistry] = None,
-    ) -> List[RobustOutcome]:
+    ) -> Iterator[Tuple[int, CellOutcome]]:
+        global _WORKER_TASKS
+        if not tasks:
+            return
         recorder = get_recorder()
-        out: List[RobustOutcome] = []
-        with recorder.span(
-            "campaign.execute", workers=1, cells=len(tasks), robust=True
-        ):
-            pending = len(tasks)
-            for task in tasks:
-                started = time.perf_counter()
-                try:
-                    with _cell_alarm(self._timeout):
-                        outcome: RobustOutcome = execute_cell(task)
-                except CellTimeoutError as exc:
-                    outcome = _failure(task, "timeout", str(exc))
-                except Exception as exc:  # noqa: BLE001 -- quarantine, not crash
-                    outcome = _failure(
-                        task, "error", f"{type(exc).__name__}: {exc}"
-                    )
-                pending -= 1
-                _observe_completion(
-                    registry, pending, time.perf_counter() - started
-                )
-                out.append(outcome)
-        return out
+        context = multiprocessing.get_context(self._start_method)
+        task_list = list(tasks)
+        # Under fork the children inherit the module global; under spawn
+        # the initializer ships a pickled copy instead.
+        initargs = (
+            (None, None)
+            if self._start_method == "fork"
+            else (task_list, None)
+        )
+        _WORKER_TASKS = task_list
+        try:
+            with recorder.span(
+                "campaign.execute",
+                workers=self.workers,
+                cells=len(task_list),
+                start_method=self._start_method,
+            ):
+                with context.Pool(
+                    processes=self.workers,
+                    initializer=_worker_init,
+                    initargs=initargs,
+                ) as pool:
+                    pending = len(task_list)
+                    for index, outcome, seconds in pool.imap_unordered(
+                        _run_indexed, range(len(task_list)), chunksize=1
+                    ):
+                        pending -= 1
+                        _observe_completion(registry, pending, seconds)
+                        yield index, outcome
+        except (AttributeError, pickle.PicklingError) as exc:
+            # Unpicklable builder (lambda/closure) under spawn.
+            raise RuntimeError(
+                "campaign builders must be picklable (module-level "
+                "functions) to run under the 'spawn' start method; "
+                "use workers=1 or define the builder at module scope"
+            ) from exc
+        finally:
+            _WORKER_TASKS = None
 
 
-class RobustProcessExecutor:
+class RobustProcessExecutor(_ExecutorBase):
     """A process pool that survives worker death and contains hung cells.
 
     Built on :class:`concurrent.futures.ProcessPoolExecutor`, which --
@@ -407,8 +488,12 @@ class RobustProcessExecutor:
     ``crash`` failures and every innocent bystander still completes.
 
     Per-cell timeouts run *inside* the worker via ``SIGALRM``, so a
-    timed-out cell fails cheaply without killing its worker.
+    timed-out cell fails cheaply without killing its worker; the
+    resulting :class:`CellTimeoutError` crosses back and is degraded by
+    the same ladder as :func:`guard_cell`.
     """
+
+    robust = True
 
     def __init__(
         self,
@@ -429,19 +514,34 @@ class RobustProcessExecutor:
         tasks = None if self._start_method == "fork" else task_list
         return (tasks, self._timeout)
 
-    def execute(
+    @staticmethod
+    def _resolve(future, task: CellTask):
+        """(outcome, seconds) from one future, quarantining like guard_cell.
+
+        ``BrokenProcessPool`` deliberately propagates: which task killed
+        the worker is not knowable here, so the caller must re-run the
+        unresolved cells in isolation.
+        """
+        try:
+            _, outcome, seconds = future.result()
+            return outcome, seconds
+        except BrokenProcessPool:
+            raise
+        except Exception as exc:  # noqa: BLE001
+            return guard_cell(task, _reraise(exc)), None
+
+    def execute_iter(
         self,
         tasks: Sequence[CellTask],
         registry: Optional[MetricsRegistry] = None,
-    ) -> List[RobustOutcome]:
+    ) -> Iterator[Tuple[int, RobustOutcome]]:
         global _WORKER_TASKS
         if not tasks:
-            return []
+            return
         recorder = get_recorder()
         context = multiprocessing.get_context(self._start_method)
         task_list = list(tasks)
         _WORKER_TASKS = task_list
-        out: List[Optional[RobustOutcome]] = [None] * len(task_list)
         unresolved: List[int] = []
         try:
             with recorder.span(
@@ -454,43 +554,36 @@ class RobustProcessExecutor:
                 with concurrent.futures.ProcessPoolExecutor(
                     max_workers=self.workers,
                     mp_context=context,
-                    initializer=_worker_init_robust,
+                    initializer=_worker_init,
                     initargs=self._initargs(task_list),
                 ) as pool:
                     futures = {
-                        pool.submit(_run_indexed_robust, i): i
+                        pool.submit(_run_indexed, i): i
                         for i in range(len(task_list))
                     }
                     pending = len(task_list)
                     for future in concurrent.futures.as_completed(futures):
                         i = futures[future]
                         try:
-                            index, outcome, seconds = future.result()
-                            out[index] = outcome
-                            pending -= 1
-                            _observe_completion(registry, pending, seconds)
-                        except CellTimeoutError as exc:
-                            out[i] = _failure(task_list[i], "timeout", str(exc))
-                            pending -= 1
+                            outcome, seconds = self._resolve(
+                                future, task_list[i]
+                            )
                         except BrokenProcessPool:
-                            # Some worker died; which task killed it is not
-                            # knowable from here.  Re-run the unresolved
+                            # Some worker died; re-run the unresolved
                             # cells in isolation below.
                             unresolved.append(i)
                             pending -= 1
-                        except Exception as exc:  # noqa: BLE001
-                            out[i] = _failure(
-                                task_list[i],
-                                "error",
-                                f"{type(exc).__name__}: {exc}",
-                            )
-                            pending -= 1
+                            continue
+                        pending -= 1
+                        if seconds is not None:
+                            _observe_completion(registry, pending, seconds)
+                        yield i, outcome
                 for i in sorted(unresolved):
-                    out[i] = self._run_isolated(context, task_list, i, registry)
+                    yield i, self._run_isolated(
+                        context, task_list, i, registry
+                    )
         finally:
             _WORKER_TASKS = None
-        assert all(o is not None for o in out)
-        return out  # type: ignore[return-value]
 
     def _run_isolated(
         self,
@@ -511,52 +604,211 @@ class RobustProcessExecutor:
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=1,
                 mp_context=context,
-                initializer=_worker_init_robust,
+                initializer=_worker_init,
                 initargs=self._initargs(task_list),
             ) as pool:
-                future = pool.submit(_run_indexed_robust, index)
+                future = pool.submit(_run_indexed, index)
                 try:
-                    _, outcome, seconds = future.result()
-                    _observe_completion(registry, 0, seconds)
-                    return outcome
-                except CellTimeoutError as exc:
-                    return _failure(task_list[index], "timeout", str(exc))
+                    outcome, seconds = self._resolve(
+                        future, task_list[index]
+                    )
                 except BrokenProcessPool:
                     return _failure(
                         task_list[index],
                         "crash",
                         "worker process died while executing this cell",
                     )
-                except Exception as exc:  # noqa: BLE001
-                    return _failure(
-                        task_list[index],
-                        "error",
-                        f"{type(exc).__name__}: {exc}",
-                    )
+                if seconds is not None:
+                    _observe_completion(registry, 0, seconds)
+                return outcome
         finally:
             _WORKER_TASKS = None
 
 
-def create_executor(workers: Optional[int] = None):
-    """The right executor for ``workers`` (resolved via defaults/env)."""
+def _reraise(exc: BaseException) -> Callable[[], CellOutcome]:
+    """A thunk re-raising ``exc`` (feeds pool exceptions to guard_cell)."""
+
+    def raise_it() -> CellOutcome:
+        raise exc
+
+    return raise_it
+
+
+# ----------------------------------------------------------------------
+# Asyncio executor (I/O-bound cells, live-runtime seam)
+# ----------------------------------------------------------------------
+
+class AsyncExecutor(_ExecutorBase):
+    """Overlaps cells on one process via an event loop + worker threads.
+
+    Built for I/O-bound cells -- live-runtime probes, network-backed
+    scenarios -- where a process pool buys nothing but fork overhead:
+    up to ``workers`` cells run concurrently via ``asyncio.to_thread``
+    behind a semaphore, and completions stream back through the same
+    ``execute_iter`` contract (completion order, queue-depth telemetry)
+    as the pools.  Cell telemetry stays per-cell: the recorder slot is
+    a ``ContextVar`` and ``to_thread`` copies the caller's context, so
+    concurrent cells each record into their own registry.
+
+    With ``robust=True`` failures degrade to :class:`CellFailure`
+    through the shared :func:`guard_cell` ladder.  ``timeout`` marks a
+    cell *failed* after its budget but cannot kill its thread (there is
+    no cross-thread SIGALRM); the cell's thread runs to completion in
+    the background, which is the honest trade for I/O-bound work.
+    CPU-bound grids should stay on the process executors.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        timeout: Optional[float] = None,
+        robust: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(
+                f"AsyncExecutor needs >= 1 workers, got {workers}"
+            )
+        self.workers = workers
+        self._timeout = timeout
+        self.robust = robust
+
+    def execute_iter(
+        self,
+        tasks: Sequence[CellTask],
+        registry: Optional[MetricsRegistry] = None,
+    ) -> Iterator[Tuple[int, RobustOutcome]]:
+        if not tasks:
+            return
+        recorder = get_recorder()
+        task_list = list(tasks)
+        loop = asyncio.new_event_loop()
+        semaphore = asyncio.Semaphore(self.workers)
+
+        async def run_one(index: int):
+            async with semaphore:
+                started = time.perf_counter()
+                work = asyncio.to_thread(execute_cell, task_list[index])
+                if self._timeout is not None:
+                    try:
+                        outcome = await asyncio.wait_for(
+                            work, self._timeout
+                        )
+                    except asyncio.TimeoutError:
+                        raise CellTimeoutError(
+                            "cell exceeded its wall-clock budget"
+                        ) from None
+                else:
+                    outcome = await work
+                return outcome, time.perf_counter() - started
+
+        futures = {
+            loop.create_task(run_one(i)): i for i in range(len(task_list))
+        }
+        not_done = set(futures)
+        abort: Optional[BaseException] = None
+        try:
+            with recorder.span(
+                "campaign.execute",
+                workers=self.workers,
+                cells=len(task_list),
+                executor="async",
+                robust=self.robust,
+            ):
+                pending = len(task_list)
+                while not_done:
+                    done, not_done = loop.run_until_complete(
+                        asyncio.wait(
+                            not_done,
+                            return_when=asyncio.FIRST_COMPLETED,
+                        )
+                    )
+                    for future in done:
+                        index = futures[future]
+                        task = task_list[index]
+                        seconds = None
+                        if self.robust:
+                            outcome = guard_cell(
+                                task, lambda f=future: f.result()[0]
+                            )
+                            if not isinstance(outcome, CellFailure):
+                                outcome, seconds = future.result()
+                        else:
+                            try:
+                                outcome, seconds = future.result()
+                            except BaseException as exc:
+                                abort = exc
+                                raise
+                        pending -= 1
+                        _observe_completion(
+                            registry,
+                            pending,
+                            0.0 if seconds is None else seconds,
+                        )
+                        yield index, outcome
+        finally:
+            if not_done:
+                # Error path: cancel what never started (cells blocked
+                # on the semaphore respond immediately); cells already
+                # running in threads finish before the loop closes.
+                for future in not_done:
+                    future.cancel()
+                loop.run_until_complete(
+                    asyncio.gather(*not_done, return_exceptions=True)
+                )
+            loop.run_until_complete(loop.shutdown_default_executor())
+            loop.close()
+            if abort is not None:
+                del abort
+
+
+def create_executor(
+    workers: Optional[int] = None,
+    *,
+    cells: Optional[int] = None,
+    kind: Optional[str] = None,
+    timeout: Optional[float] = None,
+    robust: bool = False,
+):
+    """The right executor for the job.
+
+    ``workers`` resolves via defaults/env; ``cells`` (when known) lets a
+    one-cell batch skip pool startup; ``kind`` is ``"process"`` (default)
+    or ``"async"``; ``robust``/``timeout`` select the quarantining
+    variants (see :func:`guard_cell`).
+    """
     count = resolve_workers(workers)
-    if count <= 1:
-        return SequentialExecutor()
-    return ProcessExecutor(count)
+    if kind not in (None, "process", "async"):
+        raise ValueError(
+            f"unknown executor kind {kind!r}; choose 'process' or 'async'"
+        )
+    if kind == "async":
+        return AsyncExecutor(count, timeout=timeout, robust=robust)
+    pool_worthy = count > 1 and (cells is None or cells > 1)
+    if robust:
+        if pool_worthy:
+            return RobustProcessExecutor(count, timeout=timeout)
+        return RobustSequentialExecutor(timeout=timeout)
+    if pool_worthy:
+        return ProcessExecutor(count)
+    return SequentialExecutor()
 
 
 __all__ = [
+    "AsyncExecutor",
     "CellFailure",
     "CellTimeoutError",
     "ProcessExecutor",
     "QUEUE_DEPTH_BUCKETS",
+    "RobustOutcome",
     "RobustProcessExecutor",
     "RobustSequentialExecutor",
     "SequentialExecutor",
     "WORKERS_ENV",
     "create_executor",
     "default_workers",
+    "guard_cell",
     "resolve_start_method",
     "resolve_workers",
+    "run_cell_with_budget",
     "set_default_workers",
 ]

@@ -1,8 +1,18 @@
 """Reproducible workload scenarios for experiments, tests and examples."""
 
 from repro.runner.cells import CellResult
-from repro.workloads.campaign import Campaign, CampaignCell, ScenarioBuilder
-from repro.workloads.parallel import CampaignOutcome, run_campaign
+from repro.workloads.campaign import (
+    Campaign,
+    CampaignCell,
+    ScenarioBuilder,
+    summarize_groups,
+    summarize_results,
+)
+from repro.workloads.parallel import (
+    CampaignOutcome,
+    GroupAggregate,
+    run_campaign,
+)
 from repro.workloads.scenarios import (
     Scenario,
     asymmetric_bounded,
@@ -18,6 +28,7 @@ __all__ = [
     "CampaignCell",
     "CampaignOutcome",
     "CellResult",
+    "GroupAggregate",
     "ScenarioBuilder",
     "Scenario",
     "asymmetric_bounded",
@@ -27,4 +38,6 @@ __all__ = [
     "lower_bound_only",
     "round_trip_bias",
     "run_campaign",
+    "summarize_groups",
+    "summarize_results",
 ]

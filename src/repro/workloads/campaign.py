@@ -22,16 +22,17 @@ grid, and ``cache_dir=...`` to skip cells already solved by an earlier
 the worker count or sharding split — see DESIGN.md section 9.
 
 API policy (DESIGN.md section 9): option arguments are keyword-only.
-Passing them positionally still works for one release behind a
-``DeprecationWarning`` shim.
+The one-release ``DeprecationWarning`` positional shims from the PR
+that introduced the policy have been removed; positional options now
+raise ``TypeError``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro._compat import keyword_only_shim
 from repro.analysis.metrics import summarize
 from repro.analysis.reporting import Table
 from repro.graphs.topology import Topology
@@ -55,10 +56,58 @@ class CampaignCell:
     certified: bool
 
 
+def summarize_groups(
+    groups: Sequence["CampaignCell"], *, seeds_per_cell: int
+) -> Table:
+    """The campaign summary table from pre-grouped (builder, topology) cells.
+
+    Accepts anything field-compatible with :class:`CampaignCell`
+    (notably :class:`repro.workloads.parallel.GroupAggregate`, the
+    bounded-memory runner's aggregate rows), so streamed, merged and
+    in-memory campaigns all render through one code path -- which is
+    what makes ``campaign merge`` output byte-identical to a
+    single-process run.
+    """
+    table = Table(
+        title=f"Campaign ({seeds_per_cell} seeds per cell)",
+        headers=[
+            "scenario",
+            "topology",
+            "mean precision",
+            "max precision",
+            "mean realized",
+            "sound",
+        ],
+    )
+    for cell in groups:
+        stats = summarize(cell.precisions)
+        table.add_row(
+            cell.builder,
+            cell.topology,
+            stats.mean,
+            stats.maximum,
+            summarize(cell.realized).mean,
+            cell.certified,
+        )
+    table.add_note(
+        "sound = realized spread never exceeded the claimed precision "
+        "(and every certificate verified)"
+    )
+    return table
+
+
+def summarize_results(
+    results: Sequence[CellResult], *, seeds_per_cell: int
+) -> Table:
+    """The campaign summary table for raw cell results (grid order)."""
+    return summarize_groups(
+        Campaign.group_results(results), seeds_per_cell=seeds_per_cell
+    )
+
+
 class Campaign:
     """A sweep of scenario builders across topologies and seeds."""
 
-    @keyword_only_shim
     def __init__(
         self,
         *,
@@ -130,7 +179,6 @@ class Campaign:
                     )
         return cells
 
-    @keyword_only_shim
     def run_results(
         self,
         topologies: Sequence[Topology],
@@ -142,12 +190,19 @@ class Campaign:
         cell_timeout: Optional[float] = None,
         retries: int = 0,
         retry_backoff: float = 0.0,
+        results_dir: Union[str, Path, None] = None,
+        bounded_memory: bool = False,
+        executor: Optional[str] = None,
+        cache_max_entries: Optional[int] = None,
     ) -> CampaignOutcome:
         """Execute the sweep; returns typed cell results + merged metrics.
 
         ``cell_timeout``/``retries``/``retry_backoff`` enable the robust
         runner: failing cells are retried and ultimately quarantined on
-        the outcome instead of aborting the sweep (see
+        the outcome instead of aborting the sweep.  ``results_dir``
+        streams every completed cell to a durable JSONL shard (and makes
+        the invocation resumable); ``bounded_memory`` additionally drops
+        results after streaming them (see
         :func:`~repro.workloads.parallel.run_campaign`).
         """
         return run_campaign(
@@ -158,9 +213,12 @@ class Campaign:
             cell_timeout=cell_timeout,
             retries=retries,
             retry_backoff=retry_backoff,
+            results_dir=results_dir,
+            bounded_memory=bounded_memory,
+            executor=executor,
+            cache_max_entries=cache_max_entries,
         )
 
-    @keyword_only_shim
     def run_cells(
         self,
         topologies: Sequence[Topology],
@@ -214,34 +272,10 @@ class Campaign:
 
     def summarize(self, results: Sequence[CellResult]) -> Table:
         """The campaign summary table for already-computed results."""
-        table = Table(
-            title=f"Campaign ({len(self._seeds)} seeds per cell)",
-            headers=[
-                "scenario",
-                "topology",
-                "mean precision",
-                "max precision",
-                "mean realized",
-                "sound",
-            ],
+        return summarize_results(
+            results, seeds_per_cell=len(self._seeds)
         )
-        for cell in self.group_results(results):
-            stats = summarize(cell.precisions)
-            table.add_row(
-                cell.builder,
-                cell.topology,
-                stats.mean,
-                stats.maximum,
-                summarize(cell.realized).mean,
-                cell.certified,
-            )
-        table.add_note(
-            "sound = realized spread never exceeded the claimed precision "
-            "(and every certificate verified)"
-        )
-        return table
 
-    @keyword_only_shim
     def run(
         self,
         topologies: Sequence[Topology],
@@ -250,6 +284,10 @@ class Campaign:
         shard: Union[Shard, str, None] = None,
         cache_dir: Optional[str] = None,
         backend: Optional[str] = None,
+        results_dir: Union[str, Path, None] = None,
+        bounded_memory: bool = False,
+        executor: Optional[str] = None,
+        cache_max_entries: Optional[int] = None,
     ) -> Table:
         """Execute the sweep and summarise it as one table."""
         outcome = self.run_results(
@@ -258,8 +296,25 @@ class Campaign:
             shard=shard,
             cache_dir=cache_dir,
             backend=backend,
+            results_dir=results_dir,
+            bounded_memory=bounded_memory,
+            executor=executor,
+            cache_max_entries=cache_max_entries,
         )
+        if outcome.aggregates is not None:
+            # Bounded-memory run: the results were streamed to disk and
+            # dropped; the aggregates carry exactly the table's inputs.
+            return summarize_groups(
+                outcome.aggregates, seeds_per_cell=len(self._seeds)
+            )
         return self.summarize(outcome.results)
 
 
-__all__ = ["Campaign", "CampaignCell", "CellResult", "ScenarioBuilder"]
+__all__ = [
+    "Campaign",
+    "CampaignCell",
+    "CellResult",
+    "ScenarioBuilder",
+    "summarize_groups",
+    "summarize_results",
+]

@@ -1,4 +1,4 @@
-"""The sharded campaign runner: cells in, merged results + metrics out.
+"""The sharded campaign runner: cells in, streamed results + metrics out.
 
 :func:`run_campaign` is the engine under :meth:`Campaign.run
 <repro.workloads.campaign.Campaign.run>` and :func:`repro.sweep`:
@@ -6,55 +6,120 @@
 1. **Shard** -- keep only the cells owned by ``shard`` (``"i/m"``),
    partitioned by the stable (scenario, seed) hash of
    :mod:`repro.runner.sharding`;
-2. **Cache** -- look every remaining cell up in the content-addressed
+2. **Resume** -- when a ``results_dir``/``sink`` is given, recover every
+   cell already durable in the shard's JSONL stream
+   (:mod:`repro.runner.sink`) and re-execute only what is missing;
+3. **Cache** -- look the remaining cells up in the content-addressed
    :class:`~repro.runner.cache.ResultCache` (when a ``cache_dir`` is
    given) and skip solved ones;
-3. **Execute** -- fan the misses out over the
-   :class:`~repro.runner.executor.ProcessExecutor` (``workers >= 2``) or
-   run them inline, each cell under its own recorder;
-4. **Merge** -- rebuild each worker's metrics snapshot into a
-   :class:`~repro.obs.metrics.MetricsRegistry` and fold everything into
-   one campaign registry via the existing ``merge()`` hooks (also merged
-   into the ambient recorder when observability is on, so ``--metrics-out``
-   sees the whole sweep).
+4. **Execute** -- fan the misses out over an executor
+   (:func:`~repro.runner.executor.create_executor`: process pool,
+   asyncio, or inline) and *stream* completions back: each result is
+   appended -- fsync'd -- to the sink the moment it exists;
+5. **Merge** -- fold each cell's metrics snapshot into one campaign
+   registry *in canonical grid order* (gauges are last-write-wins, so
+   merge order is the determinism contract), buffering only the
+   out-of-order prefix, not the whole grid.
 
-Determinism contract: the returned results -- and any table built from
-them -- are byte-identical for any ``workers`` count, and the union of
-all ``m`` shards equals the unsharded run.  Only wall-clock series
-(``*.seconds`` counters/histograms) may differ between runs.
+Determinism contract: the results -- and any table built from them --
+are byte-identical for any ``workers`` count and any executor kind, and
+the union of all ``m`` shards equals the unsharded run (the merge
+pipeline of :mod:`repro.runner.merge` re-fuses shard streams into
+exactly that).  Only wall-clock series (``*.seconds``) may differ.
+
+Memory contract: with ``bounded_memory=True`` (requires a sink) the
+runner holds O(1) ``CellResult`` objects whatever the grid size --
+each result is persisted, folded into the per-(builder, topology)
+aggregates, and dropped.  The sink's ``resident_high_water`` counter
+asserts this.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.engine.stats import EngineStats
-from repro.obs.metrics import MetricsRegistry, registry_from_snapshot
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import get_recorder
 from repro.runner.cache import ResultCache, cell_cache_key
 from repro.runner.cells import CellResult, CellTask
-from repro.runner.executor import (
-    CellFailure,
-    ProcessExecutor,
-    RobustProcessExecutor,
-    RobustSequentialExecutor,
-    SequentialExecutor,
-    resolve_workers,
-)
+from repro.runner.executor import CellFailure, create_executor, resolve_workers
 from repro.runner.sharding import Shard, in_shard, parse_shard
+from repro.runner.sink import ResultSink
+
+
+@dataclass(frozen=True)
+class GroupAggregate:
+    """Per-(builder, topology) aggregate of a bounded-memory run.
+
+    Field-compatible with :class:`repro.workloads.campaign.CampaignCell`
+    so :func:`repro.workloads.campaign.summarize_groups` renders either.
+    """
+
+    builder: str
+    topology: str
+    precisions: Tuple[float, ...]
+    realized: Tuple[float, ...]
+    certified: bool
+
+
+class _GroupAccumulator:
+    """Folds streamed results into canonical-order group aggregates."""
+
+    def __init__(self, specs: Sequence[Tuple[str, str]]) -> None:
+        # Group order is fixed by the grid, not by completion order.
+        self._order: List[Tuple[str, str]] = []
+        self._entries: Dict[Tuple[str, str], Dict[int, Tuple]] = {}
+        for key in specs:
+            if key not in self._entries:
+                self._order.append(key)
+                self._entries[key] = {}
+
+    def add(self, position: int, result: CellResult) -> None:
+        key = (result.scenario, result.topology)
+        self._entries[key][position] = (
+            result.precision,
+            result.realized,
+            result.sound,
+        )
+
+    def finalize(self) -> Tuple[GroupAggregate, ...]:
+        groups: List[GroupAggregate] = []
+        for key in self._order:
+            entries = self._entries[key]
+            if not entries:
+                continue  # all seeds of this pair live in other shards
+            rows = [entries[p] for p in sorted(entries)]
+            groups.append(
+                GroupAggregate(
+                    builder=key[0],
+                    topology=key[1],
+                    precisions=tuple(r[0] for r in rows),
+                    realized=tuple(r[1] for r in rows),
+                    certified=all(r[2] for r in rows),
+                )
+            )
+        return tuple(groups)
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._entries.values())
 
 
 @dataclass
 class CampaignOutcome:
-    """Everything one (possibly sharded) campaign run produced.
+    """Everything one (possibly sharded, possibly resumed) run produced.
 
     ``results`` are in grid order (builders outer, topologies inner,
-    seeds innermost), restricted to this shard when sharded.
-    ``registry`` holds the merged metrics of every *executed* cell
-    (cache-restored cells contribute their stored timings to the result
-    rows but no metrics -- they did not run).
+    seeds innermost), restricted to this shard when sharded -- and
+    *empty* in bounded-memory mode, where only ``aggregates`` (and the
+    durable sink stream) carry the data.  ``registry`` holds the merged
+    metrics of every *executed* cell (cache-restored cells contribute
+    their stored timings to the result rows but no metrics -- they did
+    not run; stream-recovered cells contribute the snapshot persisted
+    with them).
     """
 
     results: Tuple[CellResult, ...]
@@ -74,6 +139,20 @@ class CampaignOutcome:
     #: Cache entries that existed but failed to parse (corruption, not
     #: cold cache); see :class:`~repro.runner.cache.ResultCache`.
     cache_corrupt: int = 0
+    #: Cache entries evicted by the LRU size bound this run.
+    cache_evicted: int = 0
+    #: Cells restored from the shard's durable JSONL stream (resume).
+    resumed: int = 0
+    #: Completed cells (results + nothing quarantined); equals
+    #: ``len(results)`` except in bounded-memory mode.
+    cells: int = 0
+    #: Per-(builder, topology) aggregates (bounded-memory mode only).
+    aggregates: Optional[Tuple[GroupAggregate, ...]] = None
+    #: The finalized shard manifest, when a sink was attached.
+    manifest: Optional[Path] = None
+    #: Peak simultaneously-resident CellResult count, when a sink
+    #: tracked it (the bounded-memory acceptance metric).
+    resident_high_water: Optional[int] = None
 
     @property
     def engine_stats(self) -> EngineStats:
@@ -83,7 +162,7 @@ class CampaignOutcome:
     def summary(self) -> Dict[str, object]:
         """Plain-data run summary (for logs and JSON reports)."""
         return {
-            "cells": len(self.results),
+            "cells": self.cells,
             "workers": self.workers,
             "shard": None if self.shard is None else
             f"{self.shard[0]}/{self.shard[1]}",
@@ -93,6 +172,9 @@ class CampaignOutcome:
             "quarantined": [f.to_json() for f in self.quarantined],
             "retried": self.retried,
             "cache_corrupt": self.cache_corrupt,
+            "cache_evicted": self.cache_evicted,
+            "resumed": self.resumed,
+            "manifest": None if self.manifest is None else str(self.manifest),
         }
 
 
@@ -105,21 +187,39 @@ def run_campaign(
     cell_timeout: Optional[float] = None,
     retries: int = 0,
     retry_backoff: float = 0.0,
+    results_dir: Union[str, Path, None] = None,
+    sink: Optional[ResultSink] = None,
+    bounded_memory: bool = False,
+    executor: Optional[str] = None,
+    cache_max_entries: Optional[int] = None,
 ) -> CampaignOutcome:
-    """Execute campaign cells sharded/parallel/cached; see module docstring.
+    """Execute campaign cells sharded/streamed/cached; see module docstring.
+
+    Streaming & resume:
+
+    * ``results_dir`` attaches a :class:`~repro.runner.sink.ResultSink`:
+      every completed cell is durably appended to the shard's JSONL
+      stream, and a killed invocation re-run with the same
+      ``results_dir`` resumes from its last durable cell;
+    * ``sink`` passes a pre-built sink instead (``results_dir`` sugar);
+    * ``bounded_memory=True`` (requires a sink) drops each
+      ``CellResult`` after persisting + aggregating it: the outcome
+      carries only ``aggregates`` and the manifest;
+    * ``executor`` picks the fan-out kind: ``None``/``"process"`` for
+      the process pool (CPU-bound cells), ``"async"`` for the asyncio
+      executor (I/O-bound cells).
 
     Robustness (all off by default, preserving the exact legacy
     behavior where any cell failure propagates):
 
-    * ``cell_timeout`` bounds each cell's wall-clock seconds (enforced
-      in-worker via ``SIGALRM`` on POSIX);
+    * ``cell_timeout`` bounds each cell's wall-clock seconds;
     * ``retries`` re-runs failed cells up to that many extra times,
       sleeping ``retry_backoff * attempt`` seconds between rounds;
     * cells still failing afterwards are *quarantined* -- reported on
-      :attr:`CampaignOutcome.quarantined` and excluded from ``results``
-      -- instead of aborting (or hanging) the whole sweep.  All other
-      cells are byte-identical to a fault-free run (the determinism
-      contract is per cell).
+      :attr:`CampaignOutcome.quarantined`, persisted as failure records
+      in the sink stream, and excluded from ``results`` -- instead of
+      aborting (or hanging) the whole sweep.  All other cells are
+      byte-identical to a fault-free run (the contract is per cell).
     """
     started = time.perf_counter()
     if isinstance(shard, str):
@@ -128,88 +228,192 @@ def run_campaign(
         raise ValueError(f"retries must be >= 0, got {retries}")
     robust = cell_timeout is not None or retries > 0
     worker_count = resolve_workers(workers)
-    selected = list(tasks)
-    if shard is not None:
-        selected = [t for t in selected if in_shard(t.spec, shard)]
 
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    all_tasks = list(tasks)
+    grid = [task.spec.key for task in all_tasks]
+    if shard is not None:
+        selected = [
+            (index, task)
+            for index, task in enumerate(all_tasks)
+            if in_shard(task.spec, shard)
+        ]
+    else:
+        selected = list(enumerate(all_tasks))
+    n = len(selected)
+    grid_index_of = [index for index, _ in selected]
+
+    if sink is None and results_dir is not None:
+        sink = ResultSink(results_dir, shard=shard)
+    if bounded_memory and sink is None:
+        raise ValueError(
+            "bounded_memory=True requires a sink (pass results_dir=...): "
+            "without one the dropped results would exist nowhere"
+        )
+    recovery = sink.begin(grid, grid_index_of) if sink is not None else None
+
+    cache = (
+        ResultCache(cache_dir, max_entries=cache_max_entries)
+        if cache_dir is not None
+        else None
+    )
     merged = MetricsRegistry()
     recorder = get_recorder()
 
-    results: List[Optional[CellResult]] = [None] * len(selected)
-    misses: List[Tuple[int, CellTask, Optional[str]]] = []
+    results: List[Optional[CellResult]] = [None] * n
     failures: Dict[int, CellFailure] = {}
-    retried_positions: set = set()
+    recovered_failures: Set[int] = set()
+    retried_positions: Set[int] = set()
+    aggregates = (
+        _GroupAccumulator(
+            [(task.spec.builder, task.spec.topology.name) for _, task in selected]
+        )
+        if bounded_memory
+        else None
+    )
+
+    # Snapshot slots awaiting their turn in the canonical-order metrics
+    # fold; ``None`` marks a position that contributes no metrics
+    # (cache hit, quarantine).  Bounded by the out-of-order window of
+    # the executor, not by the grid.
+    ready: Dict[int, Optional[dict]] = {}
+    merge_state = {"next": 0}
+    stored = 0
+    hits = 0
+    resumed = 0
+
+    def advance_merge() -> None:
+        position = merge_state["next"]
+        while position < n and position in ready:
+            snapshot = ready.pop(position)
+            if snapshot:
+                merged.merge_snapshot(snapshot)
+            position += 1
+        merge_state["next"] = position
+
+    def settle(
+        position: int,
+        result: CellResult,
+        snapshot: Optional[dict],
+        write_sink: bool,
+    ) -> None:
+        nonlocal stored
+        if sink is not None:
+            # Resident right now: everything already stored plus the
+            # result in hand (which bounded-memory mode never stores).
+            sink.note_resident(stored + 1)
+        if sink is not None and write_sink:
+            sink.append_result(grid_index_of[position], result, metrics=snapshot)
+        if aggregates is not None:
+            aggregates.add(position, result)
+        else:
+            results[position] = result
+            stored += 1
+        ready[position] = snapshot
+        advance_merge()
+
+    misses: List[Tuple[int, int, CellTask, Optional[str]]] = []
     with recorder.span(
         "campaign.run",
-        cells=len(selected),
+        cells=n,
         workers=worker_count,
         shard="-" if shard is None else f"{shard[0]}/{shard[1]}",
         cached=cache is not None,
         robust=robust,
+        streaming=sink is not None,
     ):
-        for position, task in enumerate(selected):
+        for position, (grid_index, task) in enumerate(selected):
+            if recovery is not None:
+                prior = recovery.results.get(grid_index)
+                if prior is not None:
+                    resumed += 1
+                    settle(
+                        position,
+                        prior,
+                        recovery.metrics.get(grid_index),
+                        write_sink=False,
+                    )
+                    continue
+                failed = recovery.failures.get(grid_index)
+                if failed is not None:
+                    resumed += 1
+                    failures[position] = failed
+                    recovered_failures.add(position)
+                    ready[position] = None
+                    advance_merge()
+                    continue
             key = cell_cache_key(task) if cache is not None else None
             hit = cache.get(key) if cache is not None else None
             if hit is not None:
-                results[position] = hit
+                hits += 1
+                settle(position, hit, None, write_sink=True)
             else:
-                misses.append((position, task, key))
+                misses.append((position, grid_index, task, key))
 
         if misses and not robust:
-            executor = (
-                ProcessExecutor(worker_count)
-                if worker_count > 1 and len(misses) > 1
-                else SequentialExecutor()
+            runner = create_executor(
+                worker_count, cells=len(misses), kind=executor
             )
-            outcomes = executor.execute(
-                [task for _, task, _ in misses], registry=merged
-            )
-            for (position, task, key), outcome in zip(misses, outcomes):
-                results[position] = outcome.result
-                merged.merge(registry_from_snapshot(outcome.metrics))
+            for batch_index, outcome in runner.execute_iter(
+                [task for _, _, task, _ in misses], registry=merged
+            ):
+                position, _, _, key = misses[batch_index]
                 if cache is not None:
                     cache.put(key, outcome.result)
+                settle(position, outcome.result, outcome.metrics, write_sink=True)
         elif misses:
             pending = list(misses)
             for attempt in range(retries + 1):
                 if attempt > 0:
-                    retried_positions.update(p for p, _, _ in pending)
+                    retried_positions.update(p for p, _, _, _ in pending)
                     if retry_backoff > 0:
                         time.sleep(retry_backoff * attempt)
-                executor = (
-                    RobustProcessExecutor(worker_count, timeout=cell_timeout)
-                    if worker_count > 1 and len(pending) > 1
-                    else RobustSequentialExecutor(timeout=cell_timeout)
+                runner = create_executor(
+                    worker_count,
+                    cells=len(pending),
+                    kind=executor,
+                    timeout=cell_timeout,
+                    robust=True,
                 )
-                outcomes = executor.execute(
-                    [task for _, task, _ in pending], registry=merged
-                )
-                still_failing: List[Tuple[int, CellTask, Optional[str]]] = []
-                for (position, task, key), outcome in zip(pending, outcomes):
+                still_failing: List[Tuple[int, int, CellTask, Optional[str]]] = []
+                for batch_index, outcome in runner.execute_iter(
+                    [task for _, _, task, _ in pending], registry=merged
+                ):
+                    entry = pending[batch_index]
+                    position, _, _, key = entry
                     if isinstance(outcome, CellFailure):
                         failures[position] = replace(
                             outcome, attempts=attempt + 1
                         )
-                        still_failing.append((position, task, key))
+                        still_failing.append(entry)
                         continue
                     failures.pop(position, None)
-                    results[position] = outcome.result
-                    merged.merge(registry_from_snapshot(outcome.metrics))
                     if cache is not None:
                         cache.put(key, outcome.result)
+                    settle(
+                        position, outcome.result, outcome.metrics,
+                        write_sink=True,
+                    )
                 pending = still_failing
                 if not pending:
                     break
-            for position, failure in sorted(failures.items()):
+            for position in sorted(failures):
+                if position in recovered_failures:
+                    continue
+                failure = failures[position]
+                if sink is not None:
+                    sink.append_failure(grid_index_of[position], failure)
+                ready[position] = None
                 recorder.emit(
                     "campaign.cell.quarantined", failure=failure.to_json()
                 )
+            advance_merge()
 
-    quarantined = tuple(failure for _, failure in sorted(failures.items()))
-    hits = sum(1 for r in results if r is not None and r.cache_hit)
+    assert merge_state["next"] == n, "metrics fold did not drain"
+    quarantined = tuple(failures[p] for p in sorted(failures))
+    completed = n - len(quarantined)
     corrupt = cache.corrupt_entries if cache is not None else 0
-    merged.counter("campaign.cells.total").add(len(selected))
+    evicted = cache.evicted_entries if cache is not None else 0
+    merged.counter("campaign.cells.total").add(n)
     merged.counter("campaign.cache.hits").add(hits)
     merged.counter("campaign.cache.misses").add(len(misses))
     if quarantined:
@@ -218,13 +422,26 @@ def run_campaign(
         merged.counter("campaign.cells.retried").add(len(retried_positions))
     if corrupt:
         merged.counter("campaign.cache.corrupt").add(corrupt)
+    if evicted:
+        merged.counter("campaign.cache.evicted").add(evicted)
+    if resumed:
+        merged.counter("campaign.cells.resumed").add(resumed)
     if recorder.enabled:
         # Surface the sweep's metrics in the ambient registry so CLI
         # --metrics-out / --timings aggregate over the whole campaign.
         recorder.registry.merge(merged)
 
-    kept = tuple(r for r in results if r is not None)
-    assert len(kept) + len(quarantined) == len(selected)
+    manifest = sink.close() if sink is not None else None
+
+    if aggregates is not None:
+        kept: Tuple[CellResult, ...] = ()
+        assert len(aggregates) == completed
+        groups: Optional[Tuple[GroupAggregate, ...]] = aggregates.finalize()
+    else:
+        kept = tuple(r for r in results if r is not None)
+        assert len(kept) + len(quarantined) == n
+        groups = None
+
     return CampaignOutcome(
         results=kept,
         registry=merged,
@@ -236,7 +453,15 @@ def run_campaign(
         quarantined=quarantined,
         retried=len(retried_positions),
         cache_corrupt=corrupt,
+        cache_evicted=evicted,
+        resumed=resumed,
+        cells=completed,
+        aggregates=groups,
+        manifest=manifest,
+        resident_high_water=(
+            sink.resident_high_water if sink is not None else None
+        ),
     )
 
 
-__all__ = ["CampaignOutcome", "run_campaign"]
+__all__ = ["CampaignOutcome", "GroupAggregate", "run_campaign"]

@@ -79,6 +79,26 @@ class TestWorkerCountInvariance:
         ]
 
 
+class TestExecutorKindInvariance:
+    def test_async_executor_matches_sequential(self):
+        campaign = make_campaign()
+        seq = campaign.run_results(TOPOLOGIES, workers=1)
+        overlapped = campaign.run_results(
+            TOPOLOGIES, workers=3, executor="async"
+        )
+        assert [r.fingerprint() for r in overlapped.results] == [
+            r.fingerprint() for r in seq.results
+        ]
+        assert deterministic_metrics(overlapped.registry) == \
+            deterministic_metrics(seq.registry)
+
+    def test_async_table_byte_identical(self):
+        campaign = make_campaign()
+        assert campaign.run(
+            TOPOLOGIES, workers=3, executor="async"
+        ).format() == campaign.run(TOPOLOGIES, workers=1).format()
+
+
 class TestShardInvariance:
     @pytest.mark.parametrize("count", [2, 4])
     def test_shard_union_equals_full_run(self, count):
@@ -133,6 +153,18 @@ class TestCacheResume:
         ]
         assert campaign.summarize(second.results).format() == \
             campaign.summarize(first.results).format()
+
+    def test_cache_bound_evicts_and_counts(self, tmp_path):
+        campaign = make_campaign()
+        outcome = campaign.run_results(
+            TOPOLOGIES, cache_dir=str(tmp_path), cache_max_entries=3
+        )
+        # 8 cells through a 3-entry bound: 5 LRU evictions, counted
+        assert outcome.cache_evicted == 5
+        assert len(list(tmp_path.glob("*.json"))) == 3
+        snapshot = outcome.registry.snapshot()
+        assert snapshot["campaign.cache.evicted"]["value"] == 5.0
+        assert outcome.summary()["cache_evicted"] == 5
 
     def test_sharded_runs_share_one_cache(self, tmp_path):
         campaign = make_campaign()

@@ -9,13 +9,18 @@ import pytest
 from repro.graphs import line, ring
 from repro.obs.metrics import MetricsRegistry, registry_from_snapshot
 from repro.runner import (
+    AsyncExecutor,
+    CellFailure,
     CellResult,
     CellSpec,
     CellTask,
     ProcessExecutor,
     ResultCache,
+    RobustProcessExecutor,
+    RobustSequentialExecutor,
     SequentialExecutor,
     cell_cache_key,
+    create_executor,
     execute_cell,
     filter_shard,
     in_shard,
@@ -211,6 +216,41 @@ class TestResultCache:
             entry.write_text("{not json")
         assert cache.get(key) is None
 
+    def test_max_entries_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultCache(tmp_path, max_entries=0)
+        assert ResultCache(tmp_path, max_entries=5).max_entries == 5
+        assert ResultCache(tmp_path).max_entries is None
+
+    def test_lru_eviction_is_by_use_not_insertion(self, tmp_path):
+        import os as _os
+
+        cache = ResultCache(tmp_path, max_entries=2)
+        tasks = [make_task(seed=s) for s in range(3)]
+        keys = [cell_cache_key(t) for t in tasks]
+        results = [execute_cell(t).result for t in tasks[:2]]
+        cache.put(keys[0], results[0])
+        cache.put(keys[1], results[1])
+        # Pin distinct mtimes, oldest first, then *use* entry 0: the hit
+        # must refresh its recency so entry 1 becomes the LRU victim.
+        for age, key in ((100, keys[0]), (200, keys[1])):
+            _os.utime(tmp_path / f"{key}.json", (age, age))
+        assert cache.get(keys[0]) is not None
+        cache.put(keys[2], execute_cell(tasks[2]).result)
+        assert len(cache) == 2
+        assert cache.evicted_entries == 1
+        assert cache.get(keys[1]) is None  # evicted: least recently used
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[2]) is not None
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for seed in range(3):
+            task = make_task(seed=seed)
+            cache.put(cell_cache_key(task), execute_cell(task).result)
+        assert len(cache) == 3
+        assert cache.evicted_entries == 0
+
 
 class TestExecutors:
     def test_sequential_preserves_order(self):
@@ -258,23 +298,96 @@ class TestExecutors:
             set_default_workers(None)
 
 
-class TestKeywordOnlyShims:
-    def test_campaign_positional_seeds_warn_but_work(self):
+def raising_builder(topology, seed):
+    raise RuntimeError(f"cell (seed={seed}) is broken")
+
+
+class TestAsyncExecutor:
+    def test_matches_sequential_fingerprints(self):
+        tasks = [make_task(seed=s) for s in range(4)]
+        sequential = SequentialExecutor().execute(tasks)
+        overlapped = AsyncExecutor(3).execute(tasks)
+        assert [o.result.fingerprint() for o in overlapped] == [
+            o.result.fingerprint() for o in sequential
+        ]
+
+    def test_queue_depth_telemetry_flows(self):
+        registry = MetricsRegistry()
+        AsyncExecutor(2).execute(
+            [make_task(seed=s) for s in range(3)], registry=registry
+        )
+        depth = registry.get("campaign.queue.depth")
+        assert depth is not None and depth.count == 3
+
+    def test_robust_quarantines_raising_cells(self):
+        broken = CellTask(
+            spec=CellSpec(builder="broken", topology=ring(4), seed=7),
+            build=raising_builder,
+        )
+        outcomes = AsyncExecutor(2, robust=True).execute(
+            [make_task(seed=0), broken]
+        )
+        assert isinstance(outcomes[0].result, CellResult)
+        failure = outcomes[1]
+        assert isinstance(failure, CellFailure)
+        assert failure.kind == "error"
+        assert failure.key == ("broken", "ring-4", 7)
+        assert "broken" in failure.message
+
+    def test_non_robust_propagates_errors(self):
+        broken = CellTask(
+            spec=CellSpec(builder="broken", topology=ring(4), seed=7),
+            build=raising_builder,
+        )
+        with pytest.raises(RuntimeError, match="is broken"):
+            AsyncExecutor(2).execute([make_task(seed=0), broken])
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            AsyncExecutor(0)
+
+
+class TestCreateExecutor:
+    def test_dispatch_table(self):
+        cases = [
+            (dict(workers=1), SequentialExecutor),
+            (dict(workers=4, cells=1), SequentialExecutor),
+            (dict(workers=4, cells=8), ProcessExecutor),
+            (dict(workers=1, robust=True), RobustSequentialExecutor),
+            (dict(workers=4, cells=8, robust=True), RobustProcessExecutor),
+            (dict(workers=1, kind="async"), AsyncExecutor),
+            (dict(workers=4, cells=1, kind="async"), AsyncExecutor),
+        ]
+        for kwargs, expected in cases:
+            workers = kwargs.pop("workers")
+            assert isinstance(
+                create_executor(workers, **kwargs), expected
+            ), (workers, kwargs)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor kind"):
+            create_executor(2, kind="threads")
+
+
+class TestKeywordOnlyEnforced:
+    """The one-release positional shims are gone (DESIGN.md section 9):
+    option arguments are now genuinely keyword-only."""
+
+    def test_campaign_positional_seeds_raise(self):
         from repro.workloads import Campaign
 
-        with pytest.warns(DeprecationWarning, match="seeds"):
-            campaign = Campaign(range(2))
-        assert campaign.seeds == (0, 1)
+        with pytest.raises(TypeError):
+            Campaign(range(2))
 
-    def test_synchronizer_positional_root_warns(self):
+    def test_synchronizer_positional_root_raises(self):
         from repro.core.synchronizer import ClockSynchronizer
 
         scenario = bounded_builder(ring(4), 0)
         root = next(iter(scenario.system.processors))
-        with pytest.warns(DeprecationWarning, match="root"):
+        with pytest.raises(TypeError):
             ClockSynchronizer(scenario.system, root)
 
-    def test_from_matrices_positional_warns(self):
+    def test_from_matrices_positional_raises(self):
         from repro.core.synchronizer import ClockSynchronizer
 
         scenario = bounded_builder(ring(4), 0)
@@ -285,8 +398,11 @@ class TestKeywordOnlyShims:
         mls = local_shift_estimates(scenario.system, alpha.views())
         mls_matrix = sync.index.matrix(mls)
         ms_matrix = sync.engine.global_estimates(mls_matrix)
-        with pytest.warns(DeprecationWarning, match="mls_matrix"):
-            result = sync.from_matrices(mls, mls_matrix, ms_matrix)
+        with pytest.raises(TypeError):
+            sync.from_matrices(mls, mls_matrix, ms_matrix)
+        result = sync.from_matrices(
+            mls, mls_matrix=mls_matrix, ms_matrix=ms_matrix
+        )
         assert result.precision == pytest.approx(
             sync.from_execution(alpha).precision
         )
@@ -298,10 +414,6 @@ class TestKeywordOnlyShims:
             warnings.simplefilter("error", DeprecationWarning)
             Campaign(seeds=range(2), certify=False)
 
-    def test_too_many_positionals_still_type_error(self):
-        from repro.workloads import Campaign
-
-        with pytest.raises(TypeError):
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", DeprecationWarning)
-                Campaign(range(2), True, None, "extra")
+    def test_shim_module_is_gone(self):
+        with pytest.raises(ImportError):
+            import repro._compat  # noqa: F401
