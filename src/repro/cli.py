@@ -16,6 +16,8 @@ Installed as ``repro-clocksync`` (see pyproject) and runnable as
     repro-clocksync campaign --preset e9c --shard 1/4 --resume
     repro-clocksync campaign --preset e9c --shard 1/2 --results-dir out/
     repro-clocksync campaign merge out/        # fuse shard streams
+    repro-clocksync campaign status out/       # fleet health snapshot
+    repro-clocksync campaign watch out/        # live fleet view
     repro-clocksync faults template plan.json   # fault-plan starting point
     repro-clocksync demo --faults plan.json     # chaos-mode quickstart
 
@@ -33,6 +35,17 @@ gaps, overlaps and grid mismatches.  ``experiment``, ``all`` and
 ``monitor`` also accept ``--workers``, which becomes the default for
 every campaign the command runs (the ``REPRO_WORKERS`` environment
 variable does the same process-wide).
+
+Fleet telemetry (DESIGN.md section 12): every ``--results-dir`` run
+maintains an atomic heartbeat sidecar next to its shard stream;
+``campaign status DIR...`` fuses heartbeats + manifests into one
+health table (exit 1 when any shard is stalled or dead, so CI can gate
+on liveness) and ``campaign watch DIR...`` polls it live.  ``campaign
+run --serve-metrics PORT`` additionally serves the run's registry at
+``/metrics`` (Prometheus text format) and a heartbeat summary at
+``/healthz`` from a stdlib HTTP sidecar thread; ``--log-jsonl PATH``
+appends structured operational events (cache corruption, torn-tail
+recovery, quarantines) as JSONL.
 
 Every run subcommand accepts the observability flags ``--trace-out``
 (Chrome trace-event JSON, loads in Perfetto / ``chrome://tracing``),
@@ -102,6 +115,13 @@ def _add_obs_arguments(
         default=None,
         help="logging level for the repro logger",
     )
+    group.add_argument(
+        "--log-jsonl",
+        metavar="PATH",
+        default=None,
+        help="append structured log events as JSONL (one record per "
+        "operational event; validate with repro.obs.validate_log_file)",
+    )
     if timings:
         group.add_argument(
             "--timings",
@@ -122,6 +142,11 @@ def _observability(args: argparse.Namespace, force: bool = False) -> Iterator:
     if getattr(args, "log_level", None):
         logging.basicConfig(format="%(name)s %(levelname)s: %(message)s")
         logging.getLogger("repro").setLevel(args.log_level.upper())
+    log_sink = None
+    if getattr(args, "log_jsonl", None) is not None:
+        from repro.obs.log import add_log_sink
+
+        log_sink = add_log_sink(args.log_jsonl)
     wants = (
         force
         or args.trace_out is not None
@@ -130,7 +155,11 @@ def _observability(args: argparse.Namespace, force: bool = False) -> Iterator:
         or getattr(args, "timings", False)
     )
     if not wants:
-        yield None
+        try:
+            yield None
+        finally:
+            if log_sink is not None:
+                log_sink.close()
         return
     from repro.obs import FlowLog, Recorder, set_recorder
 
@@ -144,6 +173,8 @@ def _observability(args: argparse.Namespace, force: bool = False) -> Iterator:
         yield recorder
     finally:
         set_recorder(previous)
+        if log_sink is not None:
+            log_sink.close()
         _export_telemetry(args, recorder, flow_log)
 
 
@@ -508,14 +539,127 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    """Run a preset campaign grid, or merge shard streams."""
+    """Run a preset campaign grid, merge shards, or report fleet health."""
     if args.action == "merge":
         return _cmd_campaign_merge(args)
+    if args.action == "status":
+        return _cmd_campaign_status(args)
+    if args.action == "watch":
+        return _cmd_campaign_watch(args)
     if args.sources:
         print("positional shard sources are only valid with "
-              "'campaign merge'", file=sys.stderr)
+              "'campaign merge', 'campaign status' or 'campaign watch'",
+              file=sys.stderr)
         return 2
     return _cmd_campaign_run(args)
+
+
+def _status_sources(args: argparse.Namespace) -> Optional[List[str]]:
+    sources = list(args.sources)
+    if not sources and args.results_dir is not None:
+        sources = [args.results_dir]
+    if not sources:
+        print(f"campaign {args.action} needs shard sources (results "
+              "directories or manifest files), e.g.: repro-clocksync "
+              f"campaign {args.action} out/", file=sys.stderr)
+        return None
+    return sources
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    """One snapshot of fleet health from manifests + heartbeats.
+
+    Exit codes: 0 healthy (running or complete), 1 when any shard is
+    stalled/dead/unknown, 2 when the sources hold no shards at all --
+    so scripts and CI can gate on liveness without parsing the table.
+    """
+    import json as json_module
+
+    from repro.runner.merge import MergeError
+    from repro.runner.status import (
+        DEFAULT_STALL_AFTER,
+        collect_fleet_status,
+        fleet_status_lines,
+    )
+
+    sources = _status_sources(args)
+    if sources is None:
+        return 2
+    stall_after = (
+        args.stall_after if args.stall_after is not None
+        else DEFAULT_STALL_AFTER
+    )
+    try:
+        fleet = collect_fleet_status(sources, stall_after=stall_after)
+    except MergeError as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json_module.dumps(fleet.to_json(), sort_keys=True))
+    else:
+        for line in fleet_status_lines(fleet):
+            print(line)
+    return 0 if fleet.healthy else 1
+
+
+def _cmd_campaign_watch(args: argparse.Namespace) -> int:
+    """Poll fleet status until the campaign completes (or ^C)."""
+    import time as time_module
+
+    from repro.runner.merge import MergeError
+    from repro.runner.status import (
+        DEFAULT_STALL_AFTER,
+        collect_fleet_status,
+        fleet_status_lines,
+    )
+
+    sources = _status_sources(args)
+    if sources is None:
+        return 2
+    stall_after = (
+        args.stall_after if args.stall_after is not None
+        else DEFAULT_STALL_AFTER
+    )
+    try:
+        while True:
+            try:
+                fleet = collect_fleet_status(
+                    sources, stall_after=stall_after
+                )
+            except MergeError as exc:
+                print(f"status failed: {exc}", file=sys.stderr)
+                return 2
+            for line in fleet_status_lines(fleet):
+                print(line)
+            if fleet.complete:
+                return 0
+            print()
+            time_module.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0 if fleet.healthy else 1
+
+
+def _fleet_health(results_dir: Optional[str]):
+    """The /healthz payload callable for ``--serve-metrics``.
+
+    Reads the run's own results directory; before the first manifest
+    lands (or without --results-dir) it reports ``starting`` rather
+    than failing the probe.
+    """
+    def health() -> dict:
+        if results_dir is None:
+            return {"status": "running", "healthy": True}
+        from repro.runner.merge import MergeError
+        from repro.runner.status import collect_fleet_status
+
+        try:
+            fleet = collect_fleet_status([results_dir])
+        except (MergeError, OSError):
+            return {"status": "starting", "healthy": True}
+        return fleet.health_json()
+
+    return health
 
 
 def _cmd_campaign_merge(args: argparse.Namespace) -> int:
@@ -564,6 +708,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import Table
     from repro.experiments.common import CAMPAIGN_PRESETS
     from repro.runner.cells import write_cell_results_jsonl
+    from repro.runner.heartbeat import DEFAULT_HEARTBEAT_INTERVAL
     from repro.workloads.campaign import summarize_groups
 
     cache_dir = args.cache_dir
@@ -572,7 +717,24 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     campaign, topologies = CAMPAIGN_PRESETS[args.preset](quick=args.quick)
     if args.faults is not None:
         campaign = campaign.with_faults(_load_faults(args.faults))
-    with _observability(args) as recorder:
+    from contextlib import ExitStack
+
+    with ExitStack() as stack:
+        # --serve-metrics needs a live registry to scrape, so it forces
+        # the recorder on even with no export flags.
+        recorder = stack.enter_context(
+            _observability(args, force=args.serve_metrics is not None)
+        )
+        if args.serve_metrics is not None:
+            from repro.obs.http import serve_telemetry
+
+            server = stack.enter_context(
+                serve_telemetry(
+                    port=args.serve_metrics,
+                    health=_fleet_health(args.results_dir),
+                )
+            )
+            print(f"telemetry: {server.url}/metrics  {server.url}/healthz")
         outcome = campaign.run_results(
             topologies,
             workers=args.workers,
@@ -586,6 +748,11 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             bounded_memory=args.bounded_memory,
             executor=args.executor,
             cache_max_entries=args.cache_max_entries,
+            heartbeat_interval=(
+                args.heartbeat_interval
+                if args.heartbeat_interval is not None
+                else DEFAULT_HEARTBEAT_INTERVAL
+            ),
         )
         if outcome.aggregates is not None:
             table = summarize_groups(
@@ -818,17 +985,23 @@ def build_parser() -> argparse.ArgumentParser:
         "or merge shard result streams",
     )
     p_campaign.add_argument(
-        "action", nargs="?", choices=["run", "merge"], default="run",
+        "action", nargs="?",
+        choices=["run", "merge", "status", "watch"], default="run",
         help="'run' (default) executes the grid; 'merge' fuses shard "
-        "JSONL streams produced with --results-dir",
+        "JSONL streams produced with --results-dir; 'status' prints "
+        "one fleet-health snapshot (exit 1 on stalled/dead shards); "
+        "'watch' polls it live until the campaign completes",
     )
     p_campaign.add_argument(
         "sources", nargs="*", metavar="SOURCE",
-        help="(merge only) results directories or manifest files to fuse",
+        help="(merge/status/watch only) results directories or manifest "
+        "files to inspect",
     )
     p_campaign.add_argument(
-        "--preset", choices=["demo", "e9c"], default="demo",
-        help="which campaign grid to run (default: demo)",
+        "--preset", choices=["demo", "e9c", "chaos"], default="demo",
+        help="which campaign grid to run (default: demo; 'chaos' is a "
+        "small chaos-injected grid for exercising the robust runner "
+        "and telemetry)",
     )
     p_campaign.add_argument(
         "--quick", action="store_true", help="trimmed seeds/sizes"
@@ -907,6 +1080,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_argument(p_campaign)
     _add_obs_arguments(p_campaign)
+    telemetry = p_campaign.add_argument_group(
+        "fleet telemetry",
+        "liveness heartbeats next to every shard stream, a status/watch "
+        "view fused from them, and an HTTP sidecar for scrapers",
+    )
+    telemetry.add_argument(
+        "--serve-metrics", type=int, default=None, metavar="PORT",
+        help="(run) serve /metrics (Prometheus 0.0.4) and /healthz on "
+        "127.0.0.1:PORT for the duration of the run (0 = ephemeral)",
+    )
+    telemetry.add_argument(
+        "--heartbeat-interval", type=float, default=None, metavar="SECONDS",
+        help="(run) min seconds between heartbeat sidecar writes "
+        "(default 5; needs --results-dir)",
+    )
+    telemetry.add_argument(
+        "--stall-after", type=float, default=None, metavar="SECONDS",
+        help="(status/watch) flag a shard as stalled once its heartbeat "
+        "is older than SECONDS (default 30)",
+    )
+    telemetry.add_argument(
+        "--json", action="store_true",
+        help="(status) emit the fleet snapshot as one JSON object",
+    )
+    telemetry.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="(watch) poll interval (default 2)",
+    )
     p_campaign.set_defaults(func=_cmd_campaign)
 
     p_demo = sub.add_parser("demo", help="run the quickstart demo")

@@ -96,15 +96,39 @@ def demo_campaign(
     return campaign, [ring(n) for n in sizes]
 
 
+def chaos_campaign(
+    quick: bool = False, seeds: Optional[range] = None
+) -> Tuple[Campaign, List[Topology]]:
+    """A chaos-injected grid for exercising robustness and telemetry.
+
+    Every cell runs :func:`repro.faults.chaos.chaos_bounded_builder`,
+    whose misbehaviour (crash / hang / flaky failure) is scheduled
+    through environment variables -- so CI can make exactly one cell
+    hang mid-run and assert that ``campaign status`` flags the shard
+    as stalled while ``/metrics`` keeps serving.  With no chaos
+    variables set the cells are ordinary bounded rings.
+    """
+    from repro.faults.chaos import chaos_bounded_builder
+
+    sizes = [4] if quick else [4, 6]
+    if seeds is None:
+        seeds = range(2 if quick else 3)
+    campaign = Campaign(seeds=seeds)
+    campaign.add("chaos-bounded", chaos_bounded_builder)
+    return campaign, [ring(n) for n in sizes]
+
+
 CAMPAIGN_PRESETS = {
     "demo": demo_campaign,
     "e9c": e9c_campaign,
+    "chaos": chaos_campaign,
 }
 
 
 __all__ = [
     "CAMPAIGN_PRESETS",
     "bounded_ring_builder",
+    "chaos_campaign",
     "demo_campaign",
     "e9c_campaign",
     "heterogeneous_builder",

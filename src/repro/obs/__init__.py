@@ -22,7 +22,11 @@ matrix engines all report into the same recorder:
 * :mod:`repro.obs.timeline` -- series sampled against *simulated* time
   (online convergence, per-processor corrections);
 * :mod:`repro.obs.monitor` -- passive invariant monitors checking every
-  synchronization result against the paper's theorems.
+  synchronization result against the paper's theorems;
+* :mod:`repro.obs.http` -- a stdlib HTTP sidecar serving ``/metrics``
+  (Prometheus 0.0.4) and ``/healthz`` from the live registry;
+* :mod:`repro.obs.log` -- structured JSONL logging with span/sim-time
+  correlation, replacing ad-hoc warnings in the runner/faults paths.
 
 Quickstart::
 
@@ -70,6 +74,22 @@ from repro.obs.report import (
     key_metrics_table,
     quantile,
     top_stages_table,
+)
+from repro.obs.http import (
+    PROMETHEUS_CONTENT_TYPE,
+    TelemetryServer,
+    serve_telemetry,
+)
+from repro.obs.log import (
+    LOG_LEVELS,
+    LOG_RECORD_TYPE,
+    LogSink,
+    StructuredLogger,
+    add_log_sink,
+    get_logger,
+    jsonl_logging,
+    log_event,
+    validate_log_file,
 )
 from repro.obs.flow import (
     EdgeErrorStats,
@@ -154,5 +174,17 @@ __all__ = [
     "validate_flow_trace_file",
     "write_causal_dag",
     "write_flow_trace",
+    "PROMETHEUS_CONTENT_TYPE",
+    "TelemetryServer",
+    "serve_telemetry",
+    "LOG_LEVELS",
+    "LOG_RECORD_TYPE",
+    "LogSink",
+    "StructuredLogger",
+    "add_log_sink",
+    "get_logger",
+    "jsonl_logging",
+    "log_event",
+    "validate_log_file",
     *sorted(_LAZY),
 ]

@@ -11,9 +11,13 @@ delay models or theorems, only about *cells* -- independent
 * fan the rest out over a process pool, an asyncio loop, or inline
   (:mod:`repro.runner.executor`),
 * stream every completion to a durable, resumable JSONL shard
-  (:mod:`repro.runner.sink`), and
+  (:mod:`repro.runner.sink`),
 * fuse independently produced shards back into the canonical
-  single-process view (:mod:`repro.runner.merge`).
+  single-process view (:mod:`repro.runner.merge`),
+* emit a liveness heartbeat sidecar next to every shard stream
+  (:mod:`repro.runner.heartbeat`), and
+* fuse manifests + heartbeats into a live fleet-health view with
+  stall/death detection (:mod:`repro.runner.status`).
 
 :mod:`repro.workloads.parallel` composes these into the campaign-facing
 :func:`~repro.workloads.parallel.run_campaign`.
@@ -45,6 +49,14 @@ from repro.runner.executor import (
     resolve_workers,
     set_default_workers,
 )
+from repro.runner.heartbeat import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    HEARTBEAT_VERSION,
+    Heartbeat,
+    HeartbeatWriter,
+    heartbeat_path,
+    read_heartbeat,
+)
 from repro.runner.merge import (
     MergeError,
     MergeReport,
@@ -58,6 +70,19 @@ from repro.runner.sharding import (
     in_shard,
     parse_shard,
     shard_index,
+)
+from repro.runner.status import (
+    DEFAULT_STALL_AFTER,
+    FleetStatus,
+    STATE_COMPLETE,
+    STATE_DEAD,
+    STATE_RUNNING,
+    STATE_STALLED,
+    STATE_UNKNOWN,
+    ShardStatus,
+    collect_fleet_status,
+    fleet_status_lines,
+    shard_status,
 )
 from repro.runner.sink import (
     MANIFEST_VERSION,
@@ -77,6 +102,12 @@ __all__ = [
     "CellSpec",
     "CellTask",
     "CellTimeoutError",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_STALL_AFTER",
+    "FleetStatus",
+    "HEARTBEAT_VERSION",
+    "Heartbeat",
+    "HeartbeatWriter",
     "MANIFEST_VERSION",
     "MergeError",
     "MergeReport",
@@ -86,22 +117,33 @@ __all__ = [
     "ResultSink",
     "RobustProcessExecutor",
     "RobustSequentialExecutor",
+    "STATE_COMPLETE",
+    "STATE_DEAD",
+    "STATE_RUNNING",
+    "STATE_STALLED",
+    "STATE_UNKNOWN",
     "SequentialExecutor",
     "Shard",
+    "ShardStatus",
     "SinkRecovery",
     "WORKERS_ENV",
     "cell_cache_key",
+    "collect_fleet_status",
     "create_executor",
     "default_workers",
     "execute_cell",
     "filter_shard",
     "find_manifests",
+    "fleet_status_lines",
     "grid_fingerprint",
     "guard_cell",
+    "heartbeat_path",
     "in_shard",
     "merge_shards",
     "parse_shard",
+    "read_heartbeat",
     "read_stream_records",
+    "shard_status",
     "resolve_workers",
     "set_default_workers",
     "shard_index",

@@ -21,15 +21,15 @@ from __future__ import annotations
 
 import hashlib
 import json
-import logging
 import os
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.analysis.system_io import SystemIOError, system_to_dict
+from repro.obs.log import get_logger
 from repro.runner.cells import CellResult, CellTask
 
-logger = logging.getLogger("repro.runner.cache")
+log = get_logger("repro.runner.cache")
 
 #: Bump on any change to the key derivation or the stored record shape.
 #: 2: fault plans became part of the cell identity (``faults`` key).
@@ -147,15 +147,20 @@ class ResultCache:
             record = json.loads(path.read_text())
         except (ValueError, OSError) as exc:
             self._corrupt_entries += 1
-            logger.warning(
-                "corrupt cache entry %s (%s); treating as miss", path, exc
+            log.warning(
+                "cache.corrupt_entry",
+                path=str(path),
+                reason=str(exc),
+                action="treated_as_miss",
             )
             return None
         if not isinstance(record, dict):
             self._corrupt_entries += 1
-            logger.warning(
-                "corrupt cache entry %s (not a record); treating as miss",
-                path,
+            log.warning(
+                "cache.corrupt_entry",
+                path=str(path),
+                reason="not a record",
+                action="treated_as_miss",
             )
             return None
         if record.get("version") != CACHE_VERSION:
@@ -166,8 +171,11 @@ class ResultCache:
             cell = CellResult.from_json(record["cell"]).as_cache_hit()
         except (ValueError, KeyError, TypeError) as exc:
             self._corrupt_entries += 1
-            logger.warning(
-                "corrupt cache entry %s (%s); treating as miss", path, exc
+            log.warning(
+                "cache.corrupt_entry",
+                path=str(path),
+                reason=str(exc),
+                action="treated_as_miss",
             )
             return None
         self._touch(path)

@@ -32,9 +32,19 @@ robust executors degrade a failing cell to a typed
 
 Worker-level telemetry goes to the ambient recorder (no-op unless
 observability is enabled): a ``campaign.execute`` span around the fan
-out, a ``campaign.cell.seconds`` latency histogram and a
+out, a ``campaign.cell.seconds`` latency histogram, a
 ``campaign.queue.depth`` histogram sampling the number of cells still
-pending at each completion.
+pending at each completion, and progress gauges
+(``campaign.cells.total`` / ``campaign.cells.completed``) so any
+exporter -- not just heartbeat files -- can derive progress.
+
+Every ``execute_iter`` also accepts an optional ``progress`` listener
+(anything with ``cell_started(key)`` / ``cell_finished(seconds)``,
+typically a :class:`~repro.runner.heartbeat.HeartbeatWriter`): the
+fleet-liveness hook.  Start visibility is inherently executor-shaped --
+only executors that run cells in the observing process (sequential
+variants) can report ``cell_started``; pool parents only see
+completions.
 """
 
 from __future__ import annotations
@@ -204,16 +214,32 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return 1
 
 
-def _observe_completion(
-    registry: Optional[MetricsRegistry], pending: int, seconds: float
+def _observe_batch(
+    registry: Optional[MetricsRegistry], cells: int
 ) -> None:
-    """Record one cell completion into ``registry`` (if any)."""
+    """Declare the batch size as the total gauge, unless a wider owner
+    (the campaign runner, which knows the whole grid) already did."""
     if registry is None:
         return
-    registry.histogram(
-        "campaign.queue.depth", boundaries=QUEUE_DEPTH_BUCKETS
-    ).observe(pending)
-    registry.histogram("campaign.cell.seconds").observe(seconds)
+    if registry.get("campaign.cells.total") is None:
+        registry.gauge("campaign.cells.total").set(cells)
+
+
+def _observe_completion(
+    registry: Optional[MetricsRegistry],
+    pending: int,
+    seconds: float,
+    progress=None,
+) -> None:
+    """Record one cell completion into ``registry`` and ``progress``."""
+    if registry is not None:
+        registry.histogram(
+            "campaign.queue.depth", boundaries=QUEUE_DEPTH_BUCKETS
+        ).observe(pending)
+        registry.histogram("campaign.cell.seconds").observe(seconds)
+        registry.gauge("campaign.cells.completed").add(1)
+    if progress is not None:
+        progress.cell_finished(seconds)
 
 
 # ----------------------------------------------------------------------
@@ -307,6 +333,7 @@ class _ExecutorBase:
         self,
         tasks: Sequence[CellTask],
         registry: Optional[MetricsRegistry] = None,
+        progress=None,
     ):
         raise NotImplementedError
 
@@ -314,9 +341,12 @@ class _ExecutorBase:
         self,
         tasks: Sequence[CellTask],
         registry: Optional[MetricsRegistry] = None,
+        progress=None,
     ) -> List:
         out: List[Optional[RobustOutcome]] = [None] * len(tasks)
-        for index, outcome in self.execute_iter(tasks, registry=registry):
+        for index, outcome in self.execute_iter(
+            tasks, registry=registry, progress=progress
+        ):
             out[index] = outcome
         assert all(o is not None for o in out)
         return out  # type: ignore[return-value]
@@ -335,8 +365,10 @@ class SequentialExecutor(_ExecutorBase):
         self,
         tasks: Sequence[CellTask],
         registry: Optional[MetricsRegistry] = None,
+        progress=None,
     ) -> Iterator[Tuple[int, RobustOutcome]]:
         recorder = get_recorder()
+        _observe_batch(registry, len(tasks))
         with recorder.span(
             "campaign.execute",
             workers=1,
@@ -346,6 +378,11 @@ class SequentialExecutor(_ExecutorBase):
             pending = len(tasks)
             for index, task in enumerate(tasks):
                 started = time.perf_counter()
+                if progress is not None:
+                    # Sequential execution is the one place the
+                    # observing process *is* the executing process, so
+                    # the heartbeat can carry the in-flight cell.
+                    progress.cell_started(task.spec.key)
                 with recorder.span(
                     "campaign.cell",
                     scenario=task.spec.scenario_key,
@@ -354,7 +391,10 @@ class SequentialExecutor(_ExecutorBase):
                     outcome = self._run_one(task)
                 pending -= 1
                 _observe_completion(
-                    registry, pending, time.perf_counter() - started
+                    registry,
+                    pending,
+                    time.perf_counter() - started,
+                    progress,
                 )
                 yield index, outcome
 
@@ -431,11 +471,13 @@ class ProcessExecutor(_ExecutorBase):
         self,
         tasks: Sequence[CellTask],
         registry: Optional[MetricsRegistry] = None,
+        progress=None,
     ) -> Iterator[Tuple[int, CellOutcome]]:
         global _WORKER_TASKS
         if not tasks:
             return
         recorder = get_recorder()
+        _observe_batch(registry, len(tasks))
         context = multiprocessing.get_context(self._start_method)
         task_list = list(tasks)
         # Under fork the children inherit the module global; under spawn
@@ -463,7 +505,9 @@ class ProcessExecutor(_ExecutorBase):
                         _run_indexed, range(len(task_list)), chunksize=1
                     ):
                         pending -= 1
-                        _observe_completion(registry, pending, seconds)
+                        _observe_completion(
+                            registry, pending, seconds, progress
+                        )
                         yield index, outcome
         except (AttributeError, pickle.PicklingError) as exc:
             # Unpicklable builder (lambda/closure) under spawn.
@@ -534,11 +578,13 @@ class RobustProcessExecutor(_ExecutorBase):
         self,
         tasks: Sequence[CellTask],
         registry: Optional[MetricsRegistry] = None,
+        progress=None,
     ) -> Iterator[Tuple[int, RobustOutcome]]:
         global _WORKER_TASKS
         if not tasks:
             return
         recorder = get_recorder()
+        _observe_batch(registry, len(tasks))
         context = multiprocessing.get_context(self._start_method)
         task_list = list(tasks)
         _WORKER_TASKS = task_list
@@ -576,11 +622,15 @@ class RobustProcessExecutor(_ExecutorBase):
                             continue
                         pending -= 1
                         if seconds is not None:
-                            _observe_completion(registry, pending, seconds)
+                            _observe_completion(
+                                registry, pending, seconds, progress
+                            )
+                        elif progress is not None:
+                            progress.cell_finished(None)
                         yield i, outcome
                 for i in sorted(unresolved):
                     yield i, self._run_isolated(
-                        context, task_list, i, registry
+                        context, task_list, i, registry, progress
                     )
         finally:
             _WORKER_TASKS = None
@@ -591,6 +641,7 @@ class RobustProcessExecutor(_ExecutorBase):
         task_list: List[CellTask],
         index: int,
         registry: Optional[MetricsRegistry],
+        progress=None,
     ) -> RobustOutcome:
         """Re-run one cell in a fresh single-worker pool.
 
@@ -613,13 +664,17 @@ class RobustProcessExecutor(_ExecutorBase):
                         future, task_list[index]
                     )
                 except BrokenProcessPool:
+                    if progress is not None:
+                        progress.cell_finished(None)
                     return _failure(
                         task_list[index],
                         "crash",
                         "worker process died while executing this cell",
                     )
                 if seconds is not None:
-                    _observe_completion(registry, 0, seconds)
+                    _observe_completion(registry, 0, seconds, progress)
+                elif progress is not None:
+                    progress.cell_finished(None)
                 return outcome
         finally:
             _WORKER_TASKS = None
@@ -676,10 +731,12 @@ class AsyncExecutor(_ExecutorBase):
         self,
         tasks: Sequence[CellTask],
         registry: Optional[MetricsRegistry] = None,
+        progress=None,
     ) -> Iterator[Tuple[int, RobustOutcome]]:
         if not tasks:
             return
         recorder = get_recorder()
+        _observe_batch(registry, len(tasks))
         task_list = list(tasks)
         loop = asyncio.new_event_loop()
         semaphore = asyncio.Semaphore(self.workers)
@@ -743,6 +800,7 @@ class AsyncExecutor(_ExecutorBase):
                             registry,
                             pending,
                             0.0 if seconds is None else seconds,
+                            progress,
                         )
                         yield index, outcome
         finally:

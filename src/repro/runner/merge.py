@@ -228,11 +228,15 @@ def merge_shards(
         if snapshot:
             registry.merge_snapshot(snapshot)
             executed += 1
-    registry.counter("campaign.cells.total").add(len(grid))
+    # Progress metrics are gauges (point-in-time truths, set not
+    # summed), matching what run_campaign and the executors emit, so a
+    # scrape of a merged registry and of a live run read the same way.
+    registry.gauge("campaign.cells.total").set(len(grid))
+    registry.gauge("campaign.cells.completed").set(len(results))
     registry.counter("campaign.cache.hits").add(len(results) - executed)
     registry.counter("campaign.cache.misses").add(executed)
     if failures:
-        registry.counter("campaign.cells.quarantined").add(len(failures))
+        registry.gauge("campaign.cells.quarantined").set(len(failures))
 
     if strict and not report.complete:
         raise MergeError(

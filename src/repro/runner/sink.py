@@ -44,13 +44,17 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.obs.export import _json_safe
+from repro.obs.log import get_logger
 from repro.runner.cells import CellResult
 from repro.runner.executor import CellFailure
+
+log = get_logger("repro.runner.sink")
 
 #: (builder, topology name, seed) -- the canonical cell identity, same
 #: shape as :attr:`repro.runner.cells.CellSpec.key`.
@@ -274,6 +278,12 @@ class ResultSink:
                 with open(self._data_path, "ab") as handle:
                     handle.truncate(valid)
                 recovery.truncated_bytes = size - valid
+                log.warning(
+                    "sink.recovered_torn_tail",
+                    stream=str(self._data_path),
+                    truncated_bytes=recovery.truncated_bytes,
+                    valid_bytes=valid,
+                )
         for record in records:
             index = record.get("index")
             if not isinstance(index, int) or not 0 <= index < len(self._grid):
@@ -359,6 +369,12 @@ class ResultSink:
             "own": self._own,
             "data": self._data_path.name,
             "complete": complete,
+            # Last-update stamps on *every* atomic replace: the stall
+            # detector's fallback when no heartbeat sidecar exists.
+            # Wall clock for cross-machine readers, monotonic for
+            # same-machine readers that must survive clock steps.
+            "updated_at": time.time(),
+            "updated_monotonic": time.monotonic(),
             "completed": {
                 str(index): marker
                 for index, marker in sorted(self._completed.items())

@@ -37,6 +37,7 @@ from repro.analysis.metrics import summarize
 from repro.analysis.reporting import Table
 from repro.graphs.topology import Topology
 from repro.runner.cells import CellResult, CellSpec, CellTask
+from repro.runner.heartbeat import DEFAULT_HEARTBEAT_INTERVAL
 from repro.runner.sharding import Shard
 from repro.workloads.parallel import CampaignOutcome, run_campaign
 from repro.workloads.scenarios import Scenario
@@ -194,6 +195,7 @@ class Campaign:
         bounded_memory: bool = False,
         executor: Optional[str] = None,
         cache_max_entries: Optional[int] = None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
     ) -> CampaignOutcome:
         """Execute the sweep; returns typed cell results + merged metrics.
 
@@ -217,6 +219,7 @@ class Campaign:
             bounded_memory=bounded_memory,
             executor=executor,
             cache_max_entries=cache_max_entries,
+            heartbeat_interval=heartbeat_interval,
         )
 
     def run_cells(
@@ -288,6 +291,7 @@ class Campaign:
         bounded_memory: bool = False,
         executor: Optional[str] = None,
         cache_max_entries: Optional[int] = None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
     ) -> Table:
         """Execute the sweep and summarise it as one table."""
         outcome = self.run_results(
@@ -300,6 +304,7 @@ class Campaign:
             bounded_memory=bounded_memory,
             executor=executor,
             cache_max_entries=cache_max_entries,
+            heartbeat_interval=heartbeat_interval,
         )
         if outcome.aggregates is not None:
             # Bounded-memory run: the results were streamed to disk and

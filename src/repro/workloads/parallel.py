@@ -42,11 +42,13 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.engine.stats import EngineStats
+from repro.obs.log import log_event
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import get_recorder
 from repro.runner.cache import ResultCache, cell_cache_key
 from repro.runner.cells import CellResult, CellTask
 from repro.runner.executor import CellFailure, create_executor, resolve_workers
+from repro.runner.heartbeat import DEFAULT_HEARTBEAT_INTERVAL, HeartbeatWriter
 from repro.runner.sharding import Shard, in_shard, parse_shard
 from repro.runner.sink import ResultSink
 
@@ -192,6 +194,7 @@ def run_campaign(
     bounded_memory: bool = False,
     executor: Optional[str] = None,
     cache_max_entries: Optional[int] = None,
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
 ) -> CampaignOutcome:
     """Execute campaign cells sharded/streamed/cached; see module docstring.
 
@@ -207,7 +210,12 @@ def run_campaign(
       carries only ``aggregates`` and the manifest;
     * ``executor`` picks the fan-out kind: ``None``/``"process"`` for
       the process pool (CPU-bound cells), ``"async"`` for the asyncio
-      executor (I/O-bound cells).
+      executor (I/O-bound cells);
+    * streaming runs additionally emit an atomic
+      ``heartbeat-i-of-m.json`` liveness sidecar next to the sink (one
+      write per ``heartbeat_interval`` seconds, event-driven so a hung
+      cell stops the beats) -- what ``campaign status``/``watch`` and
+      :mod:`repro.runner.status` read.
 
     Robustness (all off by default, preserving the exact legacy
     behavior where any cell failure propagates):
@@ -251,12 +259,22 @@ def run_campaign(
         )
     recovery = sink.begin(grid, grid_index_of) if sink is not None else None
 
+    heartbeat: Optional[HeartbeatWriter] = None
+    if sink is not None:
+        heartbeat = HeartbeatWriter(
+            sink.directory, shard=sink.shard, interval=heartbeat_interval
+        )
+        heartbeat.begin(total=n)
+
     cache = (
         ResultCache(cache_dir, max_entries=cache_max_entries)
         if cache_dir is not None
         else None
     )
     merged = MetricsRegistry()
+    # The grid-wide total goes in before any executor batch runs, so
+    # the executors' batch-size fallback never overrides it.
+    merged.gauge("campaign.cells.total").set(n)
     recorder = get_recorder()
 
     results: List[Optional[CellResult]] = [None] * n
@@ -280,6 +298,26 @@ def run_campaign(
     stored = 0
     hits = 0
     resumed = 0
+    done = 0  # cells settled so far (resumed + cached + executed)
+
+    def note_progress() -> None:
+        """Push authoritative progress to the heartbeat + live gauges."""
+        if recorder.enabled:
+            live = recorder.registry
+            live.gauge("campaign.cells.total").set(n)
+            live.gauge("campaign.cells.completed").set(done)
+            if failures:
+                live.gauge("campaign.cells.quarantined").set(len(failures))
+        if heartbeat is not None:
+            heartbeat.set_progress(
+                completed=done,
+                quarantined=len(failures),
+                cache_hits=hits,
+                resumed=resumed,
+                resident=(
+                    sink.resident_high_water if sink is not None else None
+                ),
+            )
 
     def advance_merge() -> None:
         position = merge_state["next"]
@@ -296,7 +334,7 @@ def run_campaign(
         snapshot: Optional[dict],
         write_sink: bool,
     ) -> None:
-        nonlocal stored
+        nonlocal stored, done
         if sink is not None:
             # Resident right now: everything already stored plus the
             # result in hand (which bounded-memory mode never stores).
@@ -309,6 +347,8 @@ def run_campaign(
             results[position] = result
             stored += 1
         ready[position] = snapshot
+        done += 1
+        note_progress()
         advance_merge()
 
     misses: List[Tuple[int, int, CellTask, Optional[str]]] = []
@@ -339,6 +379,7 @@ def run_campaign(
                     failures[position] = failed
                     recovered_failures.add(position)
                     ready[position] = None
+                    note_progress()
                     advance_merge()
                     continue
             key = cell_cache_key(task) if cache is not None else None
@@ -354,7 +395,9 @@ def run_campaign(
                 worker_count, cells=len(misses), kind=executor
             )
             for batch_index, outcome in runner.execute_iter(
-                [task for _, _, task, _ in misses], registry=merged
+                [task for _, _, task, _ in misses],
+                registry=merged,
+                progress=heartbeat,
             ):
                 position, _, _, key = misses[batch_index]
                 if cache is not None:
@@ -376,7 +419,9 @@ def run_campaign(
                 )
                 still_failing: List[Tuple[int, int, CellTask, Optional[str]]] = []
                 for batch_index, outcome in runner.execute_iter(
-                    [task for _, _, task, _ in pending], registry=merged
+                    [task for _, _, task, _ in pending],
+                    registry=merged,
+                    progress=heartbeat,
                 ):
                     entry = pending[batch_index]
                     position, _, _, key = entry
@@ -406,6 +451,17 @@ def run_campaign(
                 recorder.emit(
                     "campaign.cell.quarantined", failure=failure.to_json()
                 )
+                log_event(
+                    "warning",
+                    "campaign.cell.quarantined",
+                    logger="repro.workloads.parallel",
+                    scenario=failure.scenario,
+                    topology=failure.topology,
+                    seed=failure.seed,
+                    kind=failure.kind,
+                    attempts=failure.attempts,
+                )
+            note_progress()
             advance_merge()
 
     assert merge_state["next"] == n, "metrics fold did not drain"
@@ -413,11 +469,13 @@ def run_campaign(
     completed = n - len(quarantined)
     corrupt = cache.corrupt_entries if cache is not None else 0
     evicted = cache.evicted_entries if cache is not None else 0
-    merged.counter("campaign.cells.total").add(n)
+    # Progress truths are gauges: total was set before the first batch,
+    # completed/quarantined get their final authoritative values here.
+    merged.gauge("campaign.cells.completed").set(completed)
     merged.counter("campaign.cache.hits").add(hits)
     merged.counter("campaign.cache.misses").add(len(misses))
     if quarantined:
-        merged.counter("campaign.cells.quarantined").add(len(quarantined))
+        merged.gauge("campaign.cells.quarantined").set(len(quarantined))
     if retried_positions:
         merged.counter("campaign.cells.retried").add(len(retried_positions))
     if corrupt:
@@ -432,6 +490,14 @@ def run_campaign(
         recorder.registry.merge(merged)
 
     manifest = sink.close() if sink is not None else None
+    if heartbeat is not None:
+        heartbeat.set_progress(
+            completed=completed,
+            quarantined=len(quarantined),
+            cache_hits=hits,
+            resumed=resumed,
+        )
+        heartbeat.close(complete=True)
 
     if aggregates is not None:
         kept: Tuple[CellResult, ...] = ()

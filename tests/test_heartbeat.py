@@ -1,0 +1,266 @@
+"""Shard heartbeats: atomic sidecars, throttling, EWMA, authority.
+
+ISSUE requirements covered here:
+
+* heartbeat files survive torn/partial writes: a reader sees the
+  previous beat or the new one, never garbage (and garbage on disk is
+  treated as *absent*, not as an error);
+* beats are throttled to one write per interval, driven only by the
+  runner's progress hooks (the stall-detection contract);
+* the campaign runner's absolute ``set_progress`` counters override the
+  executor-counted fallback (retries and resumed cells would otherwise
+  double- or under-count);
+* a streamed ``run_campaign`` leaves a final ``complete`` heartbeat
+  next to its manifest.
+"""
+
+import json
+
+import pytest
+
+from repro.graphs import ring
+from repro.runner.heartbeat import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    EWMA_ALPHA,
+    HEARTBEAT_VERSION,
+    Heartbeat,
+    HeartbeatWriter,
+    heartbeat_path,
+    read_heartbeat,
+)
+from repro.workloads import Campaign, bounded_uniform
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make_writer(tmp_path, interval=5.0, shard=None):
+    wall, mono = FakeClock(1_700_000_000.0), FakeClock(50.0)
+    writer = HeartbeatWriter(
+        tmp_path, shard=shard, interval=interval, clock=wall, monotonic=mono
+    )
+    return writer, wall, mono
+
+
+class TestHeartbeatRecord:
+    def test_round_trip(self):
+        beat = Heartbeat(
+            shard=(2, 4), pid=123, host="box", started_at=10.0,
+            updated_at=20.0, monotonic=5.0, cells_total=40,
+            cells_completed=10, cells_quarantined=1, cache_hits=3,
+            resumed=2, resident_high_water=7, throughput=1.5,
+            eta_seconds=19.3, current_cell=("bounded", "ring-4", 3),
+            current_cell_seconds=0.25, complete=False,
+        )
+        again = Heartbeat.from_json(beat.to_json())
+        assert again == beat
+        assert again.cells_remaining == 29
+
+    def test_record_type_and_version(self):
+        record = make_beat().to_json()
+        assert record["type"] == "campaign.heartbeat"
+        assert record["version"] == HEARTBEAT_VERSION
+
+    def test_wrong_type_rejected(self):
+        record = make_beat().to_json()
+        record["type"] = "campaign.cell"
+        with pytest.raises(ValueError, match="campaign.heartbeat"):
+            Heartbeat.from_json(record)
+
+    def test_wrong_version_rejected(self):
+        record = make_beat().to_json()
+        record["version"] = HEARTBEAT_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            Heartbeat.from_json(record)
+
+    def test_remaining_never_negative(self):
+        beat = make_beat(cells_total=2, cells_completed=5)
+        assert beat.cells_remaining == 0
+
+
+def make_beat(**overrides):
+    base = dict(
+        shard=(1, 1), pid=1, host="h", started_at=0.0, updated_at=1.0,
+        monotonic=1.0, cells_total=10, cells_completed=4,
+        cells_quarantined=0, cache_hits=0, resumed=0,
+        resident_high_water=0, throughput=None, eta_seconds=None,
+        current_cell=None, current_cell_seconds=None, complete=False,
+    )
+    base.update(overrides)
+    return Heartbeat(**base)
+
+
+class TestReadHeartbeat:
+    def test_missing_file(self, tmp_path):
+        assert read_heartbeat(tmp_path / "none.json") is None
+
+    def test_torn_write_is_absent_not_error(self, tmp_path):
+        writer, _, _ = make_writer(tmp_path)
+        writer.begin(total=4)
+        intact = writer.path.read_text()
+        # Simulate the torn write the atomic-replace discipline prevents:
+        # were a writer to crash mid-write *without* the tmp+replace
+        # dance, the reader must degrade to "no heartbeat".
+        writer.path.write_text(intact[: len(intact) // 2])
+        assert read_heartbeat(writer.path) is None
+
+    def test_non_object_payload(self, tmp_path):
+        path = tmp_path / "heartbeat-1-of-1.json"
+        path.write_text('["not", "a", "heartbeat"]')
+        assert read_heartbeat(path) is None
+
+    def test_missing_required_field(self, tmp_path):
+        record = make_beat().to_json()
+        del record["pid"]
+        path = tmp_path / "heartbeat-1-of-1.json"
+        path.write_text(json.dumps(record))
+        assert read_heartbeat(path) is None
+
+
+class TestHeartbeatWriter:
+    def test_path_naming(self, tmp_path):
+        assert heartbeat_path(tmp_path) == tmp_path / "heartbeat-1-of-1.json"
+        assert (
+            heartbeat_path(tmp_path, (2, 4))
+            == tmp_path / "heartbeat-2-of-4.json"
+        )
+        writer, _, _ = make_writer(tmp_path, shard=(2, 4))
+        assert writer.path.name == "heartbeat-2-of-4.json"
+
+    def test_begin_writes_first_beat(self, tmp_path):
+        writer, _, _ = make_writer(tmp_path)
+        writer.begin(total=7)
+        beat = read_heartbeat(writer.path)
+        assert beat is not None
+        assert beat.cells_total == 7
+        assert beat.cells_completed == 0
+        assert not beat.complete
+        assert writer.beats == 1
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        writer, _, mono = make_writer(tmp_path)
+        writer.begin(total=4)
+        mono.advance(10)
+        writer.cell_finished(0.1)
+        writer.close()
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == ["heartbeat-1-of-1.json"]
+
+    def test_throttle_one_write_per_interval(self, tmp_path):
+        writer, _, mono = make_writer(tmp_path, interval=5.0)
+        writer.begin(total=100)
+        for _ in range(10):
+            mono.advance(0.1)  # ten completions inside one interval
+            writer.cell_finished(0.1)
+        assert writer.beats == 1  # only the forced begin() beat
+        mono.advance(5.0)
+        writer.cell_finished(0.1)
+        assert writer.beats == 2
+
+    def test_interval_zero_beats_every_event(self, tmp_path):
+        writer, _, mono = make_writer(tmp_path, interval=0.0)
+        writer.begin(total=3)
+        for _ in range(3):
+            mono.advance(0.01)
+            writer.cell_finished(0.01)
+        assert writer.beats == 4
+
+    def test_negative_interval_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="interval"):
+            HeartbeatWriter(tmp_path, interval=-1.0)
+
+    def test_ewma_throughput(self, tmp_path):
+        writer, _, mono = make_writer(tmp_path, interval=0.0)
+        writer.begin(total=10)
+        # First completion seeds the EWMA with the cell's own cost.
+        writer.cell_finished(2.0)
+        assert writer.throughput == pytest.approx(0.5)
+        mono.advance(1.0)
+        writer.cell_finished(1.0)
+        expected_dt = EWMA_ALPHA * 1.0 + (1 - EWMA_ALPHA) * 2.0
+        assert writer.throughput == pytest.approx(1.0 / expected_dt)
+        # ETA = remaining / throughput, using the fallback count (2 done).
+        assert writer.eta_seconds == pytest.approx(8 * expected_dt)
+
+    def test_set_progress_overrides_executor_count(self, tmp_path):
+        writer, _, mono = make_writer(tmp_path, interval=0.0)
+        writer.begin(total=10)
+        # A retried cell passes through the executor twice...
+        writer.cell_finished(0.1)
+        mono.advance(0.1)
+        writer.cell_finished(0.1)
+        assert writer.completed == 2
+        # ...but the campaign runner knows only one cell is truly done.
+        writer.set_progress(completed=1, quarantined=0)
+        assert writer.completed == 1
+        assert read_heartbeat(writer.path).cells_completed == 1
+
+    def test_current_cell_tracking(self, tmp_path):
+        writer, _, mono = make_writer(tmp_path, interval=0.0)
+        writer.begin(total=2)
+        writer.cell_started(("bounded", "ring-4", 1))
+        mono.advance(0.5)
+        writer.beat(force=True)
+        beat = read_heartbeat(writer.path)
+        assert beat.current_cell == ("bounded", "ring-4", 1)
+        assert beat.current_cell_seconds == pytest.approx(0.5)
+        writer.cell_finished(0.5)
+        assert read_heartbeat(writer.path).current_cell is None
+
+    def test_close_marks_complete_and_is_idempotent(self, tmp_path):
+        writer, _, _ = make_writer(tmp_path)
+        writer.begin(total=1)
+        writer.cell_finished(0.1)
+        path = writer.close()
+        beats = writer.beats
+        assert read_heartbeat(path).complete
+        writer.close()
+        assert writer.beats == beats  # second close writes nothing
+        assert writer.beat() is False  # closed writers never beat again
+
+
+class TestCampaignIntegration:
+    def test_streamed_run_leaves_complete_heartbeat(self, tmp_path):
+        campaign = Campaign(seeds=range(3))
+        campaign.add(
+            "bounded", lambda t, s: bounded_uniform(t, 1.0, 3.0, seed=s)
+        )
+        campaign.run_results(
+            [ring(4)], results_dir=tmp_path, heartbeat_interval=0.0
+        )
+        beat = read_heartbeat(heartbeat_path(tmp_path))
+        assert beat is not None
+        assert beat.complete
+        assert beat.cells_total == 3
+        assert beat.cells_completed == 3
+        assert beat.cells_quarantined == 0
+
+    def test_sharded_run_names_sidecar_by_shard(self, tmp_path):
+        campaign = Campaign(seeds=range(4))
+        campaign.add(
+            "bounded", lambda t, s: bounded_uniform(t, 1.0, 3.0, seed=s)
+        )
+        outcome = campaign.run_results(
+            [ring(4)], shard="1/2", results_dir=tmp_path,
+            heartbeat_interval=0.0,
+        )
+        beat = read_heartbeat(heartbeat_path(tmp_path, (1, 2)))
+        assert beat is not None
+        assert beat.shard == (1, 2)
+        assert beat.complete
+        # Sharding is deterministic-by-hash, so the shard's own cell
+        # count comes from the outcome, not from grid/2 arithmetic.
+        assert beat.cells_completed == len(outcome.results)
+        assert beat.cells_total == len(outcome.results)
+        assert 0 < len(outcome.results) < 4
+
+    def test_default_interval_is_sane(self):
+        assert DEFAULT_HEARTBEAT_INTERVAL == 5.0

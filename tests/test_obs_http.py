@@ -1,0 +1,170 @@
+"""The /metrics + /healthz HTTP sidecar (repro.obs.http).
+
+ISSUE requirements covered here:
+
+* every ``/metrics`` scrape passes the Prometheus 0.0.4 validator --
+  including scrapes racing concurrent registry updates from writer
+  threads (the exporter renders from the registry's locked snapshot);
+* ``/healthz`` serves the injected health payload with 200/503 mapped
+  from its ``healthy`` key;
+* the server binds an ephemeral port, is scoped as a context manager,
+  and ``close()`` actually stops serving.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.export import validate_prometheus_text
+from repro.obs.http import (
+    PROMETHEUS_CONTENT_TYPE,
+    TelemetryServer,
+    serve_telemetry,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import recording
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+def make_registry():
+    registry = MetricsRegistry()
+    registry.counter("campaign.cache.hits").add(3)
+    registry.gauge("campaign.cells.total").set(12)
+    registry.gauge("campaign.cells.completed").set(7)
+    registry.histogram("campaign.cell.seconds").observe(0.05)
+    return registry
+
+
+class TestMetricsEndpoint:
+    def test_scrape_validates(self):
+        with serve_telemetry(make_registry()) as server:
+            status, headers, body = get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        validate_prometheus_text(body)
+        assert "campaign_cells_total 12" in body
+        assert "campaign_cells_completed 7" in body
+
+    def test_scrape_tracks_live_updates(self):
+        registry = make_registry()
+        with serve_telemetry(registry) as server:
+            registry.gauge("campaign.cells.completed").set(9)
+            _, _, body = get(server.url + "/metrics")
+        assert "campaign_cells_completed 9" in body
+
+    def test_callable_registry_source(self):
+        registries = [make_registry()]
+        with serve_telemetry(lambda: registries[0]) as server:
+            fresh = MetricsRegistry()
+            fresh.gauge("campaign.cells.total").set(99)
+            registries[0] = fresh
+            _, _, body = get(server.url + "/metrics")
+        assert "campaign_cells_total 99" in body
+
+    def test_default_registry_is_ambient_recorder(self):
+        with recording() as recorder:
+            recorder.registry.gauge("campaign.cells.total").set(5)
+            with TelemetryServer() as server:
+                _, _, body = get(server.url + "/metrics")
+        assert "campaign_cells_total 5" in body
+
+    def test_concurrent_writers_never_break_a_scrape(self):
+        """The ISSUE's exporter-under-concurrency requirement."""
+        registry = make_registry()
+        stop = threading.Event()
+
+        def hammer(index):
+            counter = registry.counter(f"campaign.hammer.{index}")
+            gauge = registry.gauge("campaign.cells.completed")
+            value = 0
+            while not stop.is_set():
+                counter.add(1)
+                value += 1
+                gauge.set(value)
+                registry.histogram("campaign.cell.seconds").observe(0.001)
+
+        writers = [
+            threading.Thread(target=hammer, args=(i,), daemon=True)
+            for i in range(4)
+        ]
+        for writer in writers:
+            writer.start()
+        try:
+            with serve_telemetry(registry) as server:
+                for _ in range(25):
+                    status, _, body = get(server.url + "/metrics")
+                    assert status == 200
+                    validate_prometheus_text(body)
+        finally:
+            stop.set()
+            for writer in writers:
+                writer.join(timeout=5)
+
+
+class TestHealthEndpoint:
+    def test_default_health_is_ok(self):
+        with serve_telemetry(MetricsRegistry()) as server:
+            status, headers, body = get(server.url + "/healthz")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert json.loads(body) == {"status": "ok", "healthy": True}
+
+    def test_unhealthy_payload_maps_to_503(self):
+        health = lambda: {  # noqa: E731
+            "status": "degraded",
+            "healthy": False,
+            "attention": [{"shard": [2, 4], "state": "stalled"}],
+        }
+        with serve_telemetry(MetricsRegistry(), health=health) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(server.url + "/healthz")
+            assert excinfo.value.code == 503
+            payload = json.loads(excinfo.value.read().decode())
+        assert payload["status"] == "degraded"
+        assert payload["attention"][0]["state"] == "stalled"
+
+    def test_health_callable_error_becomes_500_not_crash(self):
+        def broken():
+            raise RuntimeError("health source exploded")
+
+        with serve_telemetry(MetricsRegistry(), health=broken) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(server.url + "/healthz")
+            assert excinfo.value.code == 500
+            # The server survives: the next request still works.
+            status, _, _ = get(server.url + "/metrics")
+            assert status == 200
+
+
+class TestLifecycle:
+    def test_unknown_path_is_404(self):
+        with serve_telemetry(MetricsRegistry()) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(server.url + "/nope")
+            assert excinfo.value.code == 404
+
+    def test_ephemeral_port_assigned(self):
+        with serve_telemetry(MetricsRegistry()) as server:
+            assert server.port != 0
+            assert server.url == f"http://127.0.0.1:{server.port}"
+
+    def test_close_stops_serving_and_is_idempotent(self):
+        server = serve_telemetry(MetricsRegistry())
+        url = server.url
+        server.close()
+        server.close()  # idempotent
+        with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+            get(url + "/metrics")
+
+    def test_start_after_close_rejected(self):
+        server = serve_telemetry(MetricsRegistry())
+        server.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            server.start()
