@@ -1,23 +1,19 @@
 """E9 bench: regenerate the scaling table; time the two graph kernels
 (Karp max cycle mean, Bellman--Ford) at a fixed size so regressions in
 either show up independently of the end-to-end pipeline; race the matrix
-engine backends on the full pipeline and archive ``BENCH_engine.json``."""
+engine backends on the full pipeline through the :mod:`repro.bench`
+harness and archive ``BENCH_engine.json`` in the schema'd
+:class:`~repro.bench.BenchReport` form."""
 
-import json
 import random
-import time
 from pathlib import Path
 
 from conftest import show_tables
 
-from repro.core.estimates import local_shift_estimates
-from repro.core.synchronizer import ClockSynchronizer
 from repro.experiments import run_experiment
-from repro.graphs import ring
 from repro.graphs.digraph import WeightedDigraph
 from repro.graphs.karp import maximum_cycle_mean
 from repro.graphs.shortest_paths import bellman_ford
-from repro.workloads.scenarios import bounded_uniform
 
 
 def _dense_graph(n: int, seed: int = 0) -> WeightedDigraph:
@@ -51,45 +47,49 @@ def test_e9_bellman_ford_kernel(benchmark):
 def test_e9_engine_backends(capsys):
     """python vs numpy engine on the full pipeline; archives BENCH_engine.json.
 
-    The numpy engine must beat the reference dict/digraph engine by at
-    least 5x at n=64 (measured ~10x; the bound leaves CI headroom), and
-    both must agree on A^max to 1e-7.
+    The race now runs through the ``repro.bench`` harness (suite
+    ``full``, benchmark ``engine.pipeline``, backend x n grid), so the
+    archived file is a schema'd, environment-fingerprinted
+    ``BenchReport`` instead of the old bare list.  The claims are
+    unchanged: the numpy engine must beat the reference dict/digraph
+    engine by at least 5x at n=64 (measured ~10x; the bound leaves CI
+    headroom), both backends must agree on A^max to 1e-7, and the
+    legacy row shape must still load through ``load_engine_baseline``
+    so the overhead guards keyed on ``numpy_seconds`` never notice.
     """
-    records = []
+    from repro.bench import (
+        load_engine_baseline,
+        run_suite,
+        validate_bench_file,
+        write_bench_report,
+    )
+
+    outcome = run_suite(
+        suite="full", names=["engine.pipeline"], repeats=3, warmup=1
+    )
+    report = outcome.report
+
+    by_key = report.by_key()
     for n in (8, 16, 32, 64):
-        scenario = bounded_uniform(ring(n), lb=1.0, ub=3.0, probes=2, seed=0)
-        mls = local_shift_estimates(scenario.system, scenario.run().views())
-        entry = {"n": n}
-        precisions = {}
-        for backend in ("python", "numpy"):
-            sync = ClockSynchronizer(scenario.system, backend=backend)
-            best = min(
-                _timed(sync.from_local_estimates, mls) for _ in range(3)
-            )
-            entry[f"{backend}_seconds"] = best
-            precisions[backend] = sync.from_local_estimates(mls).precision
-        assert abs(precisions["python"] - precisions["numpy"]) < 1e-7
-        entry["precision"] = precisions["python"]
-        entry["speedup"] = entry["python_seconds"] / entry["numpy_seconds"]
-        records.append(entry)
+        python = by_key[f"engine.pipeline[backend=python,n={n}]"]
+        numpy = by_key[f"engine.pipeline[backend=numpy,n={n}]"]
+        assert abs(
+            python.extra["precision"] - numpy.extra["precision"]
+        ) < 1e-7
 
     out = Path(__file__).resolve().parent / "BENCH_engine.json"
-    out.write_text(json.dumps(records, indent=2) + "\n")
+    write_bench_report(out, report)
+    assert validate_bench_file(out) == len(report.results)
+
+    rows = load_engine_baseline(out)
     with capsys.disabled():
         print()
-        for entry in records:
+        for n in sorted(rows):
+            entry = rows[n]
             print(
-                f"n={entry['n']:>3}  python {entry['python_seconds']:.5f}s  "
+                f"n={n:>3}  python {entry['python_seconds']:.5f}s  "
                 f"numpy {entry['numpy_seconds']:.5f}s  "
                 f"speedup {entry['speedup']:.1f}x"
             )
 
-    final = records[-1]
-    assert final["n"] == 64
-    assert final["speedup"] >= 5.0
-
-
-def _timed(fn, *args):
-    t0 = time.perf_counter()
-    fn(*args)
-    return time.perf_counter() - t0
+    assert rows[64]["speedup"] >= 5.0

@@ -1,7 +1,11 @@
 """Parallel campaign runner: scaling on the E9c grid.
 
 Runs the E9c campaign (bounded rings, sizes 8..64) at 1, 2 and 4
-workers and archives ``BENCH_parallel.json``.  The seed set is widened
+workers and archives ``BENCH_parallel.json`` as a schema'd
+:class:`~repro.bench.BenchReport` (``campaign.scaling`` results keyed
+by worker count, ``campaign.streaming`` by runner mode, honest
+grid/cpu/target facts in ``meta``; the legacy dict shape still loads
+through ``load_parallel_baseline``).  The seed set is widened
 to 16 per cell so the grid carries enough serial work (~1s) to amortize
 pool startup -- with E9c's default 3 seeds the whole grid solves in
 ~0.2s and any pool would lose to its own fork overhead.  Two distinct
@@ -18,14 +22,25 @@ claims are checked:
   measurement is still recorded with ``target_met``/``reason`` fields.
 """
 
-import json
 import os
+import time
 from pathlib import Path
 
+from repro.bench import (
+    BenchReport,
+    BenchResult,
+    EnvFingerprint,
+    SampleStats,
+    read_bench_report,
+    validate_bench_file,
+    write_bench_report,
+)
 from repro.experiments.common import e9c_campaign
 
 SPEEDUP_TARGET = 2.0
 WORKER_COUNTS = (1, 2, 4)
+
+BENCH_PATH = Path(__file__).resolve().parent / "BENCH_parallel.json"
 
 
 def _effective_cpus() -> int:
@@ -35,14 +50,55 @@ def _effective_cpus() -> int:
         return os.cpu_count() or 1
 
 
+def _bench_result(name, params, seconds, cpu_seconds, **extra):
+    return BenchResult(
+        name=name,
+        params=params,
+        wall=SampleStats(samples=(seconds,)),
+        cpu=SampleStats(samples=(cpu_seconds,)),
+        warmup=0,
+        extra=extra,
+    )
+
+
+def _merge_into_archive(results, meta):
+    """Fold new results into ``BENCH_parallel.json`` (one BenchReport).
+
+    The two archiving tests in this module each contribute their own
+    result family (``campaign.scaling`` / ``campaign.streaming``); a
+    re-run replaces its own family and leaves the other intact.
+    """
+    report = None
+    if BENCH_PATH.exists():
+        try:
+            report = read_bench_report(BENCH_PATH)
+        except Exception:
+            report = None  # legacy format: start a fresh report
+    replaced = {r.name for r in results}
+    if report is None:
+        report = BenchReport(
+            env=EnvFingerprint.capture(), suite="parallel", results=[]
+        )
+    report.env = EnvFingerprint.capture()
+    report.results = [
+        r for r in report.results if r.name not in replaced
+    ] + list(results)
+    report.meta.update(meta)
+    write_bench_report(BENCH_PATH, report)
+    assert validate_bench_file(BENCH_PATH) == len(report.results)
+
+
 def test_parallel_campaign_scaling(capsys):
     campaign, topologies = e9c_campaign(quick=False, seeds=range(16))
     cpus = _effective_cpus()
 
     runs = []
     tables = {}
+    cpu_times = {}
     for workers in WORKER_COUNTS:
+        cpu0 = time.process_time()
         outcome = campaign.run_results(topologies, workers=workers)
+        cpu_times[workers] = time.process_time() - cpu0
         tables[workers] = campaign.summarize(outcome.results).format()
         runs.append({
             "workers": workers,
@@ -65,22 +121,32 @@ def test_parallel_campaign_scaling(capsys):
     if not target_met and cpus < 4:
         reason = f"cpu_limited ({cpus} effective CPU(s))"
 
-    record = {
-        "grid": {
-            "preset": "e9c",
-            "topologies": [t.name for t in topologies],
-            "seeds": len(campaign.seeds),
-            "cells": len(topologies) * len(campaign.seeds),
+    _merge_into_archive(
+        [
+            _bench_result(
+                "campaign.scaling",
+                {"workers": entry["workers"]},
+                entry["seconds"],
+                cpu_times[entry["workers"]],
+                cells=entry["cells"],
+                speedup=entry["speedup"],
+            )
+            for entry in runs
+        ],
+        meta={
+            "grid": {
+                "preset": "e9c",
+                "topologies": [t.name for t in topologies],
+                "seeds": len(campaign.seeds),
+                "cells": len(topologies) * len(campaign.seeds),
+            },
+            "cpu": {"effective": cpus, "count": os.cpu_count()},
+            "speedup_target": SPEEDUP_TARGET,
+            "speedup_at_4": speedup,
+            "target_met": target_met,
+            "reason": reason,
         },
-        "cpu": {"effective": cpus, "count": os.cpu_count()},
-        "runs": runs,
-        "speedup_target": SPEEDUP_TARGET,
-        "speedup_at_4": speedup,
-        "target_met": target_met,
-        "reason": reason,
-    }
-    out = Path(__file__).resolve().parent / "BENCH_parallel.json"
-    out.write_text(json.dumps(record, indent=2) + "\n")
+    )
 
     with capsys.disabled():
         print()
@@ -111,13 +177,19 @@ def test_streaming_vs_in_memory(tmp_path, capsys):
     campaign, topologies = e9c_campaign(quick=False, seeds=range(16))
     cells = len(topologies) * len(campaign.seeds)
 
-    in_mem = campaign.run_results(topologies, workers=1)
-    streamed = campaign.run_results(
-        topologies, workers=1, results_dir=tmp_path / "stream"
-    )
-    bounded = campaign.run_results(
-        topologies, workers=1, results_dir=tmp_path / "bounded",
-        bounded_memory=True,
+    cpu_times = {}
+
+    def _timed_run(mode, **kwargs):
+        cpu0 = time.process_time()
+        outcome = campaign.run_results(topologies, workers=1, **kwargs)
+        cpu_times[mode] = time.process_time() - cpu0
+        return outcome
+
+    in_mem = _timed_run("in_memory")
+    streamed = _timed_run("streaming", results_dir=tmp_path / "stream")
+    bounded = _timed_run(
+        "streaming_bounded",
+        results_dir=tmp_path / "bounded", bounded_memory=True,
     )
 
     from repro.workloads import summarize_groups
@@ -146,13 +218,21 @@ def test_streaming_vs_in_memory(tmp_path, capsys):
         row["cells"] = cells
         row["overhead_vs_in_memory"] = row["seconds"] / in_mem.seconds
 
-    out = Path(__file__).resolve().parent / "BENCH_parallel.json"
-    record = json.loads(out.read_text()) if out.exists() else {}
-    record["streaming"] = {
-        "table_identical": True,
-        "runs": rows,
-    }
-    out.write_text(json.dumps(record, indent=2) + "\n")
+    _merge_into_archive(
+        [
+            _bench_result(
+                "campaign.streaming",
+                {"mode": row["mode"]},
+                row["seconds"],
+                cpu_times[row["mode"]],
+                cells=cells,
+                resident_high_water=row["resident_high_water"],
+                overhead_vs_in_memory=row["overhead_vs_in_memory"],
+            )
+            for row in rows
+        ],
+        meta={"table_identical": True},
+    )
 
     with capsys.disabled():
         print()

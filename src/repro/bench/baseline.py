@@ -1,0 +1,233 @@
+"""Baseline management: noise-aware regression comparison between runs.
+
+The comparison is deliberately conservative about noise.  A benchmark
+is flagged as a **regression** only when BOTH hold:
+
+* the median wall time regressed beyond the relative tolerance
+  (``cur.median > base.median * (1 + tol)``), and
+* the *minimum* repeat regressed beyond it too
+  (``cur.min > base.min * (1 + tol)``).
+
+The min-of-repeats is the classic low-noise estimator -- scheduler
+hiccups only ever inflate samples, so a genuinely unchanged workload
+reproduces its floor.  Requiring both medians and floors to move means
+one slow outlier repeat can never fail the gate, and a genuinely 2x
+slower kernel always does.  When either run has fewer than
+``MIN_SIGNIFICANT_REPEATS`` samples the verdict additionally requires
+double the tolerance (too few samples to trust the floor).
+
+Environment fingerprints guard comparability: by default a comparison
+across different machines/interpreters raises
+:class:`BaselineMismatchError` instead of producing quietly meaningless
+ratios.  The ``ci`` tolerance preset opts into cross-environment
+comparison with a generous threshold -- CI containers differ from the
+machine that archived the committed baseline, and the gate there exists
+to catch order-of-magnitude blowups, not 10% drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.schema import BenchReport, BenchResult
+
+#: Named tolerance presets: (relative tolerance, allow cross-env).
+TOLERANCE_PRESETS: Dict[str, Tuple[float, bool]] = {
+    # Same-machine development gate: 25% headroom over the baseline.
+    "local": (0.25, False),
+    # Cross-machine CI gate: generous 1.5x headroom (i.e. flag >2.5x),
+    # because the baseline was archived on different hardware and a
+    # 1-CPU container adds scheduling noise of its own.
+    "ci": (1.5, True),
+}
+
+MIN_SIGNIFICANT_REPEATS = 3
+
+
+class BaselineMismatchError(ValueError):
+    """Current run and baseline are not comparable."""
+
+
+@dataclass(frozen=True)
+class CaseDelta:
+    """One benchmark's baseline-vs-current verdict."""
+
+    key: str
+    baseline: Optional[BenchResult]
+    current: Optional[BenchResult]
+    ratio: Optional[float]  # current.median / baseline.median
+    verdict: str  # "ok" | "faster" | "regression" | "new" | "missing"
+    detail: str = ""
+
+    @property
+    def regressed(self) -> bool:
+        return self.verdict == "regression"
+
+
+@dataclass
+class Comparison:
+    """A full report-vs-baseline diff."""
+
+    baseline: BenchReport
+    current: BenchReport
+    tolerance: float
+    cross_env: bool
+    deltas: List[CaseDelta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[CaseDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def lines(self) -> List[str]:
+        out = []
+        if self.cross_env:
+            out.append(
+                "NOTE: environments differ "
+                f"(baseline {self.baseline.env.fingerprint} on "
+                f"{self.baseline.env.hostname!r}, current "
+                f"{self.current.env.fingerprint} on "
+                f"{self.current.env.hostname!r}); ratios compare "
+                "different machines"
+            )
+        counted: Dict[str, int] = {}
+        for delta in self.deltas:
+            counted[delta.verdict] = counted.get(delta.verdict, 0) + 1
+        summary = ", ".join(
+            f"{n} {verdict}" for verdict, n in sorted(counted.items())
+        )
+        out.append(
+            f"compared {len(self.deltas)} benchmark(s) at tolerance "
+            f"{self.tolerance:+.0%}: {summary or 'nothing in common'}"
+        )
+        for delta in self.regressions:
+            out.append(f"REGRESSION: {delta.key} -- {delta.detail}")
+        return out
+
+
+def compare_results(
+    baseline: BenchResult,
+    current: BenchResult,
+    tolerance: float,
+) -> CaseDelta:
+    """Noise-aware verdict for one benchmark (see module docstring)."""
+    base_median, cur_median = baseline.wall.median, current.wall.median
+    base_min, cur_min = baseline.wall.min, current.wall.min
+    ratio = cur_median / base_median if base_median > 0 else float("inf")
+    effective = tolerance
+    if min(baseline.repeats, current.repeats) < MIN_SIGNIFICANT_REPEATS:
+        effective = tolerance * 2.0
+    median_regressed = cur_median > base_median * (1.0 + effective)
+    floor_regressed = cur_min > base_min * (1.0 + effective)
+    if median_regressed and floor_regressed:
+        return CaseDelta(
+            key=current.key,
+            baseline=baseline,
+            current=current,
+            ratio=ratio,
+            verdict="regression",
+            detail=(
+                f"median {base_median:.6g}s -> {cur_median:.6g}s "
+                f"({ratio:.2f}x), min {base_min:.6g}s -> {cur_min:.6g}s; "
+                f"both beyond +{effective:.0%}"
+            ),
+        )
+    if ratio < 1.0 / (1.0 + effective):
+        verdict = "faster"
+    else:
+        verdict = "ok"
+    return CaseDelta(
+        key=current.key,
+        baseline=baseline,
+        current=current,
+        ratio=ratio,
+        verdict=verdict,
+    )
+
+
+def compare_reports(
+    baseline: BenchReport,
+    current: BenchReport,
+    tolerance: float = TOLERANCE_PRESETS["local"][0],
+    allow_cross_env: bool = False,
+) -> Comparison:
+    """Diff ``current`` against ``baseline`` benchmark by benchmark.
+
+    Benchmarks are matched by key (name + params).  Cases present only
+    in ``current`` are reported as ``new``; cases present only in
+    ``baseline`` as ``missing`` -- neither fails the gate, but both are
+    visible so silently-dropped coverage cannot hide.
+    """
+    cross_env = not baseline.env.comparable_with(current.env)
+    if cross_env and not allow_cross_env:
+        raise BaselineMismatchError(
+            "refusing to compare runs from different environments: "
+            f"baseline {baseline.env.fingerprint} "
+            f"({baseline.env.hostname!r}, python {baseline.env.python}, "
+            f"numpy {baseline.env.numpy}) vs current "
+            f"{current.env.fingerprint} ({current.env.hostname!r}, "
+            f"python {current.env.python}, numpy {current.env.numpy}); "
+            "pass allow_cross_env=True (CLI: --tolerance ci or "
+            "--allow-cross-env) to override"
+        )
+    base_by_key = baseline.by_key()
+    cur_by_key = current.by_key()
+    deltas: List[CaseDelta] = []
+    for key, cur in cur_by_key.items():
+        base = base_by_key.get(key)
+        if base is None:
+            deltas.append(CaseDelta(
+                key=key, baseline=None, current=cur,
+                ratio=None, verdict="new",
+            ))
+        else:
+            deltas.append(compare_results(base, cur, tolerance))
+    for key, base in base_by_key.items():
+        if key not in cur_by_key:
+            deltas.append(CaseDelta(
+                key=key, baseline=base, current=None,
+                ratio=None, verdict="missing",
+            ))
+    return Comparison(
+        baseline=baseline,
+        current=current,
+        tolerance=tolerance,
+        cross_env=cross_env,
+        deltas=deltas,
+    )
+
+
+def resolve_tolerance(spec: str) -> Tuple[float, bool]:
+    """Parse a CLI tolerance: a preset name or a bare float.
+
+    Returns ``(relative_tolerance, allow_cross_env)``.
+    """
+    preset = TOLERANCE_PRESETS.get(spec)
+    if preset is not None:
+        return preset
+    try:
+        value = float(spec)
+    except ValueError:
+        raise ValueError(
+            f"unknown tolerance {spec!r}; use a float or one of "
+            f"{sorted(TOLERANCE_PRESETS)}"
+        ) from None
+    if value <= 0:
+        raise ValueError(f"tolerance must be positive, got {value}")
+    return value, False
+
+
+__all__ = [
+    "MIN_SIGNIFICANT_REPEATS",
+    "TOLERANCE_PRESETS",
+    "BaselineMismatchError",
+    "CaseDelta",
+    "Comparison",
+    "compare_reports",
+    "compare_results",
+    "resolve_tolerance",
+]

@@ -1,0 +1,212 @@
+"""Rendering: bench reports, comparisons and profiles as plain text.
+
+Everything here returns :class:`repro.analysis.reporting.Table` objects
+(or plain strings) so ``repro-clocksync bench ...`` prints in the same
+aligned style as the experiment and ``profile`` commands.  The profile
+view folds the instrumented-pass spans through the same
+:func:`repro.obs.report.format_span_tree` / ``top_stages_table``
+machinery the ``profile`` command uses -- one span-aggregation code
+path, two front doors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.bench.baseline import Comparison
+from repro.bench.schema import BenchReport, BenchResult
+from repro.obs.memory import format_bytes
+
+
+def _seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.3f} s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3f} ms"
+    return f"{value * 1e6:.1f} us"
+
+
+def environment_lines(report: BenchReport) -> List[str]:
+    """A short human header identifying the run's environment."""
+    env = report.env
+    git = f" git={env.git_sha[:12]}" if env.git_sha else ""
+    return [
+        f"suite={report.suite}  repeats={report.options.get('repeats', '?')}"
+        f"  warmup={report.options.get('warmup', '?')}"
+        f"  benchmarks={len(report.results)}",
+        f"env {env.fingerprint}: python {env.python}, numpy {env.numpy}, "
+        f"{env.platform}/{env.machine}, host {env.hostname!r}, "
+        f"cpus={env.cpu_count} (effective {env.effective_cpus}){git}",
+    ]
+
+
+def timings_table(report: BenchReport, limit: Optional[int] = None):
+    """Every benchmark's timing summary, slowest first."""
+    from repro.analysis.reporting import Table
+
+    table = Table(
+        title=f"bench timings ({report.suite} suite), slowest first",
+        headers=[
+            "benchmark", "repeats", "wall min", "wall median",
+            "wall trimmed", "cpu min",
+        ],
+    )
+    ranked = sorted(
+        report.results, key=lambda r: r.wall.median, reverse=True
+    )
+    for result in ranked[:limit]:
+        table.add_row(
+            result.key,
+            result.repeats,
+            _seconds(result.wall.min),
+            _seconds(result.wall.median),
+            _seconds(result.wall.trimmed_mean),
+            _seconds(result.cpu.min),
+        )
+    if limit is not None and len(ranked) > limit:
+        table.add_note(f"showing {limit} of {len(ranked)} benchmarks")
+    table.add_note(
+        "min is the low-noise estimator; median and trimmed mean "
+        "(slowest 20% dropped) expose run-to-run spread"
+    )
+    return table
+
+
+def memory_table(report: BenchReport, limit: Optional[int] = None):
+    """Peak python-allocation bytes per benchmark, hungriest first."""
+    from repro.analysis.reporting import Table
+
+    table = Table(
+        title="bench memory, hungriest first",
+        headers=["benchmark", "tracemalloc peak", "process RSS peak"],
+    )
+    ranked = sorted(
+        report.results,
+        key=lambda r: r.peak_tracemalloc_bytes or 0,
+        reverse=True,
+    )
+    for result in ranked[:limit]:
+        table.add_row(
+            result.key,
+            format_bytes(result.peak_tracemalloc_bytes),
+            format_bytes(result.peak_rss_bytes),
+        )
+    table.add_note(
+        "tracemalloc peak is per-benchmark python allocations; RSS is "
+        "the whole process high-water mark (monotone across the run)"
+    )
+    return table
+
+
+def percentiles_table(report: BenchReport):
+    """Latency percentiles harvested from declared obs histograms.
+
+    Returns ``None`` when no benchmark in the report captured any.
+    """
+    from repro.analysis.reporting import Table
+
+    rows = [
+        (result, name, stats)
+        for result in report.results
+        for name, stats in sorted(result.percentiles.items())
+    ]
+    if not rows:
+        return None
+    table = Table(
+        title="latency percentiles (from obs histograms)",
+        headers=["benchmark", "histogram", "count", "p50", "p95", "p99"],
+    )
+    for result, name, stats in rows:
+        table.add_row(
+            result.key,
+            name,
+            int(stats.get("count", 0)),
+            f"{stats.get('p50', float('nan')):.4g}",
+            f"{stats.get('p95', float('nan')):.4g}",
+            f"{stats.get('p99', float('nan')):.4g}",
+        )
+    table.add_note(
+        "bucket-interpolated estimates; units are whatever the "
+        "histogram records (seconds, counts, ...)"
+    )
+    return table
+
+
+def comparison_table(comparison: Comparison):
+    """The baseline diff as a table, regressions first."""
+    from repro.analysis.reporting import Table
+
+    order = {"regression": 0, "new": 1, "missing": 2, "faster": 3, "ok": 4}
+    table = Table(
+        title=(
+            f"bench compare at tolerance +{comparison.tolerance:.0%} "
+            f"({'cross-env' if comparison.cross_env else 'same env'})"
+        ),
+        headers=[
+            "benchmark", "verdict", "baseline median", "current median",
+            "ratio",
+        ],
+    )
+    for delta in sorted(
+        comparison.deltas,
+        key=lambda d: (order.get(d.verdict, 9), d.key),
+    ):
+        table.add_row(
+            delta.key,
+            delta.verdict.upper() if delta.regressed else delta.verdict,
+            _seconds(delta.baseline.wall.median if delta.baseline else None),
+            _seconds(delta.current.wall.median if delta.current else None),
+            f"{delta.ratio:.2f}x" if delta.ratio is not None else "-",
+        )
+    table.add_note(
+        "regression requires BOTH median and min beyond tolerance; "
+        "'new'/'missing' never fail the gate"
+    )
+    return table
+
+
+def render_report(
+    report: BenchReport,
+    spans: Sequence[object] = (),
+    top: int = 10,
+) -> str:
+    """The full ``bench report`` view: env, timings, memory, profile."""
+    from repro.obs.report import format_span_tree, top_stages_table
+
+    sections: List[str] = []
+    sections.append("\n".join(environment_lines(report)))
+    sections.append(timings_table(report).format())
+    sections.append(memory_table(report, limit=top).format())
+    pct = percentiles_table(report)
+    if pct is not None:
+        sections.append(pct.format())
+    if spans:
+        sections.append(top_stages_table(spans, limit=top).format())
+        sections.append(
+            "span tree (instrumented pass, one call per benchmark):\n"
+            + format_span_tree(spans, min_share=0.01)
+        )
+    return "\n\n".join(sections)
+
+
+def result_line(result: BenchResult) -> str:
+    """One-line progress summary for a finished benchmark."""
+    return (
+        f"{result.key}: wall min {_seconds(result.wall.min)}, "
+        f"median {_seconds(result.wall.median)} "
+        f"over {result.repeats} repeat(s); "
+        f"peak {format_bytes(result.peak_tracemalloc_bytes)}"
+    )
+
+
+__all__ = [
+    "comparison_table",
+    "environment_lines",
+    "memory_table",
+    "percentiles_table",
+    "render_report",
+    "result_line",
+    "timings_table",
+]

@@ -1,0 +1,203 @@
+"""The benchmark runner: warmup/repeat/trim policy + capture passes.
+
+Each case is measured in three separate passes so no instrument
+pollutes another:
+
+1. **Timing pass** -- under the default no-op recorder (the production
+   configuration): ``warmup`` unmeasured calls, then ``repeats``
+   measured calls capturing wall time (``perf_counter``) and CPU time
+   (``process_time``) per call.  Raw samples are archived; summaries
+   (min/median/trimmed mean) are derived, never stored alone.
+2. **Memory pass** -- one call under :class:`~repro.obs.memory
+   .TracemallocPeak` for peak python-allocation bytes, plus the
+   process RSS high-water mark.  Tracemalloc costs real time, which is
+   why this is not the timing pass.
+3. **Instrumented pass** -- only for cases that declare ``histograms``
+   (or when span collection is requested): one call under a live
+   :class:`~repro.obs.Recorder`; latency percentiles are pulled from
+   the named histograms via the bucket-interpolated
+   :func:`repro.obs.report.quantile`, and finished spans are handed to
+   the caller for the ``bench report`` profiling view.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bench.registry import (
+    BenchCase,
+    BenchRegistry,
+    load_default_workloads,
+)
+from repro.bench.schema import (
+    BenchReport,
+    BenchResult,
+    EnvFingerprint,
+    SampleStats,
+)
+from repro.obs.memory import TracemallocPeak, process_peak_rss_bytes
+
+DEFAULT_REPEATS = 5
+DEFAULT_WARMUP = 1
+
+#: Quantiles harvested from declared histograms.
+PERCENTILES = (0.5, 0.95, 0.99)
+
+
+@dataclass
+class RunOutcome:
+    """A finished run: the schema'd report plus profiling side-products."""
+
+    report: BenchReport
+    #: Finished spans from each case's instrumented pass, wrapped under a
+    #: ``bench.<key>`` root span (empty unless ``collect_spans=True``).
+    spans: List[object] = field(default_factory=list)
+
+
+def run_case(
+    case: BenchCase,
+    repeats: int = DEFAULT_REPEATS,
+    warmup: int = DEFAULT_WARMUP,
+    collect_spans: bool = False,
+    progress=None,
+) -> Tuple[BenchResult, List[object]]:
+    """Measure one case; returns ``(result, instrumented_spans)``."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if progress is not None:
+        progress(case.key)
+    thunk, extra = case.build()
+
+    # -- timing pass (no-op recorder: the production configuration) ----
+    for _ in range(warmup):
+        thunk()
+    wall: List[float] = []
+    cpu: List[float] = []
+    for _ in range(repeats):
+        cpu_start = time.process_time()
+        wall_start = time.perf_counter()
+        thunk()
+        wall.append(time.perf_counter() - wall_start)
+        cpu.append(time.process_time() - cpu_start)
+
+    # -- memory pass ---------------------------------------------------
+    with TracemallocPeak() as traced:
+        thunk()
+    peak_rss = process_peak_rss_bytes()
+
+    # -- instrumented pass (histogram percentiles + spans) -------------
+    percentiles: Dict[str, Dict[str, float]] = {}
+    spans: List[object] = []
+    if case.histograms or collect_spans:
+        from repro.obs import recording
+        from repro.obs.report import quantile
+
+        with recording() as rec:
+            with rec.span(f"bench.{case.key}"):
+                thunk()
+            for name in case.histograms:
+                instrument = rec.registry.get(name)
+                if instrument is None or instrument.kind != "histogram":
+                    continue
+                if instrument.count == 0:
+                    continue
+                percentiles[name] = {
+                    "count": float(instrument.count),
+                    **{
+                        f"p{q * 100:g}": quantile(instrument, q)
+                        for q in PERCENTILES
+                    },
+                }
+            if collect_spans:
+                spans = list(rec.tracer.finished())
+
+    result = BenchResult(
+        name=case.name,
+        params=dict(case.params),
+        wall=SampleStats(samples=tuple(wall)),
+        cpu=SampleStats(samples=tuple(cpu)),
+        warmup=warmup,
+        peak_tracemalloc_bytes=traced.peak_bytes,
+        peak_rss_bytes=peak_rss,
+        percentiles=percentiles,
+        extra=extra,
+    )
+    return result, spans
+
+
+def run_cases(
+    cases: Sequence[BenchCase],
+    suite: str = "custom",
+    repeats: int = DEFAULT_REPEATS,
+    warmup: int = DEFAULT_WARMUP,
+    collect_spans: bool = False,
+    meta: Optional[Dict[str, object]] = None,
+    progress=None,
+) -> RunOutcome:
+    """Measure ``cases`` into one :class:`BenchReport`."""
+    results: List[BenchResult] = []
+    spans: List[object] = []
+    for case in cases:
+        result, case_spans = run_case(
+            case,
+            repeats=repeats,
+            warmup=warmup,
+            collect_spans=collect_spans,
+            progress=progress,
+        )
+        results.append(result)
+        spans.extend(case_spans)
+    report = BenchReport(
+        env=EnvFingerprint.capture(),
+        suite=suite,
+        results=results,
+        options={"repeats": repeats, "warmup": warmup},
+        meta=dict(meta or {}),
+    )
+    return RunOutcome(report=report, spans=spans)
+
+
+def run_suite(
+    suite: str = "smoke",
+    names: Optional[Iterable[str]] = None,
+    repeats: int = DEFAULT_REPEATS,
+    warmup: int = DEFAULT_WARMUP,
+    registry: Optional[BenchRegistry] = None,
+    collect_spans: bool = False,
+    progress=None,
+) -> RunOutcome:
+    """Run one suite tier of the (default) registry.
+
+    ``names`` optionally narrows to specific benchmarks (bare name or
+    full key).  Raises ``ValueError`` when the selection is empty --
+    a silently empty report would read as "everything passed".
+    """
+    if registry is None:
+        registry = load_default_workloads()
+    cases = registry.cases(suite=suite, names=names)
+    if not cases:
+        raise ValueError(
+            f"no benchmarks selected (suite={suite!r}, names={names!r}); "
+            f"registered: {registry.keys()}"
+        )
+    return run_cases(
+        cases,
+        suite=suite,
+        repeats=repeats,
+        warmup=warmup,
+        collect_spans=collect_spans,
+        progress=progress,
+    )
+
+
+__all__ = [
+    "DEFAULT_REPEATS",
+    "DEFAULT_WARMUP",
+    "PERCENTILES",
+    "RunOutcome",
+    "run_case",
+    "run_cases",
+    "run_suite",
+]

@@ -1,0 +1,273 @@
+"""The standard benchmark workloads, one per hot path the repo owns.
+
+Importing this module populates :data:`repro.bench.registry.REGISTRY`
+(the CLI and runner go through
+:func:`~repro.bench.registry.load_default_workloads`, which imports it
+exactly once).  Coverage, top to bottom of the stack:
+
+* ``engine.pipeline`` -- the full GLOBAL ESTIMATES -> SHIFTS pipeline
+  per backend x ring size (the E9c ablation; regenerates
+  ``BENCH_engine.json``);
+* ``engine.closure`` / ``engine.karp`` -- the two matrix kernels
+  (min-plus Floyd--Warshall closure, Karp cycle mean + corrections) in
+  isolation, so a regression in either is attributable;
+* ``engine.incremental`` -- single-edge incremental closure repair
+  (the online synchronizer's fast path; numpy backend only -- the
+  python backend recomputes from scratch);
+* ``sim.run`` -- the discrete-event simulator end to end;
+* ``online.replay`` -- a recorded execution streamed through the
+  OnlineSynchronizer (incremental repair + cache behaviour under
+  realistic traffic);
+* ``campaign.throughput`` -- the sharded campaign runner on the quick
+  E9c grid, with ``campaign.cell.seconds`` latency percentiles;
+* ``obs.recording`` / ``monitor.suite`` -- what an enabled recorder
+  and an attached monitor suite cost relative to ``engine.pipeline``
+  at the same size.
+
+Setups build every input before returning the thunk, so scenario
+simulation and matrix preparation never pollute the measurement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.registry import SUITES, benchmark
+
+
+def _smoke_sizes(*smoke_ns):
+    """Suite selector: small sizes run in smoke, everything in full."""
+    def select(params):
+        return SUITES if params.get("n") in smoke_ns else ("full",)
+
+    return select
+
+
+def _pipeline_inputs(n: int, seed: int = 0):
+    """The shared E9-methodology inputs: bounded ring, two probe rounds."""
+    from repro.core.estimates import local_shift_estimates
+    from repro.graphs import ring
+    from repro.workloads.scenarios import bounded_uniform
+
+    scenario = bounded_uniform(ring(n), lb=1.0, ub=3.0, probes=2, seed=seed)
+    alpha = scenario.run()
+    mls = local_shift_estimates(scenario.system, alpha.views())
+    return scenario, alpha, mls
+
+
+# ----------------------------------------------------------------------
+# Engine: full pipeline + isolated kernels
+# ----------------------------------------------------------------------
+
+@benchmark(
+    "engine.pipeline",
+    grid={"backend": ("python", "numpy"), "n": (8, 16, 32, 64)},
+    suites=_smoke_sizes(16, 32),
+)
+def engine_pipeline(backend: str, n: int):
+    """GLOBAL ESTIMATES -> SHIFTS, fresh synchronizer per call (E9c)."""
+    from repro.core.synchronizer import ClockSynchronizer
+
+    scenario, _, mls = _pipeline_inputs(n)
+    system = scenario.system
+    result = ClockSynchronizer(
+        system, backend=backend
+    ).from_local_estimates(mls)
+
+    def run():
+        ClockSynchronizer(system, backend=backend).from_local_estimates(mls)
+
+    return run, {"precision": result.precision}
+
+
+@benchmark(
+    "engine.closure",
+    grid={"backend": ("python", "numpy"), "n": (16, 32, 64)},
+    suites=_smoke_sizes(32),
+)
+def engine_closure(backend: str, n: int):
+    """The min-plus Floyd--Warshall closure kernel alone."""
+    from repro.core.synchronizer import ClockSynchronizer
+    from repro.engine import create_engine
+
+    scenario, _, mls = _pipeline_inputs(n)
+    sync = ClockSynchronizer(scenario.system, backend=backend)
+    mls_matrix = sync.index.matrix(mls)
+    engine = create_engine(backend)
+
+    def run():
+        engine.global_estimates(mls_matrix)
+
+    return run
+
+
+@benchmark(
+    "engine.karp",
+    grid={"backend": ("python", "numpy"), "n": (16, 32, 64)},
+    suites=_smoke_sizes(32),
+)
+def engine_karp(backend: str, n: int):
+    """SHIFTS alone: Karp cycle mean + corrections on the closure."""
+    from repro.core.synchronizer import ClockSynchronizer
+    from repro.engine import create_engine
+
+    scenario, _, mls = _pipeline_inputs(n)
+    sync = ClockSynchronizer(scenario.system, backend=backend)
+    mls_matrix = sync.index.matrix(mls)
+    ms_matrix = create_engine(backend).global_estimates(mls_matrix)
+    engine = create_engine(backend)
+
+    def run():
+        engine.shifts(ms_matrix)
+
+    return run
+
+
+@benchmark(
+    "engine.incremental",
+    grid={"n": (16, 32, 64)},
+    suites=_smoke_sizes(32),
+)
+def engine_incremental(n: int):
+    """Single-edge incremental closure repair (numpy fast path)."""
+    from repro.core.synchronizer import ClockSynchronizer
+    from repro.engine import create_engine
+
+    scenario, _, mls = _pipeline_inputs(n)
+    sync = ClockSynchronizer(scenario.system, backend="numpy")
+    mls_matrix = sync.index.matrix(mls)
+    engine = create_engine("numpy")
+    ms_matrix = engine.global_estimates(mls_matrix)
+    # Tighten one finite off-diagonal mls~ entry, as one new message
+    # observation would.
+    finite = np.argwhere(
+        np.isfinite(mls_matrix)
+        & ~np.eye(len(mls_matrix), dtype=bool)
+    )
+    i, j = (int(v) for v in finite[0])
+    change = [(i, j, float(mls_matrix[i, j]) - 1e-3)]
+
+    def run():
+        repaired = engine.incremental_update(ms_matrix, change)
+        assert repaired is not None, "numpy backend lost incremental path"
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Simulator + online synchronizer
+# ----------------------------------------------------------------------
+
+@benchmark(
+    "sim.run",
+    grid={"n": (8, 16, 32)},
+    suites=_smoke_sizes(16),
+    histograms=("sim.message.delay", "sim.scheduler.queue_depth"),
+)
+def sim_run(n: int):
+    """The discrete-event simulator end to end (probe traffic on a ring)."""
+    from repro.graphs import ring
+    from repro.workloads.scenarios import bounded_uniform
+
+    scenario = bounded_uniform(ring(n), lb=1.0, ub=3.0, probes=2, seed=0)
+
+    def run():
+        scenario.run()
+
+    return run
+
+
+@benchmark(
+    "online.replay",
+    grid={"n": (8, 16)},
+    suites=_smoke_sizes(16),
+)
+def online_replay(n: int):
+    """A recorded execution streamed through the OnlineSynchronizer.
+
+    Exercises the production serving path: monotone ingestion, cache
+    invalidation, incremental repair with full-recompute fallback.
+    """
+    from repro.obs.timeline import replay_online
+
+    scenario, alpha, _ = _pipeline_inputs(n)
+    system = scenario.system
+
+    def run():
+        replay_online(system, alpha)
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Campaign runner throughput
+# ----------------------------------------------------------------------
+
+@benchmark(
+    "campaign.throughput",
+    suites=SUITES,
+    histograms=("campaign.cell.seconds", "campaign.queue.depth"),
+)
+def campaign_throughput():
+    """The quick E9c grid on the sequential campaign runner.
+
+    Wall time is grid latency; the ``campaign.cell.seconds`` percentiles
+    harvested from the instrumented pass are the per-cell latency
+    distribution a fleet operator would watch.
+    """
+    from repro.experiments.common import e9c_campaign
+
+    campaign, topologies = e9c_campaign(quick=True)
+
+    def run():
+        campaign.run_results(topologies, workers=1)
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Observability + monitor overhead
+# ----------------------------------------------------------------------
+
+@benchmark("obs.recording", grid={"n": (32,)}, suites=SUITES)
+def obs_recording(n: int):
+    """Pipeline under a live recorder -- the cost of tracing.
+
+    Compare against ``engine.pipeline[backend=numpy,n=32]`` (measured
+    under the no-op recorder) for the enabled-observability overhead
+    ratio; ``benchmarks/test_obs_overhead.py`` asserts the disabled
+    path stays free.
+    """
+    from repro.core.synchronizer import ClockSynchronizer
+    from repro.obs import recording
+
+    scenario, _, mls = _pipeline_inputs(n)
+    system = scenario.system
+
+    def run():
+        with recording():
+            ClockSynchronizer(
+                system, backend="numpy"
+            ).from_local_estimates(mls)
+
+    return run
+
+
+@benchmark("monitor.suite", grid={"n": (32,)}, suites=SUITES)
+def monitor_suite(n: int):
+    """Pipeline with the invariant monitors attached and checking."""
+    from repro.core.synchronizer import ClockSynchronizer
+    from repro.obs import recording
+    from repro.obs.monitor import MonitorSuite
+
+    scenario, _, mls = _pipeline_inputs(n)
+    system = scenario.system
+
+    def run():
+        with recording() as rec:
+            rec.add_observer(MonitorSuite())
+            ClockSynchronizer(
+                system, backend="numpy"
+            ).from_local_estimates(mls)
+
+    return run

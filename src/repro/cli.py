@@ -20,6 +20,9 @@ Installed as ``repro-clocksync`` (see pyproject) and runnable as
     repro-clocksync campaign watch out/        # live fleet view
     repro-clocksync faults template plan.json   # fault-plan starting point
     repro-clocksync demo --faults plan.json     # chaos-mode quickstart
+    repro-clocksync bench run --suite smoke --out bench.json
+    repro-clocksync bench compare bench.json --tolerance ci
+    repro-clocksync bench report --from bench.json
 
 ``campaign`` runs a preset sweep grid on the sharded campaign runner:
 ``--workers`` fans cells out over a process pool (``--executor async``
@@ -58,6 +61,14 @@ synchronizer under the invariant monitors of :mod:`repro.obs.monitor`
 and prints the simulated-time convergence table, per-link delay-estimate
 error statistics and the violation summary (exit code is nonzero only
 under ``--strict``).
+
+Continuous benchmarking (DESIGN.md section 13): ``bench run`` measures
+a registered workload suite (warmup/repeat/trim policy; wall + CPU time,
+tracemalloc peaks, latency percentiles from the obs histograms) into a
+schema'd, environment-fingerprinted report and appends it to the JSONL
+history; ``bench compare`` diffs a report against the committed baseline
+with noise-aware thresholds and exits nonzero on regression (the CI
+``perf`` job gates on it); ``bench report`` renders the profiling view.
 
 Fault injection (DESIGN.md section 10): ``faults`` writes or validates a
 :mod:`repro.faults` plan file; ``demo``, ``monitor`` and ``campaign``
@@ -906,18 +917,25 @@ def _cmd_sync_trace(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     """Run one experiment under full instrumentation and report hot stages."""
     from repro.obs import (
+        TracemallocPeak,
+        format_bytes,
         format_span_tree,
         histogram_quantiles_table,
         key_metrics_table,
+        record_memory_gauges,
         top_stages_table,
     )
 
     with _observability(args, force=True) as recorder:
         try:
-            tables = run_experiment(args.id, quick=args.quick)
+            with TracemallocPeak() as traced:
+                tables = run_experiment(args.id, quick=args.quick)
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
             return 2
+        readings = record_memory_gauges(
+            recorder, tracemalloc_peak=traced.peak_bytes
+        )
         if args.show_tables:
             for table in tables:
                 table.show()
@@ -931,8 +949,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print()
         top_stages_table(spans, limit=args.top).show()
         print()
+        print("peak memory: "
+              + ", ".join(f"{name}={format_bytes(value)}"
+                          for name, value in sorted(readings.items())))
+        print()
         key_metrics_table(
-            recorder.registry, prefixes=("sim.", "pipeline.", "online.")
+            recorder.registry,
+            prefixes=("sim.", "pipeline.", "online.", "process."),
         ).show()
         histograms = [
             name
@@ -942,6 +965,112 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         if histograms:
             print()
             histogram_quantiles_table(recorder.registry).show()
+    return 0
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    """Measure a benchmark suite, archive it, print the report."""
+    from repro.bench import (
+        append_history,
+        render_report,
+        run_suite,
+        write_bench_report,
+    )
+
+    try:
+        outcome = run_suite(
+            suite=args.suite,
+            names=args.name or None,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            collect_spans=args.profile,
+            progress=lambda key: print(f"bench: {key}"),
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print()
+    print(render_report(outcome.report, outcome.spans, top=args.top))
+    if args.out:
+        path = write_bench_report(args.out, outcome.report)
+        print(f"\nreport written to {path}")
+    if not args.no_history:
+        path = append_history(args.history, outcome.report)
+        print(f"run appended to {path}")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Gate a run against a baseline; exit 1 on regression."""
+    from repro.bench import (
+        BaselineMismatchError,
+        BenchSchemaError,
+        compare_reports,
+        comparison_table,
+        read_bench_report,
+        resolve_tolerance,
+    )
+
+    try:
+        tolerance, allow_cross_env = resolve_tolerance(args.tolerance)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.allow_cross_env:
+        allow_cross_env = True
+    try:
+        baseline = read_bench_report(args.baseline)
+        current = read_bench_report(args.current)
+    except (OSError, BenchSchemaError, ValueError) as exc:
+        print(f"cannot load reports: {exc}", file=sys.stderr)
+        return 2
+    try:
+        comparison = compare_reports(
+            baseline, current,
+            tolerance=tolerance,
+            allow_cross_env=allow_cross_env,
+        )
+    except BaselineMismatchError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    for line in comparison.lines():
+        print(line)
+    print()
+    comparison_table(comparison).show()
+    return 0 if comparison.ok else 1
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    """Render an archived report, or measure live with span profiling."""
+    from repro.bench import (
+        BenchSchemaError,
+        read_bench_report,
+        render_report,
+        run_suite,
+    )
+
+    if args.from_file:
+        try:
+            report = read_bench_report(args.from_file)
+        except (OSError, BenchSchemaError, ValueError) as exc:
+            print(f"cannot load report: {exc}", file=sys.stderr)
+            return 2
+        print(render_report(report, top=args.top))
+        return 0
+    try:
+        outcome = run_suite(
+            suite=args.suite,
+            names=args.name or None,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            collect_spans=True,
+            progress=lambda key: print(f"bench: {key}"),
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print()
+    print(render_report(outcome.report, outcome.spans, top=args.top))
     return 0
 
 
@@ -1185,6 +1314,104 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_arguments(p_profile, timings=False)
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="continuous benchmarking: measure suites into schema'd "
+        "reports, gate against baselines, render profiling views",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_action", required=True)
+
+    def _add_bench_run_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--suite", choices=["smoke", "full"], default="smoke",
+            help="benchmark tier: 'smoke' is the small CI-gated subset, "
+            "'full' the complete grid (default: smoke)",
+        )
+        parser.add_argument(
+            "--name", action="append", metavar="BENCH", default=None,
+            help="run only this benchmark (bare name selects every "
+            "parameterization, a full key like "
+            "'engine.karp[backend=numpy,n=32]' selects one); repeatable",
+        )
+        parser.add_argument(
+            "--repeats", type=int, default=5, metavar="N",
+            help="measured calls per benchmark (default 5)",
+        )
+        parser.add_argument(
+            "--warmup", type=int, default=1, metavar="N",
+            help="unmeasured warmup calls per benchmark (default 1)",
+        )
+        parser.add_argument(
+            "--top", type=int, default=10, metavar="N",
+            help="rows in the memory / top-stages tables (default 10)",
+        )
+
+    p_bench_run = bench_sub.add_parser(
+        "run", help="measure a suite, archive the schema'd report"
+    )
+    _add_bench_run_arguments(p_bench_run)
+    p_bench_run.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the report as a pretty JSON document "
+        "(the BENCH_baseline.json / BENCH_engine.json format)",
+    )
+    p_bench_run.add_argument(
+        "--history", metavar="PATH",
+        default="benchmarks/BENCH_history.jsonl",
+        help="JSONL history the run is appended to "
+        "(default: benchmarks/BENCH_history.jsonl)",
+    )
+    p_bench_run.add_argument(
+        "--no-history", action="store_true",
+        help="do not append the run to the history file",
+    )
+    p_bench_run.add_argument(
+        "--profile", action="store_true",
+        help="collect spans during the instrumented pass and include "
+        "the top-stages / span-tree profile in the output",
+    )
+    p_bench_run.set_defaults(func=_cmd_bench_run)
+
+    p_bench_cmp = bench_sub.add_parser(
+        "compare",
+        help="diff a run against a baseline; exit 1 on regression, "
+        "2 when the files are unreadable or environments differ",
+    )
+    p_bench_cmp.add_argument(
+        "current", metavar="CURRENT.json",
+        help="the report under test (from 'bench run --out')",
+    )
+    p_bench_cmp.add_argument(
+        "--baseline", metavar="PATH",
+        default="benchmarks/BENCH_baseline.json",
+        help="committed baseline report "
+        "(default: benchmarks/BENCH_baseline.json)",
+    )
+    p_bench_cmp.add_argument(
+        "--tolerance", default="local", metavar="SPEC",
+        help="relative tolerance: 'local' (25%%, same machine only), "
+        "'ci' (150%%, cross-machine allowed) or a bare float "
+        "(default: local)",
+    )
+    p_bench_cmp.add_argument(
+        "--allow-cross-env", action="store_true",
+        help="compare runs from different environment fingerprints "
+        "(implied by --tolerance ci)",
+    )
+    p_bench_cmp.set_defaults(func=_cmd_bench_compare)
+
+    p_bench_rep = bench_sub.add_parser(
+        "report",
+        help="render an archived report, or measure live with the "
+        "span-tree profile",
+    )
+    p_bench_rep.add_argument(
+        "--from", dest="from_file", metavar="PATH", default=None,
+        help="render this archived report instead of measuring live",
+    )
+    _add_bench_run_arguments(p_bench_rep)
+    p_bench_rep.set_defaults(func=_cmd_bench_report)
 
     p_monitor = sub.add_parser(
         "monitor",

@@ -26,7 +26,10 @@ matrix engines all report into the same recorder:
 * :mod:`repro.obs.http` -- a stdlib HTTP sidecar serving ``/metrics``
   (Prometheus 0.0.4) and ``/healthz`` from the live registry;
 * :mod:`repro.obs.log` -- structured JSONL logging with span/sim-time
-  correlation, replacing ad-hoc warnings in the runner/faults paths.
+  correlation, replacing ad-hoc warnings in the runner/faults paths;
+* :mod:`repro.obs.memory` -- peak-memory observability: scoped
+  tracemalloc peaks + the process RSS high-water mark, surfaced as
+  ``process.*`` gauges by ``profile`` and the bench harness.
 
 Quickstart::
 
@@ -58,6 +61,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
     merge_all,
     registry_from_snapshot,
+)
+from repro.obs.memory import (
+    PEAK_RSS_GAUGE,
+    TRACEMALLOC_PEAK_GAUGE,
+    TracemallocPeak,
+    format_bytes,
+    process_peak_rss_bytes,
+    record_memory_gauges,
 )
 from repro.obs.recorder import (
     NOOP,
@@ -177,6 +188,12 @@ __all__ = [
     "PROMETHEUS_CONTENT_TYPE",
     "TelemetryServer",
     "serve_telemetry",
+    "PEAK_RSS_GAUGE",
+    "TRACEMALLOC_PEAK_GAUGE",
+    "TracemallocPeak",
+    "format_bytes",
+    "process_peak_rss_bytes",
+    "record_memory_gauges",
     "LOG_LEVELS",
     "LOG_RECORD_TYPE",
     "LogSink",

@@ -1,0 +1,128 @@
+"""Peak-memory observability: tracemalloc + process RSS high-water.
+
+Two complementary views of memory, surfaced as gauges so they travel
+through the same registry/export pipeline as every other metric:
+
+* :class:`TracemallocPeak` -- peak *python allocation* bytes inside a
+  ``with`` block, measured by :mod:`tracemalloc`.  Precise and scoped
+  (per benchmark, per profiled run), but only sees allocations the
+  python allocator makes; numpy buffers allocated through it are
+  counted, raw C mallocs are not.  Tracing costs real time, so callers
+  keep it OUT of timed regions (the bench runner does a separate
+  memory pass).
+* :func:`process_peak_rss_bytes` -- the OS-reported resident-set
+  high-water mark (``ru_maxrss``).  Whole-process and monotone (it
+  never decreases), so it bounds everything including C allocations,
+  but cannot be scoped to a block.
+
+:func:`record_memory_gauges` writes both readings into a registry as
+the ``process.peak_rss_bytes`` / ``process.tracemalloc_peak_bytes``
+gauges; the ``profile`` CLI and the bench runner both report through
+it (DESIGN.md section 13).
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+from typing import Any, Dict, Optional
+
+#: Gauge names (``process.*`` prefix, per the obs naming conventions).
+PEAK_RSS_GAUGE = "process.peak_rss_bytes"
+TRACEMALLOC_PEAK_GAUGE = "process.tracemalloc_peak_bytes"
+
+
+def process_peak_rss_bytes() -> Optional[int]:
+    """Process lifetime RSS high-water mark in bytes (``None`` if unknown).
+
+    ``getrusage`` reports ``ru_maxrss`` in kilobytes on Linux and in
+    bytes on macOS; both are normalized to bytes here.  Platforms
+    without :mod:`resource` (Windows) return ``None`` rather than
+    guessing.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        return int(peak)
+    return int(peak) * 1024
+
+
+class TracemallocPeak:
+    """Context manager measuring peak traced allocation inside the block.
+
+    Nesting-safe: when tracemalloc is already tracing (an outer profile,
+    another tracker), the existing trace is reused -- the peak counter is
+    reset on entry and read on exit, and tracing is stopped only if this
+    tracker started it.  ``peak_bytes`` is valid after exit (and reads 0
+    until then).
+    """
+
+    def __init__(self) -> None:
+        self.peak_bytes = 0
+        self._started = False
+
+    def __enter__(self) -> "TracemallocPeak":
+        if tracemalloc.is_tracing():
+            tracemalloc.reset_peak()
+        else:
+            tracemalloc.start()
+            self._started = True
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        _, self.peak_bytes = tracemalloc.get_traced_memory()
+        if self._started:
+            tracemalloc.stop()
+            self._started = False
+        return False
+
+
+def record_memory_gauges(
+    recorder=None, tracemalloc_peak: Optional[int] = None
+) -> Dict[str, Optional[int]]:
+    """Set the ``process.*`` memory gauges; returns the readings.
+
+    ``recorder`` defaults to the ambient one (a no-op recorder accepts
+    the sets silently, so call sites need no guard).  ``tracemalloc_peak``
+    is typically a :class:`TracemallocPeak` reading taken around the
+    region of interest; omit it to record only the RSS high-water mark.
+    """
+    if recorder is None:
+        from repro.obs.recorder import get_recorder
+
+        recorder = get_recorder()
+    readings: Dict[str, Optional[int]] = {
+        PEAK_RSS_GAUGE: process_peak_rss_bytes(),
+        TRACEMALLOC_PEAK_GAUGE: tracemalloc_peak,
+    }
+    for name, value in readings.items():
+        if value is not None:
+            recorder.gauge(
+                name, "peak memory (bytes); see repro.obs.memory"
+            ).set(float(value))
+    return readings
+
+
+def format_bytes(value: Optional[float]) -> str:
+    """Human-readable byte count (``"-"`` for unknown)."""
+    if value is None:
+        return "-"
+    size = float(value)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(size) < 1024.0 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024.0
+    return f"{size:.1f} GiB"  # pragma: no cover - loop always returns
+
+
+__all__ = [
+    "PEAK_RSS_GAUGE",
+    "TRACEMALLOC_PEAK_GAUGE",
+    "TracemallocPeak",
+    "format_bytes",
+    "process_peak_rss_bytes",
+    "record_memory_gauges",
+]

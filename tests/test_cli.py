@@ -282,3 +282,112 @@ class TestRecordTelemetry:
         data = json.loads((out_dir / "trace.json").read_text())
         assert data["version"] == 1
         assert "telemetry" not in data
+
+
+class TestBenchCommand:
+    def _run_smoke(self, tmp_path, name="engine.karp[backend=numpy,n=32]"):
+        out = tmp_path / "bench.json"
+        history = tmp_path / "history.jsonl"
+        code = main([
+            "bench", "run", "--suite", "smoke", "--name", name,
+            "--repeats", "2", "--warmup", "0",
+            "--out", str(out), "--history", str(history),
+        ])
+        return code, out, history
+
+    def test_parser_knows_bench_actions(self):
+        parser = build_parser()
+        for argv in (
+            ["bench", "run", "--suite", "full"],
+            ["bench", "compare", "cur.json", "--tolerance", "ci"],
+            ["bench", "report", "--from", "r.json"],
+        ):
+            assert callable(parser.parse_args(argv).func)
+
+    def test_bench_run_writes_valid_report_and_history(
+        self, tmp_path, capsys
+    ):
+        from repro.bench import read_bench_report, validate_bench_file
+
+        code, out, history = self._run_smoke(tmp_path)
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "bench timings" in printed
+        assert "bench memory" in printed
+        assert validate_bench_file(out) == 1
+        assert validate_bench_file(history) == 1
+        report = read_bench_report(out)
+        assert report.env.fingerprint
+        (result,) = report.results
+        assert result.wall.min > 0
+        assert result.peak_tracemalloc_bytes > 0
+
+    def test_bench_run_no_history(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench", "run", "--name", "engine.karp[backend=numpy,n=32]",
+            "--repeats", "1", "--warmup", "0",
+            "--out", str(out), "--no-history",
+            "--history", str(tmp_path / "history.jsonl"),
+        ]) == 0
+        assert not (tmp_path / "history.jsonl").exists()
+
+    def test_bench_run_unknown_selection_fails(self, tmp_path, capsys):
+        assert main([
+            "bench", "run", "--name", "no.such.bench", "--no-history",
+            "--history", str(tmp_path / "h.jsonl"),
+        ]) == 2
+        assert "no benchmarks selected" in capsys.readouterr().err
+
+    def test_bench_compare_identical_passes(self, tmp_path, capsys):
+        code, out, _ = self._run_smoke(tmp_path)
+        assert code == 0
+        assert main([
+            "bench", "compare", str(out), "--baseline", str(out),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "bench compare" in printed
+
+    def test_bench_compare_detects_injected_2x_slowdown(
+        self, tmp_path, capsys
+    ):
+        code, out, _ = self._run_smoke(tmp_path)
+        assert code == 0
+        slowed = tmp_path / "slowed.json"
+        data = json.loads(out.read_text())
+        for result in data["results"]:
+            for series in ("wall", "cpu"):
+                stats = result[series]
+                stats["samples"] = [s * 2 for s in stats["samples"]]
+                for key in ("min", "median", "mean", "trimmed_mean", "max"):
+                    stats[key] *= 2
+        slowed.write_text(json.dumps(data))
+        capsys.readouterr()
+        assert main([
+            "bench", "compare", str(slowed), "--baseline", str(out),
+        ]) == 1
+        printed = capsys.readouterr().out
+        assert "REGRESSION" in printed
+
+    def test_bench_compare_unreadable_is_exit_2(self, tmp_path, capsys):
+        assert main([
+            "bench", "compare", str(tmp_path / "missing.json"),
+            "--baseline", str(tmp_path / "missing.json"),
+        ]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_bench_report_from_archived_file(self, tmp_path, capsys):
+        code, out, _ = self._run_smoke(tmp_path)
+        assert code == 0
+        capsys.readouterr()
+        assert main(["bench", "report", "--from", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "bench timings" in printed
+        assert "engine.karp" in printed
+
+    def test_profile_prints_peak_memory(self, capsys):
+        assert main(["profile", "E1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "peak memory:" in out
+        assert "process.tracemalloc_peak_bytes" in out
+        assert "process.peak_rss_bytes" in out

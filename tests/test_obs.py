@@ -322,6 +322,44 @@ class TestQuantile:
         values = [quantile(h, q) for q in (0.1, 0.25, 0.5, 0.75, 0.95)]
         assert values == sorted(values)
 
+    def test_single_bucket_histogram_interpolates_from_zero(self):
+        from repro.obs import quantile
+
+        # One finite bucket (0, 2]: quantiles interpolate linearly
+        # across it and can never exceed its (only) boundary.
+        h = self._histogram([1.0, 1.0, 1.0, 1.0], boundaries=(2.0,))
+        assert quantile(h, 0.5) == pytest.approx(1.0)
+        assert quantile(h, 1.0) == pytest.approx(2.0)
+
+    def test_all_mass_in_overflow_bucket_clamps(self):
+        from repro.obs import quantile
+
+        # Every observation beyond the last finite boundary: any
+        # mass-seeking quantile is clamped to that boundary (Prometheus
+        # semantics -- the histogram cannot resolve the tail).  q=0 asks
+        # for zero observations and resolves to the first (empty)
+        # bucket's edge instead.
+        h = self._histogram([10.0, 20.0, 30.0])
+        for q in (0.2, 0.5, 0.99, 1.0):
+            assert quantile(h, q) == 4.0
+        assert quantile(h, 0.0) == 1.0
+
+    def test_empty_interior_bucket_returns_its_upper_edge(self):
+        from repro.obs import quantile
+
+        # Mass in (0,1] and (2,4] with nothing in between: quantiles
+        # landing exactly on the empty bucket resolve to its upper edge
+        # rather than dividing by a zero count.
+        h = self._histogram([0.5, 0.5, 3.0, 3.0])
+        assert quantile(h, 0.5) == pytest.approx(1.0)
+
+    def test_q_edges_on_populated_histogram(self):
+        from repro.obs import quantile
+
+        h = self._histogram([0.5, 1.5, 3.0])
+        assert quantile(h, 0.0) <= quantile(h, 1.0)
+        assert quantile(h, 1.0) == 4.0
+
     def test_quantiles_table_lists_only_histograms(self):
         from repro.obs import histogram_quantiles_table
 
