@@ -47,6 +47,7 @@ models) remain importable for callers that need intermediate artifacts.
 """
 
 from repro.api import run, sweep
+from repro.session import ObsOptions, Session, resolve_source
 from repro.core import (
     Certificate,
     CertificateError,
@@ -131,6 +132,10 @@ __all__ = [
     # facade
     "run",
     "sweep",
+    # session / config
+    "ObsOptions",
+    "Session",
+    "resolve_source",
     # core
     "Certificate",
     "CertificateError",

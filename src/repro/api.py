@@ -2,15 +2,25 @@
 
 Two documented entry points cover the common uses of the library:
 
-* :func:`run` -- synchronize **one** execution against a system and get
-  the full :class:`~repro.core.synchronizer.SyncResult` (corrections,
-  ``A^max`` precision, components, offset intervals), certified optimal
-  by default;
+* :func:`run` -- synchronize **one** source of views against a system
+  and get the full :class:`~repro.core.synchronizer.SyncResult`
+  (corrections, ``A^max`` precision, components, offset intervals),
+  certified optimal by default.  The ``source`` may be a recorded
+  :class:`~repro.model.execution.Execution`, a views mapping, a
+  simulator :class:`~repro.workloads.scenarios.Scenario`, a live
+  :class:`~repro.live.trace.ProbeLog`, or a path to an archived trace
+  or probe log -- sim and live traffic flow through the same pipeline
+  (see :func:`repro.session.resolve_source`);
 * :func:`sweep` -- run a whole (builders x topologies x seeds) grid on
   the sharded campaign runner and get one summary
   :class:`~repro.analysis.reporting.Table`, optionally parallel
   (``workers=4``), sharded (``shard="1/4"``) and cached
   (``cache_dir=...``).
+
+Cross-cutting configuration (backend, workers, certification, fault
+plan, observability) lives in one typed object: pass
+``session=``:class:`repro.session.Session` instead of repeating the
+kwargs; explicit keyword arguments still win over the session's fields.
 
 Everything the facade does is available a layer down
 (:class:`~repro.core.synchronizer.ClockSynchronizer`,
@@ -21,6 +31,7 @@ intermediate artifacts.  All options are keyword-only by policy
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 from repro._types import ProcessorId
@@ -32,6 +43,7 @@ from repro.graphs.topology import Topology
 from repro.model.execution import Execution
 from repro.model.views import View
 from repro.runner.sharding import Shard
+from repro.session import Session, resolve_source
 
 #: ``sweep`` accepts builders as a name->builder mapping or (name, builder)
 #: pairs; builders have the :data:`repro.workloads.campaign.ScenarioBuilder`
@@ -40,33 +52,67 @@ Builders = Union[
     Mapping[str, object], Iterable[Tuple[str, object]]
 ]
 
+#: Anything :func:`run` accepts as its views source.
+Source = Union[Execution, Mapping[ProcessorId, View], object, str]
+
 
 def run(
     system: System,
-    execution: Union[Execution, Mapping[ProcessorId, View]],
+    source: Optional[Source] = None,
     *,
+    execution: Optional[Source] = None,
+    session: Optional[Session] = None,
     backend: Optional[str] = None,
-    certify: bool = True,
+    certify: Optional[bool] = None,
     root: Optional[ProcessorId] = None,
-    method: str = "karp",
+    method: Optional[str] = None,
 ) -> SyncResult:
-    """Synchronize one execution optimally; the library's front door.
+    """Synchronize one source of views optimally; the library's front door.
 
-    ``execution`` is either a recorded
-    :class:`~repro.model.execution.Execution` (only its views are
-    consulted, per Claim 3.1) or the views mapping itself.  With
-    ``certify=True`` (the default) the result's optimality certificate
-    is verified before returning -- a
-    :class:`~repro.core.optimality.CertificateError` here means a bug,
-    never bad luck.
+    ``source`` is anything :func:`repro.session.resolve_source`
+    understands: a recorded :class:`~repro.model.execution.Execution`
+    (only its views are consulted, per Claim 3.1), the views mapping
+    itself, a :class:`~repro.workloads.scenarios.Scenario` (simulated
+    once), a live :class:`~repro.live.trace.ProbeLog`, or a path to an
+    archived trace / probe log.  With ``certify=True`` (the default)
+    the result's optimality certificate is verified before returning --
+    a :class:`~repro.core.optimality.CertificateError` here means a
+    bug, never bad luck.
+
+    .. deprecated::
+        The ``execution=`` keyword is a one-release compatibility alias
+        for ``source=`` (DESIGN.md section 9); positional calls are
+        unaffected.
     """
+    if execution is not None:
+        if source is not None:
+            raise TypeError(
+                "pass either source= or the deprecated execution=, not both"
+            )
+        warnings.warn(
+            "repro.run(execution=...) is deprecated; pass the same value "
+            "as source= (or positionally) -- execution= will be removed "
+            "next release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        source = execution
+    if source is None:
+        raise TypeError("repro.run() needs a source of views")
+    cfg = session if session is not None else Session()
+    backend = backend if backend is not None else cfg.backend
+    root = root if root is not None else cfg.root
+    method = method if method is not None else (cfg.method or "karp")
+    certify = (
+        certify
+        if certify is not None
+        else (cfg.certify if cfg.certify is not None else True)
+    )
+    views = resolve_source(source, processors=system.processors)
     synchronizer = ClockSynchronizer(
         system, root=root, method=method, backend=backend
     )
-    if isinstance(execution, Execution):
-        result = synchronizer.from_execution(execution)
-    else:
-        result = synchronizer.from_views(execution)
+    result = synchronizer.from_views(views)
     if certify:
         verify_certificate(result)
     return result
@@ -77,7 +123,8 @@ def sweep(
     topologies: Sequence[Topology],
     *,
     seeds: Iterable[int] = (0, 1, 2),
-    certify: bool = True,
+    session: Optional[Session] = None,
+    certify: Optional[bool] = None,
     workers: Optional[int] = None,
     shard: Union[Shard, str, None] = None,
     cache_dir: Optional[str] = None,
@@ -98,15 +145,29 @@ def sweep(
     other shards via ``repro campaign merge`` (see
     :mod:`repro.runner.merge`).  The table is byte-identical for any
     worker count, and the union of all shards equals the full sweep.
+
+    ``session=`` supplies defaults for ``backend``, ``workers``,
+    ``certify`` and the per-cell fault plan; explicit keywords win.
     """
     from repro.workloads.campaign import Campaign
 
+    cfg = session if session is not None else Session()
+    backend = backend if backend is not None else cfg.backend
+    workers = workers if workers is not None else cfg.workers
+    certify = (
+        certify
+        if certify is not None
+        else (cfg.certify if cfg.certify is not None else True)
+    )
     campaign = Campaign(seeds=seeds, certify=certify)
     items = (
         builders.items() if isinstance(builders, Mapping) else builders
     )
     for name, builder in items:
         campaign.add(name, builder)  # type: ignore[arg-type]
+    faults = cfg.fault_plan()
+    if faults is not None:
+        campaign = campaign.with_faults(faults)
     return campaign.run(
         topologies,
         workers=workers,

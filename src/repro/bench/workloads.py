@@ -20,6 +20,9 @@ exactly once).  Coverage, top to bottom of the stack:
   realistic traffic);
 * ``campaign.throughput`` -- the sharded campaign runner on the quick
   E9c grid, with ``campaign.cell.seconds`` latency percentiles;
+* ``live.server`` -- a loopback UDP cluster answering a concurrent
+  correction-query load, with ``live.server.request_seconds``
+  percentiles (the ``serve`` ops surface's ``/metrics`` histogram);
 * ``obs.recording`` / ``monitor.suite`` -- what an enabled recorder
   and an attached monitor suite cost relative to ``engine.pipeline``
   at the same size.
@@ -221,6 +224,45 @@ def campaign_throughput():
 
     def run():
         campaign.run_results(topologies, workers=1)
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Live runtime: correction server under query load
+# ----------------------------------------------------------------------
+
+@benchmark(
+    "live.server",
+    grid={"peers": (4,), "queries": (400,)},
+    suites=SUITES,
+    histograms=("live.server.request_seconds",),
+)
+def live_server(peers: int, queries: int):
+    """A loopback cluster serving a concurrent correction-query load.
+
+    Wall time covers the full query load against an already-warm
+    cluster of real asyncio UDP peers; the
+    ``live.server.request_seconds`` percentiles harvested from the
+    instrumented pass are the per-request latency distribution the
+    ``serve`` ops surface exports at ``/metrics``.
+    """
+    import asyncio
+
+    from repro.live.cluster import ClusterConfig, LiveCluster
+
+    async def drive():
+        cluster = LiveCluster(ClusterConfig(peers=peers, interval=0.01))
+        async with cluster:
+            await cluster.wait_for_observations(6 * peers)
+            load = await cluster.query_load(queries, concurrency=8)
+            replay = cluster.verify_replay()
+        assert replay.ok, replay.describe()
+        return load
+
+    def run():
+        load = asyncio.run(drive())
+        assert load.ok_answers == queries
 
     return run
 

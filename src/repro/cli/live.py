@@ -1,0 +1,333 @@
+"""``live`` and ``serve`` subcommands: the real-socket runtime.
+
+``live smoke`` boots a whole loopback cluster (peers + correction
+server), drives a query load, audits the live == offline replay
+contract and prints (or JSON-dumps) the summary -- the CI ``live`` job
+gates on its exit code and thresholds.  ``live replay`` reruns a
+recorded probe log through the batch pipeline.  ``serve`` runs a
+foreground correction server for real peers to report to.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.cli._options import (
+    add_backend_argument,
+    add_obs_arguments,
+    observability,
+)
+
+
+def _cmd_live_smoke(args: argparse.Namespace) -> int:
+    with observability(args, force=True):
+        from repro.obs.recorder import get_recorder
+
+        async def drive() -> dict:
+            from repro.live.cluster import ClusterConfig, LiveCluster
+
+            cluster = LiveCluster(ClusterConfig(
+                peers=args.peers,
+                interval=args.interval,
+                freshness=args.freshness,
+            ))
+            async with cluster:
+                await cluster.wait_for_observations(args.warmup)
+                load = await cluster.query_load(
+                    args.queries, concurrency=args.concurrency
+                )
+                replay = cluster.verify_replay()
+                summary = {
+                    "replay": replay,
+                    "load": load,
+                    "cluster": cluster,
+                    "log": cluster.server.probe_log,
+                    "health": cluster.server.health_json(),
+                    "realized": cluster.realized(),
+                }
+            return summary
+
+        outcome = asyncio.run(drive())
+        replay = outcome["replay"]
+        load = outcome["load"]
+        recorder = get_recorder()
+        from repro.obs.report import quantile
+
+        histogram = recorder.histogram("live.server.request_seconds")
+        p50 = quantile(histogram, 0.5)
+        p99 = quantile(histogram, 0.99)
+        summary = {
+            "peers": args.peers,
+            "queries": load.queries,
+            "ok_answers": load.ok_answers,
+            "duration_seconds": load.duration,
+            "qps": load.qps,
+            "request_p50_seconds": p50,
+            "request_p99_seconds": p99,
+            "observations": len(outcome["log"]),
+            "replay_ok": replay.ok,
+            "replay_checked": replay.checked,
+            "replay_cuts": len(replay.cuts),
+            "realized_spread": outcome["realized"],
+            "health": outcome["health"],
+        }
+        if args.probe_log_out is not None:
+            from repro.live import write_probe_log
+
+            path = write_probe_log(args.probe_log_out, outcome["log"])
+            summary["probe_log"] = str(path)
+        if args.json:
+            print(json.dumps(summary, sort_keys=True, default=str))
+        else:
+            print(f"peers:        {args.peers}  "
+                  f"(complete graph, loopback UDP)")
+            print(f"observations: {summary['observations']} admitted")
+            print(f"queries:      {load.queries}  "
+                  f"({load.ok_answers} answered ok)")
+            print(f"throughput:   {load.qps:.0f} queries/s "
+                  f"({load.duration:.3f}s)")
+            print(f"latency:      p50 {p50 * 1e6:.0f}us  "
+                  f"p99 {p99 * 1e6:.0f}us")
+            print(replay.describe())
+            if summary["realized_spread"] is not None:
+                print(f"realized spread vs ground truth: "
+                      f"{summary['realized_spread']:.6g}")
+            if "probe_log" in summary:
+                print(f"probe log written: {summary['probe_log']}")
+        if not replay.ok:
+            print("FAIL: live answers diverge from offline replay",
+                  file=sys.stderr)
+            return 1
+        if args.min_qps is not None and load.qps < args.min_qps:
+            print(f"FAIL: {load.qps:.0f} qps below the --min-qps "
+                  f"{args.min_qps:g} threshold", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_live_replay(args: argparse.Namespace) -> int:
+    """Rerun a recorded probe log through the batch pipeline."""
+    import repro
+    from repro.live import load_probe_log, ProbeLogError
+    from repro.live.cluster import live_system
+    from repro.graphs.topology import Topology
+
+    with observability(args):
+        try:
+            log = load_probe_log(args.log)
+        except (OSError, ProbeLogError) as exc:
+            print(f"cannot load probe log: {exc}", file=sys.stderr)
+            return 2
+        processors = log.processors()
+        if len(processors) < 2:
+            print(f"probe log covers {len(processors)} processor(s); "
+                  "nothing to synchronize", file=sys.stderr)
+            return 1
+        topology = Topology(
+            name=f"live-{len(processors)}",
+            nodes=tuple(processors),
+            links=tuple(
+                (p, q)
+                for i, p in enumerate(processors)
+                for q in processors[i + 1:]
+            ),
+        )
+        system = live_system(topology)
+        result = repro.run(system, args.log, backend=args.backend)
+        print(f"observations: {len(log)}")
+        print(f"precision:    {result.precision:.6g}  (= A^max, certified)")
+        print("corrections:")
+        for p, x in sorted(
+            result.corrections.items(), key=lambda kv: repr(kv[0])
+        ):
+            print(f"  processor {p}: {x:+.6g}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run a foreground correction server for real peers to report to."""
+    from repro.graphs.topology import complete
+    from repro.live import write_probe_log
+    from repro.live.cluster import live_system
+    from repro.live.server import start_correction_server
+
+    if args.processors is not None:
+        names = [n.strip() for n in args.processors.split(",") if n.strip()]
+        if len(names) < 2:
+            print("--processors needs at least two comma-separated ids",
+                  file=sys.stderr)
+            return 2
+        from repro.graphs.topology import Topology
+
+        topology = Topology(
+            name=f"live-{len(names)}",
+            nodes=tuple(names),
+            links=tuple(
+                (p, q)
+                for i, p in enumerate(names)
+                for q in names[i + 1:]
+            ),
+        )
+    else:
+        topology = complete(args.peers)
+    system = live_system(topology)
+
+    async def serve() -> int:
+        from contextlib import ExitStack
+
+        server = await start_correction_server(
+            system,
+            host=args.host,
+            port=args.port,
+            freshness=args.freshness,
+            keep_answers=False,
+        )
+        with ExitStack() as stack:
+            if args.serve_metrics is not None:
+                from repro.obs.http import serve_telemetry
+
+                sidecar = stack.enter_context(
+                    serve_telemetry(port=args.serve_metrics, health=server)
+                )
+                print(f"telemetry: {sidecar.url}/metrics  "
+                      f"{sidecar.url}/healthz")
+            host, port = server.address
+            print(f"correction server on {host}:{port}  "
+                  f"({len(topology.nodes)} processors, "
+                  f"freshness {args.freshness:g}s); ^C to stop")
+            try:
+                if args.duration is not None:
+                    await asyncio.sleep(args.duration)
+                else:
+                    while True:
+                        await asyncio.sleep(3600)
+            except asyncio.CancelledError:
+                pass
+            finally:
+                if args.probe_log_out is not None:
+                    path = write_probe_log(
+                        args.probe_log_out, server.probe_log
+                    )
+                    print(f"probe log written: {path}  "
+                          f"({len(server.probe_log)} observations)")
+                server.close()
+        return 0
+
+    with observability(args, force=args.serve_metrics is not None):
+        try:
+            return asyncio.run(serve())
+        except KeyboardInterrupt:
+            print()
+            return 0
+
+
+def register(sub) -> None:
+    p_live = sub.add_parser(
+        "live",
+        help="live runtime: loopback cluster smoke test and probe-log "
+        "replay",
+    )
+    live_sub = p_live.add_subparsers(dest="live_action", required=True)
+
+    p_smoke = live_sub.add_parser(
+        "smoke",
+        help="boot a loopback cluster + correction server, drive a "
+        "query load, audit live == offline replay equality",
+    )
+    p_smoke.add_argument(
+        "--peers", type=int, default=4, metavar="N",
+        help="cluster size (complete probe graph; default 4)",
+    )
+    p_smoke.add_argument(
+        "--queries", type=int, default=2000, metavar="N",
+        help="correction queries to drive (default 2000)",
+    )
+    p_smoke.add_argument(
+        "--warmup", type=int, default=24, metavar="N",
+        help="admitted observations to wait for before querying "
+        "(default 24)",
+    )
+    p_smoke.add_argument(
+        "--interval", type=float, default=0.01, metavar="SECONDS",
+        help="probe-round interval per peer (default 0.01)",
+    )
+    p_smoke.add_argument(
+        "--freshness", type=float, default=0.05, metavar="SECONDS",
+        help="server cache freshness bound (default 0.05)",
+    )
+    p_smoke.add_argument(
+        "--concurrency", type=int, default=8, metavar="N",
+        help="concurrent query clients (default 8)",
+    )
+    p_smoke.add_argument(
+        "--min-qps", type=float, default=None, metavar="QPS",
+        help="exit 1 when the measured throughput is below QPS",
+    )
+    p_smoke.add_argument(
+        "--probe-log-out", metavar="PATH", default=None,
+        help="write the server's admitted probe log as JSONL "
+        "(replayable with 'live replay')",
+    )
+    p_smoke.add_argument(
+        "--json", action="store_true",
+        help="emit the summary as one JSON object",
+    )
+    add_obs_arguments(p_smoke, timings=False)
+    p_smoke.set_defaults(func=_cmd_live_smoke)
+
+    p_replay = live_sub.add_parser(
+        "replay",
+        help="rerun a recorded probe log through the batch pipeline "
+        "(the offline half of the replay-equality contract)",
+    )
+    p_replay.add_argument("log", metavar="LOG.jsonl", help="probe log file")
+    add_backend_argument(p_replay)
+    add_obs_arguments(p_replay, timings=False)
+    p_replay.set_defaults(func=_cmd_live_replay)
+
+
+def register_serve(sub) -> None:
+    p_serve = sub.add_parser(
+        "serve",
+        help="run a correction server: ingest peer probe reports over "
+        "UDP, answer correction queries at high QPS",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="UDP port (default 0 = ephemeral, printed at startup)",
+    )
+    p_serve.add_argument(
+        "--peers", type=int, default=4, metavar="N",
+        help="expected cluster size, processors 0..N-1 on a complete "
+        "graph (default 4)",
+    )
+    p_serve.add_argument(
+        "--processors", metavar="A,B,C", default=None,
+        help="explicit comma-separated processor ids (overrides --peers)",
+    )
+    p_serve.add_argument(
+        "--freshness", type=float, default=0.05, metavar="SECONDS",
+        help="bounded-staleness window for cached results (default 0.05)",
+    )
+    p_serve.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="stop after SECONDS (default: run until ^C)",
+    )
+    p_serve.add_argument(
+        "--probe-log-out", metavar="PATH", default=None,
+        help="write the admitted probe log as JSONL on shutdown",
+    )
+    p_serve.add_argument(
+        "--serve-metrics", type=int, default=None, metavar="PORT",
+        help="also serve /metrics + /healthz on 127.0.0.1:PORT "
+        "(0 = ephemeral)",
+    )
+    add_obs_arguments(p_serve, timings=False)
+    p_serve.set_defaults(func=_cmd_serve)

@@ -1,0 +1,213 @@
+"""``monitor`` subcommand: workloads under the paper's invariant monitors."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli._options import (
+    add_faults_argument,
+    add_obs_arguments,
+    add_workers_argument,
+    build_scenario,
+    load_faults,
+    observability,
+    print_run_summary,
+)
+from repro.experiments import REGISTRY, run_experiment
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    """Run a workload under the invariant monitors and report violations."""
+    from repro.analysis.reporting import Table
+    from repro.core.synchronizer import ClockSynchronizer
+    from repro.obs import FlowLog, histogram_quantiles_table
+    from repro.obs.monitor import MonitorSuite
+    from repro.obs.timeline import replay_online, write_timeline_jsonl
+    from repro.runner.executor import default_workers
+
+    workload = args.workload
+    key = workload.upper()
+    with default_workers(args.workers), \
+            observability(args, force=True) as recorder:
+        suite = MonitorSuite()
+        recorder.add_observer(suite)
+
+        if key in REGISTRY:
+            # Experiment mode: the monitors passively check every
+            # pipeline result the experiment produces (views-side
+            # monitors only -- no single ground-truth execution exists).
+            if args.faults is not None:
+                print("--faults is ignored in experiment mode "
+                      "(experiments own their scenarios)", file=sys.stderr)
+            try:
+                tables = run_experiment(key, quick=args.quick)
+            except KeyError as exc:  # pragma: no cover - key checked above
+                print(exc.args[0], file=sys.stderr)
+                return 2
+            if args.show_tables:
+                for table in tables:
+                    table.show()
+                print()
+        elif workload in ("bounded", "hetero"):
+            flow_log = FlowLog()
+            recorder.add_observer(flow_log)
+            scenario = build_scenario(workload, args.size, args.seed)
+            if args.faults is not None:
+                scenario = scenario.with_faults(load_faults(args.faults))
+            alpha = scenario.run()
+            suite.execution = alpha
+            if args.faults is not None:
+                print_run_summary(scenario.last_run_summary)
+                print()
+
+            corrupt_at = None
+            if args.corrupt is not None:
+                corrupt_at = min(10, len(alpha.message_records()) - 1)
+                print(f"injecting corrupted delay estimate: observation "
+                      f"#{corrupt_at} gets {args.corrupt:+g}\n")
+            replay = replay_online(
+                scenario.system,
+                alpha,
+                corrupt_at=corrupt_at,
+                corrupt_delta=args.corrupt or 0.0,
+            )
+            if args.corrupt is None:
+                # Complete views enable the exact mls~ identity checks.
+                # Injected faults that break the delay assumptions make
+                # the pipeline reject the views instead -- report that,
+                # don't crash.
+                from repro import InconsistentViewsError
+
+                try:
+                    result = ClockSynchronizer(
+                        scenario.system
+                    ).from_execution(alpha)
+                    suite.check_final(scenario.system, result, alpha)
+                except InconsistentViewsError as exc:
+                    print("final pipeline check: views rejected as "
+                          f"inconsistent ({exc}) -- expected when "
+                          "injected faults break the delay assumptions\n")
+
+            convergence = Table(
+                title=f"online convergence over simulated time "
+                f"({scenario.name})",
+                headers=["sim time", "observations", "precision A^max",
+                         "realized spread", "components"],
+            )
+            samples = replay.samples
+            if len(samples) > args.rows:
+                step = (len(samples) - 1) / (args.rows - 1)
+                samples = [
+                    samples[i]
+                    for i in sorted({round(k * step)
+                                     for k in range(args.rows)})
+                ]
+            for s in samples:
+                convergence.add_row(
+                    f"{s.sim_time:.3f}", s.observations,
+                    f"{s.precision:.6g}", f"{s.realized_spread:.6g}",
+                    s.components,
+                )
+            convergence.show()
+            print()
+
+            errors = Table(
+                title="per-link delay-estimate error (d~ - d = S_p - S_q; "
+                "spread ~0 on honest telemetry)",
+                headers=["edge", "msgs", "dropped", "mean d", "mean d~",
+                         "error", "error spread"],
+            )
+            for edge, stats in sorted(
+                flow_log.per_edge_error_stats().items(), key=repr
+            ):
+                errors.add_row(
+                    f"{edge[0]!r}->{edge[1]!r}", stats.messages,
+                    stats.dropped, f"{stats.mean_delay:.4f}",
+                    f"{stats.mean_estimated_delay:.4f}",
+                    f"{stats.estimate_error:+.4f}",
+                    f"{stats.error_spread:.2e}",
+                )
+            errors.show()
+            print()
+            histogram_quantiles_table(
+                recorder.registry,
+                names=("sim.message.delay", "sim.scheduler.queue_depth"),
+            ).show()
+            print()
+            if args.timeline_out is not None:
+                path = write_timeline_jsonl(
+                    args.timeline_out, replay.timeline
+                )
+                print(f"timeline written: {path}  "
+                      f"({len(replay.timeline)} series)")
+        else:
+            print(f"unknown workload {workload!r}; use 'bounded', 'hetero' "
+                  f"or an experiment id ({sorted(REGISTRY)})",
+                  file=sys.stderr)
+            return 2
+
+        suite.summary_table().show()
+        if suite.violations:
+            print(f"\n{len(suite.violations)} violation(s):")
+            for v in suite.violations[:args.rows]:
+                when = "" if v.sim_time is None else f" @t={v.sim_time:.3f}"
+                print(f"  [{v.monitor}]{when} {v.message}")
+            if len(suite.violations) > args.rows:
+                print(f"  ... and {len(suite.violations) - args.rows} more")
+        elif suite.checks:
+            print("\nall invariants held: every result matched the paper's "
+                  "guarantees")
+        else:
+            print("\nno synchronization results were produced -- nothing "
+                  "for the monitors to check")
+    if suite.violations and args.strict:
+        return 1
+    return 0
+
+
+def register(sub) -> None:
+    p_monitor = sub.add_parser(
+        "monitor",
+        help="run a workload under the paper's invariant monitors and "
+        "print convergence + violation reports",
+    )
+    p_monitor.add_argument(
+        "workload",
+        help="'bounded' or 'hetero' (simulate + replay online), or an "
+        "experiment id (e.g. E1) to monitor its pipeline runs",
+    )
+    p_monitor.add_argument("--size", type=int, default=5, help="ring size")
+    p_monitor.add_argument("--seed", type=int, default=0)
+    p_monitor.add_argument(
+        "--quick", action="store_true",
+        help="trimmed seeds/sizes (experiment mode)",
+    )
+    add_workers_argument(p_monitor)
+    p_monitor.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero when any invariant violation was reported",
+    )
+    p_monitor.add_argument(
+        "--corrupt",
+        nargs="?", const=-1.5, default=None, type=float, metavar="DELTA",
+        help="deliberately corrupt one estimated delay by DELTA "
+        "(default -1.5) -- the monitors must catch it",
+    )
+    p_monitor.add_argument(
+        "--rows", type=int, default=12, metavar="N",
+        help="max rows in the convergence table / violation list",
+    )
+    p_monitor.add_argument(
+        "--show-tables", action="store_true",
+        help="also print the experiment's own tables (experiment mode)",
+    )
+    p_monitor.add_argument(
+        "--timeline-out",
+        metavar="PATH",
+        default=None,
+        help="write the simulated-time series as JSONL",
+    )
+    add_faults_argument(p_monitor)
+    add_obs_arguments(p_monitor, timings=False)
+    p_monitor.set_defaults(func=_cmd_monitor)

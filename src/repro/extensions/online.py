@@ -94,6 +94,7 @@ class OnlineSynchronizer:
         self._in_fallback = False
         self._outliers_rejected = 0
         self._fallbacks_served = 0
+        self._last_admitted = False
         # Staleness bookkeeping: the observation ordinal at which each
         # directed edge last received a sample / last changed a statistic.
         self._edge_last_seen: Dict[Edge, int] = {}
@@ -128,12 +129,14 @@ class OnlineSynchronizer:
             # Do not admit the sample: it would make the link's own
             # 2-cycle infeasible, which no honest observation can.
             self._outliers_rejected += 1
+            self._last_admitted = False
             self._edge_last_seen[edge] = self._observations
             if recorder.enabled:
                 recorder.count("online.observations")
                 recorder.count("online.outliers_rejected")
             return False
         self._stats[edge] = new
+        self._last_admitted = True
         changed = (
             new.min_delay != old.min_delay or new.max_delay != old.max_delay
         )
@@ -212,6 +215,18 @@ class OnlineSynchronizer:
     def outliers_rejected(self) -> int:
         """Observations rejected by the Lemma 6.2 soundness screen."""
         return self._outliers_rejected
+
+    @property
+    def last_observation_admitted(self) -> bool:
+        """Whether the most recent :meth:`observe` admitted its sample.
+
+        ``False`` right after construction/:meth:`reset` and after a
+        screened-out outlier.  The live correction server keys its
+        probe log on this: only admitted observations enter the log, so
+        a ``from_views`` replay of any log prefix sees exactly the
+        sample multiset the online statistics were built from.
+        """
+        return self._last_admitted
 
     @property
     def fallbacks_served(self) -> int:
@@ -381,6 +396,7 @@ class OnlineSynchronizer:
         self._in_fallback = False
         self._outliers_rejected = 0
         self._fallbacks_served = 0
+        self._last_admitted = False
         self._edge_last_seen.clear()
         self._edge_last_change.clear()
 

@@ -1,0 +1,97 @@
+"""Live clock synchronization over real sockets.
+
+The discrete-event pipeline of :mod:`repro` computes optimal
+corrections from *views* (Claim 3.1).  This package produces those
+views from reality: asyncio UDP peers exchange timestamped probes
+(:mod:`repro.live.peer`), a correction server ingests the resulting
+observations into the :class:`~repro.extensions.online.OnlineSynchronizer`
+and answers per-client correction queries with request batching and a
+freshness-bounded cache (:mod:`repro.live.server`), and an append-only
+probe log (:mod:`repro.live.trace`) makes every served answer
+replayable offline -- byte-for-byte -- through
+``ClockSynchronizer.from_views`` (:mod:`repro.live.replay`).
+
+:mod:`repro.live.cluster` boots the whole arrangement on loopback for
+tests, benchmarks, and the CI live job.
+"""
+
+from repro.live.clock import LiveClock, ManualClock
+from repro.live.cluster import (
+    ClusterConfig,
+    LiveCluster,
+    LoadResult,
+    default_offsets,
+    live_system,
+    run_smoke,
+    smoke,
+)
+from repro.live.peer import PeerConfig, ProbePeer, start_peer
+from repro.live.replay import (
+    ReplayMismatch,
+    ReplayReport,
+    replay_cut,
+    verify_replay_equality,
+)
+from repro.live.server import (
+    DEFAULT_FRESHNESS,
+    CorrectionClient,
+    CorrectionServer,
+    start_client,
+    start_correction_server,
+)
+from repro.live.trace import (
+    PROBE_RECORD_TYPE,
+    ProbeLog,
+    ProbeLogError,
+    load_probe_log,
+    validate_probe_log_file,
+    views_from_probes,
+    write_probe_log,
+)
+from repro.live.wire import (
+    Correction,
+    Probe,
+    Query,
+    Report,
+    WireError,
+    decode,
+    encode,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "Correction",
+    "CorrectionClient",
+    "CorrectionServer",
+    "DEFAULT_FRESHNESS",
+    "LiveClock",
+    "LiveCluster",
+    "LoadResult",
+    "ManualClock",
+    "PROBE_RECORD_TYPE",
+    "PeerConfig",
+    "Probe",
+    "ProbeLog",
+    "ProbeLogError",
+    "ProbePeer",
+    "Query",
+    "ReplayMismatch",
+    "ReplayReport",
+    "Report",
+    "WireError",
+    "decode",
+    "default_offsets",
+    "encode",
+    "live_system",
+    "load_probe_log",
+    "replay_cut",
+    "run_smoke",
+    "smoke",
+    "start_client",
+    "start_correction_server",
+    "start_peer",
+    "validate_probe_log_file",
+    "verify_replay_equality",
+    "views_from_probes",
+    "write_probe_log",
+]

@@ -50,9 +50,40 @@ def json_ready(value):
 
 RegistrySource = Union[MetricsRegistry, Callable[[], Optional[MetricsRegistry]]]
 
+#: Anything :func:`resolve_health_provider` understands.
+HealthSource = Union[dict, Callable[[], dict], object, None]
+
 
 def _default_health() -> dict:
     return {"status": "ok", "healthy": True}
+
+
+def resolve_health_provider(health: HealthSource) -> Callable[[], dict]:
+    """Normalize any health source into the zero-arg callable the
+    ``/healthz`` handler consumes.
+
+    Accepted shapes: ``None`` (always-healthy default), a static
+    ``dict`` payload, a zero-arg callable returning the payload, or any
+    object with a ``health_json()`` method (e.g. the live
+    :class:`~repro.live.server.CorrectionServer` or the fleet
+    :class:`~repro.runner.status.FleetStatus`) -- so surfaces can hand
+    themselves to :func:`serve_telemetry` directly instead of this
+    module hard-wiring any one provider's internals.
+    """
+    if health is None:
+        return _default_health
+    if isinstance(health, dict):
+        payload = dict(health)
+        return lambda: payload
+    if callable(health):
+        return health
+    health_json = getattr(health, "health_json", None)
+    if callable(health_json):
+        return health_json
+    raise TypeError(
+        f"health source {health!r} is none of: None, dict, callable, "
+        f"object with health_json()"
+    )
 
 
 class TelemetryServer:
@@ -76,7 +107,7 @@ class TelemetryServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
-        health: Optional[Callable[[], dict]] = None,
+        health: HealthSource = None,
     ) -> None:
         if registry is None:
             recorder = get_recorder()
@@ -84,7 +115,7 @@ class TelemetryServer:
                 recorder.registry if recorder.enabled else MetricsRegistry()
             )
         self._registry = registry
-        self._health = health if health is not None else _default_health
+        self._health = resolve_health_provider(health)
         self._thread: Optional[threading.Thread] = None
         self._closed = False
 
@@ -209,7 +240,7 @@ def serve_telemetry(
     *,
     host: str = "127.0.0.1",
     port: int = 0,
-    health: Optional[Callable[[], dict]] = None,
+    health: HealthSource = None,
 ) -> TelemetryServer:
     """Start (and return) a :class:`TelemetryServer`; caller closes it.
 
@@ -224,7 +255,9 @@ def serve_telemetry(
 
 __all__ = [
     "PROMETHEUS_CONTENT_TYPE",
+    "HealthSource",
     "TelemetryServer",
     "json_ready",
+    "resolve_health_provider",
     "serve_telemetry",
 ]

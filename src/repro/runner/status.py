@@ -464,6 +464,30 @@ def fleet_status_lines(fleet: FleetStatus) -> List[str]:
     return lines
 
 
+def fleet_health(results_dir: Union[str, Path, None]):
+    """A ``/healthz`` provider for one campaign's results directory.
+
+    Returns the zero-arg callable
+    :func:`repro.obs.http.serve_telemetry` consumes (``campaign run
+    --serve-metrics`` wires it in).  Reads the run's own results
+    directory per probe; before the first manifest lands (or without a
+    results directory at all) it reports ``starting``/``running``
+    rather than failing the probe.
+    """
+    def health() -> dict:
+        if results_dir is None:
+            return {"status": "running", "healthy": True}
+        from repro.runner.merge import MergeError
+
+        try:
+            fleet = collect_fleet_status([str(results_dir)])
+        except (MergeError, OSError):
+            return {"status": "starting", "healthy": True}
+        return fleet.health_json()
+
+    return health
+
+
 __all__ = [
     "DEFAULT_STALL_AFTER",
     "HEALTHY_STATES",
@@ -475,6 +499,7 @@ __all__ = [
     "FleetStatus",
     "ShardStatus",
     "collect_fleet_status",
+    "fleet_health",
     "fleet_status_lines",
     "shard_status",
 ]

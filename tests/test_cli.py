@@ -391,3 +391,107 @@ class TestBenchCommand:
         assert "peak memory:" in out
         assert "process.tracemalloc_peak_bytes" in out
         assert "process.peak_rss_bytes" in out
+
+
+class TestLiveCommand:
+    def test_parser_accepts_live_variants(self):
+        parser = build_parser()
+        for argv in (
+            ["live", "smoke"],
+            ["live", "smoke", "--peers", "3", "--queries", "100",
+             "--min-qps", "50", "--json"],
+            ["live", "replay", "probes.jsonl"],
+            ["serve", "--peers", "4", "--duration", "1",
+             "--serve-metrics", "0"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_live_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["live"])
+
+    def test_live_smoke_audits_and_reports(self, tmp_path, capsys):
+        log_out = tmp_path / "probes.jsonl"
+        assert main([
+            "live", "smoke", "--peers", "3", "--queries", "120",
+            "--warmup", "12", "--interval", "0.005",
+            "--probe-log-out", str(log_out), "--json",
+        ]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["ok_answers"] == 120
+        assert summary["replay_ok"] is True
+        assert summary["request_p99_seconds"] > 0
+        assert log_out.exists()
+
+    def test_live_smoke_min_qps_gate(self, capsys):
+        # An impossible threshold must turn into exit code 1.
+        assert main([
+            "live", "smoke", "--peers", "2", "--queries", "50",
+            "--warmup", "6", "--interval", "0.005",
+            "--min-qps", "1e12",
+        ]) == 1
+        assert "below the --min-qps" in capsys.readouterr().err
+
+    def test_live_replay_round_trip(self, tmp_path, capsys):
+        log_out = tmp_path / "probes.jsonl"
+        assert main([
+            "live", "smoke", "--peers", "2", "--queries", "40",
+            "--warmup", "6", "--interval", "0.005",
+            "--probe-log-out", str(log_out), "--json",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["live", "replay", str(log_out)]) == 0
+        out = capsys.readouterr().out
+        assert "precision:" in out and "corrections:" in out
+
+    def test_live_replay_missing_file_is_exit_2(self, capsys):
+        assert main(["live", "replay", "/nonexistent/probes.jsonl"]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_serve_runs_for_duration_and_serves_metrics(self, capsys):
+        """The foreground server scrapes clean while it is alive."""
+        import socket
+        import threading
+        import time
+        import urllib.request
+
+        # Reserve an ephemeral port for the sidecar; the tiny window
+        # between closing and serve reusing it is fine for a test.
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        exit_code = {}
+
+        def run_serve():
+            exit_code["value"] = main([
+                "serve", "--peers", "2", "--duration", "3.0",
+                "--serve-metrics", str(port),
+            ])
+
+        thread = threading.Thread(target=run_serve)
+        thread.start()
+        url = f"http://127.0.0.1:{port}"
+        health = metrics = None
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            try:
+                with urllib.request.urlopen(
+                    url + "/healthz", timeout=2
+                ) as response:
+                    health = json.loads(response.read())
+                with urllib.request.urlopen(
+                    url + "/metrics", timeout=2
+                ) as response:
+                    metrics = response.read().decode()
+                break
+            except OSError:
+                time.sleep(0.1)
+        thread.join(timeout=15)
+        assert exit_code["value"] == 0
+        assert health is not None and health["status"] == "pending"
+        assert health["healthy"] is True
+        assert metrics is not None  # the Prometheus surface answered
+        out = capsys.readouterr().out
+        assert "correction server on" in out

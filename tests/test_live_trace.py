@@ -1,0 +1,124 @@
+"""Probe logs and their synthetic views (repro.live.trace).
+
+ISSUE requirements covered here:
+
+* a probe log's views feed the batch pipeline and recover exactly the
+  estimated delays d~ = recv_clock - send_clock of the live traffic;
+* cuts are prefixes: ``views(cut)`` sees exactly the first ``cut``
+  admitted observations;
+* the JSONL round trip is lossless, torn tails are tolerated (crash
+  mid-append), and interior corruption is an error.
+"""
+
+import json
+
+import pytest
+
+from repro.core.estimates import estimated_delays
+from repro.live.trace import (
+    PROBE_RECORD_TYPE,
+    ProbeLog,
+    ProbeLogError,
+    load_probe_log,
+    record_from_json,
+    record_to_json,
+    validate_probe_log_file,
+    views_from_probes,
+    write_probe_log,
+)
+from repro.live.wire import Report
+
+
+def make_records():
+    return [
+        Report(sender="p", receiver="q", seq=0, send_clock=1.0,
+               recv_clock=3.5),
+        Report(sender="q", receiver="p", seq=0, send_clock=2.0,
+               recv_clock=2.25),
+        Report(sender="p", receiver="q", seq=1, send_clock=4.0,
+               recv_clock=6.0),
+    ]
+
+
+class TestProbeLog:
+    def test_append_returns_cut(self):
+        log = ProbeLog()
+        cuts = [log.append(r) for r in make_records()]
+        assert cuts == [1, 2, 3]
+        assert len(log) == 3
+
+    def test_duplicate_rejected(self):
+        log = ProbeLog(make_records())
+        with pytest.raises(ProbeLogError, match="duplicate"):
+            log.append(make_records()[0])
+
+    def test_processors_sorted(self):
+        assert ProbeLog(make_records()).processors() == ["p", "q"]
+
+    def test_views_cut_is_a_prefix(self):
+        log = ProbeLog(make_records())
+        full = log.views(processors=("p", "q"))
+        first = log.views(1, processors=("p", "q"))
+        # Cut 1 holds only the first record: one send at p, one receive
+        # at q, nothing else.
+        assert len(first["p"].steps) == 1
+        assert len(first["q"].steps) == 1
+        assert len(full["p"].steps) == 3
+        assert len(full["q"].steps) == 3
+
+    def test_views_recover_live_estimated_delays(self):
+        records = make_records()
+        views = views_from_probes(records, processors=("p", "q"))
+        delays = estimated_delays(views)
+        assert delays[("p", "q")] == [2.5, 2.0]
+        assert delays[("q", "p")] == [0.25]
+
+    def test_empty_processor_gets_empty_view(self):
+        views = views_from_probes(make_records(),
+                                  processors=("p", "q", "r"))
+        assert views["r"].steps == ()
+
+
+class TestJsonlRoundTrip:
+    def test_lossless(self, tmp_path):
+        path = write_probe_log(tmp_path / "probes.jsonl",
+                               ProbeLog(make_records()))
+        loaded = load_probe_log(path)
+        assert list(loaded) == make_records()
+        assert validate_probe_log_file(path) == 3
+
+    def test_record_type_tag(self):
+        data = record_to_json(make_records()[0])
+        assert data["type"] == PROBE_RECORD_TYPE
+        assert record_from_json(data) == make_records()[0]
+
+    def test_wrong_type_tag_rejected(self):
+        data = record_to_json(make_records()[0])
+        data["type"] = "something.else"
+        with pytest.raises(ProbeLogError):
+            record_from_json(data)
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = write_probe_log(tmp_path / "probes.jsonl", make_records())
+        with path.open("a") as fh:
+            fh.write('{"type": "live.probe", "sender": "p", "rec')
+        loaded = load_probe_log(path)
+        assert len(loaded) == 3  # torn final line dropped
+
+    def test_interior_corruption_is_an_error(self, tmp_path):
+        records = make_records()
+        path = tmp_path / "probes.jsonl"
+        lines = [json.dumps(record_to_json(r)) for r in records]
+        lines.insert(1, "not json at all")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ProbeLogError, match=":2:"):
+            load_probe_log(path)
+
+    def test_duplicate_in_file_is_an_error(self, tmp_path):
+        records = make_records() + [make_records()[0]]
+        path = tmp_path / "probes.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(record_to_json(r)) for r in records)
+        )
+        with pytest.raises(ProbeLogError, match="duplicate"):
+            load_probe_log(path)

@@ -1,0 +1,127 @@
+"""The live wire format (repro.live.wire).
+
+ISSUE requirements covered here:
+
+* every message kind round-trips byte-for-byte through encode/decode;
+* torn, truncated, bit-flipped, stray-field, wrong-version and
+  unknown-kind datagrams all raise :class:`WireError` -- and nothing
+  else -- so peers can route every transport fault to a drop counter.
+"""
+
+import json
+import zlib
+
+import pytest
+
+from repro.live.wire import (
+    MAX_DATAGRAM_BYTES,
+    WIRE_VERSION,
+    Correction,
+    Probe,
+    Query,
+    Report,
+    WireError,
+    decode,
+    encode,
+)
+
+MESSAGES = [
+    Probe(sender="p", seq=3, send_clock=1.25),
+    Probe(sender=0, seq=0, send_clock=-2.5),
+    Report(sender="p", receiver="q", seq=3, send_clock=1.25,
+           recv_clock=1.5),
+    Query(client="q", qid=17),
+    Correction(qid=17, client="q", status="ok", correction=-0.125,
+               precision=0.5, cut=42, observations=42),
+    Correction(qid=18, client="q", status="pending", correction=None,
+               precision=None, cut=0, observations=3),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("message", MESSAGES, ids=lambda m: repr(m))
+    def test_encode_decode_identity(self, message):
+        assert decode(encode(message)) == message
+
+    def test_estimated_delay_is_lemma_61(self):
+        report = Report(sender="p", receiver="q", seq=0,
+                        send_clock=3.0, recv_clock=4.5)
+        assert report.estimated_delay == 1.5
+
+    def test_encoding_is_deterministic(self):
+        assert encode(MESSAGES[0]) == encode(MESSAGES[0])
+
+    def test_datagrams_stay_small(self):
+        for message in MESSAGES:
+            assert len(encode(message)) <= MAX_DATAGRAM_BYTES
+
+
+class TestDefects:
+    def test_garbage_bytes(self):
+        with pytest.raises(WireError):
+            decode(b"\xff\xfe not json")
+
+    def test_non_object_json(self):
+        with pytest.raises(WireError):
+            decode(b"[1, 2, 3]")
+
+    def test_torn_datagram(self):
+        data = encode(MESSAGES[2])
+        with pytest.raises(WireError):
+            decode(data[: len(data) // 2])
+
+    def test_bit_flip_fails_crc(self):
+        data = bytearray(encode(MESSAGES[2]))
+        # Flip a digit inside a clock value: still valid JSON, wrong CRC.
+        index = data.index(b"1.25") + 2
+        data[index] = ord("9")
+        with pytest.raises(WireError, match="checksum"):
+            decode(bytes(data))
+
+    def test_wrong_version(self):
+        body = {"kind": "query", "client": "q", "qid": 1,
+                "v": WIRE_VERSION + 1}
+        body["crc"] = zlib.crc32(
+            json.dumps(body, sort_keys=True,
+                       separators=(",", ":")).encode()
+        )
+        with pytest.raises(WireError, match="version"):
+            decode(json.dumps(body, sort_keys=True,
+                              separators=(",", ":")).encode())
+
+    def test_unknown_kind(self):
+        body = {"kind": "gossip", "v": WIRE_VERSION}
+        with pytest.raises(WireError, match="kind"):
+            decode(json.dumps(body).encode())
+
+    def test_missing_field(self):
+        data = json.loads(encode(MESSAGES[0]))
+        del data["seq"]
+        data.pop("crc")
+        data["crc"] = zlib.crc32(
+            json.dumps(data, sort_keys=True,
+                       separators=(",", ":")).encode()
+        )
+        with pytest.raises(WireError, match="missing"):
+            decode(json.dumps(data, sort_keys=True,
+                              separators=(",", ":")).encode())
+
+    def test_stray_field(self):
+        data = json.loads(encode(MESSAGES[3]))
+        data.pop("crc")
+        data["smuggled"] = True
+        data["crc"] = zlib.crc32(
+            json.dumps(data, sort_keys=True,
+                       separators=(",", ":")).encode()
+        )
+        with pytest.raises(WireError, match="stray"):
+            decode(json.dumps(data, sort_keys=True,
+                              separators=(",", ":")).encode())
+
+    def test_oversized_identifier_rejected_at_encode(self):
+        with pytest.raises(WireError, match="bytes"):
+            encode(Probe(sender="p" * 2000, seq=0, send_clock=0.0))
+
+    def test_not_a_message(self):
+        with pytest.raises(TypeError):
+            encode({"kind": "probe"})

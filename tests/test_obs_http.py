@@ -168,3 +168,63 @@ class TestLifecycle:
         server.close()
         with pytest.raises(RuntimeError, match="closed"):
             server.start()
+
+
+class TestHealthProviderResolution:
+    """resolve_health_provider: any health source, one callable shape."""
+
+    def test_none_is_always_healthy(self):
+        from repro.obs.http import resolve_health_provider
+
+        provider = resolve_health_provider(None)
+        assert provider() == {"status": "ok", "healthy": True}
+
+    def test_static_dict_is_copied(self):
+        from repro.obs.http import resolve_health_provider
+
+        payload = {"status": "ok", "healthy": True, "shards": 3}
+        provider = resolve_health_provider(payload)
+        payload["shards"] = 99  # later mutation must not leak through
+        assert provider()["shards"] == 3
+
+    def test_callable_passes_through(self):
+        from repro.obs.http import resolve_health_provider
+
+        def source():
+            return {"status": "ok", "healthy": True}
+
+        assert resolve_health_provider(source) is source
+
+    def test_health_json_object_adopted(self):
+        from repro.obs.http import resolve_health_provider
+
+        class Service:
+            def health_json(self):
+                return {"status": "degraded", "healthy": False}
+
+        provider = resolve_health_provider(Service())
+        assert provider() == {"status": "degraded", "healthy": False}
+
+    def test_unsupported_source_rejected(self):
+        from repro.obs.http import resolve_health_provider
+
+        with pytest.raises(TypeError, match="health source"):
+            resolve_health_provider(42)
+
+    def test_health_json_object_served_over_http(self):
+        class Service:
+            healthy = True
+
+            def health_json(self):
+                return {"status": "ok" if self.healthy else "degraded",
+                        "healthy": self.healthy}
+
+        service = Service()
+        with serve_telemetry(MetricsRegistry(), health=service) as server:
+            status, _, body = get(server.url + "/healthz")
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+            service.healthy = False  # state change visible per request
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(server.url + "/healthz")
+            assert excinfo.value.code == 503

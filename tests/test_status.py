@@ -339,3 +339,43 @@ class TestStatusCli:
 
     def test_run_rejects_sources(self, tmp_path):
         assert main(["campaign", "run", str(tmp_path)]) == 2
+
+
+class TestFleetHealthProvider:
+    """fleet_health(): the status module as a reusable health source."""
+
+    def test_none_results_dir_is_running(self):
+        from repro.runner.status import fleet_health
+
+        assert fleet_health(None)() == {
+            "status": "running", "healthy": True,
+        }
+
+    def test_empty_dir_is_starting_not_an_error(self, tmp_path):
+        from repro.runner.status import fleet_health
+
+        payload = fleet_health(tmp_path)()
+        assert payload["status"] == "starting"
+        assert payload["healthy"] is True
+
+    def test_completed_fleet_reports_health_json(self, tmp_path):
+        from repro.runner.status import fleet_health
+
+        run_shard(tmp_path)
+        payload = fleet_health(tmp_path)()
+        assert payload == collect_fleet_status([tmp_path]).health_json()
+        assert payload["healthy"] is True
+
+    def test_accepted_by_serve_telemetry(self, tmp_path):
+        import urllib.request
+
+        from repro.obs.http import serve_telemetry
+        from repro.runner.status import fleet_health
+
+        run_shard(tmp_path)
+        with serve_telemetry(health=fleet_health(tmp_path)) as server:
+            with urllib.request.urlopen(
+                server.url + "/healthz", timeout=5
+            ) as response:
+                payload = json.loads(response.read())
+        assert payload["healthy"] is True
