@@ -31,7 +31,6 @@ intermediate artifacts.  All options are keyword-only by policy
 
 from __future__ import annotations
 
-import warnings
 from typing import Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 from repro._types import ProcessorId
@@ -60,7 +59,6 @@ def run(
     system: System,
     source: Optional[Source] = None,
     *,
-    execution: Optional[Source] = None,
     session: Optional[Session] = None,
     backend: Optional[str] = None,
     certify: Optional[bool] = None,
@@ -78,25 +76,7 @@ def run(
     the result's optimality certificate is verified before returning --
     a :class:`~repro.core.optimality.CertificateError` here means a
     bug, never bad luck.
-
-    .. deprecated::
-        The ``execution=`` keyword is a one-release compatibility alias
-        for ``source=`` (DESIGN.md section 9); positional calls are
-        unaffected.
     """
-    if execution is not None:
-        if source is not None:
-            raise TypeError(
-                "pass either source= or the deprecated execution=, not both"
-            )
-        warnings.warn(
-            "repro.run(execution=...) is deprecated; pass the same value "
-            "as source= (or positionally) -- execution= will be removed "
-            "next release",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        source = execution
     if source is None:
         raise TypeError("repro.run() needs a source of views")
     cfg = session if session is not None else Session()

@@ -33,12 +33,20 @@ def _cmd_live_smoke(args: argparse.Namespace) -> int:
                 peers=args.peers,
                 interval=args.interval,
                 freshness=args.freshness,
+                reliable=not args.no_reliable,
+                loss=args.loss,
+                reorder=args.reorder,
+                net_seed=args.net_seed,
             ))
             async with cluster:
                 await cluster.wait_for_observations(args.warmup)
                 load = await cluster.query_load(
                     args.queries, concurrency=args.concurrency
                 )
+                cluster.pause_probing()
+                drained = await cluster.drain_transport(args.drain_timeout)
+                transport = cluster.transport_summary()
+                transport["drained"] = drained
                 replay = cluster.verify_replay()
                 summary = {
                     "replay": replay,
@@ -47,6 +55,7 @@ def _cmd_live_smoke(args: argparse.Namespace) -> int:
                     "log": cluster.server.probe_log,
                     "health": cluster.server.health_json(),
                     "realized": cluster.realized(),
+                    "transport": transport,
                 }
             return summary
 
@@ -72,6 +81,7 @@ def _cmd_live_smoke(args: argparse.Namespace) -> int:
             "replay_checked": replay.checked,
             "replay_cuts": len(replay.cuts),
             "realized_spread": outcome["realized"],
+            "transport": outcome["transport"],
             "health": outcome["health"],
         }
         if args.probe_log_out is not None:
@@ -91,6 +101,22 @@ def _cmd_live_smoke(args: argparse.Namespace) -> int:
                   f"({load.duration:.3f}s)")
             print(f"latency:      p50 {p50 * 1e6:.0f}us  "
                   f"p99 {p99 * 1e6:.0f}us")
+            transport = summary["transport"]
+            if transport.get("enabled"):
+                totals = transport["totals"]
+                print(f"transport:    {totals.get('handed', 0):.0f} handed  "
+                      f"{totals.get('retransmits', 0):.0f} retransmits  "
+                      f"{totals.get('give_ups', 0):.0f} give-ups  "
+                      f"{transport['lost_observations']} lost"
+                      + ("" if transport["drained"] else "  (DRAIN TIMEOUT)"))
+                if "net" in transport:
+                    net = transport["net"]
+                    print(f"injected:     {net['dropped']} drops  "
+                          f"{net['delayed']} delays  "
+                          f"{net['passed']} passed")
+                if transport["unreachable"]:
+                    print(f"unreachable:  "
+                          f"{', '.join(transport['unreachable'])}")
             print(replay.describe())
             if summary["realized_spread"] is not None:
                 print(f"realized spread vs ground truth: "
@@ -105,6 +131,17 @@ def _cmd_live_smoke(args: argparse.Namespace) -> int:
             print(f"FAIL: {load.qps:.0f} qps below the --min-qps "
                   f"{args.min_qps:g} threshold", file=sys.stderr)
             return 1
+        transport = summary["transport"]
+        if transport.get("enabled"):
+            if not transport["drained"]:
+                print("FAIL: transport did not drain within "
+                      f"{args.drain_timeout:g}s", file=sys.stderr)
+                return 1
+            if transport["lost_observations"] > 0:
+                print(f"FAIL: {transport['lost_observations']} observations "
+                      "lost in transit (neither delivered nor surfaced)",
+                      file=sys.stderr)
+                return 1
     return 0
 
 
@@ -265,6 +302,30 @@ def register(sub) -> None:
     p_smoke.add_argument(
         "--min-qps", type=float, default=None, metavar="QPS",
         help="exit 1 when the measured throughput is below QPS",
+    )
+    p_smoke.add_argument(
+        "--loss", type=float, default=0.0, metavar="P",
+        help="inject datagram loss with probability P on every "
+        "transport frame (default 0)",
+    )
+    p_smoke.add_argument(
+        "--reorder", type=float, default=0.0, metavar="P",
+        help="delay (reorder) surviving datagrams with probability P "
+        "(default 0)",
+    )
+    p_smoke.add_argument(
+        "--net-seed", type=int, default=0, metavar="SEED",
+        help="seed for loss injection and retransmit jitter (default 0)",
+    )
+    p_smoke.add_argument(
+        "--no-reliable", action="store_true",
+        help="speak the raw datagram protocol instead of the reliable "
+        "transport (loss then costs observations)",
+    )
+    p_smoke.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="max wait for in-flight retransmissions to settle before "
+        "the accounting audit (default 10)",
     )
     p_smoke.add_argument(
         "--probe-log-out", metavar="PATH", default=None,

@@ -29,6 +29,7 @@ from repro.experiments import (
     e13_diagnosis,
     e14_convergence,
     e15_faults,
+    e17_transport,
 )
 
 #: Experiment id -> runner.  Keep ids in sync with DESIGN.md / EXPERIMENTS.md.
@@ -48,6 +49,7 @@ REGISTRY: Dict[str, Callable[..., List[Table]]] = {
     "E13": e13_diagnosis.run,
     "E14": e14_convergence.run,
     "E15": e15_faults.run,
+    "E17": e17_transport.run,
 }
 
 DESCRIPTIONS: Dict[str, str] = {
@@ -66,6 +68,7 @@ DESCRIPTIONS: Dict[str, str] = {
     "E13": "detection/localization/repair of assumption violations",
     "E14": "online convergence over simulated time, theorem-monitored",
     "E15": "graceful degradation: precision vs injected message loss",
+    "E17": "emergent retransmission delays: Section 6 models on transport traces",
 }
 
 

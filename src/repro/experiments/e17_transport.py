@@ -1,0 +1,275 @@
+"""E17 -- Emergent delays from a reliable transport (Section 6 models).
+
+Every other experiment *samples* message delays from a distribution.
+Here the delay of an observation is **emergent**: probes ride the
+reliable transport of :mod:`repro.transport` over per-frame delays in
+``[LB, UB]``, and injected datagram loss forces retransmission with
+exponential backoff -- so a probe that needed three attempts arrives
+with a delay no sampler ever drew.  The question the paper's Section 6
+then poses: which delay *assumption* should the synchronizer attach to
+such a link?
+
+Three sound choices, per directed link:
+
+* **Model 1** (``BoundedDelay.symmetric(LB, D_max)``): the transport's
+  a-priori worst case ``D_max =``
+  :meth:`~repro.transport.TransportConfig.worst_case_delay` ``(UB)`` --
+  every retransmission timer fully backed off and jittered, plus the
+  frame bound.  Sound but loose: the bound pays for the *possible*
+  retransmissions on every message.
+* **Model 2** (``lower_bounds_only(LB)``): no upper bound at all; the
+  pipeline leans on the Lemma 6.1 estimates, which reflect the delays
+  that actually happened (Theorem 6.4).
+* **Model 4** (``RoundTripBias(D_max - LB)``): bound the asymmetry, not
+  the magnitude (Lemma 6.5).
+
+The loss is *asymmetric* -- only the forward direction of each link
+drops frames, so forward delays inflate with retransmissions while
+reverse delays stay in ``[LB, UB]``.  That is exactly the regime where
+the worst-case symmetric bias bound ``D_max - LB`` is pessimal, and the
+table quantifies how far Lemma 6.5 falls behind the absolute bounds as
+loss (and with it the realized asymmetry) grows.
+
+Every synchronization is checked by the full strict monitor suite
+(closure structure, optimality certificate, realized precision bound,
+mls~ soundness) against the run's ground-truth start times: the
+Section 6 formulas must still hit the per-execution optimum when the
+delays are emergent rather than sampled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.metrics import summarize
+from repro.analysis.reporting import Table
+from repro.core.synchronizer import ClockSynchronizer
+from repro.delays.bias import RoundTripBias
+from repro.delays.bounds import BoundedDelay, lower_bounds_only
+from repro.delays.distributions import UniformDelay
+from repro.delays.system import System
+from repro.experiments.common import seeds
+from repro.faults.plan import FaultPlan, MessageLoss
+from repro.graphs import ring
+from repro.obs.monitor import MonitorSuite, default_monitors
+from repro.sim.network import draw_start_times
+from repro.sim.transport import run_transport_probes
+from repro.transport import TransportConfig
+
+#: Per-frame (single-attempt) delay bounds the transport rides on.
+LB, UB = 1.0, 2.0
+
+#: Transport profile for the experiment.  ``rto_initial`` exceeds the
+#: worst round trip (data + ack, ``2 * UB``) so a frame that survives is
+#: acked before its timer can fire -- at zero loss the transport is
+#: invisible and delays stay in ``[LB, UB]``.
+CONFIG = TransportConfig(
+    rto_initial=4.5,
+    rto_max=24.0,
+    backoff=2.0,
+    jitter=0.1,
+    window=64,
+    max_retries=5,
+)
+
+#: Sound a-priori upper bound on an emergent delay (Model 1's ``ub``).
+D_MAX = CONFIG.worst_case_delay(UB)
+
+
+class _GroundTruth:
+    """The slice of an execution the monitors consult: start times."""
+
+    def __init__(self, starts: Dict) -> None:
+        self._starts = dict(starts)
+
+    def start_times(self) -> Dict:
+        return dict(self._starts)
+
+
+def _realized_bias(real_delays: Dict) -> float:
+    """Largest realized ``|d(m_p) - d(m_q)|`` over opposite-direction pairs.
+
+    The smallest ``b`` for which :class:`RoundTripBias` held in *this*
+    execution (Lemma 6.5's premise, measured instead of assumed).
+    """
+    per_edge: Dict = {}
+    for (src, dst, _seq), delay in real_delays.items():
+        per_edge.setdefault((src, dst), []).append(delay)
+    worst = 0.0
+    for (src, dst), fwd in per_edge.items():
+        rev = per_edge.get((dst, src))
+        if rev is None:
+            continue
+        worst = max(worst, max(fwd) - min(rev), max(rev) - min(fwd))
+    return worst
+
+
+def _run_one(loss: float, seed: int, rounds: int) -> Dict[str, float]:
+    topo = ring(4)
+    # The delay system the *simulation* runs under only needs the frame
+    # bounds; the synchronization systems below attach the assumptions
+    # under test.
+    system = System.uniform(topo, BoundedDelay.symmetric(LB, UB))
+    samplers = {link: UniformDelay(LB, UB) for link in topo.links}
+    starts = draw_start_times(topo.nodes, max_skew=4.0, seed=seed)
+    # First round strictly after the worst start skew, so no frame has
+    # to wait for a receiver that does not exist yet -- at zero loss the
+    # emergent delays then provably sit inside the frame bounds.
+    probe_times = tuple(5.0 * (k + 1) for k in range(rounds))
+    plan = (
+        FaultPlan(
+            # Forward direction of every link only: forward data frames
+            # are dropped (inflating forward delays), while reverse data
+            # always lands on its first copy -- reverse loss is confined
+            # to acks, which cost duplicates, never delay.  Asymmetric
+            # emergent delays by construction.
+            tuple(MessageLoss(rate=loss, edge=link) for link in topo.links),
+            seed=seed,
+            name=f"e17-loss-{loss:g}",
+        )
+        if loss > 0.0
+        else None
+    )
+    trace = run_transport_probes(
+        system,
+        samplers,
+        starts,
+        probe_times=probe_times,
+        seed=seed,
+        plan=plan,
+        config=CONFIG,
+    )
+    if not trace.fully_accounted:
+        raise AssertionError(
+            f"transport lost observations silently: {trace.accounting()}"
+        )
+    emergent = trace.real_delays.values()
+    worst = max(emergent)
+    if worst > D_MAX or min(emergent) < LB:
+        raise AssertionError(
+            f"emergent delay outside [{LB}, {D_MAX}]: "
+            f"[{min(emergent)}, {worst}]"
+        )
+    views = trace.views()
+    truth = _GroundTruth(starts)
+    realized_b = _realized_bias(trace.real_delays)
+    out: Dict[str, float] = {
+        "retransmits": float(trace.retransmits()),
+        "max_delay": worst,
+        "realized_b": realized_b,
+    }
+    models = {
+        "bounds": BoundedDelay.symmetric(LB, D_MAX),
+        "lb-only": lower_bounds_only(LB),
+        "bias": RoundTripBias(D_MAX - LB),
+        # Oracle variant: the *realized* asymmetry of this execution
+        # (plus a float-safety epsilon).  Not knowable a priori, but it
+        # is what a deployment that measures its links could configure.
+        "bias-oracle": RoundTripBias(realized_b + 1e-9),
+    }
+    for label, assumption in models.items():
+        sync_system = System.uniform(topo, assumption)
+        result = ClockSynchronizer(sync_system).from_views(views)
+        # Strict: any monitor violation raises, failing the experiment.
+        MonitorSuite(default_monitors(), strict=True).check(
+            sync_system, result, execution=truth
+        )
+        out[label] = result.precision
+    return out
+
+
+def run(quick: bool = False) -> List[Table]:
+    """Run the experiment (trimmed sweep when ``quick``)."""
+    rates = [0.0, 0.25] if quick else [0.0, 0.1, 0.25, 0.4]
+    rounds = 4 if quick else 8
+    table = Table(
+        title="E17: emergent transport delays under Section 6 models "
+        f"(ring-4, frame delay U[{LB:g},{UB:g}], D_max = {D_MAX:g}, "
+        "forward-only loss)",
+        headers=[
+            "loss",
+            "retransmits",
+            "max d(m)",
+            "bounds [LB,D_max]",
+            "lb-only (est.)",
+            "bias (Lem 6.5)",
+            "bias/bounds",
+            "winner",
+            "monitors",
+        ],
+    )
+    bias_table = Table(
+        title="E17b: Lemma 6.5 bias bound, a-priori vs measured "
+        f"(sound b = D_max - LB = {D_MAX - LB:g})",
+        headers=[
+            "loss",
+            "realized b",
+            "bounds [LB,D_max]",
+            "bias (sound b)",
+            "bias (measured b)",
+            "measured/bounds",
+        ],
+    )
+    for rate in rates:
+        rows = [
+            _run_one(rate, seed, rounds) for seed in seeds(quick, full=4)
+        ]
+        bounds_p = summarize([r["bounds"] for r in rows]).mean
+        lb_p = summarize([r["lb-only"] for r in rows]).mean
+        bias_p = summarize([r["bias"] for r in rows]).mean
+        oracle_p = summarize([r["bias-oracle"] for r in rows]).mean
+        best = min(
+            ("lb-only", lb_p), ("bounds", bounds_p), ("bias", bias_p),
+            key=lambda kv: kv[1],
+        )[0]
+        table.add_row(
+            rate,
+            summarize([r["retransmits"] for r in rows]).mean,
+            summarize([r["max_delay"] for r in rows]).mean,
+            bounds_p,
+            lb_p,
+            bias_p,
+            bias_p / bounds_p,
+            best,
+            "pass (strict)",
+        )
+        bias_table.add_row(
+            rate,
+            summarize([r["realized_b"] for r in rows]).mean,
+            bounds_p,
+            bias_p,
+            oracle_p,
+            oracle_p / bounds_p,
+        )
+    table.add_note(
+        "delays are emergent: probes ride the reliable transport; a "
+        "dropped frame costs a backed-off retransmission, not the "
+        "observation"
+    )
+    table.add_note(
+        "every row re-synchronizes the same emergent-delay views under "
+        "all three assumptions; the strict monitor suite (closure, "
+        "optimality, precision bound, mls~ soundness) checks each "
+        "against ground truth"
+    )
+    table.add_note(
+        "asymmetric (forward-only) loss is where the symmetric bias "
+        "bound D_max - LB is pessimal: Lemma 6.5's /2 term buys back "
+        "some of it, but the estimate-driven lb-only model wins "
+        "whenever real traffic is cheaper than the worst case"
+    )
+    bias_table.add_note(
+        "the sound a-priori b must cover every possible retransmission "
+        "schedule and never beats absolute bounds here; a deployment "
+        "that *measures* its links' asymmetry (realized b) recovers "
+        "most of the gap -- that is the regime where Lemma 6.5 pays"
+    )
+    bias_table.add_note(
+        "the measured-b rows are an oracle: sound for the execution "
+        "they were measured on (the strict suite verifies this), not "
+        "for executions still to come"
+    )
+    return [table, bias_table]
+
+
+__all__ = ["CONFIG", "D_MAX", "LB", "UB", "run"]

@@ -34,10 +34,16 @@ from repro.live.replay import (
 )
 from repro.live.server import (
     DEFAULT_FRESHNESS,
+    SERVER_ID,
     CorrectionClient,
     CorrectionServer,
     start_client,
     start_correction_server,
+)
+from repro.live.transport import (
+    LIVE_TRANSPORT_CONFIG,
+    LossyNetwork,
+    SegmentChannel,
 )
 from repro.live.trace import (
     PROBE_RECORD_TYPE,
@@ -53,6 +59,8 @@ from repro.live.wire import (
     Probe,
     Query,
     Report,
+    Seg,
+    SegAck,
     WireError,
     decode,
     encode,
@@ -64,9 +72,11 @@ __all__ = [
     "CorrectionClient",
     "CorrectionServer",
     "DEFAULT_FRESHNESS",
+    "LIVE_TRANSPORT_CONFIG",
     "LiveClock",
     "LiveCluster",
     "LoadResult",
+    "LossyNetwork",
     "ManualClock",
     "PROBE_RECORD_TYPE",
     "PeerConfig",
@@ -78,6 +88,10 @@ __all__ = [
     "ReplayMismatch",
     "ReplayReport",
     "Report",
+    "SERVER_ID",
+    "Seg",
+    "SegAck",
+    "SegmentChannel",
     "WireError",
     "decode",
     "default_offsets",

@@ -30,7 +30,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.precision import realized_spread
 from repro.delays.bounds import lower_bounds_only
@@ -41,14 +41,21 @@ from repro.live.peer import PeerConfig, ProbePeer, start_peer
 from repro.live.replay import ReplayReport, verify_replay_equality
 from repro.live.server import (
     DEFAULT_FRESHNESS,
+    SERVER_ID,
     CorrectionClient,
     CorrectionServer,
     start_client,
     start_correction_server,
 )
+from repro.live.transport import (
+    LIVE_TRANSPORT_CONFIG,
+    LossyNetwork,
+    SegmentChannel,
+)
 from repro.live.wire import Correction, WireId
 from repro.obs.recorder import Recorder, get_recorder, recording
 from repro.obs.report import quantile
+from repro.transport import TransportConfig, aggregate_stats
 
 
 def live_system(topology: Topology) -> System:
@@ -82,6 +89,20 @@ class ClusterConfig:
     host: str = "127.0.0.1"
     #: probe graph; default: complete graph on ``peers`` processors.
     topology: Optional[Topology] = None
+    #: run probes/reports over the reliable transport (the default);
+    #: ``False`` restores the original raw-datagram protocol.
+    reliable: bool = True
+    #: injected datagram loss probability (0 = honest loopback).
+    loss: float = 0.0
+    #: injected reordering probability for surviving datagrams.
+    reorder: float = 0.0
+    #: seed for the loss injection and the retransmit jitter streams.
+    net_seed: Any = 0
+    #: transport tuning; ``None`` = :data:`LIVE_TRANSPORT_CONFIG` when
+    #: ``reliable``.
+    transport: Optional[TransportConfig] = None
+    #: server-side silent-peer threshold (seconds); ``None`` = off.
+    peer_timeout: Optional[float] = None
 
 
 @dataclass
@@ -124,6 +145,20 @@ class LiveCluster:
                 f"{len(self.topology.nodes)} processors"
             )
         self.system = live_system(self.topology)
+        self.transport_config: Optional[TransportConfig] = (
+            (self.config.transport or LIVE_TRANSPORT_CONFIG)
+            if self.config.reliable
+            else None
+        )
+        self._net: Optional[LossyNetwork] = (
+            LossyNetwork(
+                loss=self.config.loss,
+                reorder=self.config.reorder,
+                seed=self.config.net_seed,
+            )
+            if (self.config.loss or self.config.reorder)
+            else None
+        )
         epoch = time.monotonic()
         self.clocks: Dict[WireId, LiveClock] = {
             p: LiveClock(offset, epoch=epoch)
@@ -144,7 +179,13 @@ class LiveCluster:
         """Bind everything, wire addresses, start probing."""
         host = self.config.host
         self.server = await start_correction_server(
-            self.system, host=host, freshness=self.config.freshness
+            self.system,
+            host=host,
+            freshness=self.config.freshness,
+            transport_config=self.transport_config,
+            transport_seed=self.config.net_seed,
+            peer_timeout=self.config.peer_timeout,
+            net=self._net,
         )
         # Bind all peers first: ephemeral ports exist only after binding.
         for p in self.topology.nodes:
@@ -155,6 +196,9 @@ class LiveCluster:
                     interval=self.config.interval,
                     report_address=self.server.address,
                     rounds=self.config.rounds,
+                    transport=self.transport_config,
+                    transport_seed=self.config.net_seed,
+                    net=self._net,
                 ),
                 host=host,
             )
@@ -247,6 +291,103 @@ class LiveCluster:
             result.answers.extend(answers)
         return result
 
+    # -- transport lifecycle + accounting ------------------------------------
+
+    def pause_probing(self) -> None:
+        """Stop every peer's probe loop (sockets stay open to drain)."""
+        for peer in self.peers.values():
+            peer.pause_probing()
+
+    async def drain_transport(self, timeout: float = 5.0) -> bool:
+        """Wait until every reliable channel is empty (acked or given
+        up); True when all drained within ``timeout`` each."""
+        ok = True
+        for peer in self.peers.values():
+            ok = await peer.drain(timeout) and ok
+        if self.server is not None and self.server.channel is not None:
+            ok = await self.server.channel.drain(timeout) and ok
+        return ok
+
+    def _channels(self) -> Dict[WireId, SegmentChannel]:
+        channels: Dict[WireId, SegmentChannel] = {
+            p: peer.channel
+            for p, peer in self.peers.items()
+            if peer.channel is not None
+        }
+        if self.server is not None and self.server.channel is not None:
+            channels[SERVER_ID] = self.server.channel
+        return channels
+
+    def transport_accounting(self) -> Dict[str, dict]:
+        """Per-directed-link conservation ledger.
+
+        For every channel that was handed at least one payload:
+        ``handed == delivered (at the remote) + undelivered (surfaced
+        by a give-up) + dropped_unreachable (refused on a dead channel)
+        + pending (still in flight) + lost``.  After a successful
+        drain, ``pending`` is 0 and ``lost`` must be too -- the
+        transport's no-silent-loss contract.
+        """
+        channels = self._channels()
+        edges: Dict[str, dict] = {}
+        for src, channel in channels.items():
+            for dst, s in channel.machine.stats_by_peer().items():
+                if s.handed == 0:
+                    continue
+                remote = channels.get(dst)
+                delivered = (
+                    remote.machine.stats(src).delivered
+                    if remote is not None
+                    else 0
+                )
+                pending = channel.machine.pending(dst)
+                edges[f"{src!r}->{dst!r}"] = {
+                    "handed": s.handed,
+                    "delivered": delivered,
+                    "undelivered": s.undelivered,
+                    "dropped_unreachable": s.dropped_unreachable,
+                    "pending": pending,
+                    "lost": (
+                        s.handed - delivered - s.undelivered
+                        - s.dropped_unreachable - pending
+                    ),
+                    "retransmits": s.retransmits,
+                    "give_ups": s.give_ups,
+                }
+        return edges
+
+    def transport_summary(self) -> dict:
+        """The smoke summary's ``transport`` section."""
+        if self.transport_config is None:
+            summary: dict = {"enabled": False}
+            if self._net is not None:
+                summary["net"] = self._net.counters()
+            return summary
+        channels = self._channels()
+        totals: Dict[str, float] = {}
+        for channel in channels.values():
+            for name, value in aggregate_stats(
+                channel.stats_by_peer()
+            ).items():
+                totals[name] = totals.get(name, 0) + value
+        per_link = self.transport_accounting()
+        summary = {
+            "enabled": True,
+            "totals": totals,
+            "per_link": per_link,
+            "lost_observations": sum(e["lost"] for e in per_link.values()),
+            "unreachable": sorted(
+                {
+                    repr(peer)
+                    for channel in channels.values()
+                    for peer in channel.unreachable
+                }
+            ),
+        }
+        if self._net is not None:
+            summary["net"] = self._net.counters()
+        return summary
+
     # -- audits ------------------------------------------------------------
 
     def verify_replay(self) -> ReplayReport:
@@ -276,20 +417,42 @@ async def run_smoke(
     interval: float = 0.01,
     freshness: float = DEFAULT_FRESHNESS,
     concurrency: int = 8,
+    reliable: bool = True,
+    loss: float = 0.0,
+    reorder: float = 0.0,
+    net_seed: Any = 0,
+    drain_timeout: float = 10.0,
 ) -> dict:
     """Boot a cluster, drive a query load, audit it; return the summary.
 
     The CI live job asserts on this summary: sustained QPS, p50/p99
-    request latency present in the metrics registry, and the
-    replay-equality report clean.
+    request latency present in the metrics registry, the
+    replay-equality report clean, and -- on the lossy-loopback
+    variant -- zero lost observations (``transport.lost_observations``:
+    every probe handed to the transport was delivered, surfaced as
+    undelivered by a give-up, or refused on a dead channel).
     """
     recorder = get_recorder()
     cluster = LiveCluster(
-        ClusterConfig(peers=peers, interval=interval, freshness=freshness)
+        ClusterConfig(
+            peers=peers,
+            interval=interval,
+            freshness=freshness,
+            reliable=reliable,
+            loss=loss,
+            reorder=reorder,
+            net_seed=net_seed,
+        )
     )
     async with cluster:
         await cluster.wait_for_observations(warmup_observations)
         load = await cluster.query_load(queries, concurrency=concurrency)
+        # Quiesce before auditing: stop launching probes, let in-flight
+        # retransmissions finish, then take the conservation ledger.
+        cluster.pause_probing()
+        drained = await cluster.drain_transport(drain_timeout)
+        transport = cluster.transport_summary()
+        transport["drained"] = drained
         replay = cluster.verify_replay()
         realized = cluster.realized()
         server = cluster.server
@@ -316,6 +479,7 @@ async def run_smoke(
             "replay_checked": replay.checked,
             "replay_cuts": len(replay.cuts),
             "realized_spread": realized,
+            "transport": transport,
             "health": server.health_json(),
         }
     return summary

@@ -21,6 +21,19 @@ screening path):
 * probes from unknown senders are dropped
   (``live.peer.probes_unknown``).
 
+With a :class:`~repro.transport.TransportConfig` in the
+:class:`PeerConfig`, probes and reports additionally ride the reliable
+transport (:mod:`repro.live.transport`): each is framed in an acked,
+retransmitted :class:`~repro.live.wire.Seg`, so datagram *loss* costs a
+backed-off retransmission instead of a lost observation, and a peer
+that stops acking is flagged unreachable rather than silently ignored.
+The probe's ``send_clock`` is read once at hand-off and rides inside
+the frame unchanged -- a retransmitted probe therefore yields a
+genuine (if large) delay estimate for the *emergent* delay, which the
+``lower_bounds_only(0)`` loopback model admits.  Without a transport
+config the peer speaks the original raw-datagram protocol (and still
+understands raw probes from legacy peers either way).
+
 Each accepted probe becomes a :class:`~repro.live.wire.Report` that the
 peer accumulates locally (so its own views can be rebuilt via
 :func:`repro.live.trace.views_from_probes`) and, when configured,
@@ -31,19 +44,23 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.live.clock import LiveClock
 from repro.live.trace import views_from_probes
+from repro.live.transport import SERVER_ID, LossyNetwork, SegmentChannel
 from repro.live.wire import (
     Probe,
     Report,
+    Seg,
+    SegAck,
     WireError,
     WireId,
     decode,
     encode,
 )
 from repro.obs.recorder import get_recorder
+from repro.transport import ChannelStats, TransportConfig
 
 Address = Tuple[str, int]
 
@@ -63,6 +80,14 @@ class PeerConfig:
     report_address: Optional[Address] = None
     #: stop probing after this many rounds (``None`` = until stopped).
     rounds: Optional[int] = None
+    #: reliable-transport tuning; ``None`` = legacy raw datagrams.
+    transport: Optional[TransportConfig] = None
+    #: seed for the transport's retransmit-jitter stream.
+    transport_seed: Any = 0
+    #: wire id of the server's transport endpoint (report channel).
+    server_id: WireId = SERVER_ID
+    #: optional injected loss/reordering in front of every send.
+    net: Optional[LossyNetwork] = None
 
 
 class ProbePeer(asyncio.DatagramProtocol):
@@ -80,15 +105,34 @@ class ProbePeer(asyncio.DatagramProtocol):
         self._task: Optional[asyncio.Task] = None
         self._seen: set = set()
         self._records: List[Report] = []
+        self._channel: Optional[SegmentChannel] = None
+        self.unreachable_peers: set = set()
         self.rounds_sent = 0
 
     # -- datagram protocol -------------------------------------------------
 
     def connection_made(self, transport) -> None:  # pragma: no cover - glue
         self._transport = transport
+        if self.config.transport is not None:
+            self._channel = SegmentChannel(
+                self.config.processor,
+                sendto=self._raw_sendto,
+                on_deliver=self._transport_deliver,
+                on_unreachable=self._peer_unreachable,
+                config=self.config.transport,
+                seed=self.config.transport_seed,
+            )
 
     def error_received(self, exc: OSError) -> None:
         get_recorder().count("live.peer.transport_errors")
+
+    def _raw_sendto(self, data: bytes, addr: Address) -> None:
+        if self._transport is None:
+            return
+        if self.config.net is not None:
+            self.config.net.send(self._transport, data, addr)
+        else:
+            self._transport.sendto(data, addr)
 
     def datagram_received(self, data: bytes, addr: Address) -> None:
         # Timestamp before any parsing: the clock read *is* the datum.
@@ -99,9 +143,35 @@ class ProbePeer(asyncio.DatagramProtocol):
         except WireError:
             recorder.count("live.peer.datagrams_invalid")
             return
+        if isinstance(message, (Seg, SegAck)):
+            if self._channel is None:
+                recorder.count("live.peer.datagrams_unexpected")
+                return
+            self._channel.on_datagram(message, addr, recv_clock)
+            return
         if not isinstance(message, Probe):
             recorder.count("live.peer.datagrams_unexpected")
             return
+        # Raw probe (legacy peer, or transport disabled).
+        self._accept_probe(message, recv_clock)
+
+    def _transport_deliver(
+        self, payload: Any, src: WireId, recv_clock: float
+    ) -> None:
+        if isinstance(payload, Probe):
+            self._accept_probe(payload, recv_clock)
+        else:
+            get_recorder().count("live.peer.datagrams_unexpected")
+
+    def _peer_unreachable(
+        self, peer: WireId, undelivered: Tuple[Any, ...]
+    ) -> None:
+        self.unreachable_peers.add(peer)
+        get_recorder().count("live.peer.peers_unreachable")
+
+    def _accept_probe(self, message: Probe, recv_clock: float) -> None:
+        """Dedupe, record, and forward one received probe."""
+        recorder = get_recorder()
         if message.sender not in self.config.neighbors:
             recorder.count("live.peer.probes_unknown")
             return
@@ -121,10 +191,14 @@ class ProbePeer(asyncio.DatagramProtocol):
         )
         self._records.append(report)
         recorder.count("live.peer.probes_received")
-        if self.config.report_address is not None and self._transport:
-            self._transport.sendto(
-                encode(report), self.config.report_address
-            )
+        if self.config.report_address is not None:
+            if self._channel is not None:
+                self._channel.register_peer(
+                    self.config.server_id, self.config.report_address
+                )
+                self._channel.send(self.config.server_id, report)
+            elif self._transport is not None:
+                self._raw_sendto(encode(report), self.config.report_address)
         if self._on_report is not None:
             self._on_report(report)
 
@@ -152,28 +226,47 @@ class ProbePeer(asyncio.DatagramProtocol):
             await asyncio.sleep(self.config.interval)
 
     def send_probe_round(self, seq: int) -> None:
-        """Send one probe to every neighbour (clock read per datagram)."""
+        """Send one probe to every neighbour (clock read per probe)."""
         if self._transport is None:
             raise RuntimeError(
                 f"peer {self.config.processor!r} has no transport"
             )
-        for address in self.config.neighbors.values():
+        for neighbor, address in self.config.neighbors.items():
             probe = Probe(
                 sender=self.config.processor,
                 seq=seq,
                 send_clock=self.config.clock.reading(),
             )
-            self._transport.sendto(encode(probe), address)
+            if self._channel is not None:
+                self._channel.register_peer(neighbor, address)
+                self._channel.send(neighbor, probe)
+            else:
+                self._raw_sendto(encode(probe), address)
+
+    def pause_probing(self) -> None:
+        """Stop launching new probe rounds; keep the socket (and any
+        in-flight retransmissions) alive so the transport can drain."""
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    async def drain(self, timeout: float = 5.0) -> bool:
+        """Wait for the reliable channels to empty; True when idle."""
+        if self._channel is None:
+            return True
+        return await self._channel.drain(timeout)
 
     async def stop(self) -> None:
         """Cancel the probe loop and close the socket."""
-        if self._task is not None:
-            self._task.cancel()
+        task = self._task
+        self.pause_probing()
+        if task is not None:
             try:
-                await self._task
+                await task
             except asyncio.CancelledError:
                 pass
-            self._task = None
+        if self._channel is not None:
+            self._channel.close()
         if self._transport is not None:
             self._transport.close()
             self._transport = None
@@ -186,6 +279,17 @@ class ProbePeer(asyncio.DatagramProtocol):
         if self._transport is None:
             raise RuntimeError("peer is not bound")
         return self._transport.get_extra_info("sockname")[:2]
+
+    @property
+    def channel(self) -> Optional[SegmentChannel]:
+        """The reliable-transport endpoint (``None`` on the raw path)."""
+        return self._channel
+
+    def transport_stats(self) -> Dict[WireId, ChannelStats]:
+        """Per-peer transport counters (empty on the raw path)."""
+        if self._channel is None:
+            return {}
+        return self._channel.stats_by_peer()
 
     @property
     def records(self) -> Tuple[Report, ...]:
@@ -229,4 +333,4 @@ async def start_peer(
     return peer
 
 
-__all__ = ["Address", "PeerConfig", "ProbePeer", "start_peer"]
+__all__ = ["Address", "PeerConfig", "ProbePeer", "SERVER_ID", "start_peer"]

@@ -42,7 +42,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.global_estimates import InconsistentViewsError
 from repro.core.shifts import UnboundedPrecisionError
@@ -50,16 +50,20 @@ from repro.core.synchronizer import SyncResult
 from repro.delays.system import System, UnknownLinkError
 from repro.extensions.online import OnlineSynchronizer
 from repro.live.trace import ProbeLog
+from repro.live.transport import SERVER_ID, LossyNetwork, SegmentChannel
 from repro.live.wire import (
     Correction,
     Query,
     Report,
+    Seg,
+    SegAck,
     WireError,
     WireId,
     decode,
     encode,
 )
 from repro.obs.recorder import get_recorder
+from repro.transport import TransportConfig, aggregate_stats
 
 Address = Tuple[str, int]
 
@@ -99,6 +103,11 @@ class CorrectionServer(asyncio.DatagramProtocol):
         fallback: bool = True,
         keep_answers: bool = True,
         time_fn=time.monotonic,
+        transport_config: Optional[TransportConfig] = None,
+        transport_seed: Any = 0,
+        server_id: WireId = SERVER_ID,
+        peer_timeout: Optional[float] = None,
+        net: Optional[LossyNetwork] = None,
     ) -> None:
         self._system = system
         self._online = OnlineSynchronizer(
@@ -119,6 +128,14 @@ class CorrectionServer(asyncio.DatagramProtocol):
         self._keep_answers = keep_answers
         self._answers: List[Correction] = []
         self._transport: Optional[asyncio.DatagramTransport] = None
+        self._transport_config = transport_config
+        self._transport_seed = transport_seed
+        self._server_id = server_id
+        self._peer_timeout = peer_timeout
+        self._net = net
+        self._channel: Optional[SegmentChannel] = None
+        self._last_heard: Dict[WireId, float] = {}
+        self.unreachable_peers: set = set()
         self.queries_served = 0
         self.reports_ingested = 0
 
@@ -126,6 +143,37 @@ class CorrectionServer(asyncio.DatagramProtocol):
 
     def connection_made(self, transport) -> None:  # pragma: no cover - glue
         self._transport = transport
+        if self._transport_config is not None:
+            self._channel = SegmentChannel(
+                self._server_id,
+                sendto=self._raw_sendto,
+                on_deliver=self._transport_deliver,
+                on_unreachable=self._peer_unreachable,
+                config=self._transport_config,
+                seed=self._transport_seed,
+            )
+
+    def _raw_sendto(self, data: bytes, addr: Address) -> None:
+        if self._transport is None:
+            return
+        if self._net is not None:
+            self._net.send(self._transport, data, addr)
+        else:
+            self._transport.sendto(data, addr)
+
+    def _transport_deliver(
+        self, payload, src: WireId, recv_clock: float
+    ) -> None:
+        if isinstance(payload, Report):
+            self._ingest(payload)
+        else:
+            # Peers frame reports toward the server; a framed probe is
+            # a peer misconfigured to probe the server's wire id.
+            get_recorder().count("live.server.datagrams_unexpected")
+
+    def _peer_unreachable(self, peer: WireId, undelivered) -> None:
+        self.unreachable_peers.add(peer)
+        get_recorder().count("live.server.peers_unreachable")
 
     def error_received(self, exc: OSError) -> None:
         get_recorder().count("live.server.transport_errors")
@@ -144,6 +192,11 @@ class CorrectionServer(asyncio.DatagramProtocol):
             asyncio.get_running_loop().create_task(
                 self._answer(message, addr, started)
             )
+        elif isinstance(message, (Seg, SegAck)):
+            if self._channel is None:
+                recorder.count("live.server.datagrams_unexpected")
+                return
+            self._channel.on_datagram(message, addr, self._time_fn())
         else:
             recorder.count("live.server.datagrams_unexpected")
 
@@ -151,6 +204,9 @@ class CorrectionServer(asyncio.DatagramProtocol):
 
     def _ingest(self, report: Report) -> None:
         recorder = get_recorder()
+        # Liveness: the forwarding peer (the report's receiver) just
+        # spoke, whether the report arrived raw or framed.
+        self._last_heard[report.receiver] = self._time_fn()
         key = (report.sender, report.receiver, report.seq)
         if key in self._seen:
             recorder.count("live.server.reports_duplicate")
@@ -312,6 +368,31 @@ class CorrectionServer(asyncio.DatagramProtocol):
         """Every answer served (when ``keep_answers``), for auditing."""
         return tuple(self._answers)
 
+    @property
+    def channel(self) -> Optional[SegmentChannel]:
+        """The reliable-transport endpoint (``None`` on the raw path)."""
+        return self._channel
+
+    def silent_peers(self) -> List[WireId]:
+        """Peers once heard from but silent beyond ``peer_timeout``.
+
+        Empty when ``peer_timeout`` is unset.  A silent peer is the
+        weaker tier of failure evidence (its own channel may simply be
+        idle); a transport give-up (``unreachable_peers``) is the
+        strong one.
+        """
+        if self._peer_timeout is None:
+            return []
+        now = self._time_fn()
+        return sorted(
+            (
+                peer
+                for peer, heard in self._last_heard.items()
+                if now - heard > self._peer_timeout
+            ),
+            key=repr,
+        )
+
     def health_json(self) -> dict:
         """The ``/healthz`` payload (see :func:`repro.obs.http.serve_telemetry`).
 
@@ -322,7 +403,7 @@ class CorrectionServer(asyncio.DatagramProtocol):
         """
         in_fallback = self._online.in_fallback
         cached = self._cached
-        return {
+        payload = {
             "status": (
                 "degraded" if in_fallback
                 else ("ok" if cached is not None and cached.result is not None
@@ -334,9 +415,20 @@ class CorrectionServer(asyncio.DatagramProtocol):
             "outliers_rejected": self._online.outliers_rejected,
             "queries": self.queries_served,
             "served_cut": None if cached is None else cached.cut,
+            "silent_peers": [repr(p) for p in self.silent_peers()],
+            "unreachable_peers": sorted(
+                repr(p) for p in self.unreachable_peers
+            ),
         }
+        if self._channel is not None:
+            payload["transport"] = aggregate_stats(
+                self._channel.stats_by_peer()
+            )
+        return payload
 
     def close(self) -> None:
+        if self._channel is not None:
+            self._channel.close()
         if self._transport is not None:
             self._transport.close()
             self._transport = None
@@ -439,6 +531,7 @@ async def start_client(
 __all__ = [
     "DEFAULT_FRESHNESS",
     "REQUEST_LATENCY_BUCKETS",
+    "SERVER_ID",
     "CorrectionClient",
     "CorrectionServer",
     "ServedResult",

@@ -6,7 +6,7 @@ truncated or bit-flipped datagram is *detected and dropped* instead of
 poisoning a peer's statistics -- the live analogue of the PR 5
 screening path: transport faults degrade coverage, never correctness.
 
-Four message kinds cross the wire:
+Six message kinds cross the wire:
 
 * ``probe`` -- a peer's timestamped beacon: ``sender`` read its clock
   at ``send_clock`` and sent sequence number ``seq``.  The receiver
@@ -19,6 +19,12 @@ Four message kinds cross the wire:
   certified precision ``A^max``, and the *cut* (number of admitted
   observations the answer was computed from) that makes the answer
   replayable offline (see :mod:`repro.live.replay`).
+* ``seg`` / ``segack`` -- the reliable-transport framing of
+  :mod:`repro.transport`: a ``seg`` wraps one inner ``probe`` or
+  ``report`` body with a per-``(src, dst)`` sequence number, and a
+  ``segack`` carries the receiver's cumulative + selective
+  acknowledgement.  The outer CRC covers the inner body, so a torn
+  segment is dropped whole (and the transport retransmits it).
 
 Processor and client identifiers must be JSON-scalar (strings or ints)
 on the wire; the rest of the repo's "any hashable" freedom does not
@@ -30,7 +36,7 @@ from __future__ import annotations
 import json
 import zlib
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 from repro._types import Time
 
@@ -102,11 +108,37 @@ class Correction:
     observations: int
 
 
+@dataclass(frozen=True)
+class Seg:
+    """One reliable-transport data segment wrapping an inner message.
+
+    ``seq`` numbers the ``(src, dst)`` channel; ``inner`` is the framed
+    application message (a :class:`Probe` or :class:`Report`).
+    """
+
+    src: WireId
+    dst: WireId
+    seq: int
+    inner: Union[Probe, Report]
+
+
+@dataclass(frozen=True)
+class SegAck:
+    """Transport acknowledgement: cumulative ``cum`` plus SACK set."""
+
+    src: WireId
+    dst: WireId
+    cum: int
+    sacks: Tuple[int, ...] = ()
+
+
 _KINDS = {
     "probe": Probe,
     "report": Report,
     "query": Query,
     "correction": Correction,
+    "seg": Seg,
+    "segack": SegAck,
 }
 _FIELDS = {
     "probe": ("sender", "seq", "send_clock"),
@@ -116,7 +148,14 @@ _FIELDS = {
         "qid", "client", "status", "correction", "precision", "cut",
         "observations",
     ),
+    "seg": ("src", "dst", "seq", "inner"),
+    "segack": ("src", "dst", "cum", "sacks"),
 }
+
+#: Message kinds a ``seg`` may carry (the transport frames app traffic,
+#: not other transport frames or query/answer messages -- those have
+#: their own app-level retry).
+_INNER_KINDS = ("probe", "report")
 
 
 def _canonical(payload: dict) -> bytes:
@@ -139,18 +178,57 @@ def _encode(kind: str, payload: dict) -> bytes:
     return data
 
 
-def encode(message: Union[Probe, Report, Query, Correction]) -> bytes:
+def _inner_body(message: Union[Probe, Report]) -> dict:
+    """The versionless body of a message framed inside a ``seg``."""
+    for kind in _INNER_KINDS:
+        if isinstance(message, _KINDS[kind]):
+            body = {name: getattr(message, name) for name in _FIELDS[kind]}
+            body["kind"] = kind
+            return body
+    raise TypeError(f"cannot frame {message!r} inside a segment")
+
+
+def _parse_inner(data: object) -> Union[Probe, Report]:
+    """Parse a ``seg`` inner body; raise :class:`WireError` on defects."""
+    if not isinstance(data, dict):
+        raise WireError(f"segment inner is not an object: {data!r}")
+    kind = data.get("kind")
+    if kind not in _INNER_KINDS:
+        raise WireError(f"segment cannot carry kind {kind!r}")
+    fields = _FIELDS[kind]
+    try:
+        kwargs = {name: data[name] for name in fields}
+    except KeyError as exc:
+        raise WireError(f"segment inner missing field {exc}") from None
+    extra = set(data) - set(fields) - {"kind"}
+    if extra:
+        raise WireError(f"segment inner has stray fields {sorted(extra)}")
+    try:
+        return _KINDS[kind](**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"malformed segment inner: {exc}") from None
+
+
+def encode(
+    message: Union[Probe, Report, Query, Correction, Seg, SegAck]
+) -> bytes:
     """Serialize one wire message to a single datagram."""
     for kind, cls in _KINDS.items():
         if isinstance(message, cls):
             payload = {
                 name: getattr(message, name) for name in _FIELDS[kind]
             }
+            if kind == "seg":
+                payload["inner"] = _inner_body(message.inner)
+            elif kind == "segack":
+                payload["sacks"] = list(message.sacks)
             return _encode(kind, payload)
     raise TypeError(f"not a wire message: {message!r}")
 
 
-def decode(data: bytes) -> Union[Probe, Report, Query, Correction]:
+def decode(
+    data: bytes,
+) -> Union[Probe, Report, Query, Correction, Seg, SegAck]:
     """Parse one datagram; raise :class:`WireError` on any defect.
 
     Rejects non-JSON / truncated bytes, unknown kinds, missing fields,
@@ -181,6 +259,15 @@ def decode(data: bytes) -> Union[Probe, Report, Query, Correction]:
     extra = set(body) - set(fields) - {"kind", "v"}
     if extra:
         raise WireError(f"{kind} datagram has stray fields {sorted(extra)}")
+    if kind == "seg":
+        kwargs["inner"] = _parse_inner(kwargs["inner"])
+    elif kind == "segack":
+        sacks = kwargs["sacks"]
+        if not isinstance(sacks, list) or not all(
+            isinstance(s, int) for s in sacks
+        ):
+            raise WireError(f"segack sacks must be a list of ints: {sacks!r}")
+        kwargs["sacks"] = tuple(sacks)
     try:
         return _KINDS[kind](**kwargs)
     except (TypeError, ValueError) as exc:
@@ -194,6 +281,8 @@ __all__ = [
     "Probe",
     "Query",
     "Report",
+    "Seg",
+    "SegAck",
     "WireError",
     "decode",
     "encode",

@@ -35,9 +35,11 @@ import os
 import socket
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Optional, Sequence, Tuple, Union
+from typing import Callable, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.transport import transport_counter_snapshot
 
 #: Bump on any incompatible change to the heartbeat record layout.
 HEARTBEAT_VERSION = 1
@@ -88,6 +90,9 @@ class Heartbeat:
     current_cell: Optional[Tuple[str, str, int]]
     current_cell_seconds: Optional[float]
     complete: bool
+    #: reliable-transport counter totals (``transport.*``), present only
+    #: when the shard's workload ran the transport layer.
+    transport: Mapping[str, float] = field(default_factory=dict)
 
     @property
     def cells_remaining(self) -> int:
@@ -119,6 +124,7 @@ class Heartbeat:
             ),
             "current_cell_seconds": self.current_cell_seconds,
             "complete": self.complete,
+            "transport": dict(self.transport),
         }
 
     @classmethod
@@ -164,6 +170,10 @@ class Heartbeat:
                 else float(data["current_cell_seconds"])
             ),
             complete=bool(data.get("complete", False)),
+            transport={
+                str(name): float(value)
+                for name, value in (data.get("transport") or {}).items()
+            },
         )
 
 
@@ -216,6 +226,9 @@ class HeartbeatWriter:
         interval: float = DEFAULT_HEARTBEAT_INTERVAL,
         clock: Callable[[], float] = time.time,
         monotonic: Callable[[], float] = time.monotonic,
+        transport_source: Optional[
+            Callable[[], Mapping[str, float]]
+        ] = None,
     ) -> None:
         if interval < 0:
             raise ValueError(f"interval must be >= 0, got {interval}")
@@ -245,6 +258,14 @@ class HeartbeatWriter:
         self._closed = False
         self._pid = os.getpid()
         self._host = socket.gethostname()
+        # Default source: scrape the ambient metric registry's totals
+        # (empty when observability is off or no transport ran, so the
+        # field stays an empty object in the common case).
+        self._transport_source = (
+            transport_source
+            if transport_source is not None
+            else lambda: transport_counter_snapshot(per_link=False)
+        )
 
     # -- introspection -----------------------------------------------------
 
@@ -350,6 +371,11 @@ class HeartbeatWriter:
 
     def snapshot(self, complete: bool = False) -> Heartbeat:
         """The heartbeat record a write issued now would carry."""
+        try:
+            transport = dict(self._transport_source())
+        except Exception:
+            # The telemetry plane must not be able to fail a shard.
+            transport = {}
         with self._lock:
             now_mono = self._monotonic()
             return Heartbeat(
@@ -378,6 +404,7 @@ class HeartbeatWriter:
                     else max(0.0, now_mono - self._current_started)
                 ),
                 complete=complete,
+                transport=transport,
             )
 
     def beat(self, force: bool = False) -> bool:

@@ -37,9 +37,9 @@ import json
 import os
 import socket
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.runner.heartbeat import Heartbeat, heartbeat_path, read_heartbeat
 from repro.runner.merge import find_manifests
@@ -81,6 +81,9 @@ class ShardStatus:
     pid: Optional[int]
     host: Optional[str]
     source: str  # "heartbeat" | "manifest" | "stream" | "none"
+    #: reliable-transport counter totals from the shard's heartbeat
+    #: (empty for raw-path or pre-transport shards).
+    transport: Mapping[str, float] = field(default_factory=dict)
 
     @property
     def cells_remaining(self) -> int:
@@ -111,6 +114,7 @@ class ShardStatus:
             "pid": self.pid,
             "host": self.host,
             "source": self.source,
+            "transport": dict(self.transport),
         }
 
 
@@ -157,6 +161,15 @@ class FleetStatus:
         etas = [s.eta_seconds for s in self.shards if s.eta_seconds is not None]
         return max(etas) if etas else None
 
+    @property
+    def transport(self) -> Dict[str, float]:
+        """Fleet-wide reliable-transport totals (summed over shards)."""
+        totals: Dict[str, float] = {}
+        for shard in self.shards:
+            for name, value in shard.transport.items():
+                totals[name] = totals.get(name, 0.0) + value
+        return totals
+
     def to_json(self) -> dict:
         return {
             "type": "campaign.fleet.status",
@@ -169,6 +182,7 @@ class FleetStatus:
             "cells_completed": self.cells_completed,
             "cells_quarantined": self.cells_quarantined,
             "eta_seconds": self.eta_seconds,
+            "transport": self.transport,
             "shards": [s.to_json() for s in self.shards],
         }
 
@@ -190,6 +204,7 @@ class FleetStatus:
             "cells_own": self.cells_own,
             "cells_quarantined": self.cells_quarantined,
             "eta_seconds": self.eta_seconds,
+            "transport": self.transport,
         }
 
 
@@ -309,6 +324,7 @@ def shard_status(
             pid=heartbeat.pid,
             host=heartbeat.host,
             source="heartbeat",
+            transport=dict(heartbeat.transport),
         )
 
     # No heartbeat (pre-PR-7 shard, or sidecar lost): fall back to the
@@ -451,6 +467,13 @@ def fleet_status_lines(fleet: FleetStatus) -> List[str]:
     )
     if fleet.gap_cells:
         summary += f", {fleet.gap_cells} grid cell(s) unowned"
+    transport = fleet.transport
+    if transport:
+        summary += (
+            f", transport: {transport.get('transport.retransmits', 0):.0f} "
+            f"retransmit(s), {transport.get('transport.give_ups', 0):.0f} "
+            f"give-up(s)"
+        )
     if fleet.eta_seconds is not None and not fleet.complete:
         summary += f", eta {_fmt_seconds(fleet.eta_seconds)}"
     if fleet.complete:

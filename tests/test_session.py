@@ -9,8 +9,8 @@ ISSUE requirements covered here:
   mapping, a simulator scenario, a live probe log, and paths to both
   archive kinds -- all yielding the same corrections for the same
   underlying timing (Claim 3.1);
-* the one-release ``execution=`` shim warns :class:`DeprecationWarning`
-  and keeps the old call working unchanged.
+* the retired ``execution=`` compatibility shim stays retired: the old
+  keyword fails loudly instead of silently doing something else.
 """
 
 import argparse
@@ -191,17 +191,12 @@ class TestRunSourceApi:
         assert via_run.corrections == direct.corrections
         assert via_run.precision == direct.precision
 
-    def test_execution_keyword_warns_and_still_works(self, scenario):
+    def test_execution_keyword_removed(self, scenario):
+        # The one-release ``execution=`` compatibility shim is gone:
+        # the old keyword now fails like any unknown keyword.
         execution = scenario.run()
-        expected = repro.run(scenario.system, execution)
-        with pytest.warns(DeprecationWarning, match="execution=.*deprecated"):
-            legacy = repro.run(scenario.system, execution=execution)
-        assert legacy.corrections == expected.corrections
-
-    def test_both_source_and_execution_rejected(self, scenario):
-        execution = scenario.run()
-        with pytest.raises(TypeError, match="not both"):
-            repro.run(scenario.system, execution, execution=execution)
+        with pytest.raises(TypeError):
+            repro.run(scenario.system, execution=execution)
 
     def test_no_source_rejected(self, scenario):
         with pytest.raises(TypeError, match="source"):

@@ -1,0 +1,186 @@
+"""Transport counters through the telemetry plane (satellite of the
+reliable-transport PR): heartbeats, fleet status, metrics exports.
+
+Per-link retransmit/timeout/give-up counters flow from the machine's
+observer into the ambient metrics registry; shard heartbeats scrape the
+totals; ``campaign status`` sums them fleet-wide; the Prometheus text
+endpoint exports every series.
+"""
+
+import json
+
+from repro.obs import prometheus_text
+from repro.obs.recorder import Recorder, recording
+from repro.runner.heartbeat import (
+    Heartbeat,
+    HeartbeatWriter,
+    read_heartbeat,
+)
+from repro.runner.status import FleetStatus, ShardStatus, fleet_status_lines
+from repro.transport import (
+    PER_LINK_EVENTS,
+    ReliableTransport,
+    TransportConfig,
+    recorder_observer,
+    transport_counter_snapshot,
+)
+
+
+def drive_lossy_machine():
+    """One give-up's worth of transport traffic, observer attached."""
+    machine = ReliableTransport(
+        "p0",
+        TransportConfig(rto_initial=1.0, rto_max=2.0, jitter=0.0,
+                        max_retries=1),
+        observer=recorder_observer(),
+    )
+    machine.send("p1", "payload", now=0.0)
+    machine.on_timer(1.0)  # retransmit
+    machine.on_timer(3.0)  # give up
+    return machine
+
+
+class TestCounterNamespace:
+    def test_totals_and_per_link_series(self):
+        with recording(Recorder()) as rec:
+            drive_lossy_machine()
+            snapshot = transport_counter_snapshot()
+        assert snapshot["transport.retransmits"] == 1.0
+        assert snapshot["transport.give_ups"] == 1.0
+        assert snapshot["transport.link.'p0'->'p1'.retransmits"] == 1.0
+        assert snapshot["transport.link.'p0'->'p1'.give_ups"] == 1.0
+        # Only the flagged events get per-link series.
+        assert "transport.link.'p0'->'p1'.handed" not in snapshot
+        assert PER_LINK_EVENTS == {"retransmits", "timeouts", "give_ups"}
+        # RTT rides a histogram, not a counter.
+        assert rec.registry.histogram("transport.rtt_seconds") is not None
+
+    def test_snapshot_without_per_link(self):
+        with recording(Recorder()):
+            drive_lossy_machine()
+            snapshot = transport_counter_snapshot(per_link=False)
+        assert "transport.retransmits" in snapshot
+        assert not any(".link." in name for name in snapshot)
+
+    def test_snapshot_empty_when_disabled(self):
+        assert transport_counter_snapshot() == {}
+
+
+class TestHeartbeatField:
+    def _roundtrip(self, beat):
+        return Heartbeat.from_json(json.loads(json.dumps(beat.to_json())))
+
+    def test_transport_round_trips(self, tmp_path):
+        writer = HeartbeatWriter(
+            tmp_path,
+            transport_source=lambda: {"transport.retransmits": 7.0},
+        )
+        writer.begin(total=4)
+        beat = read_heartbeat(writer.path)
+        assert beat.transport == {"transport.retransmits": 7.0}
+        assert self._roundtrip(beat).transport == beat.transport
+
+    def test_default_source_scrapes_registry(self, tmp_path):
+        with recording(Recorder()):
+            drive_lossy_machine()
+            writer = HeartbeatWriter(tmp_path)
+            writer.begin(total=1)
+        beat = read_heartbeat(writer.path)
+        assert beat.transport["transport.retransmits"] == 1.0
+        # Heartbeats stay shard-level: no per-link series.
+        assert not any(".link." in name for name in beat.transport)
+
+    def test_failing_source_never_fails_the_beat(self, tmp_path):
+        def broken():
+            raise RuntimeError("scrape exploded")
+
+        writer = HeartbeatWriter(tmp_path, transport_source=broken)
+        writer.begin(total=1)
+        beat = read_heartbeat(writer.path)
+        assert beat is not None
+        assert beat.transport == {}
+
+    def test_legacy_heartbeat_without_transport_decodes(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path, transport_source=lambda: {})
+        writer.begin(total=1)
+        data = json.loads(writer.path.read_text())
+        data.pop("transport")
+        assert Heartbeat.from_json(data).transport == {}
+
+
+def make_shard(index, transport):
+    return ShardStatus(
+        manifest=f"results/manifest-{index}.json",
+        shard=(index, 2),
+        state="running",
+        cells_own=4,
+        cells_completed=2,
+        cells_quarantined=0,
+        age_seconds=1.0,
+        throughput=None,
+        eta_seconds=None,
+        current_cell=None,
+        current_cell_seconds=None,
+        pid=None,
+        host=None,
+        source="heartbeat",
+        transport=transport,
+    )
+
+
+class TestFleetStatus:
+    def test_fleet_sums_shard_transport(self):
+        fleet = FleetStatus(
+            shards=(
+                make_shard(1, {"transport.retransmits": 3.0,
+                               "transport.give_ups": 1.0}),
+                make_shard(2, {"transport.retransmits": 2.0}),
+            ),
+            stall_after=120.0,
+            grid_cells=8,
+            gap_cells=0,
+        )
+        assert fleet.transport == {
+            "transport.retransmits": 5.0,
+            "transport.give_ups": 1.0,
+        }
+        assert fleet.to_json()["transport"] == fleet.transport
+        assert fleet.health_json()["transport"] == fleet.transport
+
+    def test_status_lines_mention_transport(self):
+        fleet = FleetStatus(
+            shards=(make_shard(1, {"transport.retransmits": 3.0,
+                                   "transport.give_ups": 1.0}),),
+            stall_after=120.0,
+            grid_cells=4,
+            gap_cells=0,
+        )
+        summary = "\n".join(fleet_status_lines(fleet))
+        assert "transport: 3 retransmit(s), 1 give-up(s)" in summary
+
+    def test_status_lines_silent_without_transport(self):
+        fleet = FleetStatus(
+            shards=(make_shard(1, {}),),
+            stall_after=120.0,
+            grid_cells=4,
+            gap_cells=0,
+        )
+        assert "transport" not in "\n".join(fleet_status_lines(fleet))
+
+
+class TestPrometheusExport:
+    def test_transport_series_exported(self):
+        from repro.transport import AckSegment
+
+        with recording(Recorder()) as rec:
+            machine = drive_lossy_machine()
+            # One clean exchange with another peer: an RTT sample lands
+            # in the histogram series.
+            machine.send("p2", "payload", now=0.0)
+            machine.on_frame(
+                AckSegment(src="p2", dst="p0", cum=1), now=0.05
+            )
+            text = prometheus_text(rec.registry)
+        assert "transport_retransmits" in text
+        assert "transport_give_ups" in text
+        assert "transport_rtt_seconds" in text
